@@ -1,0 +1,42 @@
+// Ablation (paper Sect. 4.1 + conclusion): how the per-node leaders
+// exchange node blocks — MPI_Allgatherv (the paper's default), N rooted
+// broadcasts (the "regular operation" alternative), or the segmented
+// pipelined ring of Traeff et al. '08 that the conclusion recommends for
+// messages beyond 256 kB.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+using hympi::BridgeAlgo;
+using hympi::SyncPolicy;
+
+int main() {
+    std::printf("Ablation: bridge exchange algorithm in Hy_Allgather\n");
+
+    constexpr int kWarmup = 1;
+    constexpr int kIters = 3;
+    constexpr int kNodes = 16;
+    constexpr int kPpn = 24;
+
+    benchu::Table table("#elements", {"Allgatherv(us)", "Bcast-based(us)",
+                                      "Pipelined(us)"});
+    for (std::size_t elements : benchu::pow2_series(4, 17)) {
+        const std::size_t bytes = elements * sizeof(double);
+        Runtime rt(ClusterSpec::regular(kNodes, kPpn), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        std::vector<double> row;
+        for (BridgeAlgo algo : {BridgeAlgo::Allgatherv, BridgeAlgo::Bcast,
+                                BridgeAlgo::Pipelined}) {
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters,
+                benchcm::hy_allgather_setup(bytes, SyncPolicy::Barrier, algo)));
+        }
+        table.add_row(static_cast<double>(elements), row);
+    }
+    table.print(
+        "Bridge ablation — 16 nodes x 24 ppn (Cray profile); per-rank block "
+        "= #elements doubles");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation (related work [14], Kandalla et al. '09): single- vs
+// multi-leader hybrid allgather. Extra leaders split each node's bridge
+// traffic across concurrent slices, relieving the single leader's
+// injection bottleneck for large node blocks.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+using hympi::SyncPolicy;
+
+int main() {
+    std::printf("Ablation: leaders per node in Hy_Allgather\n");
+
+    constexpr int kWarmup = 1;
+    constexpr int kIters = 3;
+    constexpr int kNodes = 16;
+    constexpr int kPpn = 24;
+
+    benchu::Table table("#elements",
+                        {"1 leader(us)", "2 leaders(us)", "4 leaders(us)",
+                         "8 leaders(us)"});
+    for (std::size_t elements : benchu::pow2_series(6, 17)) {
+        const std::size_t bytes = elements * sizeof(double);
+        Runtime rt(ClusterSpec::regular(kNodes, kPpn), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        std::vector<double> row;
+        for (int leaders : {1, 2, 4, 8}) {
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters,
+                benchcm::hy_allgather_setup(bytes, SyncPolicy::Barrier,
+                                            hympi::BridgeAlgo::Allgatherv,
+                                            leaders)));
+        }
+        table.add_row(static_cast<double>(elements), row);
+    }
+    table.print("Multi-leader ablation — 16 nodes x 24 ppn (Cray profile)");
+    return 0;
+}

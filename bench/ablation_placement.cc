@@ -1,0 +1,67 @@
+// Ablation (paper Sect. 6, "Rank placement"): SMP-style vs round-robin
+// rank placement. The hybrid channel lays its shared buffer out
+// node-contiguously via the node-sorted rank array, so its cost is
+// placement-independent; the naive pure-MPI allgather must deliver the
+// result in RANK order and pays a per-block permutation (the datatype
+// pack/unpack penalty) under round-robin placement.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+
+int main() {
+    std::printf("Ablation: SMP-style vs round-robin rank placement\n");
+
+    constexpr int kWarmup = 1;
+    constexpr int kIters = 3;
+    constexpr int kNodes = 8;
+    constexpr int kPpn = 12;
+
+    // The third hybrid variant materializes a rank-ordered private copy via
+    // the derived-datatype pack (paper Sect. 6's alternative) — paying the
+    // pack penalty the slot map avoids.
+    auto hy_repack_setup = [](std::size_t block_bytes) {
+        return [block_bytes](Comm& world) -> std::function<void()> {
+            auto hc = std::make_shared<hympi::HierComm>(world);
+            auto ch =
+                std::make_shared<hympi::AllgatherChannel>(*hc, block_bytes);
+            return [hc, ch] {
+                ch->run();
+                ch->repack_rank_order(nullptr);  // SizeOnly: model-only pack
+            };
+        };
+    };
+
+    benchu::Table table("#elements",
+                        {"Hy smp", "Hy rr", "Hy rr+repack", "Allgather smp",
+                         "Allgather rr"});
+    for (std::size_t elements : benchu::pow2_series(0, 14)) {
+        const std::size_t bytes = elements * sizeof(double);
+        std::vector<double> row;
+        for (Placement pl : {Placement::Smp, Placement::RoundRobin}) {
+            Runtime rt(ClusterSpec::regular(kNodes, kPpn, pl),
+                       ModelParams::cray(), PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters, benchcm::hy_allgather_setup(bytes)));
+        }
+        {
+            Runtime rt(ClusterSpec::regular(kNodes, kPpn,
+                                            Placement::RoundRobin),
+                       ModelParams::cray(), PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(rt, kWarmup, kIters,
+                                              hy_repack_setup(bytes)));
+        }
+        for (Placement pl : {Placement::Smp, Placement::RoundRobin}) {
+            Runtime rt(ClusterSpec::regular(kNodes, kPpn, pl),
+                       ModelParams::cray(), PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters, benchcm::naive_allgather_setup(elements)));
+        }
+        table.add_row(static_cast<double>(elements), row);
+    }
+    table.print(
+        "Placement ablation — 8 nodes x 12 ppn (Cray profile), latency us");
+    return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (paper Sect. 6, "Explicit synchronization"): heavy-weight
+// MPI_Barrier vs light-weight shared-flag synchronization inside
+// Hy_Allgather, across processes per node. The paper's evaluation uses
+// barriers and suggests flags "may be accelerated" — this bench quantifies
+// the headroom in the model.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+using hympi::SyncPolicy;
+
+int main() {
+    std::printf("Ablation: barrier vs shared-flag sync in Hy_Allgather\n");
+
+    constexpr int kWarmup = 2;
+    constexpr int kIters = 5;
+    constexpr int kNodes = 8;
+    const std::size_t element_counts[] = {1, 512, 16384};
+
+    for (std::size_t elements : element_counts) {
+        const std::size_t bytes = elements * sizeof(double);
+        benchu::Table table("#ppn", {"Hy+Barrier(us)", "Hy+Flags(us)",
+                                     "Barrier/Flags"});
+        for (int ppn = 2; ppn <= 24; ppn *= 2) {
+            Runtime rt(ClusterSpec::regular(kNodes, ppn), ModelParams::cray(),
+                       PayloadMode::SizeOnly);
+            const double b = benchu::osu_latency(
+                rt, kWarmup, kIters,
+                benchcm::hy_allgather_setup(bytes, SyncPolicy::Barrier));
+            const double f = benchu::osu_latency(
+                rt, kWarmup, kIters,
+                benchcm::hy_allgather_setup(bytes, SyncPolicy::Flags));
+            table.add_row(ppn, {b, f, b / f});
+        }
+        table.print("Sync ablation — 8 nodes, " + std::to_string(elements) +
+                    " elements (Cray profile)");
+    }
+    return 0;
+}

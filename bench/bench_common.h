@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "bench_util/latency.h"
+#include "bench_util/table.h"
+#include "hybrid/hympi.h"
+
+/// Shared setup lambdas for the allgather micro-benchmarks (paper Sect.
+/// 5.1): Hy_Allgather (the hybrid channel, synchronization included) vs
+/// Allgather (the naive pure-MPI collective, SMP-aware like a production
+/// library). All figure benches run in SizeOnly payload mode — the virtual
+/// time model never reads payload bytes, and the pure-MPI receive buffers
+/// at 64 nodes x 24 ranks x 32768 doubles would not fit in host memory.
+namespace benchcm {
+
+inline std::function<std::function<void()>(minimpi::Comm&)> hy_allgather_setup(
+    std::size_t block_bytes,
+    hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier,
+    hympi::BridgeAlgo algo = hympi::BridgeAlgo::Allgatherv,
+    int leaders_per_node = 1) {
+    return [=](minimpi::Comm& world) -> std::function<void()> {
+        auto hc = std::make_shared<hympi::HierComm>(world, leaders_per_node);
+        auto ch = std::make_shared<hympi::AllgatherChannel>(*hc, block_bytes);
+        // The contribution is initialized once (paper Fig. 4 line 22); the
+        // repeated operation is lines 23-39 only. NB: capture hc too — the
+        // channel refers to it.
+        return [hc, ch, sync, algo] { ch->run(sync, algo); };
+    };
+}
+
+inline std::function<std::function<void()>(minimpi::Comm&)>
+naive_allgather_setup(std::size_t count_doubles) {
+    return [=](minimpi::Comm& world) -> std::function<void()> {
+        return [count_doubles, &world] {
+            // SizeOnly mode: null buffers, identical control flow + costs.
+            minimpi::allgather(world, nullptr, count_doubles, nullptr,
+                               minimpi::Datatype::Double);
+        };
+    };
+}
+
+inline const char* kElementsLabel = "#elements";
+
+}  // namespace benchcm

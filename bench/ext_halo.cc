@@ -1,0 +1,54 @@
+// Extension bench: 1D halo exchange, pure MPI vs hybrid node-shared slab.
+// The hybrid variant removes ALL intra-node halo messages (interior ghosts
+// are aliases into the neighbor's cells), paying only the on-node sync and
+// the node-edge network transfers.
+
+#include <cstdio>
+
+#include "bench_util/latency.h"
+#include "bench_util/table.h"
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+double measure(int nodes, int ppn, std::size_t cells, std::size_t halo,
+               HaloBackend backend, SyncPolicy sync) {
+    Runtime rt(ClusterSpec::regular(nodes, ppn), ModelParams::cray(),
+               PayloadMode::SizeOnly);
+    return benchu::osu_latency(
+        rt, 2, 5, [=](Comm& world) -> std::function<void()> {
+            auto hc = std::make_shared<HierComm>(world);
+            auto hx = std::make_shared<HaloExchange1D>(*hc, cells, halo,
+                                                       backend);
+            return [hc, hx, sync] { hx->publish_and_exchange(sync); };
+        });
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Extension: 1D halo exchange, Ori vs Hy (Cray profile)\n");
+
+    constexpr int kNodes = 8;
+    for (std::size_t halo : {8u, 512u}) {
+        benchu::Table table("#ppn", {"Ori_Halo(us)", "Hy_Halo+Flags(us)",
+                                     "Hy_Halo+Barrier(us)", "Ratio(Ori/HyF)"});
+        for (int ppn = 2; ppn <= 24; ppn *= 2) {
+            const double ori = measure(kNodes, ppn, 4096, halo,
+                                       HaloBackend::PureMpi,
+                                       SyncPolicy::Flags);
+            const double hyf = measure(kNodes, ppn, 4096, halo,
+                                       HaloBackend::Hybrid, SyncPolicy::Flags);
+            const double hyb = measure(kNodes, ppn, 4096, halo,
+                                       HaloBackend::Hybrid,
+                                       SyncPolicy::Barrier);
+            table.add_row(ppn, {ori, hyf, hyb, ori / hyf});
+        }
+        table.print("Halo exchange — 8 nodes, 4096 cells/rank, halo width " +
+                    std::to_string(halo));
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Figure 7: Hy_Allgather vs naive Allgather within one
+// full node (24 cores), 1..32768 double-precision elements, for the
+// OpenMPI (Vulcan) and Cray MPI (Hazel Hen) vendor profiles.
+//
+// Expected shape: Hy_Allgather is a single on-node barrier and stays ~flat
+// with message size; the naive Allgather grows steadily and is always
+// slower.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+
+int main() {
+    std::printf("Figure 7: allgather within one full node (24 processes)\n");
+
+    constexpr int kWarmup = 2;
+    constexpr int kIters = 5;
+    const auto sizes = benchu::pow2_series(0, 15);
+
+    benchu::Table table(benchcm::kElementsLabel,
+                        {"Hy_Allgather+OpenMPI", "Allgather+OpenMPI",
+                         "Hy_Allgather+CrayMPI", "Allgather+CrayMPI"});
+
+    for (std::size_t elements : sizes) {
+        const std::size_t bytes = elements * sizeof(double);
+        std::vector<double> row;
+        for (const ModelParams& profile :
+             {ModelParams::openmpi(), ModelParams::cray()}) {
+            Runtime rt(ClusterSpec::regular(1, 24), profile,
+                       PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters, benchcm::hy_allgather_setup(bytes)));
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters, benchcm::naive_allgather_setup(elements)));
+        }
+        // Reorder to match the paper's legend (OpenMPI pair, Cray pair).
+        table.add_row(static_cast<double>(elements),
+                      {row[0], row[1], row[2], row[3]});
+    }
+    table.print("Fig. 7 — latency (us, virtual time), 1 node x 24 ppn");
+    return 0;
+}

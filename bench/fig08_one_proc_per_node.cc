@@ -1,0 +1,44 @@
+// Reproduces paper Figure 8 (a: OpenMPI on Vulcan, b: Cray MPI on Hazel
+// Hen): Hy_Allgather vs naive Allgather with ONE process per node across
+// 4, 16 and 64 nodes — the hybrid approach's worst case, where it
+// degenerates to MPI_Allgatherv on the bridge and loses to the better-tuned
+// MPI_Allgather. The gap shrinks at 64 nodes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+
+int main() {
+    std::printf("Figure 8: allgather with one process per node\n");
+
+    constexpr int kWarmup = 2;
+    constexpr int kIters = 5;
+    const auto sizes = benchu::pow2_series(0, 15);
+    const int node_counts[] = {4, 16, 64};
+
+    for (const ModelParams& profile :
+         {ModelParams::openmpi(), ModelParams::cray()}) {
+        benchu::Table table(benchcm::kElementsLabel,
+                            {"Hy_Allgather4", "Allgather4", "Hy_Allgather16",
+                             "Allgather16", "Hy_Allgather64", "Allgather64"});
+        for (std::size_t elements : sizes) {
+            const std::size_t bytes = elements * sizeof(double);
+            std::vector<double> row;
+            for (int nodes : node_counts) {
+                Runtime rt(ClusterSpec::regular(nodes, 1), profile,
+                           PayloadMode::SizeOnly);
+                row.push_back(benchu::osu_latency(
+                    rt, kWarmup, kIters, benchcm::hy_allgather_setup(bytes)));
+                row.push_back(benchu::osu_latency(
+                    rt, kWarmup, kIters,
+                    benchcm::naive_allgather_setup(elements)));
+            }
+            table.add_row(static_cast<double>(elements), row);
+        }
+        table.print("Fig. 8 (" + profile.name +
+                    ") — latency (us, virtual time), 1 process per node");
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Figure 9: Hy_Allgather vs naive Allgather across 64
+// nodes as the number of processes per node grows from 3 to 24, for 512
+// (9a) and 16384 (9b) double elements.
+//
+// Expected shape: the hybrid advantage grows with processes per node —
+// more on-node copies eliminated per exchanged byte.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+
+int main() {
+    std::printf("Figure 9: allgather across 64 nodes, 3..24 processes/node\n");
+
+    constexpr int kWarmup = 1;
+    constexpr int kIters = 3;
+    constexpr int kNodes = 64;
+    const std::size_t element_counts[] = {512, 16384};
+
+    for (std::size_t elements : element_counts) {
+        const std::size_t bytes = elements * sizeof(double);
+        benchu::Table table("#ppn", {"Hy_Allgather+OpenMPI",
+                                     "Allgather+OpenMPI",
+                                     "Hy_Allgather+CrayMPI",
+                                     "Allgather+CrayMPI"});
+        for (int ppn = 3; ppn <= 24; ppn += 3) {
+            std::vector<double> row;
+            for (const ModelParams& profile :
+                 {ModelParams::openmpi(), ModelParams::cray()}) {
+                Runtime rt(ClusterSpec::regular(kNodes, ppn), profile,
+                           PayloadMode::SizeOnly);
+                row.push_back(benchu::osu_latency(
+                    rt, kWarmup, kIters, benchcm::hy_allgather_setup(bytes)));
+                row.push_back(benchu::osu_latency(
+                    rt, kWarmup, kIters,
+                    benchcm::naive_allgather_setup(elements)));
+            }
+            table.add_row(ppn, row);
+        }
+        table.print("Fig. 9 — latency (us, virtual time), 64 nodes, " +
+                    std::to_string(elements) + " elements");
+    }
+    return 0;
+}

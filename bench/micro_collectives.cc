@@ -1,0 +1,98 @@
+// Host-side microbenchmarks (google-benchmark, REAL time): the cost of
+// driving the simulated runtime itself — rank-thread spawning, the
+// transport matching engine, and each collective primitive. These are not
+// paper figures; they keep the simulator's own overhead visible so the
+// virtual-time benches stay fast.
+
+#include <benchmark/benchmark.h>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+
+namespace {
+
+void BM_RuntimeSpawn(benchmark::State& state) {
+    const int ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Runtime rt(ClusterSpec::regular(1, ranks), ModelParams::test(),
+                   PayloadMode::SizeOnly);
+        rt.run([](Comm&) {});
+    }
+    state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_RuntimeSpawn)->Arg(4)->Arg(24)->Arg(96);
+
+void BM_PingPong(benchmark::State& state) {
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    Runtime rt(ClusterSpec::regular(2, 1), ModelParams::test());
+    std::vector<std::byte> buf(bytes);
+    for (auto _ : state) {
+        rt.run([&](Comm& world) {
+            for (int i = 0; i < 50; ++i) {
+                if (world.rank() == 0) {
+                    send(world, buf.data(), bytes, Datatype::Byte, 1, 0);
+                    recv(world, buf.data(), bytes, Datatype::Byte, 1, 1);
+                } else {
+                    recv(world, buf.data(), bytes, Datatype::Byte, 0, 0);
+                    send(world, buf.data(), bytes, Datatype::Byte, 0, 1);
+                }
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(4096)->Arg(262144);
+
+template <typename Op>
+void run_collective_loop(benchmark::State& state, int nodes, int ppn, Op op) {
+    Runtime rt(ClusterSpec::regular(nodes, ppn), ModelParams::test(),
+               PayloadMode::SizeOnly);
+    for (auto _ : state) {
+        rt.run([&](Comm& world) {
+            for (int i = 0; i < 20; ++i) op(world);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 20);
+}
+
+void BM_Barrier(benchmark::State& state) {
+    run_collective_loop(state, 4, static_cast<int>(state.range(0)),
+                        [](Comm& w) { barrier(w); });
+}
+BENCHMARK(BM_Barrier)->Arg(1)->Arg(6);
+
+void BM_Allgather(benchmark::State& state) {
+    const std::size_t count = static_cast<std::size_t>(state.range(0));
+    run_collective_loop(state, 4, 6, [count](Comm& w) {
+        allgather(w, nullptr, count, nullptr, Datatype::Double);
+    });
+}
+BENCHMARK(BM_Allgather)->Arg(16)->Arg(4096);
+
+void BM_Allreduce(benchmark::State& state) {
+    const std::size_t count = static_cast<std::size_t>(state.range(0));
+    run_collective_loop(state, 4, 6, [count](Comm& w) {
+        allreduce(w, nullptr, nullptr, count, Datatype::Double, Op::Sum);
+    });
+}
+BENCHMARK(BM_Allreduce)->Arg(16)->Arg(4096);
+
+void BM_HyAllgather(benchmark::State& state) {
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    Runtime rt(ClusterSpec::regular(4, 6), ModelParams::test(),
+               PayloadMode::SizeOnly);
+    for (auto _ : state) {
+        rt.run([&](Comm& world) {
+            hympi::HierComm hc(world);
+            hympi::AllgatherChannel ch(hc, bytes);
+            for (int i = 0; i < 20; ++i) ch.run();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_HyAllgather)->Arg(128)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// BPMF demo (paper Sect. 5.2.2): Bayesian probabilistic matrix
+// factorization of a synthetic chembl-like activity matrix on a 2-node x
+// 6-core simulated cluster. Runs the same Gibbs chain with the naive
+// allgather (Ori_BPMF) and the hybrid allgather (Hy_BPMF): the predictions
+// are bit-identical (same per-item RNG substreams), only the modelled time
+// differs.
+
+#include <cstdio>
+
+#include "apps/bpmf.h"
+#include "bench_util/latency.h"
+
+using namespace minimpi;
+using namespace apps;
+
+int main() {
+    const SparseDataset data =
+        SparseDataset::chembl_like(/*rows=*/400, /*cols=*/150,
+                                   /*density=*/0.2, /*seed=*/77,
+                                   /*latent_rank=*/6);
+    std::printf("dataset: %d x %d, %zu observations, %zu held out\n",
+                data.rows(), data.cols(), data.nnz(), data.test_set().size());
+
+    double time_us[2] = {0, 0};
+    double rmse[2] = {0, 0};
+    for (Backend backend : {Backend::PureMpi, Backend::Hybrid}) {
+        Runtime rt(ClusterSpec::regular(2, 6), ModelParams::cray());
+        benchu::Collector col;
+        double final_rmse = 0.0;
+        std::mutex mu;
+        rt.run([&](Comm& world) {
+            BpmfConfig cfg;
+            cfg.num_latent = 6;
+            cfg.alpha = 10.0;
+            cfg.iterations = 12;
+            cfg.backend = backend;
+            Bpmf bpmf(world, data, cfg);
+            barrier(world);
+            const VTime t0 = world.ctx().clock.now();
+            for (int i = 0; i < cfg.iterations; ++i) {
+                bpmf.step();
+                if (world.rank() == 0 && backend == Backend::PureMpi &&
+                    i % 3 == 2) {
+                    std::printf("  iter %2d  test RMSE %.4f\n", i,
+                                bpmf.test_rmse());
+                }
+            }
+            const VTime t1 = world.ctx().clock.now();
+            col.add(t1 - t0);
+            if (world.rank() == 0) {
+                std::lock_guard<std::mutex> lock(mu);
+                final_rmse = bpmf.test_rmse();
+            }
+            barrier(world);
+        });
+        time_us[backend == Backend::Hybrid] = col.max_us();
+        rmse[backend == Backend::Hybrid] = final_rmse;
+    }
+
+    std::printf("final RMSE: Ori = %.6f, Hy = %.6f (%s)\n", rmse[0], rmse[1],
+                rmse[0] == rmse[1] ? "identical chains" : "MISMATCH");
+    std::printf("modelled total time: Ori = %.0f us, Hy = %.0f us, "
+                "ratio = %.3f\n",
+                time_us[0], time_us[1], time_us[0] / time_us[1]);
+    return 0;
+}

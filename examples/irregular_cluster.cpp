@@ -1,0 +1,48 @@
+// Irregular clusters and rank placement (paper Sect. 5.1.3 and Sect. 6):
+// runs the hybrid allgather on a cluster whose nodes host different
+// process counts, under both SMP-style and round-robin placement, and
+// shows that readers address blocks by rank through the node-sorted slot
+// map — the same application code works for every layout.
+
+#include <cstdio>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+void run_case(Placement placement, const char* label) {
+    std::vector<int> nodes = {4, 2, 3};  // 9 ranks over 3 uneven nodes
+    Runtime rt(ClusterSpec::irregular(nodes, placement), ModelParams::cray());
+
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, sizeof(int));
+        *reinterpret_cast<int*>(ch.my_block()) = 1000 + world.rank();
+        ch.run();
+
+        if (world.rank() == 0) {
+            std::printf("%s placement (slot order is node-major):\n", label);
+            std::printf("  rank: node slot value\n");
+            for (int r = 0; r < world.size(); ++r) {
+                std::printf("  %4d: %4d %4d %5d\n", r, hc.node_of_rank(r),
+                            hc.slot_of(r),
+                            *reinterpret_cast<const int*>(ch.block_of(r)));
+            }
+            std::printf("  smp_contiguous = %s, virtual time = %.2f us\n",
+                        hc.smp_contiguous() ? "yes" : "no",
+                        world.ctx().clock.now());
+        }
+        barrier(world);
+    });
+}
+
+}  // namespace
+
+int main() {
+    run_case(Placement::Smp, "SMP-style");
+    run_case(Placement::RoundRobin, "round-robin");
+    return 0;
+}

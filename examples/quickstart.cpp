@@ -1,0 +1,47 @@
+// Quickstart: the hybrid MPI+MPI allgather of the paper's Fig. 4 in ~40
+// lines. Simulates a 2-node x 4-core cluster; each rank contributes one
+// line of text; after Hy_Allgather every rank can read everyone's data out
+// of its node's SINGLE shared copy.
+
+#include <cstdio>
+#include <cstring>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+int main() {
+    Runtime rt(ClusterSpec::regular(/*nodes=*/2, /*ppn=*/4),
+               ModelParams::cray());
+
+    rt.run([](Comm& world) {
+        // One-offs: the hierarchy (shared-memory + bridge communicators)
+        // and the node-shared result buffer.
+        HierComm hc(world);
+        constexpr std::size_t kBlock = 64;
+        AllgatherChannel ch(hc, kBlock);
+
+        // Write my contribution into my partition of the shared buffer.
+        std::snprintf(reinterpret_cast<char*>(ch.my_block()), kBlock,
+                      "hello from rank %d (node %d)", world.rank(),
+                      hc.my_node());
+
+        // The repeated collective: two on-node barriers around a bridge
+        // allgatherv by the per-node leaders.
+        ch.run();
+
+        // Every rank now reads every block — zero on-node copies.
+        if (world.rank() == 0 || world.rank() == world.size() - 1) {
+            std::printf("rank %d sees:\n", world.rank());
+            for (int r = 0; r < world.size(); ++r) {
+                std::printf("  [%d] %s\n", r,
+                            reinterpret_cast<const char*>(ch.block_of(r)));
+            }
+            std::printf("  (virtual time: %.2f us)\n",
+                        world.ctx().clock.now());
+        }
+        barrier(world);
+    });
+    return 0;
+}

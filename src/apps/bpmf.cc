@@ -1,0 +1,407 @@
+#include "apps/bpmf.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace apps {
+
+using linalg::Matrix;
+using linalg::Rng;
+using minimpi::Datatype;
+using minimpi::PayloadMode;
+
+/// One side of the factorization: the latent matrix for movies (rows) or
+/// users (columns), its distribution over ranks, its gather machinery and
+/// its Gaussian-Wishart hyperparameters.
+struct Bpmf::Region {
+    int id = 0;      ///< 0 = movies (rows), 1 = users (columns)
+    int count = 0;   ///< number of items
+    int first = 0, last = 0;  ///< my contiguous item range
+    std::vector<int> firsts;  ///< per rank, +sentinel
+
+    std::size_t k = 0;  ///< latent dimension
+
+    // Ori backend: the per-process private copy of the whole latent matrix.
+    std::vector<double> full;
+    std::vector<std::size_t> counts, displs;  // elements, for allgatherv
+
+    // Hy backend: one node-shared copy.
+    std::unique_ptr<hympi::AllgatherChannel> channel;
+
+    // Hyperparameters (sampled redundantly and identically on every rank).
+    std::vector<double> hyper_mu;
+    Matrix hyper_lambda;
+    std::vector<double> hyper_b;  ///< Lambda * mu, reused by every item
+
+    // distributed_hyper: channel carrying the K + K*K partial sums
+    // (hybrid backend only; Ori uses a plain allreduce).
+    std::unique_ptr<hympi::AllreduceChannel> stat_channel;
+
+    int owner(int item) const {
+        // firsts is the monotone boundary array: firsts[r] <= item < firsts[r+1].
+        int lo = 0, hi = static_cast<int>(firsts.size()) - 2;
+        while (lo < hi) {
+            const int mid = (lo + hi + 1) / 2;
+            if (firsts[static_cast<std::size_t>(mid)] <= item) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        return lo;
+    }
+
+    const double* vec(int item) const {
+        if (channel) {
+            const int o = owner(item);
+            const std::byte* base = channel->block_of(o);
+            if (base == nullptr) return nullptr;
+            return reinterpret_cast<const double*>(base) +
+                   static_cast<std::size_t>(item -
+                                            firsts[static_cast<std::size_t>(o)]) *
+                       k;
+        }
+        if (full.empty()) return nullptr;
+        return full.data() + static_cast<std::size_t>(item) * k;
+    }
+
+    double* my_vec(int item) {
+        return const_cast<double*>(vec(item));
+    }
+};
+
+Bpmf::Bpmf(const minimpi::Comm& world, const SparseDataset& data,
+           const BpmfConfig& cfg)
+    : world_(world), data_(&data), cfg_(cfg) {
+    const int p = world.size();
+    const auto k = static_cast<std::size_t>(cfg.num_latent);
+    const bool real = world.ctx().payload_mode == PayloadMode::Real;
+
+    if (cfg.backend == Backend::Hybrid) {
+        hier_ = std::make_unique<hympi::HierComm>(world);
+    }
+
+    auto make_region = [&](int id, int count) {
+        auto reg = std::make_unique<Region>();
+        reg->id = id;
+        reg->count = count;
+        reg->k = k;
+        reg->firsts.resize(static_cast<std::size_t>(p) + 1);
+        for (int r = 0; r <= p; ++r) {
+            reg->firsts[static_cast<std::size_t>(r)] =
+                static_cast<int>(static_cast<std::int64_t>(count) * r / p);
+        }
+        reg->first = reg->firsts[static_cast<std::size_t>(world.rank())];
+        reg->last = reg->firsts[static_cast<std::size_t>(world.rank()) + 1];
+
+        if (cfg.backend == Backend::Hybrid) {
+            std::vector<std::size_t> bytes(static_cast<std::size_t>(p));
+            for (int r = 0; r < p; ++r) {
+                bytes[static_cast<std::size_t>(r)] =
+                    static_cast<std::size_t>(
+                        reg->firsts[static_cast<std::size_t>(r) + 1] -
+                        reg->firsts[static_cast<std::size_t>(r)]) *
+                    k * sizeof(double);
+            }
+            reg->channel =
+                std::make_unique<hympi::AllgatherChannel>(*hier_, bytes);
+        } else {
+            if (real) {
+                reg->full.resize(static_cast<std::size_t>(count) * k);
+            }
+            reg->counts.resize(static_cast<std::size_t>(p));
+            reg->displs.resize(static_cast<std::size_t>(p));
+            for (int r = 0; r < p; ++r) {
+                reg->counts[static_cast<std::size_t>(r)] =
+                    static_cast<std::size_t>(
+                        reg->firsts[static_cast<std::size_t>(r) + 1] -
+                        reg->firsts[static_cast<std::size_t>(r)]) *
+                    k;
+                reg->displs[static_cast<std::size_t>(r)] =
+                    static_cast<std::size_t>(
+                        reg->firsts[static_cast<std::size_t>(r)]) *
+                    k;
+            }
+        }
+
+        reg->hyper_mu.assign(k, 0.0);
+        reg->hyper_lambda = Matrix::identity(k);
+        reg->hyper_b.assign(k, 0.0);
+        if (cfg.distributed_hyper && cfg.backend == Backend::Hybrid) {
+            reg->stat_channel = std::make_unique<hympi::AllreduceChannel>(
+                *hier_, k + k * k, minimpi::Datatype::Double);
+        }
+
+        // Initialize my items and make them globally visible (one-off).
+        if (real) {
+            for (int item = reg->first; item < reg->last; ++item) {
+                Rng rng = linalg::substream(cfg.seed, 0xF00D,
+                                            static_cast<std::uint64_t>(id),
+                                            static_cast<std::uint64_t>(item));
+                double* v = reg->my_vec(item);
+                if (v != nullptr) {
+                    for (std::size_t j = 0; j < k; ++j) {
+                        v[j] = 0.3 * rng.normal();
+                    }
+                }
+            }
+        }
+        if (reg->channel) {
+            reg->channel->run(cfg.sync);
+        } else {
+            minimpi::allgatherv(
+                world_, minimpi::kInPlace,
+                reg->counts[static_cast<std::size_t>(world.rank())],
+                reg->full.data(), reg->counts, reg->displs, Datatype::Double);
+        }
+        return reg;
+    };
+
+    movies_ = make_region(0, data.rows());
+    users_ = make_region(1, data.cols());
+}
+
+void Bpmf::sample_hyper(Region& reg) {
+    if (cfg_.distributed_hyper) {
+        sample_hyper_distributed(reg);
+        return;
+    }
+    minimpi::RankCtx& ctx = world_.ctx();
+    const auto k = static_cast<std::size_t>(cfg_.num_latent);
+    const double n = static_cast<double>(reg.count);
+
+    // Every rank computes the sufficient statistics from the gathered
+    // matrix and draws the same sample (shared substream) — exactly what
+    // the reference BPMF code does, trading redundant compute for zero
+    // communication.
+    ctx.charge_flops(n * static_cast<double>(k * k + k) +
+                     static_cast<double>(k * k * k));
+
+    if (world_.ctx().payload_mode != PayloadMode::Real) return;
+
+    std::vector<double> mean(k, 0.0);
+    for (int i = 0; i < reg.count; ++i) {
+        const double* v = reg.vec(i);
+        for (std::size_t j = 0; j < k; ++j) mean[j] += v[j];
+    }
+    for (auto& m : mean) m /= n;
+
+    Matrix s(k, k);
+    for (int i = 0; i < reg.count; ++i) {
+        const double* v = reg.vec(i);
+        for (std::size_t a = 0; a < k; ++a) {
+            for (std::size_t b = 0; b < k; ++b) {
+                s(a, b) += (v[a] - mean[a]) * (v[b] - mean[b]);
+            }
+        }
+    }
+    sample_hyper_posterior(reg, mean, s);
+}
+
+void Bpmf::sample_hyper_distributed(Region& reg) {
+    minimpi::RankCtx& ctx = world_.ctx();
+    const auto k = static_cast<std::size_t>(cfg_.num_latent);
+    const double n = static_cast<double>(reg.count);
+    const std::size_t stat_len = k + k * k;
+    const bool real = ctx.payload_mode == PayloadMode::Real;
+
+    // Partial sums over MY items only: [sum u | sum u u^T].
+    ctx.charge_flops(static_cast<double>(reg.last - reg.first) *
+                     static_cast<double>(k * k + k));
+    std::vector<double> stats;
+    if (real) {
+        stats.assign(stat_len, 0.0);
+        for (int i = reg.first; i < reg.last; ++i) {
+            const double* v = reg.vec(i);
+            for (std::size_t a = 0; a < k; ++a) {
+                stats[a] += v[a];
+                for (std::size_t b = 0; b < k; ++b) {
+                    stats[k + a * k + b] += v[a] * v[b];
+                }
+            }
+        }
+    }
+
+    if (reg.stat_channel) {
+        if (real) {
+            std::memcpy(reg.stat_channel->my_input(), stats.data(),
+                        stat_len * sizeof(double));
+        }
+        reg.stat_channel->run(minimpi::Op::Sum, cfg_.sync);
+        if (real) {
+            std::memcpy(stats.data(), reg.stat_channel->result(),
+                        stat_len * sizeof(double));
+        }
+    } else {
+        minimpi::allreduce(world_, minimpi::kInPlace,
+                           real ? stats.data() : nullptr, stat_len,
+                           minimpi::Datatype::Double, minimpi::Op::Sum);
+    }
+
+    ctx.charge_flops(static_cast<double>(k * k * k));
+    if (!real) return;
+
+    // mean = S1/n; scatter S = S2 - n * mean mean^T.
+    std::vector<double> mean(k);
+    for (std::size_t a = 0; a < k; ++a) mean[a] = stats[a] / n;
+    Matrix s(k, k);
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) {
+            s(a, b) = stats[k + a * k + b] - n * mean[a] * mean[b];
+        }
+    }
+    sample_hyper_posterior(reg, mean, s);
+}
+
+void Bpmf::sample_hyper_posterior(Region& reg, std::span<const double> mean,
+                                  const Matrix& s) {
+    const auto k = static_cast<std::size_t>(cfg_.num_latent);
+    const double n = static_cast<double>(reg.count);
+
+    // Gaussian-Wishart posterior with priors mu0 = 0, beta0 = 2, nu0 = k,
+    // W0 = I (Salakhutdinov & Mnih '08, Sect. 3.3).
+    const double beta0 = 2.0;
+    const double nu0 = static_cast<double>(k);
+    const double beta_star = beta0 + n;
+    const double nu_star = nu0 + n;
+    Matrix w_inv = Matrix::identity(k);
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) {
+            w_inv(a, b) += s(a, b) + (beta0 * n / beta_star) * mean[a] * mean[b];
+        }
+    }
+    // W* = (W_inv)^{-1}; its Cholesky factor via the identity
+    // chol(W*) = (chol(W_inv))^{-T} reordered — we instead sample with the
+    // precision-side Bartlett trick: Wishart(nu*, W*) = L_w A A^T L_w^T
+    // where L_w = chol(W*). Compute chol(W*) by inverting L = chol(W_inv):
+    // W* = L^{-T} L^{-1}, whose Cholesky factor is the lower-triangular
+    // matrix obtained from the reverse factorization; for our purposes a
+    // dense inverse is fine at k <= 32.
+    const Matrix l_inv = linalg::cholesky(w_inv);
+    // Columns of W* = solve(W_inv, e_i).
+    Matrix w_star(k, k);
+    std::vector<double> e(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        e.assign(k, 0.0);
+        e[i] = 1.0;
+        const auto col = linalg::solve_lower_transposed(
+            l_inv, linalg::solve_lower(l_inv, e));
+        for (std::size_t j = 0; j < k; ++j) w_star(j, i) = col[j];
+    }
+    // Symmetrize against round-off before factorizing.
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a + 1; b < k; ++b) {
+            const double avg = 0.5 * (w_star(a, b) + w_star(b, a));
+            w_star(a, b) = avg;
+            w_star(b, a) = avg;
+        }
+    }
+    const Matrix ls = linalg::cholesky(w_star);
+
+    Rng rng = linalg::substream(cfg_.seed, 0xBEEF,
+                                static_cast<std::uint64_t>(iter_),
+                                static_cast<std::uint64_t>(reg.id));
+    reg.hyper_lambda = linalg::wishart(rng, nu_star, ls);
+
+    // mu ~ N(mu*, (beta* Lambda)^{-1}).
+    std::vector<double> mu_star(k);
+    for (std::size_t j = 0; j < k; ++j) mu_star[j] = n * mean[j] / beta_star;
+    Matrix prec = reg.hyper_lambda;
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) prec(a, b) *= beta_star;
+    }
+    reg.hyper_mu =
+        linalg::mvnormal_from_precision_chol(rng, mu_star, linalg::cholesky(prec));
+
+    reg.hyper_b = linalg::gemv(reg.hyper_lambda, reg.hyper_mu);
+}
+
+void Bpmf::sample_item(Region& reg, const Region& other, int item) {
+    minimpi::RankCtx& ctx = world_.ctx();
+    const auto k = static_cast<std::size_t>(cfg_.num_latent);
+    const double kd = static_cast<double>(k);
+    const int nnz =
+        (reg.id == 0) ? data_->row_nnz(item) : data_->col_nnz(item);
+
+    // Precision accumulation + Cholesky + solves + sampling.
+    ctx.charge_flops(static_cast<double>(nnz) * (kd * kd + 2.0 * kd) +
+                     kd * kd * kd / 3.0 + 4.0 * kd * kd);
+
+    if (ctx.payload_mode != PayloadMode::Real) return;
+
+    Matrix prec = reg.hyper_lambda;
+    std::vector<double> b = reg.hyper_b;
+
+    const auto idx = (reg.id == 0) ? data_->row_cols(item) : data_->col_rows(item);
+    const auto val = (reg.id == 0) ? data_->row_vals(item) : data_->col_vals(item);
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+        const double* v = other.vec(idx[t]);
+        linalg::syr_acc(prec, {v, k}, cfg_.alpha);
+        linalg::axpy(cfg_.alpha * val[t], {v, k}, b);
+    }
+
+    const Matrix l = linalg::cholesky(prec);
+    const auto mu =
+        linalg::solve_lower_transposed(l, linalg::solve_lower(l, b));
+
+    Rng rng = linalg::substream(
+        cfg_.seed,
+        static_cast<std::uint64_t>(iter_) * 2 + static_cast<std::uint64_t>(reg.id),
+        0x5A11, static_cast<std::uint64_t>(item));
+    const auto sample = linalg::mvnormal_from_precision_chol(rng, mu, l);
+    std::memcpy(reg.my_vec(item), sample.data(), k * sizeof(double));
+}
+
+void Bpmf::sample_region(Region& reg, const Region& other) {
+    sample_hyper(reg);
+    // Hybrid backend: hyperparameter sampling READ every on-node rank's
+    // partition of the shared matrix; the item sampling below REWRITES our
+    // own partition. An on-node quiesce separates the two phases (the
+    // pure-MPI version reads/writes private copies and needs nothing).
+    if (reg.channel) reg.channel->quiesce(cfg_.sync);
+    for (int item = reg.first; item < reg.last; ++item) {
+        sample_item(reg, other, item);
+    }
+    // The region "ends with the all-to-all gather communication routines"
+    // (paper Sect. 5.2.2).
+    if (reg.channel) {
+        reg.channel->run(cfg_.sync);
+    } else {
+        minimpi::allgatherv(world_, minimpi::kInPlace,
+                            reg.counts[static_cast<std::size_t>(world_.rank())],
+                            reg.full.data(), reg.counts, reg.displs,
+                            Datatype::Double);
+    }
+}
+
+void Bpmf::step() {
+    sample_region(*movies_, *users_);
+    sample_region(*users_, *movies_);
+    ++iter_;
+}
+
+void Bpmf::run() {
+    for (int i = 0; i < cfg_.iterations; ++i) step();
+}
+
+const double* Bpmf::movie_vec(int m) const { return movies_->vec(m); }
+const double* Bpmf::user_vec(int n) const { return users_->vec(n); }
+
+double Bpmf::test_rmse() const {
+    const auto k = static_cast<std::size_t>(cfg_.num_latent);
+    double se = 0.0;
+    const auto test = data_->test_set();
+    for (const auto& t : test) {
+        const double* u = movies_->vec(t.row);
+        const double* v = users_->vec(t.col);
+        double pred = 0.0;
+        for (std::size_t j = 0; j < k; ++j) pred += u[j] * v[j];
+        const double d = pred - t.value;
+        se += d * d;
+    }
+    return std::sqrt(se / static_cast<double>(test.size()));
+}
+
+Bpmf::~Bpmf() = default;
+
+}  // namespace apps

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "apps/dataset.h"
+#include "apps/summa.h"  // Backend
+#include "hybrid/hympi.h"
+#include "linalg/rng.h"
+
+namespace apps {
+
+/// Bayesian Probabilistic Matrix Factorization (Salakhutdinov & Mnih '08)
+/// with the distributed Gibbs-sampling structure of Vander Aa et al. '16 —
+/// the paper's application-level benchmark (Sect. 5.2.2): every iteration
+/// samples the "movie" (compound) latent vectors, allgathers them, samples
+/// the "user" (target) latent vectors, and allgathers those.
+///
+/// Ori_BPMF keeps a private copy of both latent matrices on every rank and
+/// uses MPI_Allgatherv; Hy_BPMF keeps ONE copy per node in the hybrid
+/// allgather channels.
+///
+/// Sampling uses per-(iteration, region, item) RNG substreams, so the
+/// sampled chains are bit-identical across rank counts and backends — the
+/// reproducibility tests rely on this.
+struct BpmfConfig {
+    int num_latent = 16;
+    double alpha = 2.0;        ///< observation precision
+    int iterations = 20;       ///< as in the paper's experiment
+    std::uint64_t seed = 42;
+    Backend backend = Backend::PureMpi;
+    hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
+
+    /// Hyperparameter sufficient statistics: false (default, like the
+    /// reference BPMF and this repo's bit-identity tests) = every rank
+    /// recomputes them redundantly from the gathered matrix; true = each
+    /// rank sums over its own items and the partials meet in an allreduce
+    /// (plain MPI_Allreduce for Ori, the hybrid AllreduceChannel for Hy).
+    /// The two modes sample statistically identical chains but differ in
+    /// floating-point summation order.
+    bool distributed_hyper = false;
+};
+
+class Bpmf {
+public:
+    /// Collective over @p world. The dataset must be identical on all ranks.
+    Bpmf(const minimpi::Comm& world, const SparseDataset& data,
+         const BpmfConfig& cfg);
+    ~Bpmf();
+
+    /// Run one Gibbs iteration (movies region + users region).
+    void step();
+
+    /// Run cfg.iterations steps.
+    void run();
+
+    /// RMSE over the dataset's holdout ratings (Real payload mode only;
+    /// identical on every rank).
+    double test_rmse() const;
+
+    /// Latent vector of movie @p m / user @p n after the last allgather
+    /// (points into the shared channel for the hybrid backend).
+    const double* movie_vec(int m) const;
+    const double* user_vec(int n) const;
+
+    int iteration() const { return iter_; }
+
+private:
+    struct Region;  // one side of the factorization (movies or users)
+
+    void sample_region(Region& reg, const Region& other);
+    void sample_hyper(Region& reg);
+    void sample_hyper_distributed(Region& reg);
+    void sample_hyper_posterior(Region& reg, std::span<const double> mean,
+                                const linalg::Matrix& s);
+    void sample_item(Region& reg, const Region& other, int item);
+
+    minimpi::Comm world_;
+    const SparseDataset* data_;
+    BpmfConfig cfg_;
+    int iter_ = 0;
+
+    std::unique_ptr<hympi::HierComm> hier_;  // hybrid backend only
+    std::unique_ptr<Region> movies_, users_;
+};
+
+}  // namespace apps

@@ -1,0 +1,179 @@
+#include "apps/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "linalg/rng.h"
+
+namespace apps {
+
+namespace {
+
+std::uint64_t cell_key(int r, int c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+           static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+SparseDataset SparseDataset::chembl_like(int rows, int cols, double density,
+                                         std::uint64_t seed, int latent_rank,
+                                         double noise,
+                                         double holdout_fraction) {
+    if (rows <= 0 || cols <= 0 || density <= 0.0 || density > 1.0) {
+        throw std::invalid_argument("chembl_like: bad shape/density");
+    }
+    SparseDataset d;
+    d.rows_ = rows;
+    d.cols_ = cols;
+
+    linalg::Rng rng(seed);
+
+    // Low-rank ground truth, scaled so the signal (sd ~ 1.5) clearly
+    // dominates the observation noise — a factorization model must be able
+    // to demonstrably learn the data in the convergence tests.
+    const auto k = static_cast<std::size_t>(latent_rank);
+    const double scale = 1.25 / std::sqrt(std::sqrt(static_cast<double>(latent_rank)));
+    std::vector<double> u(static_cast<std::size_t>(rows) * k);
+    std::vector<double> v(static_cast<std::size_t>(cols) * k);
+    for (auto& x : u) x = rng.normal() * scale;
+    for (auto& x : v) x = rng.normal() * scale;
+
+    const auto target =
+        static_cast<std::size_t>(density * static_cast<double>(rows) *
+                                 static_cast<double>(cols));
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(target * 2);
+    std::vector<Rating> train;
+    train.reserve(target);
+    while (seen.size() < target) {
+        const int r = static_cast<int>(rng.next_u64() %
+                                       static_cast<std::uint64_t>(rows));
+        const int c = static_cast<int>(rng.next_u64() %
+                                       static_cast<std::uint64_t>(cols));
+        if (!seen.insert(cell_key(r, c)).second) continue;
+        double val = noise * rng.normal();
+        for (std::size_t j = 0; j < k; ++j) {
+            val += u[static_cast<std::size_t>(r) * k + j] *
+                   v[static_cast<std::size_t>(c) * k + j];
+        }
+        if (rng.uniform() < holdout_fraction) {
+            d.test_.push_back({r, c, val});
+        } else {
+            train.push_back({r, c, val});
+        }
+    }
+    d.nnz_ = train.size();
+
+    // Build CSR and CSC.
+    d.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+    d.col_ptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+    for (const auto& t : train) {
+        ++d.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+        ++d.col_ptr_[static_cast<std::size_t>(t.col) + 1];
+    }
+    for (int r = 0; r < rows; ++r) {
+        d.row_ptr_[static_cast<std::size_t>(r) + 1] +=
+            d.row_ptr_[static_cast<std::size_t>(r)];
+    }
+    for (int c = 0; c < cols; ++c) {
+        d.col_ptr_[static_cast<std::size_t>(c) + 1] +=
+            d.col_ptr_[static_cast<std::size_t>(c)];
+    }
+    d.row_idx_.resize(train.size());
+    d.row_val_.resize(train.size());
+    d.col_idx_.resize(train.size());
+    d.col_val_.resize(train.size());
+    std::vector<int> rfill(d.row_ptr_.begin(), d.row_ptr_.end() - 1);
+    std::vector<int> cfill(d.col_ptr_.begin(), d.col_ptr_.end() - 1);
+    for (const auto& t : train) {
+        const auto ri = static_cast<std::size_t>(
+            rfill[static_cast<std::size_t>(t.row)]++);
+        d.row_idx_[ri] = t.col;
+        d.row_val_[ri] = t.value;
+        const auto ci = static_cast<std::size_t>(
+            cfill[static_cast<std::size_t>(t.col)]++);
+        d.col_idx_[ci] = t.row;
+        d.col_val_[ci] = t.value;
+    }
+    return d;
+}
+
+SparseDataset SparseDataset::structure_only(int rows, int cols, double density,
+                                            std::uint64_t seed) {
+    if (rows <= 0 || cols <= 0 || density <= 0.0 || density > 1.0) {
+        throw std::invalid_argument("structure_only: bad shape/density");
+    }
+    SparseDataset d;
+    d.rows_ = rows;
+    d.cols_ = cols;
+    d.structure_only_ = true;
+
+    // Deterministic pseudo-Poisson nonzero counts per row/column: only the
+    // counts drive the virtual-time compute charges, so index lists are
+    // never stored (DESIGN.md sect. 2).
+    const double row_avg = density * static_cast<double>(cols);
+    const double col_avg = density * static_cast<double>(rows);
+    linalg::Rng rrng(seed ^ 0x726F77ULL);
+    linalg::Rng crng(seed ^ 0x636F6CULL);
+    d.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+    d.col_ptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+    std::size_t total = 0;
+    for (int r = 0; r < rows; ++r) {
+        const int n = 1 + static_cast<int>(rrng.uniform() * 2.0 * row_avg);
+        total += static_cast<std::size_t>(n);
+        d.row_ptr_[static_cast<std::size_t>(r) + 1] =
+            d.row_ptr_[static_cast<std::size_t>(r)] + n;
+    }
+    for (int c = 0; c < cols; ++c) {
+        const int n = 1 + static_cast<int>(crng.uniform() * 2.0 * col_avg);
+        d.col_ptr_[static_cast<std::size_t>(c) + 1] =
+            d.col_ptr_[static_cast<std::size_t>(c)] + n;
+    }
+    d.nnz_ = total;
+    return d;
+}
+
+std::span<const int> SparseDataset::row_cols(int r) const {
+    if (structure_only_) {
+        throw std::logic_error("row_cols on structure-only dataset");
+    }
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto e =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    return {row_idx_.data() + b, e - b};
+}
+
+std::span<const double> SparseDataset::row_vals(int r) const {
+    if (structure_only_) {
+        throw std::logic_error("row_vals on structure-only dataset");
+    }
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+    const auto e =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+    return {row_val_.data() + b, e - b};
+}
+
+std::span<const int> SparseDataset::col_rows(int c) const {
+    if (structure_only_) {
+        throw std::logic_error("col_rows on structure-only dataset");
+    }
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(c)]);
+    const auto e =
+        static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(c) + 1]);
+    return {col_idx_.data() + b, e - b};
+}
+
+std::span<const double> SparseDataset::col_vals(int c) const {
+    if (structure_only_) {
+        throw std::logic_error("col_vals on structure-only dataset");
+    }
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(c)]);
+    const auto e =
+        static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(c) + 1]);
+    return {col_val_.data() + b, e - b};
+}
+
+}  // namespace apps

@@ -1,0 +1,135 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "linalg/rng.h"
+
+namespace apps {
+
+using minimpi::PayloadMode;
+
+Kmeans::Kmeans(const minimpi::Comm& world, const KmeansConfig& cfg)
+    : world_(world), cfg_(cfg) {
+    if (cfg.clusters < 1 || cfg.dims < 1 || cfg.points_per_rank < 1) {
+        throw minimpi::ArgumentError("kmeans needs positive shape parameters");
+    }
+    const auto k = static_cast<std::size_t>(cfg.clusters);
+    const auto d = static_cast<std::size_t>(cfg.dims);
+    stat_len_ = k * d + k + 1;
+
+    if (cfg.backend == Backend::Hybrid) {
+        hier_ = std::make_unique<hympi::HierComm>(world);
+        channel_ = std::make_unique<hympi::AllreduceChannel>(
+            *hier_, stat_len_, minimpi::Datatype::Double);
+    }
+
+    const bool real = world.ctx().payload_mode == PayloadMode::Real;
+    if (!real) return;
+
+    // Ground truth: cluster centers on a scaled simplex; every rank draws
+    // its own points from the mixture (deterministic by rank).
+    centroids_.assign(k * d, 0.0);
+    std::vector<double> truth(k * d);
+    linalg::Rng crng(cfg.seed ^ 0xCE27);
+    for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t j = 0; j < d; ++j) {
+            truth[c * d + j] =
+                10.0 * static_cast<double>(c == j % k) + crng.normal();
+        }
+    }
+    points_.resize(static_cast<std::size_t>(cfg.points_per_rank) * d);
+    assign_.assign(static_cast<std::size_t>(cfg.points_per_rank), -1);
+    linalg::Rng prng =
+        linalg::substream(cfg.seed, 0x604D, static_cast<std::uint64_t>(world.rank()), 0);
+    for (int i = 0; i < cfg.points_per_rank; ++i) {
+        const auto c = static_cast<std::size_t>(prng.next_u64() % k);
+        for (std::size_t j = 0; j < d; ++j) {
+            points_[static_cast<std::size_t>(i) * d + j] =
+                truth[c * d + j] + 0.5 * prng.normal();
+        }
+    }
+    // Initial centroids: the global ground truth perturbed identically on
+    // every rank (keeps the test deterministic across backends).
+    linalg::Rng irng(cfg.seed ^ 0x1417);
+    for (std::size_t c = 0; c < k * d; ++c) {
+        centroids_[c] = truth[c] + 2.0 * irng.normal();
+    }
+}
+
+double Kmeans::step() {
+    minimpi::RankCtx& ctx = world_.ctx();
+    const auto k = static_cast<std::size_t>(cfg_.clusters);
+    const auto d = static_cast<std::size_t>(cfg_.dims);
+    const auto n = static_cast<std::size_t>(cfg_.points_per_rank);
+    const bool real = ctx.payload_mode == PayloadMode::Real;
+
+    // Assignment: n points x k centroids x d dims distance evaluations.
+    ctx.charge_flops(3.0 * static_cast<double>(n * k * d));
+
+    std::vector<double> stats;
+    if (real) {
+        stats.assign(stat_len_, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double* p = &points_[i * d];
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                double dist = 0.0;
+                for (std::size_t j = 0; j < d; ++j) {
+                    const double diff = p[j] - centroids_[c * d + j];
+                    dist += diff * diff;
+                }
+                if (dist < best) {
+                    best = dist;
+                    best_c = c;
+                }
+            }
+            assign_[i] = static_cast<int>(best_c);
+            for (std::size_t j = 0; j < d; ++j) {
+                stats[best_c * d + j] += p[j];
+            }
+            stats[k * d + best_c] += 1.0;
+            stats[k * d + k] += best;
+        }
+    }
+
+    // The statistics meet globally — the step the two backends implement
+    // differently.
+    if (channel_) {
+        if (real) {
+            std::memcpy(channel_->my_input(), stats.data(),
+                        stat_len_ * sizeof(double));
+        }
+        channel_->run(minimpi::Op::Sum, cfg_.sync);
+        if (real) {
+            std::memcpy(stats.data(), channel_->result(),
+                        stat_len_ * sizeof(double));
+        }
+    } else {
+        minimpi::allreduce(world_, minimpi::kInPlace,
+                           real ? stats.data() : nullptr, stat_len_,
+                           minimpi::Datatype::Double, minimpi::Op::Sum);
+    }
+
+    // Recenter (identical everywhere).
+    ctx.charge_flops(static_cast<double>(k * d));
+    ++iter_;
+    if (!real) return 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+        const double count = stats[k * d + c];
+        if (count > 0.0) {
+            for (std::size_t j = 0; j < d; ++j) {
+                centroids_[c * d + j] = stats[c * d + j] / count;
+            }
+        }
+    }
+    return stats[k * d + k];
+}
+
+void Kmeans::run() {
+    for (int i = 0; i < cfg_.iterations; ++i) step();
+}
+
+}  // namespace apps

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/summa.h"  // Backend
+#include "hybrid/hympi.h"
+
+namespace apps {
+
+/// Distributed Lloyd's k-means — a third application kernel in the hybrid
+/// MPI+MPI style, exercising the ALLREDUCE extension the same way SUMMA
+/// exercises broadcast and BPMF exercises allgather: every iteration each
+/// rank assigns its local points to the nearest centroid and the per-
+/// cluster sums/counts meet in an allreduce (plain MPI_Allreduce for Ori,
+/// the node-shared AllreduceChannel for Hy — ONE copy of the centroid
+/// statistics per node instead of one per process).
+struct KmeansConfig {
+    int clusters = 8;
+    int dims = 4;
+    int points_per_rank = 256;
+    int iterations = 10;
+    std::uint64_t seed = 1;
+    Backend backend = Backend::PureMpi;
+    hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
+};
+
+class Kmeans {
+public:
+    /// Collective over @p world. Points are generated deterministically
+    /// from (seed, world rank): a mixture of `clusters` well-separated
+    /// Gaussians, so the algorithm has a meaningful optimum to find.
+    Kmeans(const minimpi::Comm& world, const KmeansConfig& cfg);
+
+    /// One Lloyd iteration: assign + allreduce + recenter. Returns the
+    /// global sum of squared distances (the objective, identical on every
+    /// rank; 0.0 in SizeOnly mode).
+    double step();
+
+    void run();
+
+    /// Current centroids, row-major clusters x dims (identical everywhere).
+    const std::vector<double>& centroids() const { return centroids_; }
+
+    /// Cluster index of local point @p i after the last step.
+    int assignment(int i) const {
+        return assign_.at(static_cast<std::size_t>(i));
+    }
+
+    int iteration() const { return iter_; }
+
+private:
+    minimpi::Comm world_;
+    KmeansConfig cfg_;
+    int iter_ = 0;
+
+    std::vector<double> points_;  ///< points_per_rank x dims
+    std::vector<int> assign_;
+    std::vector<double> centroids_;  ///< clusters x dims
+
+    // Reduction payload: [sums (k*d) | counts (k) | sse (1)].
+    std::size_t stat_len_ = 0;
+    std::unique_ptr<hympi::HierComm> hier_;
+    std::unique_ptr<hympi::AllreduceChannel> channel_;
+};
+
+}  // namespace apps

@@ -1,0 +1,137 @@
+#include "apps/summa.h"
+
+#include <cstring>
+
+namespace apps {
+
+using minimpi::Datatype;
+using minimpi::PayloadMode;
+
+Summa::Summa(const Comm& world, const SummaConfig& cfg)
+    : world_(world),
+      cfg_(cfg),
+      // Throws ArgumentError unless grid*grid == world.size().
+      cart_(world, {cfg.grid, cfg.grid}) {
+    row_ = cart_.coord(0);
+    col_ = cart_.coord(1);
+    row_comm_ = cart_.axis_comm(1);  // dimension 1 varies -> my row
+    col_comm_ = cart_.axis_comm(0);
+
+    const std::size_t b = cfg.block;
+    if (world.ctx().payload_mode == PayloadMode::Real) {
+        a_ = linalg::Matrix(b, b);
+        b_ = linalg::Matrix(b, b);
+        c_ = linalg::Matrix(b, b);
+        if (cfg.backend == Backend::PureMpi) {
+            a_recv_ = linalg::Matrix(b, b);
+            b_recv_ = linalg::Matrix(b, b);
+        }
+    }
+    if (cfg.backend == Backend::Hybrid) {
+        const std::size_t tile_bytes = b * b * sizeof(double);
+        row_hier_ = std::make_unique<hympi::HierComm>(row_comm_);
+        col_hier_ = std::make_unique<hympi::HierComm>(col_comm_);
+        row_ch_ = std::make_unique<hympi::BcastChannel>(*row_hier_, tile_bytes);
+        col_ch_ = std::make_unique<hympi::BcastChannel>(*col_hier_, tile_bytes);
+    }
+}
+
+void Summa::init(const std::function<double(std::size_t, std::size_t)>& fa,
+                 const std::function<double(std::size_t, std::size_t)>& fb) {
+    if (world_.ctx().payload_mode != PayloadMode::Real) return;
+    const std::size_t b = cfg_.block;
+    const std::size_t r0 = static_cast<std::size_t>(row_) * b;
+    const std::size_t c0 = static_cast<std::size_t>(col_) * b;
+    for (std::size_t i = 0; i < b; ++i) {
+        for (std::size_t j = 0; j < b; ++j) {
+            a_(i, j) = fa(r0 + i, c0 + j);
+            b_(i, j) = fb(r0 + i, c0 + j);
+        }
+    }
+    c_.fill(0.0);
+}
+
+void Summa::reset_c() {
+    if (world_.ctx().payload_mode == PayloadMode::Real) c_.fill(0.0);
+}
+
+double Summa::local_flops() const {
+    const double b = static_cast<double>(cfg_.block);
+    return 2.0 * b * b * b;  // one tile GEMM per iteration
+}
+
+const double* Summa::row_bcast(int k) {
+    const std::size_t b = cfg_.block;
+    const std::size_t tile_bytes = b * b * sizeof(double);
+    minimpi::RankCtx& ctx = world_.ctx();
+
+    if (cfg_.backend == Backend::PureMpi) {
+        // Iteration k: the owner of A's k-th column of tiles broadcasts
+        // along the process row; every receiver keeps a private copy.
+        double* buf = (col_ == k) ? a_.data() : a_recv_.data();
+        minimpi::bcast(row_comm_, buf, b * b, Datatype::Double, k);
+        return buf;
+    }
+    // Hybrid: the root stores its tile once into the node-shared channel
+    // buffer; no per-process copies exist anywhere on the node.
+    if (col_ == k) {
+        ctx.copy_bytes(row_ch_->write_buffer(), a_.data(), tile_bytes);
+    }
+    row_ch_->run(k, cfg_.sync);
+    return reinterpret_cast<const double*>(row_ch_->read_buffer());
+}
+
+const double* Summa::col_bcast(int k) {
+    const std::size_t b = cfg_.block;
+    const std::size_t tile_bytes = b * b * sizeof(double);
+    minimpi::RankCtx& ctx = world_.ctx();
+
+    if (cfg_.backend == Backend::PureMpi) {
+        double* buf = (row_ == k) ? b_.data() : b_recv_.data();
+        minimpi::bcast(col_comm_, buf, b * b, Datatype::Double, k);
+        return buf;
+    }
+    if (row_ == k) {
+        ctx.copy_bytes(col_ch_->write_buffer(), b_.data(), tile_bytes);
+    }
+    col_ch_->run(k, cfg_.sync);
+    return reinterpret_cast<const double*>(col_ch_->read_buffer());
+}
+
+void Summa::multiply() {
+    minimpi::RankCtx& ctx = world_.ctx();
+    const std::size_t b = cfg_.block;
+    for (int k = 0; k < cfg_.grid; ++k) {
+        const double* a_use = row_bcast(k);
+        const double* b_use = col_bcast(k);
+        ctx.charge_flops(local_flops());
+        if (ctx.payload_mode == PayloadMode::Real && a_use != nullptr &&
+            b_use != nullptr) {
+            linalg::gemm_raw(a_use, b_use, c_.data(), b, b, b);
+        }
+    }
+}
+
+linalg::Matrix Summa::gather_c() const {
+    const std::size_t b = cfg_.block;
+    const int p = world_.size();
+    std::vector<double> all(static_cast<std::size_t>(p) * b * b);
+    minimpi::gather(world_, c_.data(), b * b,
+                    world_.rank() == 0 ? all.data() : nullptr,
+                    Datatype::Double, 0);
+    linalg::Matrix full(static_cast<std::size_t>(cfg_.grid) * b,
+                        static_cast<std::size_t>(cfg_.grid) * b);
+    if (world_.rank() == 0) {
+        for (int r = 0; r < p; ++r) {
+            const std::size_t pr = static_cast<std::size_t>(r / cfg_.grid) * b;
+            const std::size_t pc = static_cast<std::size_t>(r % cfg_.grid) * b;
+            const double* tile = all.data() + static_cast<std::size_t>(r) * b * b;
+            for (std::size_t i = 0; i < b; ++i) {
+                std::memcpy(&full(pr + i, pc), tile + i * b, b * sizeof(double));
+            }
+        }
+    }
+    return full;
+}
+
+}  // namespace apps

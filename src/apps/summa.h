@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+
+#include "hybrid/hympi.h"
+#include "linalg/matrix.h"
+
+namespace apps {
+
+using minimpi::Comm;
+using minimpi::VTime;
+
+/// Which collective implementation an application uses — the paper's two
+/// contenders: Ori_* (naive pure MPI, every process holds a private copy of
+/// broadcast/gathered data) vs Hy_* (hybrid MPI+MPI, one node-shared copy).
+enum class Backend {
+    PureMpi,
+    Hybrid,
+};
+
+/// Configuration of the SUMMA dense matrix-multiplication kernel (van de
+/// Geijn & Watts '97), as benchmarked in paper Sect. 5.2.1: square N x N
+/// matrices with N = grid * block, decomposed in block x block tiles over a
+/// grid x grid process mesh; each of the grid iterations broadcasts an A
+/// tile along the process row and a B tile along the process column.
+struct SummaConfig {
+    int grid = 1;            ///< sqrt(P)
+    std::size_t block = 8;   ///< per-core tile dimension (8, 64, 128, 256...)
+    Backend backend = Backend::PureMpi;
+    hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
+};
+
+/// One rank's view of a SUMMA computation. Construction is collective over
+/// @p world (it splits the row/column communicators and, for the hybrid
+/// backend, allocates the node-shared broadcast channels — one-offs).
+class Summa {
+public:
+    Summa(const Comm& world, const SummaConfig& cfg);
+
+    int row() const { return row_; }
+    int col() const { return col_; }
+
+    /// Fill the local A and B tiles from global-index element functions
+    /// (Real payload mode only; no-op otherwise).
+    void init(const std::function<double(std::size_t, std::size_t)>& fa,
+              const std::function<double(std::size_t, std::size_t)>& fb);
+
+    /// One full C = A * B (grid iterations of two broadcasts + local GEMM).
+    /// C accumulates; call reset_c() between repetitions.
+    void multiply();
+
+    void reset_c();
+
+    /// Local C tile (Real mode).
+    const linalg::Matrix& c_tile() const { return c_; }
+
+    /// Gather the full N x N result on world rank 0 (collective; test use).
+    linalg::Matrix gather_c() const;
+
+    /// FLOPs one rank performs per multiply() (for the compute model).
+    double local_flops() const;
+
+private:
+    const double* row_bcast(int k);  ///< returns the A tile to use this step
+    const double* col_bcast(int k);  ///< returns the B tile to use this step
+
+    Comm world_;
+    SummaConfig cfg_;
+    minimpi::CartComm cart_;  ///< grid x grid process mesh
+    int row_ = 0, col_ = 0;
+    Comm row_comm_, col_comm_;
+
+    linalg::Matrix a_, b_, c_;
+    // Pure-MPI backend: private receive tiles (the per-process copies the
+    // hybrid backend eliminates).
+    linalg::Matrix a_recv_, b_recv_;
+    // Hybrid backend: node-shared broadcast channels on the row/col comms.
+    std::unique_ptr<hympi::HierComm> row_hier_, col_hier_;
+    std::unique_ptr<hympi::BcastChannel> row_ch_, col_ch_;
+};
+
+}  // namespace apps

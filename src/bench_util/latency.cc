@@ -1,0 +1,41 @@
+#include "bench_util/latency.h"
+
+namespace benchu {
+
+void Collector::add(double us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_us_ = std::max(max_us_, us);
+    sum_us_ += us;
+    ++n_;
+}
+
+void Collector::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_us_ = 0.0;
+    sum_us_ = 0.0;
+    n_ = 0;
+}
+
+double osu_latency(minimpi::Runtime& rt, int warmup, int iters,
+                   const std::function<std::function<void()>(minimpi::Comm&)>&
+                       setup) {
+    Collector col;
+    rt.run([&](minimpi::Comm& world) {
+        auto op = setup(world);
+        for (int i = 0; i < warmup; ++i) op();
+        minimpi::barrier(world);
+        const minimpi::VTime t0 = world.ctx().clock.now();
+        for (int i = 0; i < iters; ++i) op();
+        const minimpi::VTime t1 = world.ctx().clock.now();
+        col.add((t1 - t0) / static_cast<double>(iters));
+    });
+    return col.max_us();
+}
+
+std::vector<std::size_t> pow2_series(int lo, int hi) {
+    std::vector<std::size_t> v;
+    for (int e = lo; e <= hi; ++e) v.push_back(std::size_t{1} << e);
+    return v;
+}
+
+}  // namespace benchu

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "minimpi/minimpi.h"
+
+namespace benchu {
+
+/// Host-side (virtual-time-free) statistics collector: rank threads add
+/// their locally measured latencies; the bench main reads the reduction.
+/// Lives outside the MPI semantics on purpose — collecting measurements
+/// must not perturb the modelled time.
+class Collector {
+public:
+    void add(double us);
+
+    double max_us() const { return max_us_; }
+    double avg_us() const { return n_ ? sum_us_ / static_cast<double>(n_) : 0.0; }
+    int samples() const { return n_; }
+
+    void reset();
+
+private:
+    mutable std::mutex mu_;
+    double max_us_ = 0.0;
+    double sum_us_ = 0.0;
+    int n_ = 0;
+};
+
+/// OSU-style latency measurement of a collective operation on virtual time:
+/// each rank builds its one-off state with @p setup (channels, buffers,
+/// hierarchy — excluded from the measurement, as the paper excludes
+/// one-offs), runs @p warmup untimed iterations, synchronizes, then times
+/// @p iters iterations of the returned op. The reported figure is the
+/// maximum per-iteration virtual latency over all ranks (the collective's
+/// completion time).
+///
+/// @p setup: Comm& -> std::function<void()>   (the repeated operation)
+double osu_latency(minimpi::Runtime& rt, int warmup, int iters,
+                   const std::function<std::function<void()>(minimpi::Comm&)>&
+                       setup);
+
+/// Geometric series 2^lo .. 2^hi (inclusive), as the paper's x-axes.
+std::vector<std::size_t> pow2_series(int lo, int hi);
+
+}  // namespace benchu

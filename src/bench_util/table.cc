@@ -1,0 +1,42 @@
+#include "bench_util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace benchu {
+
+Table::Table(std::string x_label, std::vector<std::string> series_labels)
+    : x_label_(std::move(x_label)), series_(std::move(series_labels)) {}
+
+void Table::add_row(double x, const std::vector<double>& values) {
+    if (values.size() != series_.size()) {
+        throw std::invalid_argument("Table row arity mismatch");
+    }
+    rows_.emplace_back(x, values);
+}
+
+void Table::print(const std::string& title) const {
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%14s", x_label_.c_str());
+    for (const auto& s : series_) std::printf("  %18s", s.c_str());
+    std::printf("\n");
+    for (const auto& [x, vals] : rows_) {
+        if (x == static_cast<double>(static_cast<long long>(x))) {
+            std::printf("%14lld", static_cast<long long>(x));
+        } else {
+            std::printf("%14.3f", x);
+        }
+        for (double v : vals) {
+            if (std::isnan(v)) {
+                std::printf("  %18s", "-");
+            } else {
+                std::printf("  %18.2f", v);
+            }
+        }
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+}  // namespace benchu

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace benchu {
+
+/// Paper-style results table: a labelled x column plus one column per
+/// series, printed with aligned fixed-width columns. Each figure bench
+/// prints one or more of these — the rows/series the paper's plots report.
+class Table {
+public:
+    Table(std::string x_label, std::vector<std::string> series_labels);
+
+    /// Append a row: x value plus one measurement per series (NaN allowed
+    /// for "not measured").
+    void add_row(double x, const std::vector<double>& values);
+
+    /// Convenience for ratio columns computed from two existing series.
+    void print(const std::string& title) const;
+
+private:
+    std::string x_label_;
+    std::vector<std::string> series_;
+    std::vector<std::pair<double, std::vector<double>>> rows_;
+};
+
+}  // namespace benchu

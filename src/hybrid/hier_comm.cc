@@ -1,0 +1,72 @@
+#include "hybrid/hier_comm.h"
+
+namespace hympi {
+
+HierComm::HierComm(const Comm& comm, int leaders_per_node)
+    : world_(comm), leaders_per_node_(leaders_per_node) {
+    if (leaders_per_node < 1) {
+        throw minimpi::ArgumentError("leaders_per_node must be >= 1");
+    }
+    const int p = comm.size();
+
+    // Node-major bookkeeping from cluster topology (a real MPI port would
+    // derive the same from MPI_Get_processor_name or the shared-memory
+    // communicator membership; it is local knowledge either way).
+    std::vector<int> node_ids;  // node-major order of cluster node ids
+    std::vector<std::vector<int>> members;
+    node_index_of_.assign(static_cast<std::size_t>(p), -1);
+    for (int r = 0; r < p; ++r) {
+        const int n = comm.node_of(r);
+        int idx = -1;
+        for (std::size_t j = 0; j < node_ids.size(); ++j) {
+            if (node_ids[j] == n) {
+                idx = static_cast<int>(j);
+                break;
+            }
+        }
+        if (idx < 0) {
+            idx = static_cast<int>(node_ids.size());
+            node_ids.push_back(n);
+            members.emplace_back();
+        }
+        node_index_of_[static_cast<std::size_t>(r)] = idx;
+        members[static_cast<std::size_t>(idx)].push_back(r);
+    }
+
+    const int nnodes = static_cast<int>(node_ids.size());
+    node_sizes_.resize(static_cast<std::size_t>(nnodes));
+    node_offsets_.resize(static_cast<std::size_t>(nnodes));
+    slot_of_.assign(static_cast<std::size_t>(p), -1);
+    rank_at_.reserve(static_cast<std::size_t>(p));
+    int offset = 0;
+    for (int i = 0; i < nnodes; ++i) {
+        const auto& m = members[static_cast<std::size_t>(i)];
+        node_sizes_[static_cast<std::size_t>(i)] = static_cast<int>(m.size());
+        node_offsets_[static_cast<std::size_t>(i)] = offset;
+        for (int r : m) {
+            slot_of_[static_cast<std::size_t>(r)] = offset++;
+            rank_at_.push_back(r);
+        }
+    }
+    smp_contiguous_ = true;
+    for (int r = 0; r < p; ++r) {
+        if (slot_of_[static_cast<std::size_t>(r)] != r) {
+            smp_contiguous_ = false;
+            break;
+        }
+    }
+
+    my_node_ = node_index_of_[static_cast<std::size_t>(comm.rank())];
+
+    // Fig. 4 lines 2-10: the two-level splitting, expressed through the
+    // public MPI facilities only.
+    shm_ = comm.split_shared();
+    const int L = std::min(leaders_per_node_, shm_.size());
+    leader_index_ = (shm_.rank() < L) ? shm_.rank() : -1;
+    // One bridge communicator per leader slice; ranks that lead slice l
+    // join bridge color l. (With L == 1 this is exactly Fig. 4 line 8-10.)
+    bridge_ = comm.split(leader_index_ >= 0 ? leader_index_ : minimpi::kUndefined,
+                         comm.rank());
+}
+
+}  // namespace hympi

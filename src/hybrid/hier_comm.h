@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+/// hympi — the paper's contribution: MPI collectives for the hybrid
+/// MPI+MPI programming model. Built exclusively on the public minimpi API
+/// (the same calls an MPI-3 port would make): MPI_Comm_split_type,
+/// MPI_Comm_split, MPI_Win_allocate_shared, MPI_Win_shared_query, barriers
+/// and the bridge collectives.
+namespace hympi {
+
+using minimpi::Comm;
+using minimpi::VTime;
+
+/// The two-level communicator hierarchy of paper Sect. 3 (Fig. 1/2):
+/// a shared-memory communicator per node (MPI_Comm_split_type with
+/// MPI_COMM_TYPE_SHARED) and a bridge communicator of the per-node leaders
+/// (lowest-ranking process of each node). Construction is collective over
+/// @p world and is a one-off (paper Fig. 4 lines 2-10).
+///
+/// The hierarchy also precomputes the node-sorted global rank array of
+/// paper Sect. 6, which lets the hybrid collectives lay shared buffers out
+/// node-contiguously under ANY rank placement (SMP-style or round-robin):
+/// a rank's block lives at slot_of(rank), not necessarily at its own rank
+/// index.
+class HierComm {
+public:
+    /// Collective over @p comm. @p leaders_per_node > 1 enables the
+    /// multi-leader extension (Kandalla et al. '09): the lowest L ranks of
+    /// each node each drive a slice of the node's inter-node traffic over
+    /// their own bridge communicator.
+    explicit HierComm(const Comm& comm, int leaders_per_node = 1);
+
+    const Comm& world() const { return world_; }
+    const Comm& shm() const { return shm_; }
+    /// Bridge communicator for this rank's leader role; null unless
+    /// is_leader(). With multi-leader, this is the bridge of my slice.
+    const Comm& bridge() const { return bridge_; }
+
+    bool is_leader() const { return leader_index_ >= 0; }
+    /// Which of the node's leaders this rank is (0-based), or -1.
+    int leader_index() const { return leader_index_; }
+    int leaders_per_node() const { return leaders_per_node_; }
+
+    int num_nodes() const { return static_cast<int>(node_sizes_.size()); }
+    /// Index of my node in node-major order (nodes ordered by their lowest
+    /// world-comm rank).
+    int my_node() const { return my_node_; }
+    /// Members of node @p n (count / offset in block slots).
+    int node_size(int n) const { return node_sizes_.at(static_cast<std::size_t>(n)); }
+    int node_offset(int n) const { return node_offsets_.at(static_cast<std::size_t>(n)); }
+    int node_of_rank(int comm_rank) const {
+        return node_index_of_.at(static_cast<std::size_t>(comm_rank));
+    }
+
+    /// Node-sorted slot of a comm rank's block within node-major buffers.
+    int slot_of(int comm_rank) const {
+        return slot_of_.at(static_cast<std::size_t>(comm_rank));
+    }
+    /// Comm rank whose block occupies @p slot.
+    int rank_at(int slot) const {
+        return rank_at_.at(static_cast<std::size_t>(slot));
+    }
+    /// True when slot order equals rank order (SMP-style placement on a
+    /// node-contiguous communicator) — block accesses need no translation.
+    bool smp_contiguous() const { return smp_contiguous_; }
+
+    /// My own slot.
+    int my_slot() const { return slot_of(world_.rank()); }
+
+private:
+    Comm world_;
+    Comm shm_;
+    Comm bridge_;
+    int leaders_per_node_ = 1;
+    int leader_index_ = -1;
+    int my_node_ = -1;
+    std::vector<int> node_sizes_;
+    std::vector<int> node_offsets_;
+    std::vector<int> node_index_of_;
+    std::vector<int> slot_of_;
+    std::vector<int> rank_at_;
+    bool smp_contiguous_ = true;
+};
+
+}  // namespace hympi

@@ -1,0 +1,208 @@
+#include "hybrid/hy_allgather.h"
+
+#include <numeric>
+
+#include "minimpi/coll_internal.h"
+
+namespace hympi {
+
+namespace {
+
+/// Members-per-node slice handled by leader @p l of a node with @p size
+/// members when @p L leaders are requested: [first, last) indices within
+/// the node.
+std::pair<int, int> slice_range(int size, int L, int l) {
+    const int leaders = std::min(L, size);
+    const int first = size * l / leaders;
+    const int last = size * (l + 1) / leaders;
+    return {first, last};
+}
+
+}  // namespace
+
+AllgatherChannel::AllgatherChannel(const HierComm& hc, std::size_t block_bytes)
+    : hc_(&hc), sync_(hc) {
+    std::vector<std::size_t> per_rank(
+        static_cast<std::size_t>(hc.world().size()), block_bytes);
+    init_layout(per_rank);
+}
+
+AllgatherChannel::AllgatherChannel(const HierComm& hc,
+                                   std::span<const std::size_t> bytes_per_rank)
+    : hc_(&hc), sync_(hc) {
+    if (bytes_per_rank.size() != static_cast<std::size_t>(hc.world().size())) {
+        throw minimpi::ArgumentError(
+            "AllgatherChannel needs one block size per comm rank");
+    }
+    init_layout(bytes_per_rank);
+}
+
+void AllgatherChannel::init_layout(
+    std::span<const std::size_t> bytes_per_rank) {
+    const int p = hc_->world().size();
+    block_bytes_.assign(bytes_per_rank.begin(), bytes_per_rank.end());
+
+    // Slot-major (node-major) layout with a sentinel for size queries.
+    slot_offset_.resize(static_cast<std::size_t>(p) + 1);
+    std::size_t off = 0;
+    for (int s = 0; s < p; ++s) {
+        slot_offset_[static_cast<std::size_t>(s)] = off;
+        off += block_bytes_[static_cast<std::size_t>(hc_->rank_at(s))];
+    }
+    slot_offset_[static_cast<std::size_t>(p)] = off;
+    total_bytes_ = off;
+
+    // The node-shared result buffer: ONE copy per node (collective one-off).
+    buf_ = NodeSharedBuffer(*hc_, total_bytes_);
+
+    // Derived datatype describing the gathered data in RANK order relative
+    // to the slot-major buffer (one-off; see repack_rank_order).
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> extents;
+        extents.reserve(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            const auto s = static_cast<std::size_t>(hc_->slot_of(r));
+            extents.emplace_back(slot_offset_[s],
+                                 block_bytes_[static_cast<std::size_t>(r)]);
+        }
+        rank_order_layout_ = minimpi::Layout::indexed(std::move(extents));
+    }
+
+    // One-off bridge parameters for my leader role.
+    if (hc_->is_leader() && hc_->num_nodes() > 1) {
+        const int l = hc_->leader_index();
+        const int L = hc_->leaders_per_node();
+        for (int n = 0; n < hc_->num_nodes(); ++n) {
+            const int sz = hc_->node_size(n);
+            if (sz <= l) continue;  // node has no leader l (irregular)
+            const auto [first, last] = slice_range(sz, L, l);
+            const int s0 = hc_->node_offset(n) + first;
+            const int s1 = hc_->node_offset(n) + last;
+            bridge_displs_.push_back(slot_offset_[static_cast<std::size_t>(s0)]);
+            bridge_counts_.push_back(
+                slot_offset_[static_cast<std::size_t>(s1)] -
+                slot_offset_[static_cast<std::size_t>(s0)]);
+        }
+        if (static_cast<int>(bridge_counts_.size()) != hc_->bridge().size()) {
+            throw minimpi::CommError(
+                "bridge layout disagrees with bridge communicator size");
+        }
+    }
+}
+
+void AllgatherChannel::repack_rank_order(void* dst) const {
+    rank_order_layout_.pack(hc_->world().ctx(), buf_.data(), dst);
+}
+
+void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
+    const Comm& bridge = hc_->bridge();
+    const int bp = bridge.size();
+    const int br = bridge.rank();
+    if (bp <= 1) return;
+
+    switch (algo) {
+        case BridgeAlgo::Allgatherv: {
+            // Fig. 4 line 26: MPI_Allgatherv(s_buf, ..., r_buf, bridgeComm);
+            // every leader's slice is already in place in the shared buffer.
+            minimpi::allgatherv(
+                bridge, minimpi::kInPlace,
+                bridge_counts_[static_cast<std::size_t>(br)], buf_.data(),
+                bridge_counts_, bridge_displs_, minimpi::Datatype::Byte);
+            return;
+        }
+        case BridgeAlgo::Bcast: {
+            // N rooted broadcasts of the node blocks (the "regular
+            // operation" alternative of Sect. 4.1).
+            for (int n = 0; n < bp; ++n) {
+                minimpi::bcast(bridge,
+                               buf_.at(bridge_displs_[static_cast<std::size_t>(n)]),
+                               bridge_counts_[static_cast<std::size_t>(n)],
+                               minimpi::Datatype::Byte, n);
+            }
+            return;
+        }
+        case BridgeAlgo::Pipelined: {
+            // Segmented ring (Traeff et al. '08): forward the previously
+            // received block segment by segment while the next block
+            // arrives, hiding the per-hop start-up cost of large blocks.
+            std::size_t max_blk = 0;
+            for (std::size_t c : bridge_counts_) max_blk = std::max(max_blk, c);
+            // Bounded pipeline depth, as in bcast_pipelined_chain.
+            const std::size_t seg =
+                std::max(kPipelineSegmentBytes, (max_blk + 63) / 64);
+            auto nsegs = [&](int blk) {
+                return (bridge_counts_[static_cast<std::size_t>(blk)] + seg - 1) /
+                       seg;
+            };
+            const int left = (br - 1 + bp) % bp;
+            const int right = (br + 1) % bp;
+            constexpr int tag = minimpi::detail::kTagHier + 0x10;
+            for (int k = 0; k < bp - 1; ++k) {
+                const int send_blk = (br - k + bp) % bp;
+                const int recv_blk = (br - k - 1 + bp) % bp;
+                const std::size_t ns = nsegs(send_blk);
+                const std::size_t nr = nsegs(recv_blk);
+                const std::size_t send_off =
+                    bridge_displs_[static_cast<std::size_t>(send_blk)];
+                const std::size_t recv_off =
+                    bridge_displs_[static_cast<std::size_t>(recv_blk)];
+                const std::size_t send_len =
+                    bridge_counts_[static_cast<std::size_t>(send_blk)];
+                const std::size_t recv_len =
+                    bridge_counts_[static_cast<std::size_t>(recv_blk)];
+                for (std::size_t s = 0; s < std::max(ns, nr); ++s) {
+                    if (s < ns) {
+                        const std::size_t o = s * seg;
+                        minimpi::detail::send_bytes(
+                            bridge, buf_.at(send_off + o),
+                            std::min(seg, send_len - o), right, tag, true);
+                    }
+                    if (s < nr) {
+                        const std::size_t o = s * seg;
+                        minimpi::detail::recv_bytes(
+                            bridge, buf_.at(recv_off + o),
+                            std::min(seg, recv_len - o), left, tag, true);
+                    }
+                }
+            }
+            return;
+        }
+    }
+}
+
+void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
+    if (hc_->num_nodes() == 1) {
+        // Fig. 4 lines 29-30/37-38: single node — one on-node sync makes
+        // every partition visible; there is no inter-node traffic at all.
+        sync_.full_sync(sync);
+        return;
+    }
+    // Fig. 4 line 25/34: leaders wait until all partitions on their node
+    // are initialized.
+    sync_.ready_phase(sync);
+    if (hc_->is_leader()) {
+        bridge_exchange(algo);
+    }
+    // Fig. 4 line 27/35: children wait until the exchange has finished.
+    sync_.release_phase(sync);
+}
+
+void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
+    if (hc_->num_nodes() == 1) {
+        sync_.ready_phase(sync);
+        return;
+    }
+    sync_.ready_phase(sync);
+    if (hc_->is_leader()) {
+        // CAUTION: the leader's compute window only opens after its
+        // transfers; children's opens immediately — that asymmetry is the
+        // paper's "idle cores" discussion and exactly what overlap buys.
+        bridge_exchange(algo);
+    }
+}
+
+void AllgatherChannel::finish(SyncPolicy sync) {
+    sync_.release_phase(sync);
+}
+
+}  // namespace hympi

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <span>
+
+#include "hybrid/shared_buffer.h"
+#include "hybrid/sync.h"
+
+namespace hympi {
+
+/// How the per-node leaders exchange node blocks (paper Sect. 4.1: "the
+/// irregular allgather variant is employed... can also be replaced by other
+/// regular operations (e.g., broadcast)"; the pipelined variant is the
+/// large-message method of Traeff et al. '08 that the conclusion points to).
+enum class BridgeAlgo {
+    Allgatherv,  ///< MPI_Allgatherv over the bridge (the paper's default)
+    Bcast,       ///< one rooted broadcast per node block
+    Pipelined,   ///< segmented, pipelined ring for large node blocks
+};
+
+/// Hy_Allgather / Hy_Allgatherv (paper Fig. 3b and Fig. 4): a reusable
+/// channel holding the one-off state — the node-shared result buffer, the
+/// synchronization flags, and the bridge counts/displacements — so the
+/// repeated collective is exactly the paper's lines 23-39.
+///
+/// Usage per iteration:
+///   1. each rank writes its contribution through my_block();
+///   2. run();
+///   3. every rank reads any rank's data through block_of(r).
+///
+/// The buffer is laid out node-major ("slot" order). Under SMP-style
+/// placement on a node-contiguous communicator, slot == rank; otherwise
+/// block_of() translates through the node-sorted rank array (Sect. 6) —
+/// readers are position-independent either way.
+class AllgatherChannel {
+public:
+    /// Regular allgather: every rank contributes @p block_bytes.
+    /// Collective over hc.world().
+    AllgatherChannel(const HierComm& hc, std::size_t block_bytes);
+
+    /// Irregular allgather (Hy_Allgatherv): bytes_per_rank indexed by comm
+    /// rank. Collective over hc.world().
+    AllgatherChannel(const HierComm& hc,
+                     std::span<const std::size_t> bytes_per_rank);
+
+    /// Where this rank writes its contribution (its private partition of
+    /// the node-shared buffer — Fig. 4 line 21).
+    std::byte* my_block() const { return block_of(hc_->world().rank()); }
+
+    /// Where rank @p comm_rank's gathered data lives after run().
+    std::byte* block_of(int comm_rank) const {
+        return buf_.at(
+            slot_offset_[static_cast<std::size_t>(hc_->slot_of(comm_rank))]);
+    }
+    std::size_t block_size(int comm_rank) const {
+        return block_bytes_[static_cast<std::size_t>(comm_rank)];
+    }
+
+    /// Whole node-shared result buffer (node-major slot order).
+    std::byte* data() const { return buf_.data(); }
+    std::size_t total_bytes() const { return total_bytes_; }
+
+    /// Paper Sect. 6's datatype alternative for non-SMP placements:
+    /// materialize a RANK-ordered private copy of the gathered data in
+    /// @p dst (total_bytes() bytes) through a derived-datatype pack. This
+    /// pays exactly the pack/unpack penalty that the node-sorted slot map
+    /// (block_of) avoids — provided for interfacing with code that expects
+    /// the pure-MPI allgather layout, and for the placement ablation.
+    void repack_rank_order(void* dst) const;
+
+    /// The repeated collective: on-node sync, leader bridge exchange,
+    /// on-node sync (Fig. 4 lines 23-39). Single-node communicators take
+    /// the one-barrier fast path (lines 29-30).
+    void run(SyncPolicy sync = SyncPolicy::Barrier,
+             BridgeAlgo algo = BridgeAlgo::Allgatherv);
+
+    /// Separate a read phase from the next write phase: callers that READ
+    /// other ranks' blocks after run() and then REWRITE their own partition
+    /// before the next run() must quiesce in between, or a fast writer
+    /// races slow on-node readers (the result buffer is genuinely shared —
+    /// the hazard the pure-MPI version's private copies never see).
+    void quiesce(SyncPolicy sync = SyncPolicy::Barrier) {
+        sync_.full_sync(sync);
+    }
+
+    /// Split-phase variant implementing the overlap the paper's conclusion
+    /// describes: "it is straightforward to let the on-node MPI processes
+    /// overlap with the network traffic by working on their own data
+    /// regions". begin() runs the ready sync and — on leaders — the bridge
+    /// exchange; between begin() and finish() every rank may compute on its
+    /// OWN partition (children genuinely overlap the leaders' transfers);
+    /// finish() runs the release sync, after which all blocks are readable.
+    void begin(SyncPolicy sync = SyncPolicy::Barrier,
+               BridgeAlgo algo = BridgeAlgo::Allgatherv);
+    void finish(SyncPolicy sync = SyncPolicy::Barrier);
+
+    const HierComm& hier() const { return *hc_; }
+
+private:
+    void init_layout(std::span<const std::size_t> bytes_per_rank);
+    void bridge_exchange(BridgeAlgo algo);
+
+    const HierComm* hc_ = nullptr;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t total_bytes_ = 0;
+    std::vector<std::size_t> block_bytes_;  ///< per comm rank
+    std::vector<std::size_t> slot_offset_;  ///< per slot, bytes into buffer
+
+    /// One-off bridge parameters for my leader role (Fig. 4: "the omitted
+    /// computation of ... received count and displacement ... is a one-off").
+    std::vector<std::size_t> bridge_counts_;  ///< per bridge rank, bytes
+    std::vector<std::size_t> bridge_displs_;  ///< per bridge rank, bytes
+
+    /// Derived datatype mapping slot-major storage to rank order (one-off).
+    minimpi::Layout rank_order_layout_;
+};
+
+/// Segment size for BridgeAlgo::Pipelined.
+inline constexpr std::size_t kPipelineSegmentBytes = 32 * 1024;
+
+}  // namespace hympi

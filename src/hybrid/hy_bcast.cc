@@ -1,0 +1,60 @@
+#include "hybrid/hy_bcast.h"
+
+namespace hympi {
+
+namespace {
+std::size_t pad64(std::size_t x) { return (x + 63) & ~std::size_t{63}; }
+}  // namespace
+
+BcastChannel::BcastChannel(const HierComm& hc, std::size_t bytes)
+    : hc_(&hc),
+      buf_(hc, 2 * pad64(bytes)),
+      sync_(hc),
+      bytes_(bytes),
+      bytes_padded_(pad64(bytes)) {}
+
+void BcastChannel::run(int root, SyncPolicy sync) {
+    const Comm& world = hc_->world();
+    if (root < 0 || root >= world.size()) {
+        throw minimpi::ArgumentError("Hy_Bcast root out of range");
+    }
+    std::byte* slot = write_buffer();
+
+    if (hc_->num_nodes() == 1) {
+        // Fig. 6 lines 9-10: single node — the root's store to the shared
+        // segment is the broadcast; one sync publishes it.
+        sync_.full_sync(sync);
+        ++epoch_;
+        return;
+    }
+
+    const int root_node = hc_->node_of_rank(root);
+
+    // The paper's example (Fig. 5) has the root as a node leader. In the
+    // general case the root may be a child: its payload is already in the
+    // node-shared segment, but the node's leader must not ship it before
+    // the root's store completes — the root's node runs a ready sync.
+    // (With the light-weight flag sync every node runs it: the leader-only
+    // release below does not order a child's next write against the other
+    // children's reads, so the ready round supplies that edge.)
+    const bool root_is_child =
+        hc_->rank_at(hc_->node_offset(root_node)) != root;
+    if (sync == SyncPolicy::Flags) {
+        sync_.ready_phase(sync);
+    } else if (hc_->my_node() == root_node && root_is_child) {
+        sync_.ready_phase(sync);
+    }
+
+    // Fig. 6 line 6: broadcast across nodes over the bridge (leader 0 only
+    // — a broadcast has no slices to hand to extra leaders).
+    if (hc_->leader_index() == 0) {
+        minimpi::bcast(hc_->bridge(), slot, bytes_, minimpi::Datatype::Byte,
+                       root_node);
+    }
+
+    // Fig. 6 lines 7/13: everyone waits until the broadcast data is ready.
+    sync_.release_phase(sync);
+    ++epoch_;
+}
+
+}  // namespace hympi

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "hybrid/shared_buffer.h"
+#include "hybrid/sync.h"
+
+namespace hympi {
+
+/// Hy_Bcast (paper Fig. 5 / Fig. 6): one node-shared segment holds the
+/// broadcast payload per node; only the leaders move data across nodes; all
+/// on-node processes read the shared segment through a local pointer.
+///
+/// Usage per iteration (root rank):
+///   1. the root writes the payload through write_buffer();
+///   2. every rank calls run(root);
+///   3. every rank reads read_buffer().
+///
+/// Unlike the pure-MPI broadcast there is no intra-node message copy at all
+/// — the post-exchange synchronization (Fig. 6 lines 7/10/13) is the only
+/// on-node activity.
+///
+/// The channel is DOUBLE-BUFFERED so it can be reused every iteration with
+/// just the paper's single post-exchange sync: the root of iteration e+2
+/// overwrites the slot last read at iteration e, and every reader of that
+/// slot has since passed the iteration-e+1 synchronization. Without the
+/// second slot, the next root's store would race the previous iteration's
+/// readers.
+class BcastChannel {
+public:
+    /// Collective over hc.world(); 2 x @p bytes of shared memory per node
+    /// (one-off).
+    BcastChannel(const HierComm& hc, std::size_t bytes);
+
+    /// Staging slot for the NEXT run(); only the root's writes matter.
+    std::byte* write_buffer() const {
+        return buf_.at((epoch_ % 2) * bytes_padded_);
+    }
+    /// Slot broadcast by the most recent run().
+    std::byte* read_buffer() const {
+        return buf_.at(((epoch_ + 1) % 2) * bytes_padded_);
+    }
+    std::size_t size() const { return bytes_; }
+
+    /// The repeated collective. @p root is a rank of hc.world(); only the
+    /// root's buffer contents are significant on entry.
+    void run(int root, SyncPolicy sync = SyncPolicy::Barrier);
+
+    const HierComm& hier() const { return *hc_; }
+
+private:
+    const HierComm* hc_ = nullptr;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t bytes_ = 0;
+    std::size_t bytes_padded_ = 0;  ///< slot stride (cache-line aligned)
+    std::uint64_t epoch_ = 0;       ///< completed run() count (rank-local)
+};
+
+}  // namespace hympi

@@ -1,0 +1,367 @@
+#include "hybrid/hy_extra.h"
+
+#include "minimpi/coll_internal.h"
+
+namespace hympi {
+
+using minimpi::datatype_size;
+using minimpi::detail::apply_op;
+using minimpi::detail::Scratch;
+
+namespace {
+
+/// Element stripe [lo, hi) owned by @p idx of @p n workers.
+std::pair<std::size_t, std::size_t> stripe(std::size_t count, int n, int idx) {
+    return {count * static_cast<std::size_t>(idx) / static_cast<std::size_t>(n),
+            count * (static_cast<std::size_t>(idx) + 1) /
+                static_cast<std::size_t>(n)};
+}
+
+}  // namespace
+
+// ---- AllreduceChannel ----
+
+AllreduceChannel::AllreduceChannel(const HierComm& hc, std::size_t count,
+                                   Datatype dt)
+    : hc_(&hc),
+      buf_(hc, (static_cast<std::size_t>(hc.shm().size()) + 1) * count *
+                   datatype_size(dt)),
+      sync_(hc),
+      count_(count),
+      dt_(dt),
+      vec_bytes_(count * datatype_size(dt)) {}
+
+std::byte* AllreduceChannel::my_input() const {
+    return buf_.at(static_cast<std::size_t>(hc_->shm().rank()) * vec_bytes_);
+}
+
+std::byte* AllreduceChannel::result() const {
+    return buf_.at(static_cast<std::size_t>(hc_->shm().size()) * vec_bytes_);
+}
+
+void AllreduceChannel::run(Op op, SyncPolicy sync) {
+    const Comm& shm = hc_->shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    const int ppn = shm.size();
+    const std::size_t ds = datatype_size(dt_);
+
+    // Inputs written -> visible to all on-node ranks.
+    sync_.full_sync(sync);
+
+    // Cooperative on-node reduction: every rank reduces its stripe of
+    // elements across all on-node contributions — parallel work instead of
+    // a leader bottleneck.
+    const auto [lo, hi] = stripe(count_, ppn, shm.rank());
+    const std::size_t sb = (hi - lo) * ds;
+    std::byte* res = buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
+    ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+    for (int k = 1; k < ppn; ++k) {
+        apply_op(ctx, op, dt_, res,
+                 buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
+                 hi - lo);
+    }
+
+    if (hc_->num_nodes() == 1) {
+        sync_.full_sync(sync);
+        return;
+    }
+
+    // Node sum complete -> leader ships it.
+    sync_.ready_phase(sync);
+    if (hc_->leader_index() == 0) {
+        minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
+                           dt_, op);
+    }
+    sync_.release_phase(sync);
+}
+
+// ---- GatherChannel ----
+
+GatherChannel::GatherChannel(const HierComm& hc, std::size_t block_bytes,
+                             int root)
+    : hc_(&hc),
+      buf_(hc, (hc.node_of_rank(root) == hc.my_node()
+                    ? static_cast<std::size_t>(hc.world().size())
+                    : static_cast<std::size_t>(hc.node_size(hc.my_node()))) *
+                   block_bytes),
+      sync_(hc),
+      bb_(block_bytes),
+      root_(root),
+      root_node_(hc.node_of_rank(root)) {}
+
+std::byte* GatherChannel::my_block() const {
+    const int me = hc_->world().rank();
+    const std::size_t slot = static_cast<std::size_t>(hc_->slot_of(me));
+    if (hc_->my_node() == root_node_) return buf_.at(slot * bb_);
+    return buf_.at(
+        (slot - static_cast<std::size_t>(hc_->node_offset(hc_->my_node()))) *
+        bb_);
+}
+
+std::byte* GatherChannel::gathered(int comm_rank) const {
+    return buf_.at(static_cast<std::size_t>(hc_->slot_of(comm_rank)) * bb_);
+}
+
+void GatherChannel::run(SyncPolicy sync) {
+    if (hc_->num_nodes() == 1) {
+        sync_.full_sync(sync);
+        return;
+    }
+    sync_.ready_phase(sync);
+    if (hc_->leader_index() == 0) {
+        const Comm& bridge = hc_->bridge();
+        const int nn = hc_->num_nodes();
+        std::vector<std::size_t> counts(static_cast<std::size_t>(nn));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(nn));
+        for (int n = 0; n < nn; ++n) {
+            counts[static_cast<std::size_t>(n)] =
+                static_cast<std::size_t>(hc_->node_size(n)) * bb_;
+            displs[static_cast<std::size_t>(n)] =
+                static_cast<std::size_t>(hc_->node_offset(n)) * bb_;
+        }
+        const std::size_t my_count =
+            counts[static_cast<std::size_t>(hc_->my_node())];
+        if (hc_->my_node() == root_node_) {
+            minimpi::gatherv(bridge, minimpi::kInPlace, my_count, buf_.data(),
+                             counts, displs, Datatype::Byte, root_node_);
+        } else {
+            minimpi::gatherv(bridge, buf_.data(), my_count, nullptr, counts,
+                             displs, Datatype::Byte, root_node_);
+        }
+    }
+    sync_.release_phase(sync);
+}
+
+// ---- ScatterChannel ----
+
+ScatterChannel::ScatterChannel(const HierComm& hc, std::size_t block_bytes,
+                               int root)
+    : hc_(&hc),
+      buf_(hc, (hc.node_of_rank(root) == hc.my_node()
+                    ? static_cast<std::size_t>(hc.world().size())
+                    : static_cast<std::size_t>(hc.node_size(hc.my_node()))) *
+                   block_bytes),
+      sync_(hc),
+      bb_(block_bytes),
+      root_(root),
+      root_node_(hc.node_of_rank(root)) {}
+
+std::byte* ScatterChannel::outgoing(int comm_rank) const {
+    return buf_.at(static_cast<std::size_t>(hc_->slot_of(comm_rank)) * bb_);
+}
+
+std::byte* ScatterChannel::my_block() const {
+    const int me = hc_->world().rank();
+    const std::size_t slot = static_cast<std::size_t>(hc_->slot_of(me));
+    if (hc_->my_node() == root_node_) return buf_.at(slot * bb_);
+    return buf_.at(
+        (slot - static_cast<std::size_t>(hc_->node_offset(hc_->my_node()))) *
+        bb_);
+}
+
+void ScatterChannel::run(SyncPolicy sync) {
+    if (hc_->num_nodes() == 1) {
+        sync_.full_sync(sync);
+        return;
+    }
+    // The root's stores must complete before its leader ships the slices.
+    sync_.ready_phase(sync);
+    if (hc_->leader_index() == 0) {
+        const Comm& bridge = hc_->bridge();
+        const int nn = hc_->num_nodes();
+        std::vector<std::size_t> counts(static_cast<std::size_t>(nn));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(nn));
+        for (int n = 0; n < nn; ++n) {
+            counts[static_cast<std::size_t>(n)] =
+                static_cast<std::size_t>(hc_->node_size(n)) * bb_;
+            displs[static_cast<std::size_t>(n)] =
+                static_cast<std::size_t>(hc_->node_offset(n)) * bb_;
+        }
+        const std::size_t my_count =
+            counts[static_cast<std::size_t>(hc_->my_node())];
+        if (hc_->my_node() == root_node_) {
+            // Own slice is already in place inside the full buffer.
+            minimpi::scatterv(
+                bridge, buf_.data(), counts, displs,
+                buf_.at(displs[static_cast<std::size_t>(root_node_)]), my_count,
+                Datatype::Byte, root_node_);
+        } else {
+            minimpi::scatterv(bridge, nullptr, counts, displs, buf_.data(),
+                              my_count, Datatype::Byte, root_node_);
+        }
+    }
+    sync_.release_phase(sync);
+}
+
+// ---- ReduceChannel ----
+
+ReduceChannel::ReduceChannel(const HierComm& hc, std::size_t count,
+                             Datatype dt, int root)
+    : hc_(&hc),
+      buf_(hc, (static_cast<std::size_t>(hc.shm().size()) + 1) * count *
+                   datatype_size(dt)),
+      sync_(hc),
+      count_(count),
+      dt_(dt),
+      vec_bytes_(count * datatype_size(dt)),
+      root_(root),
+      root_node_(hc.node_of_rank(root)) {}
+
+std::byte* ReduceChannel::my_input() const {
+    return buf_.at(static_cast<std::size_t>(hc_->shm().rank()) * vec_bytes_);
+}
+
+std::byte* ReduceChannel::result() const {
+    return buf_.at(static_cast<std::size_t>(hc_->shm().size()) * vec_bytes_);
+}
+
+void ReduceChannel::run(Op op, SyncPolicy sync) {
+    const Comm& shm = hc_->shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    const int ppn = shm.size();
+    const std::size_t ds = datatype_size(dt_);
+
+    sync_.full_sync(sync);
+    const auto [lo, hi] = stripe(count_, ppn, shm.rank());
+    const std::size_t sb = (hi - lo) * ds;
+    std::byte* res = buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
+    ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+    for (int k = 1; k < ppn; ++k) {
+        apply_op(ctx, op, dt_, res,
+                 buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
+                 hi - lo);
+    }
+
+    if (hc_->num_nodes() == 1) {
+        sync_.full_sync(sync);
+        return;
+    }
+
+    sync_.ready_phase(sync);
+    if (hc_->leader_index() == 0) {
+        if (hc_->my_node() == root_node_) {
+            minimpi::reduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
+                            dt_, op, root_node_);
+        } else {
+            minimpi::reduce(hc_->bridge(), result(), nullptr, count_, dt_, op,
+                            root_node_);
+        }
+    }
+    sync_.release_phase(sync);
+}
+
+// ---- AlltoallChannel ----
+
+AlltoallChannel::AlltoallChannel(const HierComm& hc, std::size_t block_bytes)
+    : hc_(&hc),
+      buf_(hc, 2 * static_cast<std::size_t>(hc.node_size(hc.my_node())) *
+                   static_cast<std::size_t>(hc.world().size()) * block_bytes),
+      sync_(hc),
+      bb_(block_bytes) {}
+
+std::size_t AlltoallChannel::row_bytes() const {
+    return static_cast<std::size_t>(hc_->world().size()) * bb_;
+}
+
+std::byte* AlltoallChannel::send_block(int dest_rank) const {
+    const std::size_t local =
+        static_cast<std::size_t>(hc_->slot_of(hc_->world().rank()) -
+                                 hc_->node_offset(hc_->my_node()));
+    return buf_.at(local * row_bytes() +
+                   static_cast<std::size_t>(hc_->slot_of(dest_rank)) * bb_);
+}
+
+std::byte* AlltoallChannel::recv_block(int src_rank) const {
+    const std::size_t ppn = static_cast<std::size_t>(hc_->node_size(hc_->my_node()));
+    const std::size_t local =
+        static_cast<std::size_t>(hc_->slot_of(hc_->world().rank()) -
+                                 hc_->node_offset(hc_->my_node()));
+    return buf_.at((ppn + local) * row_bytes() +
+                   static_cast<std::size_t>(hc_->slot_of(src_rank)) * bb_);
+}
+
+void AlltoallChannel::run(SyncPolicy sync) {
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const int nn = hc_->num_nodes();
+    const int my_node = hc_->my_node();
+    const std::size_t ppn = static_cast<std::size_t>(hc_->node_size(my_node));
+    const std::size_t row = row_bytes();
+
+    sync_.ready_phase(sync);
+
+    if (hc_->leader_index() == 0) {
+        auto send_row = [&](std::size_t m) { return buf_.at(m * row); };
+        auto recv_row = [&](std::size_t m) { return buf_.at((ppn + m) * row); };
+        const std::size_t my_off =
+            static_cast<std::size_t>(hc_->node_offset(my_node)) * bb_;
+
+        // Intra-node transpose: member m's block for member c moves from
+        // m's send row to c's receive row — pure load/store.
+        for (std::size_t m = 0; m < ppn; ++m) {
+            for (std::size_t c = 0; c < ppn; ++c) {
+                ctx.copy_bytes(recv_row(c) ? recv_row(c) + my_off + m * bb_
+                                           : nullptr,
+                               send_row(m) ? send_row(m) + my_off + c * bb_
+                                           : nullptr,
+                               bb_);
+            }
+        }
+
+        if (nn > 1) {
+            std::size_t max_sz = 0;
+            for (int n = 0; n < nn; ++n) {
+                max_sz = std::max(max_sz,
+                                  static_cast<std::size_t>(hc_->node_size(n)));
+            }
+            Scratch out_s(ctx, ppn * max_sz * bb_);
+            Scratch in_s(ctx, max_sz * ppn * bb_);
+            constexpr int tag = minimpi::detail::kTagHier + 0x20;
+
+            for (int k = 1; k < nn; ++k) {
+                const int to_node = (my_node + k) % nn;
+                const int from_node = (my_node - k + nn) % nn;
+                const std::size_t to_sz =
+                    static_cast<std::size_t>(hc_->node_size(to_node));
+                const std::size_t from_sz =
+                    static_cast<std::size_t>(hc_->node_size(from_node));
+                const std::size_t to_off =
+                    static_cast<std::size_t>(hc_->node_offset(to_node)) * bb_;
+
+                // Pack: every local row's blocks destined to to_node.
+                for (std::size_t m = 0; m < ppn; ++m) {
+                    ctx.copy_bytes(
+                        out_s.data() ? out_s.data() + m * to_sz * bb_ : nullptr,
+                        send_row(m) ? send_row(m) + to_off : nullptr,
+                        to_sz * bb_);
+                }
+                minimpi::Request rr = minimpi::detail::irecv_bytes(
+                    hc_->bridge(), in_s.data(), from_sz * ppn * bb_, from_node,
+                    tag + k, true);
+                minimpi::detail::send_bytes(hc_->bridge(), out_s.data(),
+                                            ppn * to_sz * bb_, to_node,
+                                            tag + k, true);
+                rr.wait();
+
+                // Unpack: sender member m2's block for local member c lands
+                // in c's receive row at the sender's slot.
+                const std::size_t from_slot0 =
+                    static_cast<std::size_t>(hc_->node_offset(from_node)) * bb_;
+                for (std::size_t m2 = 0; m2 < from_sz; ++m2) {
+                    for (std::size_t c = 0; c < ppn; ++c) {
+                        ctx.copy_bytes(
+                            recv_row(c) ? recv_row(c) + from_slot0 + m2 * bb_
+                                        : nullptr,
+                            in_s.data()
+                                ? in_s.data() + (m2 * ppn + c) * bb_
+                                : nullptr,
+                            bb_);
+                    }
+                }
+            }
+        }
+    }
+
+    sync_.release_phase(sync);
+}
+
+}  // namespace hympi

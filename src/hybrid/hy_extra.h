@@ -1,0 +1,136 @@
+#pragma once
+
+#include "hybrid/shared_buffer.h"
+#include "hybrid/sync.h"
+
+namespace hympi {
+
+using minimpi::Datatype;
+using minimpi::Op;
+
+/// Extensions beyond the paper's two worked examples (its conclusion calls
+/// for "more experiences" in the hybrid MPI+MPI style). Each follows the
+/// same template as Hy_Allgather: one-off node-shared buffers + hierarchy,
+/// repeated cheap collective with explicit on-node synchronization and
+/// leader-only inter-node traffic.
+
+/// Hybrid allreduce: on-node processes reduce their node's contributions
+/// cooperatively (each rank owns a stripe of elements), the leader runs the
+/// inter-node allreduce over the bridge, and the node shares ONE result
+/// vector.
+class AllreduceChannel {
+public:
+    /// Collective over hc.world(); @p count elements of @p dt.
+    AllreduceChannel(const HierComm& hc, std::size_t count, Datatype dt);
+
+    /// This rank's private input vector (count elements, node-shared slot).
+    std::byte* my_input() const;
+    /// The node-shared result vector (valid after run()).
+    std::byte* result() const;
+
+    void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
+
+private:
+    const HierComm* hc_;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t count_;
+    Datatype dt_;
+    std::size_t vec_bytes_;
+};
+
+/// Hybrid gather to a fixed root: children write their partitions into the
+/// node-shared block; leaders forward node blocks to the root's leader; the
+/// gathered vector exists ONCE, on the root's node.
+class GatherChannel {
+public:
+    GatherChannel(const HierComm& hc, std::size_t block_bytes, int root);
+
+    /// Where this rank writes its contribution.
+    std::byte* my_block() const;
+    /// Gathered block of @p comm_rank — valid on the root's node after run().
+    std::byte* gathered(int comm_rank) const;
+
+    void run(SyncPolicy sync = SyncPolicy::Barrier);
+
+private:
+    const HierComm* hc_;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t bb_;
+    int root_;
+    int root_node_;
+};
+
+/// Hybrid scatter from a fixed root: the root writes all blocks into its
+/// node's shared buffer; leaders receive only their node's slice; children
+/// read their block from the node-shared slice — no per-process copies.
+class ScatterChannel {
+public:
+    ScatterChannel(const HierComm& hc, std::size_t block_bytes, int root);
+
+    /// Root only: where to write rank @p comm_rank's outgoing block.
+    std::byte* outgoing(int comm_rank) const;
+    /// Where this rank reads its received block after run().
+    std::byte* my_block() const;
+
+    void run(SyncPolicy sync = SyncPolicy::Barrier);
+
+private:
+    const HierComm* hc_;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t bb_;
+    int root_;
+    int root_node_;
+};
+
+/// Hybrid reduce to a fixed root: on-node striped reduction into the node
+/// result vector, bridge reduce to the root's leader; result lives once on
+/// the root's node.
+class ReduceChannel {
+public:
+    ReduceChannel(const HierComm& hc, std::size_t count, Datatype dt, int root);
+
+    std::byte* my_input() const;
+    /// Valid on the root's node after run().
+    std::byte* result() const;
+
+    void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
+
+private:
+    const HierComm* hc_;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t count_;
+    Datatype dt_;
+    std::size_t vec_bytes_;
+    int root_;
+    int root_node_;
+};
+
+/// Hybrid all-to-all: each node keeps ONE send matrix and ONE receive
+/// matrix (local members x all slots); leaders pack per-destination-node
+/// slices, exchange pairwise over the bridge, and unpack — on-node traffic
+/// is pure load/store.
+class AlltoallChannel {
+public:
+    AlltoallChannel(const HierComm& hc, std::size_t block_bytes);
+
+    /// Block this rank sends to @p dest_rank (write before run()).
+    std::byte* send_block(int dest_rank) const;
+    /// Block this rank received from @p src_rank (read after run()).
+    std::byte* recv_block(int src_rank) const;
+
+    void run(SyncPolicy sync = SyncPolicy::Barrier);
+
+private:
+    std::size_t row_bytes() const;
+
+    const HierComm* hc_;
+    NodeSharedBuffer buf_;
+    NodeSync sync_;
+    std::size_t bb_;
+};
+
+}  // namespace hympi

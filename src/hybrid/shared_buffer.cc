@@ -1,0 +1,15 @@
+#include "hybrid/shared_buffer.h"
+
+namespace hympi {
+
+NodeSharedBuffer::NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes)
+    : bytes_(total_bytes) {
+    const Comm& shm = hc.shm();
+    // Fig. 4 line 13: msgSize = (sharedmemRank==leader) ? msg*nprocs : 0.
+    const bool allocator = (shm.rank() == 0);
+    win_ = minimpi::win_allocate_shared(shm, allocator ? total_bytes : 0);
+    // Fig. 4 lines 17-20: children query the leader's base pointer.
+    base_ = win_.shared_query(0).first;
+}
+
+}  // namespace hympi

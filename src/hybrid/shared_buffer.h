@@ -1,0 +1,37 @@
+#pragma once
+
+#include "hybrid/hier_comm.h"
+
+namespace hympi {
+
+/// One node-shared memory segment (paper Fig. 1b / Fig. 4 lines 13-20):
+/// the node leader allocates @p total bytes through
+/// MPI_Win_allocate_shared; every other on-node rank allocates zero bytes
+/// and locates the segment with MPI_Win_shared_query. Construction is
+/// collective over hc.shm() and a one-off.
+///
+/// This is the paper's central memory-saving device: ONE copy of the
+/// replicated data per node, instead of one per process.
+class NodeSharedBuffer {
+public:
+    NodeSharedBuffer() = default;
+
+    /// Collective over hc.shm().
+    NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes);
+
+    /// Base of the node's shared segment (null in SizeOnly payload mode).
+    std::byte* data() const { return base_; }
+    std::size_t size() const { return bytes_; }
+
+    /// Convenience: pointer at byte offset @p off (null-safe).
+    std::byte* at(std::size_t off) const {
+        return base_ ? base_ + off : nullptr;
+    }
+
+private:
+    minimpi::Win win_;
+    std::byte* base_ = nullptr;
+    std::size_t bytes_ = 0;
+};
+
+}  // namespace hympi

@@ -1,0 +1,90 @@
+#include "hybrid/sync.h"
+
+namespace hympi {
+
+NodeSync::NodeSync(const HierComm& hc) : hc_(&hc) {
+    const Comm& shm = hc.shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    // Collective one-off: share the flag block among the node's ranks (a
+    // real MPI port would place it in a small MPI_Win_allocate_shared
+    // window; the cost model below charges flag traffic identically).
+    struct Boot {
+        std::shared_ptr<Shared> shared;
+    };
+    auto boot = minimpi::detail::rendezvous<Boot>(
+        shm.state(), ctx, shm.rank(),
+        ctx.runtime->one_off_sync_cost(shm.size()), [](Boot&) {},
+        [&](Boot& b) {
+            b.shared = std::make_shared<Shared>();
+            b.shared->ready.resize(static_cast<std::size_t>(shm.size()));
+            b.shared->release.resize(static_cast<std::size_t>(shm.size()));
+        });
+    shared_ = boot->shared;
+}
+
+void NodeSync::signal(Cell& c, minimpi::RankCtx& ctx) {
+    ctx.clock.advance(ctx.model->flag_signal_us);
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    c.vtime = ctx.clock.now();
+    ++c.seq;
+    shared_->cv.notify_all();
+}
+
+void NodeSync::wait_for(const Cell& c, std::uint64_t target,
+                        minimpi::RankCtx& ctx) {
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    shared_->cv.wait(lock, [&] { return c.seq >= target; });
+    const VTime signal_time = c.vtime;
+    lock.unlock();
+    ctx.clock.sync_to(signal_time);
+    ctx.clock.advance(ctx.model->flag_poll_us);
+}
+
+void NodeSync::ready_phase(SyncPolicy p) {
+    const Comm& shm = hc_->shm();
+    if (p == SyncPolicy::Barrier) {
+        minimpi::barrier(shm);
+        return;
+    }
+    minimpi::RankCtx& ctx = shm.ctx();
+    ++my_ready_epoch_;
+    signal(shared_->ready[static_cast<std::size_t>(shm.rank())], ctx);
+    if (hc_->is_leader()) {
+        for (int r = 0; r < shm.size(); ++r) {
+            wait_for(shared_->ready[static_cast<std::size_t>(r)],
+                     my_ready_epoch_, ctx);
+        }
+    }
+}
+
+void NodeSync::release_phase(SyncPolicy p) {
+    const Comm& shm = hc_->shm();
+    if (p == SyncPolicy::Barrier) {
+        minimpi::barrier(shm);
+        return;
+    }
+    minimpi::RankCtx& ctx = shm.ctx();
+    ++release_epoch_;
+    const int nleaders = std::min(hc_->leaders_per_node(), shm.size());
+    if (hc_->is_leader()) {
+        signal(shared_->release[static_cast<std::size_t>(hc_->leader_index())],
+               ctx);
+    }
+    // Everyone (leaders included) proceeds only once every leader has
+    // published its slice of the exchange.
+    for (int l = 0; l < nleaders; ++l) {
+        wait_for(shared_->release[static_cast<std::size_t>(l)], release_epoch_,
+                 ctx);
+    }
+}
+
+void NodeSync::full_sync(SyncPolicy p) {
+    if (p == SyncPolicy::Barrier) {
+        minimpi::barrier(hc_->shm());
+        return;
+    }
+    ready_phase(p);
+    release_phase(p);
+}
+
+}  // namespace hympi

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hybrid/hier_comm.h"
+
+namespace hympi {
+
+/// The two synchronization flavors of paper Sect. 6 ("Explicit
+/// synchronization"):
+///  * Barrier — heavy-weight MPI_Barrier across the on-node processes
+///    (what the paper's evaluation uses);
+///  * Flags — light-weight shared sequence flags: each rank owns a
+///    cache-line-padded epoch counter; the leader waits for all children's
+///    counters, children wait for the leader's release counter (cf. Graham
+///    & Shipman '08, referenced in the paper's conclusion).
+enum class SyncPolicy {
+    Barrier,
+    Flags,
+};
+
+/// On-node synchronization engine for one shared-memory communicator.
+/// Construction is collective over hc.shm() and a one-off.
+///
+/// Modelled cost: each flag store charges flag_signal_us; each wait charges
+/// flag_poll_us per flag inspected and synchronizes the waiter's virtual
+/// clock to the signaller's store time — the same propagation rule as
+/// message arrivals, so determinism is preserved.
+class NodeSync {
+public:
+    explicit NodeSync(const HierComm& hc);
+
+    /// Phase A of Hy_Allgather (Fig. 4 line 25/34): every rank announces
+    /// "my partition is initialized"; the leader returns once all on-node
+    /// ranks have announced. Children return immediately after signalling.
+    void ready_phase(SyncPolicy p);
+
+    /// Phase B (Fig. 4 line 27/35): the leader announces "exchange done";
+    /// children return once they observe it. Call on every rank; leaders
+    /// (leader_index 0) publish, everyone else waits.
+    void release_phase(SyncPolicy p);
+
+    /// The single-node fast path (Fig. 4 lines 29-30/37-38) and Hy_Bcast's
+    /// post-exchange sync (Fig. 6): one on-node barrier (or the equivalent
+    /// flag round-trip).
+    void full_sync(SyncPolicy p);
+
+private:
+    struct Cell {
+        alignas(64) std::uint64_t seq = 0;
+        VTime vtime = 0.0;
+    };
+    /// Host-shared state standing in for a flags window; the model charges
+    /// the costs a window-resident flag array would incur.
+    struct Shared {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::vector<Cell> ready;    ///< one per shm rank
+        std::vector<Cell> release;  ///< one per leader (first L entries used)
+    };
+
+    void signal(Cell& c, minimpi::RankCtx& ctx);
+    void wait_for(const Cell& c, std::uint64_t target, minimpi::RankCtx& ctx);
+
+    const HierComm* hc_;
+    std::shared_ptr<Shared> shared_;
+    std::uint64_t my_ready_epoch_ = 0;
+    std::uint64_t release_epoch_ = 0;
+};
+
+}  // namespace hympi

@@ -1,0 +1,60 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace linalg {
+
+Matrix cholesky(const Matrix& a) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n) throw std::invalid_argument("cholesky: not square");
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+        if (d <= 0.0 || !std::isfinite(d)) {
+            throw std::domain_error("cholesky: matrix not positive definite");
+        }
+        l(j, j) = std::sqrt(d);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            l(i, j) = s / l(j, j);
+        }
+    }
+    return l;
+}
+
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b) {
+    const std::size_t n = l.rows();
+    if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+        y[i] = s / l(i, i);
+    }
+    return y;
+}
+
+std::vector<double> solve_lower_transposed(const Matrix& l,
+                                           std::span<const double> y) {
+    const std::size_t n = l.rows();
+    if (y.size() != n) {
+        throw std::invalid_argument("solve_lower_transposed: size mismatch");
+    }
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+        x[ii] = s / l(ii, ii);
+    }
+    return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+    const Matrix l = cholesky(a);
+    return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+}  // namespace linalg

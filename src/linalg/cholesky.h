@@ -1,0 +1,21 @@
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace linalg {
+
+/// Lower-triangular Cholesky factor L of a symmetric positive-definite A
+/// (A = L * L^T). Throws std::domain_error if A is not (numerically) SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L * y = b with L lower triangular (forward substitution).
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b);
+
+/// Solve L^T * x = y with L lower triangular (back substitution).
+std::vector<double> solve_lower_transposed(const Matrix& l,
+                                           std::span<const double> y);
+
+/// Solve A * x = b for SPD A via its Cholesky factor.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+}  // namespace linalg

@@ -1,0 +1,140 @@
+#include "linalg/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace linalg {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return u * f;
+}
+
+double Rng::gamma(double shape, double scale) {
+    if (shape < 0.01 || scale <= 0.0) {
+        throw std::invalid_argument("gamma: invalid parameters");
+    }
+    if (shape < 1.0) {
+        // Boost to shape+1 and scale back (Marsaglia-Tsang section 4).
+        const double u = uniform();
+        return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v * scale;
+        }
+    }
+}
+
+Rng substream(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) {
+    std::uint64_t x = seed;
+    x ^= splitmix64(a) + 0x9E3779B97F4A7C15ULL;
+    std::uint64_t y = x;
+    y ^= splitmix64(b);
+    std::uint64_t z = y;
+    z ^= splitmix64(c);
+    return Rng(splitmix64(z));
+}
+
+std::vector<double> mvnormal_from_precision_chol(Rng& rng,
+                                                 std::span<const double> mu,
+                                                 const Matrix& l) {
+    const std::size_t n = mu.size();
+    std::vector<double> z(n);
+    for (auto& v : z) v = rng.normal();
+    std::vector<double> x = solve_lower_transposed(l, z);
+    for (std::size_t i = 0; i < n; ++i) x[i] += mu[i];
+    return x;
+}
+
+Matrix wishart(Rng& rng, double df, const Matrix& ls) {
+    const std::size_t n = ls.rows();
+    // Bartlett: A lower-triangular with sqrt(chi2(df - i)) on the diagonal
+    // and standard normals below; W = (Ls A)(Ls A)^T.
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = std::sqrt(rng.chi_squared(df - static_cast<double>(i)));
+        for (std::size_t j = 0; j < i; ++j) a(i, j) = rng.normal();
+    }
+    // B = Ls * A (both lower triangular).
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double s = 0.0;
+            for (std::size_t k = j; k <= i; ++k) s += ls(i, k) * a(k, j);
+            b(i, j) = s;
+        }
+    }
+    // W = B * B^T.
+    Matrix w(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            const std::size_t kmax = std::min(i, j);
+            for (std::size_t k = 0; k <= kmax; ++k) s += b(i, k) * b(j, k);
+            w(i, j) = s;
+        }
+    }
+    return w;
+}
+
+}  // namespace linalg

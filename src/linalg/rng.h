@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace linalg {
+
+/// xoshiro256++ PRNG with splitmix64 seeding. Self-contained so results are
+/// bit-identical across standard libraries and platforms — the BPMF
+/// reproducibility tests (Ori vs Hy give the same samples) rely on it.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double uniform();
+
+    /// Standard normal (Marsaglia polar method; deterministic).
+    double normal();
+
+    /// Gamma(shape, scale) via Marsaglia-Tsang (shape >= 0.01).
+    double gamma(double shape, double scale);
+
+    /// Chi-squared with @p k degrees of freedom.
+    double chi_squared(double k) { return gamma(k / 2.0, 2.0); }
+
+private:
+    std::uint64_t s_[4];
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+/// Derive an independent stream deterministically from (seed, a, b, c) —
+/// used to give every (iteration, item) its own stream so sampled values do
+/// not depend on how items are distributed over ranks.
+Rng substream(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c);
+
+/// Draw x ~ N(mu, Sigma) given the LOWER Cholesky factor L of the
+/// PRECISION matrix (Sigma = (L L^T)^{-1}): x = mu + L^{-T} z.
+std::vector<double> mvnormal_from_precision_chol(Rng& rng,
+                                                 std::span<const double> mu,
+                                                 const Matrix& l);
+
+/// Draw W ~ Wishart(df, S) via the Bartlett decomposition, where @p ls is
+/// the lower Cholesky factor of the scale matrix S.
+Matrix wishart(Rng& rng, double df, const Matrix& ls);
+
+}  // namespace linalg

@@ -1,0 +1,119 @@
+#include "minimpi/cart.h"
+
+#include <algorithm>
+
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+std::vector<int> dims_create(int nranks, int ndims) {
+    if (nranks <= 0 || ndims <= 0) {
+        throw ArgumentError("dims_create needs positive ranks and dims");
+    }
+    std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+    // Greedy: repeatedly peel the smallest prime factor and apply it to the
+    // currently smallest dimension; then sort non-increasing.
+    int rem = nranks;
+    std::vector<int> factors;
+    for (int f = 2; f * f <= rem; ++f) {
+        while (rem % f == 0) {
+            factors.push_back(f);
+            rem /= f;
+        }
+    }
+    if (rem > 1) factors.push_back(rem);
+    // Largest factors first onto the smallest dimension keeps dims balanced.
+    std::sort(factors.rbegin(), factors.rend());
+    for (int f : factors) {
+        auto it = std::min_element(dims.begin(), dims.end());
+        *it *= f;
+    }
+    std::sort(dims.rbegin(), dims.rend());
+    return dims;
+}
+
+CartComm::CartComm(const Comm& comm, std::vector<int> dims,
+                   std::vector<bool> periodic)
+    : comm_(comm), dims_(std::move(dims)), periodic_(std::move(periodic)) {
+    if (dims_.empty()) throw ArgumentError("cartesian topology needs >= 1 dim");
+    long long total = 1;
+    for (int d : dims_) {
+        if (d <= 0) throw ArgumentError("cartesian dims must be positive");
+        total *= d;
+    }
+    if (total != comm.size()) {
+        throw ArgumentError("cartesian dims do not multiply to comm size");
+    }
+    if (periodic_.empty()) {
+        periodic_.assign(dims_.size(), false);
+    } else if (periodic_.size() != dims_.size()) {
+        throw ArgumentError("periodicity flags must match dims");
+    }
+
+    strides_.resize(dims_.size());
+    int stride = 1;
+    for (std::size_t d = dims_.size(); d-- > 0;) {
+        strides_[d] = stride;
+        stride *= dims_[d];
+    }
+    my_coords_ = coords_of(comm.rank());
+    axis_comms_.resize(dims_.size());
+    axis_built_.assign(dims_.size(), false);
+}
+
+std::vector<int> CartComm::coords_of(int rank) const {
+    if (rank < 0 || rank >= comm_.size()) {
+        throw ArgumentError("cartesian coords of out-of-range rank");
+    }
+    std::vector<int> c(dims_.size());
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        c[d] = (rank / strides_[d]) % dims_[d];
+    }
+    return c;
+}
+
+int CartComm::rank_of(const std::vector<int>& coords) const {
+    if (coords.size() != dims_.size()) {
+        throw ArgumentError("cartesian rank of wrong-arity coordinates");
+    }
+    int rank = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        int c = coords[d];
+        if (periodic_[d]) {
+            c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+        } else if (c < 0 || c >= dims_[d]) {
+            return kProcNull;
+        }
+        rank += c * strides_[d];
+    }
+    return rank;
+}
+
+std::pair<int, int> CartComm::shift(int dim, int disp) const {
+    if (dim < 0 || dim >= ndims()) {
+        throw ArgumentError("cartesian shift on invalid dimension");
+    }
+    std::vector<int> lo = my_coords_;
+    std::vector<int> hi = my_coords_;
+    lo[static_cast<std::size_t>(dim)] -= disp;
+    hi[static_cast<std::size_t>(dim)] += disp;
+    return {rank_of(lo), rank_of(hi)};
+}
+
+const Comm& CartComm::axis_comm(int dim) {
+    if (dim < 0 || dim >= ndims()) {
+        throw ArgumentError("cartesian axis_comm on invalid dimension");
+    }
+    const auto d = static_cast<std::size_t>(dim);
+    if (!axis_built_[d]) {
+        // Color = my rank with dimension `dim` zeroed out; key = coordinate
+        // along `dim`, so axis rank == coordinate.
+        const int color =
+            comm_.rank() - my_coords_[d] * strides_[d];
+        axis_comms_[d] = comm_.split(color, my_coords_[d]);
+        axis_built_[d] = true;
+    }
+    return axis_comms_[d];
+}
+
+}  // namespace minimpi

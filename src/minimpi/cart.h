@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace minimpi {
+
+/// Balanced factorization of @p nranks into @p ndims dimensions
+/// (MPI_Dims_create): dims are as close to each other as possible, in
+/// non-increasing order.
+std::vector<int> dims_create(int nranks, int ndims);
+
+/// N-dimensional Cartesian process topology (MPI_Cart_create and friends)
+/// in row-major coordinate order, with optional per-dimension periodicity.
+/// Construction is collective over @p comm when sub-communicators are
+/// requested lazily (cart_sub / axis_comm call split collectively).
+class CartComm {
+public:
+    /// @p dims must multiply to comm.size() exactly (no reordering).
+    CartComm(const Comm& comm, std::vector<int> dims,
+             std::vector<bool> periodic = {});
+
+    const Comm& comm() const { return comm_; }
+    int ndims() const { return static_cast<int>(dims_.size()); }
+    const std::vector<int>& dims() const { return dims_; }
+
+    /// My coordinates.
+    const std::vector<int>& coords() const { return my_coords_; }
+    int coord(int dim) const { return my_coords_.at(static_cast<std::size_t>(dim)); }
+
+    /// MPI_Cart_coords / MPI_Cart_rank.
+    std::vector<int> coords_of(int rank) const;
+    int rank_of(const std::vector<int>& coords) const;
+
+    /// MPI_Cart_shift: the comm ranks at displacement -disp and +disp along
+    /// @p dim from me; kProcNull past a non-periodic boundary.
+    std::pair<int, int> shift(int dim, int disp = 1) const;
+
+    /// MPI_Cart_sub keeping only @p dim varying: the communicator of all
+    /// ranks sharing my other coordinates (e.g. my row / my column).
+    /// Collective over comm(); results are cached per dimension.
+    const Comm& axis_comm(int dim);
+
+private:
+    Comm comm_;
+    std::vector<int> dims_;
+    std::vector<bool> periodic_;
+    std::vector<int> strides_;
+    std::vector<int> my_coords_;
+    std::vector<Comm> axis_comms_;
+    std::vector<bool> axis_built_;
+};
+
+}  // namespace minimpi

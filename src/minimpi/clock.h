@@ -1,0 +1,45 @@
+#pragma once
+
+#include "minimpi/netmodel.h"
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// Per-rank virtual clock. Only the owning rank thread advances its own
+/// clock; other ranks influence it exclusively through message timestamps
+/// (receive completion takes the max of the local clock and the message's
+/// modelled arrival time), which keeps the simulation deterministic
+/// regardless of host scheduling.
+class VClock {
+public:
+    VTime now() const { return now_us_; }
+
+    /// Unconditionally advance by @p dt (dt >= 0).
+    void advance(VTime dt) { now_us_ += dt; }
+
+    /// Jump forward to @p t if it is in the future (message arrival, flag
+    /// signal propagation); never moves backwards.
+    void sync_to(VTime t) {
+        if (t > now_us_) now_us_ = t;
+    }
+
+    /// Charge a local memory copy of @p bytes against this rank.
+    void charge_memcpy(const ModelParams& m, std::size_t bytes) {
+        if (bytes == 0) return;
+        now_us_ += m.memcpy_alpha_us +
+                   static_cast<VTime>(bytes) * m.memcpy_beta_us_per_byte;
+    }
+
+    /// Charge @p flops floating-point operations of application compute.
+    void charge_flops(const ModelParams& m, double flops) {
+        if (flops <= 0.0) return;
+        now_us_ += flops / m.flops_per_us;
+    }
+
+    void reset() { now_us_ = 0.0; }
+
+private:
+    VTime now_us_ = 0.0;
+};
+
+}  // namespace minimpi

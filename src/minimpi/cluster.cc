@@ -1,0 +1,79 @@
+#include "minimpi/cluster.h"
+
+#include <numeric>
+
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+ClusterSpec ClusterSpec::regular(int nodes, int ppn, Placement placement) {
+    if (nodes <= 0 || ppn <= 0) {
+        throw ArgumentError("cluster must have positive nodes and ppn");
+    }
+    return ClusterSpec(std::vector<int>(static_cast<std::size_t>(nodes), ppn),
+                       placement);
+}
+
+ClusterSpec ClusterSpec::irregular(std::vector<int> procs_per_node,
+                                   Placement placement) {
+    if (procs_per_node.empty()) {
+        throw ArgumentError("cluster must have at least one node");
+    }
+    for (int p : procs_per_node) {
+        if (p <= 0) {
+            throw ArgumentError("every node must host at least one process");
+        }
+    }
+    return ClusterSpec(std::move(procs_per_node), placement);
+}
+
+ClusterSpec::ClusterSpec(std::vector<int> procs_per_node, Placement placement)
+    : procs_per_node_(std::move(procs_per_node)), placement_(placement) {
+    total_ = std::accumulate(procs_per_node_.begin(), procs_per_node_.end(), 0);
+    node_of_.resize(static_cast<std::size_t>(total_));
+    rank_on_node_.resize(static_cast<std::size_t>(total_));
+    ranks_of_node_.resize(procs_per_node_.size());
+
+    const int nnodes = num_nodes();
+    if (placement_ == Placement::Smp) {
+        int rank = 0;
+        for (int n = 0; n < nnodes; ++n) {
+            for (int i = 0; i < procs_per_node_[static_cast<std::size_t>(n)];
+                 ++i, ++rank) {
+                node_of_[static_cast<std::size_t>(rank)] = n;
+            }
+        }
+    } else {
+        // Round-robin deal: repeatedly sweep the nodes, skipping nodes that
+        // are already full. With irregular populations this fills small
+        // nodes first and keeps dealing to the larger ones.
+        std::vector<int> filled(procs_per_node_.size(), 0);
+        int rank = 0;
+        while (rank < total_) {
+            for (int n = 0; n < nnodes && rank < total_; ++n) {
+                if (filled[static_cast<std::size_t>(n)] <
+                    procs_per_node_[static_cast<std::size_t>(n)]) {
+                    node_of_[static_cast<std::size_t>(rank)] = n;
+                    ++filled[static_cast<std::size_t>(n)];
+                    ++rank;
+                }
+            }
+        }
+    }
+
+    for (int r = 0; r < total_; ++r) {
+        const int n = node_of_[static_cast<std::size_t>(r)];
+        auto& members = ranks_of_node_[static_cast<std::size_t>(n)];
+        rank_on_node_[static_cast<std::size_t>(r)] =
+            static_cast<int>(members.size());
+        members.push_back(r);
+    }
+
+    node_sorted_ranks_.reserve(static_cast<std::size_t>(total_));
+    for (const auto& members : ranks_of_node_) {
+        node_sorted_ranks_.insert(node_sorted_ranks_.end(), members.begin(),
+                                  members.end());
+    }
+}
+
+}  // namespace minimpi

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// How global ranks are laid out over the simulated nodes.
+///
+/// Smp: consecutive ranks fill node 0, then node 1, ... — the "SMP-style
+/// rank placement" the paper assumes in Section 4.
+/// RoundRobin: rank r lands on node (r mod nnodes) — the alternative
+/// placement Section 6 discusses; the hybrid library handles it with a
+/// node-sorted global rank array.
+enum class Placement : std::uint8_t {
+    Smp,
+    RoundRobin,
+};
+
+/// Describes the simulated cluster: how many processes run on each node and
+/// how global ranks map onto nodes. Supports irregular population (paper
+/// Sect. 5.1.3: 42 nodes x 24 processes plus one node with 16).
+class ClusterSpec {
+public:
+    /// Regular cluster: @p nodes nodes with @p ppn processes each.
+    static ClusterSpec regular(int nodes, int ppn,
+                               Placement placement = Placement::Smp);
+
+    /// Irregular cluster: one entry per node giving its process count.
+    static ClusterSpec irregular(std::vector<int> procs_per_node,
+                                 Placement placement = Placement::Smp);
+
+    int num_nodes() const { return static_cast<int>(procs_per_node_.size()); }
+    int total_ranks() const { return total_; }
+    int procs_on_node(int node) const { return procs_per_node_.at(node); }
+    Placement placement() const { return placement_; }
+
+    /// Node hosting global rank @p rank.
+    int node_of(int rank) const { return node_of_.at(rank); }
+
+    /// Position of @p rank among the ranks of its own node (0 = leader-eligible
+    /// lowest rank under SMP placement ordering).
+    int rank_on_node(int rank) const { return rank_on_node_.at(rank); }
+
+    /// Global ranks hosted on @p node, in increasing global-rank order.
+    const std::vector<int>& ranks_of_node(int node) const {
+        return ranks_of_node_.at(node);
+    }
+
+    /// All global ranks sorted by (node, global rank): the "node-sorted
+    /// global rank array" of paper Section 6, used by the hybrid library to
+    /// lay out shared buffers node-contiguously under any placement.
+    const std::vector<int>& node_sorted_ranks() const {
+        return node_sorted_ranks_;
+    }
+
+    /// True when both endpoints live on the same node (chooses the shm link
+    /// class in the network model).
+    bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+private:
+    ClusterSpec(std::vector<int> procs_per_node, Placement placement);
+
+    std::vector<int> procs_per_node_;
+    Placement placement_;
+    int total_ = 0;
+    std::vector<int> node_of_;
+    std::vector<int> rank_on_node_;
+    std::vector<std::vector<int>> ranks_of_node_;
+    std::vector<int> node_sorted_ranks_;
+};
+
+}  // namespace minimpi

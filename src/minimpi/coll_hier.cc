@@ -1,0 +1,107 @@
+#include "minimpi/coll.h"
+#include "minimpi/coll_internal.h"
+#include "minimpi/runtime.h"
+
+namespace minimpi::detail {
+
+bool smp_hier_applicable(const Comm& comm) {
+    const int p = comm.size();
+    if (p <= 1) return false;
+    const int node0 = comm.node_of(0);
+    bool multi_node = false;
+    bool multi_rank_node = false;
+    int prev = node0;
+    // Count node transitions cheaply: a node hosts >1 member iff two comm
+    // ranks map to it; membership per node is contiguous only under SMP
+    // placement, so do the general scan.
+    std::vector<int> seen_count;
+    for (int i = 0; i < p; ++i) {
+        const int n = comm.node_of(i);
+        if (n != node0) multi_node = true;
+        if (static_cast<std::size_t>(n) >= seen_count.size()) {
+            seen_count.resize(static_cast<std::size_t>(n) + 1, 0);
+        }
+        if (++seen_count[static_cast<std::size_t>(n)] > 1) {
+            multi_rank_node = true;
+        }
+        prev = n;
+    }
+    (void)prev;
+    return multi_node && multi_rank_node;
+}
+
+const HierHandles& hier(const Comm& comm) {
+    RankCtx& ctx = comm.ctx();
+    const void* key = &comm.state();
+    auto it = ctx.comm_caches.find(key);
+    if (it != ctx.comm_caches.end()) {
+        return *std::static_pointer_cast<HierHandles>(it->second);
+    }
+
+    auto h = std::make_shared<HierHandles>();
+    const int p = comm.size();
+
+    // Node-major ordering: nodes appear in order of their lowest comm rank
+    // (== the leader), members within a node in increasing comm rank.
+    std::vector<int> node_of_index;   // node-major node list (cluster ids)
+    std::vector<std::vector<int>> members_per_node;
+    h->node_index_of.assign(static_cast<std::size_t>(p), -1);
+    for (int i = 0; i < p; ++i) {
+        const int n = comm.node_of(i);
+        int idx = -1;
+        for (std::size_t j = 0; j < node_of_index.size(); ++j) {
+            if (node_of_index[j] == n) {
+                idx = static_cast<int>(j);
+                break;
+            }
+        }
+        if (idx < 0) {
+            idx = static_cast<int>(node_of_index.size());
+            node_of_index.push_back(n);
+            members_per_node.emplace_back();
+        }
+        h->node_index_of[static_cast<std::size_t>(i)] = idx;
+        members_per_node[static_cast<std::size_t>(idx)].push_back(i);
+    }
+
+    const int nnodes = static_cast<int>(node_of_index.size());
+    h->multi_node = nnodes > 1;
+    h->node_sizes.resize(static_cast<std::size_t>(nnodes));
+    h->node_offsets.resize(static_cast<std::size_t>(nnodes));
+    h->node_leader.resize(static_cast<std::size_t>(nnodes));
+    h->single_rank_nodes = true;
+    int offset = 0;
+    for (int i = 0; i < nnodes; ++i) {
+        const auto& members = members_per_node[static_cast<std::size_t>(i)];
+        h->node_sizes[static_cast<std::size_t>(i)] =
+            static_cast<int>(members.size());
+        h->node_offsets[static_cast<std::size_t>(i)] = offset;
+        h->node_leader[static_cast<std::size_t>(i)] = members.front();
+        offset += static_cast<int>(members.size());
+        if (members.size() > 1) h->single_rank_nodes = false;
+        h->perm.insert(h->perm.end(), members.begin(), members.end());
+    }
+    h->identity_perm = true;
+    for (int i = 0; i < p; ++i) {
+        if (h->perm[static_cast<std::size_t>(i)] != i) {
+            h->identity_perm = false;
+            break;
+        }
+    }
+
+    h->my_node_index = h->node_index_of[static_cast<std::size_t>(comm.rank())];
+    h->is_leader =
+        (h->node_leader[static_cast<std::size_t>(h->my_node_index)] ==
+         comm.rank());
+
+    // The two collective splits. Every member reaches this code on its
+    // first hierarchical collective on this communicator, so the calls
+    // line up across ranks.
+    h->shm = comm.split(h->my_node_index, comm.rank());
+    h->bridge = comm.split(h->is_leader ? 0 : kUndefined, comm.rank());
+
+    ctx.comm_caches.emplace(key, h);
+    return *h;
+}
+
+}  // namespace minimpi::detail

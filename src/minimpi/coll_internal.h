@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "minimpi/coll.h"
+#include "minimpi/p2p.h"
+
+namespace minimpi::detail {
+
+/// Tag bases for the internal collective protocols (collective matching
+/// context, so they never collide with user point-to-point traffic).
+/// Successive instances of the same collective reuse the same tags; the
+/// transport's per-(source, tag) FIFO keeps the pairing correct.
+enum CollTag : int {
+    kTagBarrier = 0x1000,     // + round
+    kTagBcast = 0x2000,       // + segment (pipelined variant)
+    kTagGather = 0x3000,
+    kTagScatter = 0x4000,
+    kTagAllgather = 0x5000,
+    kTagAllgatherv = 0x6000,
+    kTagReduce = 0x7000,
+    kTagAllreduce = 0x8000,
+    kTagAlltoall = 0x9000,    // + source rank
+    kTagGatherv = 0xA000,
+    kTagHier = 0xB000,
+};
+
+/// Temporary buffer honoring the payload mode: materializes only when
+/// payloads are real, so cluster-scale SizeOnly benchmarks never allocate.
+class Scratch {
+public:
+    Scratch(RankCtx& ctx, std::size_t bytes) {
+        if (ctx.payload_mode == PayloadMode::Real && bytes > 0) {
+            buf_ = std::make_unique<std::byte[]>(bytes);
+        }
+    }
+    std::byte* data() { return buf_.get(); }
+
+private:
+    std::unique_ptr<std::byte[]> buf_;
+};
+
+/// Offset a possibly-null buffer pointer.
+inline std::byte* at(void* p, std::size_t off) {
+    return p ? static_cast<std::byte*>(p) + off : nullptr;
+}
+inline const std::byte* at(const void* p, std::size_t off) {
+    return p ? static_cast<const std::byte*>(p) + off : nullptr;
+}
+
+/// Resolve an MPI_IN_PLACE send buffer against its in-place location.
+inline const void* resolve_in_place(const void* sendbuf, const void* in_place_loc) {
+    return sendbuf == kInPlace ? in_place_loc : sendbuf;
+}
+
+}  // namespace minimpi::detail

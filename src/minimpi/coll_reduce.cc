@@ -1,0 +1,300 @@
+#include "minimpi/coll.h"
+#include "minimpi/coll_internal.h"
+#include "minimpi/error.h"
+#include "minimpi/runtime.h"
+
+namespace minimpi {
+
+namespace detail {
+
+void reduce_binomial(const Comm& comm, const void* sendbuf, void* recvbuf,
+                     std::size_t count, Datatype dt, Op op, int root) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bytes = count * datatype_size(dt);
+
+    const void* contrib = resolve_in_place(sendbuf, recvbuf);
+    if (p == 1) {
+        if (sendbuf != kInPlace) ctx.copy_bytes(recvbuf, contrib, bytes);
+        return;
+    }
+    const int vrank = (r - root + p) % p;
+
+    // Accumulator: the root reduces into recvbuf, everyone else into scratch.
+    Scratch acc_s(ctx, (r == root) ? 0 : bytes);
+    std::byte* acc =
+        (r == root) ? static_cast<std::byte*>(recvbuf) : acc_s.data();
+    if (!(r == root && sendbuf == kInPlace)) {
+        ctx.copy_bytes(acc, contrib, bytes);
+    }
+    Scratch tmp_s(ctx, bytes);
+    std::byte* tmp = tmp_s.data();
+
+    int mask = 1;
+    while (mask < p) {
+        if (vrank & mask) {
+            const int dst = (vrank - mask + root) % p;
+            send_bytes(comm, acc, bytes, dst, kTagReduce, true);
+            break;
+        }
+        const int src_v = vrank + mask;
+        if (src_v < p) {
+            recv_bytes(comm, tmp, bytes, (src_v + root) % p, kTagReduce, true);
+            apply_op(ctx, op, dt, acc, tmp, count);
+        }
+        mask <<= 1;
+    }
+}
+
+void allreduce_recursive_doubling(const Comm& comm, const void* sendbuf,
+                                  void* recvbuf, std::size_t count,
+                                  Datatype dt, Op op) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bytes = count * datatype_size(dt);
+
+    if (sendbuf != kInPlace) ctx.copy_bytes(recvbuf, sendbuf, bytes);
+    if (p == 1) return;
+
+    Scratch tmp_s(ctx, bytes);
+    std::byte* tmp = tmp_s.data();
+
+    // MPICH-style non-power-of-two handling: the first 2*rem ranks pair up,
+    // evens fold into odds and sit out the doubling phase.
+    int pof2 = 1;
+    while (pof2 * 2 <= p) pof2 *= 2;
+    const int rem = p - pof2;
+
+    int newrank;
+    if (r < 2 * rem) {
+        if (r % 2 == 0) {
+            send_bytes(comm, recvbuf, bytes, r + 1, kTagAllreduce, true);
+            newrank = -1;
+        } else {
+            recv_bytes(comm, tmp, bytes, r - 1, kTagAllreduce, true);
+            apply_op(ctx, op, dt, recvbuf, tmp, count);
+            newrank = r / 2;
+        }
+    } else {
+        newrank = r - rem;
+    }
+
+    if (newrank != -1) {
+        auto to_real = [&](int nr) {
+            return (nr < rem) ? nr * 2 + 1 : nr + rem;
+        };
+        int round = 1;
+        for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+            const int partner = to_real(newrank ^ mask);
+            Request rr = irecv_bytes(comm, tmp, bytes, partner,
+                                     kTagAllreduce + round, true);
+            send_bytes(comm, recvbuf, bytes, partner, kTagAllreduce + round,
+                       true);
+            rr.wait();
+            apply_op(ctx, op, dt, recvbuf, tmp, count);
+        }
+    }
+
+    if (r < 2 * rem) {
+        if (r % 2 == 1) {
+            send_bytes(comm, recvbuf, bytes, r - 1, kTagAllreduce, true);
+        } else {
+            recv_bytes(comm, recvbuf, bytes, r + 1, kTagAllreduce, true);
+        }
+    }
+}
+
+void allreduce_ring(const Comm& comm, const void* sendbuf, void* recvbuf,
+                    std::size_t count, Datatype dt, Op op) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t ds = datatype_size(dt);
+
+    if (sendbuf != kInPlace) ctx.copy_bytes(recvbuf, sendbuf, count * ds);
+    if (p == 1) return;
+
+    // Element ranges of the p chunks.
+    auto chunk_begin = [&](int i) {
+        return (count * static_cast<std::size_t>(i)) / static_cast<std::size_t>(p);
+    };
+    auto chunk_len = [&](int i) { return chunk_begin(i + 1) - chunk_begin(i); };
+
+    std::size_t max_chunk = 0;
+    for (int i = 0; i < p; ++i) max_chunk = std::max(max_chunk, chunk_len(i));
+    Scratch tmp_s(ctx, max_chunk * ds);
+    std::byte* tmp = tmp_s.data();
+
+    const int left = (r - 1 + p) % p;
+    const int right = (r + 1) % p;
+
+    // Phase 1: reduce-scatter. After p-1 steps rank r owns the fully
+    // reduced chunk (r+1) mod p.
+    for (int k = 0; k < p - 1; ++k) {
+        const int send_idx = (r - k + p) % p;
+        const int recv_idx = (r - k - 1 + p) % p;
+        Request rr = irecv_bytes(comm, tmp, chunk_len(recv_idx) * ds, left,
+                                 kTagAllreduce, true);
+        send_bytes(comm, at(recvbuf, chunk_begin(send_idx) * ds),
+                   chunk_len(send_idx) * ds, right, kTagAllreduce, true);
+        rr.wait();
+        apply_op(ctx, op, dt, at(recvbuf, chunk_begin(recv_idx) * ds), tmp,
+                 chunk_len(recv_idx));
+    }
+
+    // Phase 2: ring allgather of the reduced chunks.
+    for (int k = 0; k < p - 1; ++k) {
+        const int send_idx = (r + 1 - k + p) % p;
+        const int recv_idx = (r - k + p) % p;
+        Request rr = irecv_bytes(comm, at(recvbuf, chunk_begin(recv_idx) * ds),
+                                 chunk_len(recv_idx) * ds, left,
+                                 kTagAllreduce, true);
+        send_bytes(comm, at(recvbuf, chunk_begin(send_idx) * ds),
+                   chunk_len(send_idx) * ds, right, kTagAllreduce, true);
+        rr.wait();
+    }
+}
+
+namespace {
+
+void allreduce_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
+                    std::size_t count, Datatype dt, Op op) {
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bytes = count * datatype_size(dt);
+    // Ring reduce-scatter+allgather needs at least one element per rank to
+    // pay off; recursive doubling handles the rest.
+    if (bytes <= ctx.model->allreduce_long_threshold ||
+        count < static_cast<std::size_t>(comm.size())) {
+        allreduce_recursive_doubling(comm, sendbuf, recvbuf, count, dt, op);
+    } else {
+        allreduce_ring(comm, sendbuf, recvbuf, count, dt, op);
+    }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+void reduce(const Comm& comm, const void* sendbuf, void* recvbuf,
+            std::size_t count, Datatype dt, Op op, int root) {
+    if (root < 0 || root >= comm.size()) {
+        throw ArgumentError("reduce root out of range");
+    }
+    RankCtx& ctx = comm.ctx();
+    if (!(ctx.model->smp_aware && detail::smp_hier_applicable(comm))) {
+        detail::reduce_binomial(comm, sendbuf, recvbuf, count, dt, op, root);
+        return;
+    }
+    // SMP-aware: reduce within each node to its leader (cheap shm links),
+    // reduce across leaders to the root's node, hand off to the root.
+    const detail::HierHandles& h = detail::hier(comm);
+    const int root_node = h.node_index_of[static_cast<std::size_t>(root)];
+    const int root_leader = h.node_leader[static_cast<std::size_t>(root_node)];
+    const std::size_t bytes = count * datatype_size(dt);
+
+    // Node-level partial: lands in a scratch at the leader (or directly in
+    // recvbuf when the leader IS the root).
+    detail::Scratch part_s(ctx, (h.is_leader && comm.rank() != root) ? bytes : 0);
+    std::byte* partial = (comm.rank() == root)
+                             ? static_cast<std::byte*>(recvbuf)
+                             : part_s.data();
+    const void* contrib = detail::resolve_in_place(sendbuf, recvbuf);
+    // Within the node the leader is shm rank 0; root!=leader still reduces
+    // through the leader (the extra hop below covers delivery).
+    detail::reduce_binomial(h.shm, contrib, partial, count, dt, op, 0);
+
+    if (h.is_leader) {
+        if (comm.rank() == root_leader) {
+            detail::reduce_binomial(h.bridge, kInPlace, partial, count, dt,
+                                    op, root_node);
+        } else {
+            detail::reduce_binomial(h.bridge, partial, nullptr, count, dt, op,
+                                    root_node);
+        }
+    }
+    if (root != root_leader) {
+        if (comm.rank() == root_leader) {
+            detail::send_bytes(comm, partial, bytes, root, detail::kTagHier + 1,
+                               true);
+        } else if (comm.rank() == root) {
+            detail::recv_bytes(comm, recvbuf, bytes, root_leader,
+                               detail::kTagHier + 1, true);
+        }
+    }
+}
+
+void allreduce(const Comm& comm, const void* sendbuf, void* recvbuf,
+               std::size_t count, Datatype dt, Op op) {
+    RankCtx& ctx = comm.ctx();
+    if (!(ctx.model->smp_aware && detail::smp_hier_applicable(comm))) {
+        detail::allreduce_flat(comm, sendbuf, recvbuf, count, dt, op);
+        return;
+    }
+    // SMP-aware: reduce to the node leader, allreduce across leaders,
+    // broadcast the result within each node.
+    const detail::HierHandles& h = detail::hier(comm);
+    if (h.is_leader) {
+        detail::reduce_binomial(h.shm, sendbuf, recvbuf, count, dt, op, 0);
+        detail::allreduce_flat(h.bridge, kInPlace, recvbuf, count, dt, op);
+    } else {
+        detail::reduce_binomial(h.shm, sendbuf, recvbuf, count, dt, op, 0);
+    }
+    const std::size_t bytes = count * datatype_size(dt);
+    if (bytes <= ctx.model->bcast_long_threshold) {
+        detail::bcast_binomial(h.shm, recvbuf, bytes, 0);
+    } else {
+        detail::bcast_pipelined_chain(h.shm, recvbuf, bytes, 0);
+    }
+}
+
+void alltoall(const Comm& comm, const void* sendbuf, std::size_t count,
+              void* recvbuf, Datatype dt) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bb = count * datatype_size(dt);
+
+    // Own block always moves locally.
+    ctx.copy_bytes(detail::at(recvbuf, static_cast<std::size_t>(r) * bb),
+                   detail::at(sendbuf, static_cast<std::size_t>(r) * bb), bb);
+    if (p == 1) return;
+
+    if (bb <= ctx.model->alltoall_small_threshold) {
+        // Nonblocking flood: post all receives, then all sends.
+        std::vector<Request> reqs;
+        reqs.reserve(2 * (static_cast<std::size_t>(p) - 1));
+        for (int i = 1; i < p; ++i) {
+            const int src = (r - i + p) % p;
+            reqs.push_back(detail::irecv_bytes(
+                comm, detail::at(recvbuf, static_cast<std::size_t>(src) * bb),
+                bb, src, detail::kTagAlltoall, true));
+        }
+        for (int i = 1; i < p; ++i) {
+            const int dst = (r + i) % p;
+            detail::send_bytes(
+                comm, detail::at(sendbuf, static_cast<std::size_t>(dst) * bb),
+                bb, dst, detail::kTagAlltoall, true);
+        }
+        wait_all(reqs);
+    } else {
+        // Pairwise exchange: p-1 rounds of sendrecv with distinct partners.
+        const bool pow2 = (p & (p - 1)) == 0;
+        for (int k = 1; k < p; ++k) {
+            const int sendto = pow2 ? (r ^ k) : (r + k) % p;
+            const int recvfrom = pow2 ? (r ^ k) : (r - k + p) % p;
+            Request rr = detail::irecv_bytes(
+                comm,
+                detail::at(recvbuf, static_cast<std::size_t>(recvfrom) * bb),
+                bb, recvfrom, detail::kTagAlltoall + k, true);
+            detail::send_bytes(
+                comm,
+                detail::at(sendbuf, static_cast<std::size_t>(sendto) * bb), bb,
+                sendto, detail::kTagAlltoall + k, true);
+            rr.wait();
+        }
+    }
+}
+
+}  // namespace minimpi

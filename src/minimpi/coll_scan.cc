@@ -1,0 +1,124 @@
+// Prefix reductions and reduce-scatter — the remaining predefined
+// collectives applications commonly need (MPI_Scan / MPI_Exscan /
+// MPI_Reduce_scatter_block).
+
+#include "minimpi/coll.h"
+#include "minimpi/coll_internal.h"
+#include "minimpi/error.h"
+#include "minimpi/runtime.h"
+
+namespace minimpi {
+
+void scan(const Comm& comm, const void* sendbuf, void* recvbuf,
+          std::size_t count, Datatype dt, Op op) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bytes = count * datatype_size(dt);
+
+    // result = inclusive prefix; partial = reduction of a contiguous rank
+    // range ending at me (recursive doubling, MPICH's algorithm).
+    if (sendbuf != kInPlace) ctx.copy_bytes(recvbuf, sendbuf, bytes);
+    if (p == 1) return;
+
+    detail::Scratch partial_s(ctx, bytes);
+    detail::Scratch tmp_s(ctx, bytes);
+    std::byte* partial = partial_s.data();
+    std::byte* tmp = tmp_s.data();
+    ctx.copy_bytes(partial, recvbuf, bytes);
+
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+        const int up = r + mask;
+        const int down = r - mask;
+        Request rr;
+        if (down >= 0) {
+            rr = detail::irecv_bytes(comm, tmp, bytes, down,
+                                     detail::kTagReduce + 0x100 + round, true);
+        }
+        if (up < p) {
+            detail::send_bytes(comm, partial, bytes, up,
+                               detail::kTagReduce + 0x100 + round, true);
+        }
+        if (down >= 0) {
+            rr.wait();
+            // tmp covers ranks [down-mask+1 .. down]; it extends both the
+            // running partial and the inclusive result.
+            detail::apply_op(ctx, op, dt, partial, tmp, count);
+            detail::apply_op(ctx, op, dt, recvbuf, tmp, count);
+        }
+    }
+}
+
+void exscan(const Comm& comm, const void* sendbuf, void* recvbuf,
+            std::size_t count, Datatype dt, Op op) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bytes = count * datatype_size(dt);
+
+    // Exclusive prefix via inclusive scan of the PREVIOUS rank's value:
+    // compute inclusive scan into scratch, then shift by one rank.
+    detail::Scratch incl_s(ctx, bytes);
+    std::byte* incl = incl_s.data();
+    const void* contrib = detail::resolve_in_place(sendbuf, recvbuf);
+    ctx.copy_bytes(incl, contrib, bytes);
+    scan(comm, kInPlace, incl, count, dt, op);
+
+    constexpr int tag = detail::kTagReduce + 0x200;
+    Request rr;
+    if (r > 0) {
+        rr = detail::irecv_bytes(comm, recvbuf, bytes, r - 1, tag, true);
+    }
+    if (r < p - 1) {
+        detail::send_bytes(comm, incl, bytes, r + 1, tag, true);
+    }
+    if (r > 0) rr.wait();
+    // Rank 0's exscan result is undefined (as in MPI); leave recvbuf as-is.
+}
+
+void reduce_scatter_block(const Comm& comm, const void* sendbuf, void* recvbuf,
+                          std::size_t count_per_rank, Datatype dt, Op op) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    RankCtx& ctx = comm.ctx();
+    const std::size_t bb = count_per_rank * datatype_size(dt);
+
+    if (p == 1) {
+        if (sendbuf != kInPlace) ctx.copy_bytes(recvbuf, sendbuf, bb);
+        return;
+    }
+
+    // Ring reduce-scatter over a working copy (the input must stay intact),
+    // then one extra hop: after p-1 accumulation steps rank r holds the
+    // fully reduced block (r+1) mod p, which its owner is one hop away.
+    detail::Scratch work_s(ctx, static_cast<std::size_t>(p) * bb);
+    detail::Scratch tmp_s(ctx, bb);
+    std::byte* work = work_s.data();
+    std::byte* tmp = tmp_s.data();
+    const void* src = detail::resolve_in_place(sendbuf, recvbuf);
+    ctx.copy_bytes(work, src, static_cast<std::size_t>(p) * bb);
+
+    const int left = (r - 1 + p) % p;
+    const int right = (r + 1) % p;
+    constexpr int tag = detail::kTagReduce + 0x300;
+    for (int k = 0; k < p - 1; ++k) {
+        const int send_idx = (r - k + p) % p;
+        const int recv_idx = (r - k - 1 + p) % p;
+        Request rr = detail::irecv_bytes(comm, tmp, bb, left, tag, true);
+        detail::send_bytes(comm, detail::at(work, static_cast<std::size_t>(send_idx) * bb),
+                           bb, right, tag, true);
+        rr.wait();
+        detail::apply_op(ctx, op, dt,
+                         detail::at(work, static_cast<std::size_t>(recv_idx) * bb),
+                         tmp, count_per_rank);
+    }
+    // Deliver block (r+1) to its owner (my right neighbor); receive mine.
+    Request rr = detail::irecv_bytes(comm, recvbuf, bb, left, tag + 1, true);
+    detail::send_bytes(comm,
+                       detail::at(work, static_cast<std::size_t>(right) * bb),
+                       bb, right, tag + 1, true);
+    rr.wait();
+}
+
+}  // namespace minimpi

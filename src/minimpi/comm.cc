@@ -1,0 +1,109 @@
+#include "minimpi/comm.h"
+
+#include <map>
+#include <tuple>
+
+#include "minimpi/error.h"
+#include "minimpi/runtime.h"
+
+namespace minimpi {
+
+namespace detail {
+
+bool job_poisoned(const CommState& st) {
+    return st.runtime->transport().poisoned();
+}
+
+void throw_if_poisoned(const CommState& st) {
+    st.runtime->transport().check_poison();
+}
+
+}  // namespace detail
+
+CommState& Comm::require() const {
+    if (state_ == nullptr) {
+        throw CommError("operation on a null communicator");
+    }
+    return *state_;
+}
+
+namespace {
+
+/// Rendezvous payload for Comm::split.
+struct SplitData {
+    /// (color, key, parent rank) per contributor.
+    std::vector<std::tuple<int, int, int>> contribs;
+    /// color -> child communicator, built by the finalizer.
+    std::map<int, CommState*> children;
+};
+
+}  // namespace
+
+Comm Comm::split(int color, int key) const {
+    CommState& st = require();
+    Runtime* rt = st.runtime;
+    const VTime cost = rt->one_off_sync_cost(st.size());
+
+    auto data = detail::rendezvous<SplitData>(
+        st, *ctx_, rank_, cost,
+        [&](SplitData& d) { d.contribs.emplace_back(color, key, rank_); },
+        [&](SplitData& d) {
+            // Group by color (kUndefined opts out), order each child's
+            // members by (key, parent rank) as MPI_Comm_split specifies.
+            std::map<int, std::vector<std::tuple<int, int, int>>> by_color;
+            for (const auto& c : d.contribs) {
+                if (std::get<0>(c) != kUndefined) {
+                    by_color[std::get<0>(c)].push_back(c);
+                }
+            }
+            for (auto& [child_color, members] : by_color) {
+                std::sort(members.begin(), members.end(),
+                          [](const auto& a, const auto& b) {
+                              return std::make_pair(std::get<1>(a), std::get<2>(a)) <
+                                     std::make_pair(std::get<1>(b), std::get<2>(b));
+                          });
+                std::vector<int> world_members;
+                world_members.reserve(members.size());
+                for (const auto& m : members) {
+                    world_members.push_back(st.to_world(std::get<2>(m)));
+                }
+                d.children[child_color] = rt->create_comm(std::move(world_members));
+            }
+        });
+
+    if (color == kUndefined) return Comm();
+    CommState* child = data->children.at(color);
+    return Comm(child, ctx_, child->from_world(to_world()));
+}
+
+Comm Comm::create(std::span<const int> members) const {
+    CommState& st = require();
+    int my_pos = -1;
+    int prev = -1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const int m = members[i];
+        if (m <= prev || m >= st.size()) {
+            throw ArgumentError(
+                "comm create needs a strictly increasing in-range rank list");
+        }
+        prev = m;
+        if (m == rank_) my_pos = static_cast<int>(i);
+    }
+    return split(my_pos >= 0 ? 0 : kUndefined, my_pos);
+}
+
+Comm Comm::dup() const {
+    CommState& st = require();
+    Runtime* rt = st.runtime;
+    const VTime cost = rt->one_off_sync_cost(st.size());
+
+    struct DupData {
+        CommState* child = nullptr;
+    };
+    auto data = detail::rendezvous<DupData>(
+        st, *ctx_, rank_, cost, [](DupData&) {},
+        [&](DupData& d) { d.child = rt->create_comm(st.members); });
+    return Comm(data->child, ctx_, rank_);
+}
+
+}  // namespace minimpi

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "minimpi/context.h"
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+class Runtime;
+struct CommState;
+
+/// Shared (across the member ranks) state of one communicator. Created by
+/// the Runtime; lives until the job ends. Rank handles (`Comm`) point here.
+struct CommState {
+    Runtime* runtime = nullptr;
+    std::uint64_t ctx_p2p = 0;   ///< matching context for user point-to-point
+    std::uint64_t ctx_coll = 0;  ///< matching context for internal collectives
+
+    std::vector<int> members;         ///< comm rank -> world rank
+    std::vector<int> world_to_local;  ///< world rank -> comm rank (or -1)
+
+    int size() const { return static_cast<int>(members.size()); }
+    int to_world(int local) const { return members.at(static_cast<std::size_t>(local)); }
+    int from_world(int world) const {
+        return world_to_local.at(static_cast<std::size_t>(world));
+    }
+
+    // ---- collective-rendezvous machinery (split, dup, window allocation,
+    // one-off operations that must agree across all member ranks). Each rank
+    // increments its private epoch slot; ranks meeting at the same epoch are
+    // executing the same collective call (MPI requires identical collective
+    // call order on a communicator).
+    struct OpSlot {
+        int arrived = 0;
+        int left = 0;
+        bool done = false;
+        VTime max_clock = 0.0;
+        std::condition_variable cv;
+        std::shared_ptr<void> data;  ///< operation-specific payload
+    };
+    std::mutex op_mu;
+    std::map<std::uint64_t, std::shared_ptr<OpSlot>> ops;
+    std::vector<std::uint64_t> member_epoch;  ///< per-member, owner-written
+};
+
+/// Per-rank communicator handle — a (state, my-rank, my-context) triple.
+/// Cheap to copy; must only be used from the owning rank's thread.
+class Comm {
+public:
+    /// Null handle (MPI_COMM_NULL): what split returns for kUndefined color.
+    Comm() = default;
+    Comm(CommState* state, RankCtx* ctx, int rank)
+        : state_(state), ctx_(ctx), rank_(rank) {}
+
+    bool valid() const { return state_ != nullptr; }
+
+    int rank() const { return rank_; }
+    int size() const { return require().size(); }
+
+    /// World rank of @p local (default: my own).
+    int to_world(int local) const { return require().to_world(local); }
+    int to_world() const { return to_world(rank_); }
+    /// Comm rank of world rank @p world, or -1 if not a member.
+    int from_world(int world) const { return require().from_world(world); }
+
+    /// Simulated node hosting comm rank @p local.
+    int node_of(int local) const {
+        return ctx_->cluster->node_of(to_world(local));
+    }
+
+    RankCtx& ctx() const { return *ctx_; }
+    CommState& state() const { return require(); }
+
+    /// MPI_Comm_split. Ranks passing kUndefined receive a null Comm.
+    /// Members of each child are ordered by (key, parent rank).
+    Comm split(int color, int key = 0) const;
+
+    /// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): one child communicator per
+    /// simulated node.
+    Comm split_shared() const { return split(node_of(rank_), rank_); }
+
+    /// MPI_Comm_dup.
+    Comm dup() const;
+
+    /// MPI_Comm_create: a new communicator containing exactly the comm
+    /// ranks in @p members (identical list everywhere, strictly
+    /// increasing). Collective over THIS comm; non-members get a null
+    /// Comm. New ranks follow the order of @p members.
+    Comm create(std::span<const int> members) const;
+
+private:
+    CommState& require() const;
+
+    CommState* state_ = nullptr;
+    RankCtx* ctx_ = nullptr;
+    int rank_ = -1;
+};
+
+namespace detail {
+
+/// True when some rank has aborted the job (defined in comm.cc to avoid a
+/// header cycle with Runtime).
+bool job_poisoned(const CommState& st);
+/// Throws JobAborted when the job is poisoned.
+void throw_if_poisoned(const CommState& st);
+
+/// Generic collective rendezvous on a communicator: every member contributes
+/// under the lock, the last to arrive finalizes, everyone leaves with their
+/// clock synchronized to max(member clocks) + @p sync_cost (one-off
+/// coordination is modelled as a flat synchronization, not a message-by-
+/// message schedule — the paper excludes these one-offs from measurements).
+///
+/// @tparam Data        operation payload default-constructed on first arrival
+/// @param contribute   void(Data&) — called under the lock
+/// @param finalize     void(Data&) — called once, by the last arriver
+/// @returns the shared payload (kept alive by shared_ptr past slot erasure)
+template <typename Data, typename Contribute, typename Finalize>
+std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
+                                 VTime sync_cost, Contribute&& contribute,
+                                 Finalize&& finalize) {
+    std::unique_lock<std::mutex> lock(st.op_mu);
+    const std::uint64_t epoch =
+        st.member_epoch.at(static_cast<std::size_t>(my_rank))++;
+    auto& slot_ref = st.ops[epoch];
+    if (!slot_ref) {
+        slot_ref = std::make_shared<CommState::OpSlot>();
+        slot_ref->data = std::make_shared<Data>();
+    }
+    std::shared_ptr<CommState::OpSlot> slot = slot_ref;
+    auto data = std::static_pointer_cast<Data>(slot->data);
+
+    contribute(*data);
+    slot->max_clock = std::max(slot->max_clock, ctx.clock.now());
+    if (++slot->arrived == st.size()) {
+        finalize(*data);
+        slot->done = true;
+        slot->cv.notify_all();
+    } else {
+        slot->cv.wait(lock, [&] { return slot->done || job_poisoned(st); });
+        if (!slot->done) {
+            lock.unlock();
+            throw_if_poisoned(st);
+        }
+    }
+
+    ctx.clock.sync_to(slot->max_clock);
+    ctx.clock.advance(sync_cost);
+
+    if (++slot->left == st.size()) {
+        st.ops.erase(epoch);
+    }
+    return data;
+}
+
+}  // namespace detail
+
+}  // namespace minimpi

@@ -1,0 +1,21 @@
+#include "minimpi/context.h"
+
+#include <cstring>
+
+namespace minimpi {
+
+void RankCtx::copy_bytes(void* dst, const void* src, std::size_t bytes) {
+    if (bytes == 0) return;
+    const VTime t0 = clock.now();
+    clock.charge_memcpy(*model, bytes);
+    stats.memcpy_bytes += bytes;
+    if (tracer) {
+        tracer->record(TraceEvent::Kind::Copy, t0, clock.now(), -1, bytes);
+    }
+    if (payload_mode == PayloadMode::Real && dst != nullptr && src != nullptr &&
+        dst != src) {
+        std::memmove(dst, src, bytes);
+    }
+}
+
+}  // namespace minimpi

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "minimpi/clock.h"
+#include "minimpi/cluster.h"
+#include "minimpi/netmodel.h"
+#include "minimpi/trace.h"
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+class Runtime;
+class Transport;
+
+/// Per-rank communication counters, maintained by the transport and cost
+/// layers. The paper's central argument is about message/copy COUNTS
+/// (one shared copy per node instead of per process); these counters let
+/// tests and benches check that mechanism directly rather than only its
+/// modelled time.
+struct CommStats {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t intra_node_msgs = 0;  ///< sends whose peer shares the node
+    std::uint64_t inter_node_msgs = 0;
+    std::uint64_t msgs_received = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t memcpy_bytes = 0;  ///< local copies charged to the clock
+    double flops = 0.0;
+
+    CommStats& operator+=(const CommStats& o) {
+        msgs_sent += o.msgs_sent;
+        bytes_sent += o.bytes_sent;
+        intra_node_msgs += o.intra_node_msgs;
+        inter_node_msgs += o.inter_node_msgs;
+        msgs_received += o.msgs_received;
+        bytes_received += o.bytes_received;
+        memcpy_bytes += o.memcpy_bytes;
+        flops += o.flops;
+        return *this;
+    }
+};
+
+/// Per-rank execution context: identity plus the rank's virtual clock.
+/// Exactly one thread (the rank's own) touches the clock; the struct is
+/// created by Runtime::run and outlives the rank main.
+struct RankCtx {
+    int world_rank = -1;
+    Runtime* runtime = nullptr;
+
+    VClock clock;
+
+    const ClusterSpec* cluster = nullptr;
+    const ModelParams* model = nullptr;
+    PayloadMode payload_mode = PayloadMode::Real;
+
+    int node() const { return cluster->node_of(world_rank); }
+
+    /// Link parameters for traffic between this rank and global rank @p peer.
+    const LinkParams& link_to(int peer_global) const {
+        return cluster->same_node(world_rank, peer_global) ? model->shm
+                                                           : model->net;
+    }
+
+    /// Charge a local copy of @p bytes to this rank's clock and, when
+    /// payloads are real and both pointers non-null, actually perform it.
+    void copy_bytes(void* dst, const void* src, std::size_t bytes);
+
+    /// Charge application compute (used by reductions and the apps layer).
+    void charge_flops(double flops) {
+        const VTime t0 = clock.now();
+        clock.charge_flops(*model, flops);
+        stats.flops += flops;
+        if (tracer && flops > 0.0) {
+            tracer->record(TraceEvent::Kind::Compute, t0, clock.now());
+        }
+    }
+    void charge_memcpy(std::size_t bytes) {
+        const VTime t0 = clock.now();
+        clock.charge_memcpy(*model, bytes);
+        stats.memcpy_bytes += bytes;
+        if (tracer && bytes > 0) {
+            tracer->record(TraceEvent::Kind::Copy, t0, clock.now(), -1, bytes);
+        }
+    }
+
+    CommStats stats;
+
+    /// Event recorder; null unless RunOptions::trace was set.
+    Tracer* tracer = nullptr;
+
+    /// Rank-private caches keyed by communicator state (hierarchy handles,
+    /// hybrid channels). Only the owning rank thread touches this map.
+    std::unordered_map<const void*, std::shared_ptr<void>> comm_caches;
+
+    /// Monotone sequence for synchronous-send acknowledgement tags.
+    std::uint64_t ssend_seq = 0;
+
+    /// Per-destination link occupancy (store-and-forward bandwidth
+    /// serialization): the time until which the outgoing link to each world
+    /// rank is busy. Written only by this rank's thread — back-to-back
+    /// sends to the same destination queue behind each other's wire time
+    /// instead of overlapping for free.
+    std::unordered_map<int, VTime> link_busy_until;
+};
+
+}  // namespace minimpi

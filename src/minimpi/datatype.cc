@@ -1,0 +1,64 @@
+#include "minimpi/datatype.h"
+
+#include <algorithm>
+
+#include "minimpi/coll_internal.h"
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+Layout Layout::contiguous(std::size_t bytes) {
+    Layout l;
+    if (bytes > 0) l.extents_.emplace_back(0, bytes);
+    l.size_ = bytes;
+    l.extent_ = bytes;
+    return l;
+}
+
+Layout Layout::vector(std::size_t count, std::size_t block_bytes,
+                      std::size_t stride_bytes) {
+    if (count > 0 && stride_bytes < block_bytes) {
+        throw ArgumentError("vector layout stride smaller than block");
+    }
+    Layout l;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (block_bytes > 0) {
+            l.extents_.emplace_back(i * stride_bytes, block_bytes);
+        }
+    }
+    l.size_ = count * block_bytes;
+    l.extent_ = count == 0 ? 0 : (count - 1) * stride_bytes + block_bytes;
+    return l;
+}
+
+Layout Layout::indexed(
+    std::vector<std::pair<std::size_t, std::size_t>> extents) {
+    Layout l;
+    for (const auto& [off, len] : extents) {
+        if (len == 0) continue;
+        l.extents_.emplace_back(off, len);
+        l.size_ += len;
+        l.extent_ = std::max(l.extent_, off + len);
+    }
+    return l;
+}
+
+std::size_t Layout::pack(RankCtx& ctx, const void* base, void* out) const {
+    std::size_t pos = 0;
+    for (const auto& [off, len] : extents_) {
+        ctx.copy_bytes(detail::at(out, pos), detail::at(base, off), len);
+        pos += len;
+    }
+    return pos;
+}
+
+std::size_t Layout::unpack(RankCtx& ctx, const void* packed, void* base) const {
+    std::size_t pos = 0;
+    for (const auto& [off, len] : extents_) {
+        ctx.copy_bytes(detail::at(base, off), detail::at(packed, pos), len);
+        pos += len;
+    }
+    return pos;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "minimpi/context.h"
+
+namespace minimpi {
+
+/// A miniature derived-datatype engine (MPI_Type_vector / MPI_Type_indexed
+/// and pack/unpack), enough to express the paper's Sect. 6 alternative for
+/// non-SMP rank placements: describe the scattered block layout as a
+/// datatype and pack/unpack through it — at the documented cost of the
+/// extra copies, which the node-sorted rank array avoids.
+///
+/// A layout is a flat list of (offset, length) byte extents relative to a
+/// base pointer; packing serializes the extents in order.
+class Layout {
+public:
+    Layout() = default;
+
+    /// MPI_Type_contiguous: one extent of @p bytes.
+    static Layout contiguous(std::size_t bytes);
+
+    /// MPI_Type_vector: @p count blocks of @p block_bytes, consecutive
+    /// block starts @p stride_bytes apart.
+    static Layout vector(std::size_t count, std::size_t block_bytes,
+                         std::size_t stride_bytes);
+
+    /// MPI_Type_indexed: explicit (offset, length) extents.
+    static Layout indexed(std::vector<std::pair<std::size_t, std::size_t>> extents);
+
+    /// Total payload bytes (the "type size").
+    std::size_t size() const { return size_; }
+    /// One past the last byte touched (the "type extent").
+    std::size_t extent() const { return extent_; }
+    std::size_t num_extents() const { return extents_.size(); }
+
+    /// Serialize base[layout] into @p out (packed, contiguous). Charges the
+    /// copies against the rank's clock; with null/SizeOnly buffers only the
+    /// charge happens. Returns bytes packed.
+    std::size_t pack(RankCtx& ctx, const void* base, void* out) const;
+
+    /// Inverse of pack. Returns bytes consumed.
+    std::size_t unpack(RankCtx& ctx, const void* packed, void* base) const;
+
+private:
+    std::vector<std::pair<std::size_t, std::size_t>> extents_;
+    std::size_t size_ = 0;
+    std::size_t extent_ = 0;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace minimpi {
+
+/// Base class for all errors raised by the runtime. Mirrors the MPI error
+/// classes we actually need; the runtime follows the MPI_ERRORS_ARE_FATAL
+/// spirit by throwing (a rank thread that throws aborts the whole job, and
+/// Runtime::run rethrows the first error to the caller).
+class MpiError : public std::runtime_error {
+public:
+    explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument: bad rank, negative count, null buffer in Real payload
+/// mode, invalid tag, mismatched datatype sizes, ...
+class ArgumentError : public MpiError {
+public:
+    explicit ArgumentError(const std::string& what)
+        : MpiError("invalid argument: " + what) {}
+};
+
+/// A receive buffer was too small for the matched message (MPI_ERR_TRUNCATE).
+class TruncationError : public MpiError {
+public:
+    TruncationError(std::size_t msg_bytes, std::size_t buf_bytes)
+        : MpiError("message truncated: incoming " + std::to_string(msg_bytes) +
+                   " bytes exceeds receive buffer of " +
+                   std::to_string(buf_bytes) + " bytes") {}
+};
+
+/// Misuse of a communicator: wrong group, rank not a member, operation on
+/// MPI_COMM_NULL, ...
+class CommError : public MpiError {
+public:
+    explicit CommError(const std::string& what)
+        : MpiError("communicator error: " + what) {}
+};
+
+/// Raised in ranks blocked on communication when another rank aborted the
+/// job with an exception; the original exception is what Runtime::run
+/// rethrows, JobAborted is only how the remaining ranks get unblocked.
+class JobAborted : public MpiError {
+public:
+    explicit JobAborted(int by_rank)
+        : MpiError("job aborted by world rank " + std::to_string(by_rank)) {}
+};
+
+/// Misuse of a shared-memory window (e.g. querying a rank on another node).
+class WinError : public MpiError {
+public:
+    explicit WinError(const std::string& what)
+        : MpiError("window error: " + what) {}
+};
+
+}  // namespace minimpi

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// Hockney-style parameters of one link class. The time to move an m-byte
+/// message over the link is  alpha + m * beta  once it leaves the sender;
+/// the sender and receiver CPUs are each busy for `overhead` per message
+/// (the o of LogGP).
+struct LinkParams {
+    VTime alpha_us = 0.0;          ///< end-to-end message start-up latency
+    VTime beta_us_per_byte = 0.0;  ///< inverse bandwidth
+    VTime overhead_us = 0.0;       ///< per-message CPU overhead at each end
+};
+
+/// Full cost model for a simulated machine plus the collective-algorithm
+/// selection thresholds of its MPI library ("vendor profile"). Thresholds
+/// follow the MPICH/Open MPI convention of switching on the aggregate
+/// message volume of the operation.
+struct ModelParams {
+    std::string name;  ///< profile name for reports ("cray", "openmpi", ...)
+
+    LinkParams shm;  ///< intra-node transfers (shared-memory transport)
+    LinkParams net;  ///< inter-node transfers (Aries / InfiniBand)
+
+    /// Local memory copy: alpha + bytes * beta charged to the copying rank.
+    VTime memcpy_alpha_us = 0.05;
+    VTime memcpy_beta_us_per_byte = 1.0 / 8000.0;  // ~8 GB/s
+
+    /// Floating-point throughput used when applications charge compute.
+    double flops_per_us = 2000.0;  // ~2 GFLOP/s per core
+
+    /// Shared-memory flag signalling (the light-weight synchronization of
+    /// paper Sect. 6): cost of one flag store (release) and of one flag
+    /// check (acquire) through the cache-coherence fabric.
+    VTime flag_signal_us = 0.06;
+    VTime flag_poll_us = 0.04;
+
+    /// MPI_Barrier on a purely on-node communicator. Production libraries
+    /// implement it with shared counters/flags, NOT message passing, which
+    /// is why an on-node barrier is far cheaper than an on-node broadcast
+    /// — the asymmetry the paper's hybrid collectives exploit (Fig. 7).
+    /// Cost = base + hop * log2(p).
+    VTime shm_barrier_base_us = 0.30;
+    VTime shm_barrier_hop_us = 0.25;
+
+    /// Allgather: recursive doubling / Bruck below this aggregate volume
+    /// (receive-buffer bytes), ring above.
+    std::size_t allgather_long_threshold = 80 * 1024;
+    /// Bcast: binomial tree below this message size, scatter + ring
+    /// allgather (van de Geijn) above.
+    std::size_t bcast_long_threshold = 12 * 1024;
+    /// Allreduce: recursive doubling below, reduce-scatter + allgather above.
+    std::size_t allreduce_long_threshold = 2 * 1024;
+    /// Alltoall: nonblocking flood below this per-pair message size,
+    /// pairwise exchange above.
+    std::size_t alltoall_small_threshold = 256;
+
+    /// Whether the library's collectives are SMP-aware (hierarchical:
+    /// intra-node phase at a per-node leader + inter-node phase on a bridge
+    /// communicator), as the paper assumes of production MPI libraries
+    /// (Sect. 4.1, Fig. 3a). Disable to force the flat algorithms.
+    bool smp_aware = true;
+
+    /// Multiplicative penalty applied to the vector collectives' effective
+    /// start-up cost (MPI_Allgatherv is consistently less tuned than
+    /// MPI_Allgather in production libraries; see Traeff '09 and paper
+    /// Sect. 5.1.1). Expressed as extra alpha factor per ring round.
+    double vector_coll_alpha_factor = 1.35;
+
+    /// Predefined profiles approximating the paper's two systems.
+    static ModelParams cray();     ///< Hazel Hen: Cray XC40, Aries, Cray MPI
+    static ModelParams openmpi();  ///< Vulcan: NEC cluster, InfiniBand, OpenMPI
+    /// A fast, zero-latency-ish profile useful in unit tests that only care
+    /// about data correctness.
+    static ModelParams test();
+};
+
+/// Time for an m-byte transfer over @p link once injected (no CPU overhead).
+inline VTime wire_time(const LinkParams& link, std::size_t bytes) {
+    return link.alpha_us + static_cast<VTime>(bytes) * link.beta_us_per_byte;
+}
+
+}  // namespace minimpi

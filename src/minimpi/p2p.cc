@@ -1,0 +1,418 @@
+#include "minimpi/p2p.h"
+
+#include <algorithm>
+
+#include "minimpi/error.h"
+#include "minimpi/runtime.h"
+
+namespace minimpi {
+
+namespace {
+
+void validate_rank(const Comm& comm, int rank, bool allow_wildcards,
+                   const char* what) {
+    if (rank == kProcNull) return;
+    if (allow_wildcards && rank == kAnySource) return;
+    if (rank < 0 || rank >= comm.size()) {
+        throw ArgumentError(std::string(what) + " rank " +
+                            std::to_string(rank) + " out of range for size " +
+                            std::to_string(comm.size()));
+    }
+}
+
+void validate_tag(int tag, bool allow_any) {
+    if (allow_any && tag == kAnyTag) return;
+    if (tag < 0 || tag >= kTagUpperBound) {
+        throw ArgumentError("tag " + std::to_string(tag) + " out of range");
+    }
+}
+
+void validate_buffer(const Comm& comm, const void* buf, std::size_t bytes) {
+    if (bytes > 0 && buf == nullptr &&
+        comm.ctx().payload_mode == PayloadMode::Real) {
+        throw ArgumentError("null buffer with nonzero count in Real payload mode");
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
+                int tag, bool coll_ctx) {
+    if (dest == kProcNull) return;
+    RankCtx& ctx = comm.ctx();
+    const int dst_world = comm.to_world(dest);
+    const LinkParams& link = ctx.link_to(dst_world);
+
+    const VTime t_send0 = ctx.clock.now();
+    ctx.clock.advance(link.overhead_us);
+    if (ctx.tracer) {
+        ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.clock.now(),
+                           dst_world, bytes);
+    }
+    ctx.stats.msgs_sent += 1;
+    ctx.stats.bytes_sent += bytes;
+    if (ctx.cluster->same_node(ctx.world_rank, dst_world)) {
+        ctx.stats.intra_node_msgs += 1;
+    } else {
+        ctx.stats.inter_node_msgs += 1;
+    }
+
+    // Bandwidth serialization: this message's bytes occupy the link after
+    // any still-draining earlier message to the same destination.
+    const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
+    VTime& busy = ctx.link_busy_until[dst_world];
+    const VTime start = std::max(ctx.clock.now(), busy);
+    busy = start + transfer;
+
+    InMsg msg;
+    msg.ctx = coll_ctx ? comm.state().ctx_coll : comm.state().ctx_p2p;
+    msg.src_global = ctx.world_rank;
+    msg.tag = tag;
+    msg.bytes = bytes;
+    msg.payload = ctx.runtime->transport().make_payload(buf, bytes);
+    msg.arrival = start + transfer + link.alpha_us;
+    msg.recv_overhead = link.overhead_us;
+    ctx.runtime->transport().deliver(dst_world, std::move(msg));
+}
+
+Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
+                    int tag, bool coll_ctx) {
+    RankCtx& ctx = comm.ctx();
+    auto posted = std::make_unique<PostedRecv>();
+    posted->ctx = coll_ctx ? comm.state().ctx_coll : comm.state().ctx_p2p;
+    posted->src_global =
+        (source == kAnySource) ? kAnySource : comm.to_world(source);
+    posted->tag = tag;
+    posted->buf = buf;
+    posted->capacity = bytes;
+    posted->post_vtime = ctx.clock.now();
+    ctx.runtime->transport().post_recv(ctx.world_rank, posted.get());
+    return Request::make_recv(comm, std::move(posted));
+}
+
+Status recv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
+                  int tag, bool coll_ctx) {
+    if (source == kProcNull) return Status{kProcNull, tag, 0};
+    return irecv_bytes(comm, buf, bytes, source, tag, coll_ctx).wait();
+}
+
+Request isend_bytes(const Comm& comm, const void* buf, std::size_t bytes,
+                    int dest, int tag, bool coll_ctx) {
+    send_bytes(comm, buf, bytes, dest, tag, coll_ctx);
+    return Request::make_send(comm);
+}
+
+}  // namespace detail
+
+void send(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
+          int dest, int tag) {
+    validate_rank(comm, dest, false, "destination");
+    validate_tag(tag, false);
+    const std::size_t bytes = count * datatype_size(dt);
+    validate_buffer(comm, buf, bytes);
+    detail::send_bytes(comm, buf, bytes, dest, tag, false);
+}
+
+void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
+           int dest, int tag) {
+    validate_rank(comm, dest, false, "destination");
+    validate_tag(tag, false);
+    const std::size_t bytes = count * datatype_size(dt);
+    validate_buffer(comm, buf, bytes);
+    if (dest == kProcNull) return;
+
+    RankCtx& ctx = comm.ctx();
+    const int dst_world = comm.to_world(dest);
+    const LinkParams& link = ctx.link_to(dst_world);
+
+    ctx.clock.advance(link.overhead_us);
+    const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
+    VTime& busy = ctx.link_busy_until[dst_world];
+    const VTime start = std::max(ctx.clock.now(), busy);
+    busy = start + transfer;
+
+    const int ack_tag = static_cast<int>(ctx.ssend_seq++);
+    InMsg msg;
+    msg.ctx = comm.state().ctx_p2p;
+    msg.src_global = ctx.world_rank;
+    msg.tag = tag;
+    msg.bytes = bytes;
+    msg.payload = ctx.runtime->transport().make_payload(buf, bytes);
+    msg.arrival = start + transfer + link.alpha_us;
+    msg.recv_overhead = link.overhead_us;
+    msg.ack_to = ctx.world_rank;
+    msg.ack_tag = ack_tag;
+    msg.ack_alpha = link.alpha_us;
+    ctx.runtime->transport().deliver(dst_world, std::move(msg));
+
+    // MPI_Ssend completes only once the matching receive has started: wait
+    // for the acknowledgement and adopt its modelled arrival.
+    PostedRecv ack;
+    ack.ctx = kAckCtx;
+    ack.src_global = dst_world;
+    ack.tag = ack_tag;
+    ack.post_vtime = ctx.clock.now();
+    ctx.runtime->transport().post_recv(ctx.world_rank, &ack);
+    ctx.runtime->transport().wait_recv(ctx.world_rank, &ack);
+    ctx.clock.sync_to(ack.arrival);
+}
+
+Status recv(const Comm& comm, void* buf, std::size_t count, Datatype dt,
+            int source, int tag) {
+    validate_rank(comm, source, true, "source");
+    validate_tag(tag, true);
+    const std::size_t bytes = count * datatype_size(dt);
+    validate_buffer(comm, buf, bytes);
+    return detail::recv_bytes(comm, buf, bytes, source, tag, false);
+}
+
+Request isend(const Comm& comm, const void* buf, std::size_t count,
+              Datatype dt, int dest, int tag) {
+    validate_rank(comm, dest, false, "destination");
+    validate_tag(tag, false);
+    const std::size_t bytes = count * datatype_size(dt);
+    validate_buffer(comm, buf, bytes);
+    if (dest == kProcNull) return Request::make_send(comm);
+    return detail::isend_bytes(comm, buf, bytes, dest, tag, false);
+}
+
+Request irecv(const Comm& comm, void* buf, std::size_t count, Datatype dt,
+              int source, int tag) {
+    validate_rank(comm, source, true, "source");
+    validate_tag(tag, true);
+    const std::size_t bytes = count * datatype_size(dt);
+    validate_buffer(comm, buf, bytes);
+    return detail::irecv_bytes(comm, buf, bytes, source, tag, false);
+}
+
+Status sendrecv(const Comm& comm, const void* sendbuf, std::size_t sendcount,
+                int dest, int sendtag, void* recvbuf, std::size_t recvcount,
+                int source, int recvtag, Datatype dt) {
+    Request rr = irecv(comm, recvbuf, recvcount, dt, source, recvtag);
+    send(comm, sendbuf, sendcount, dt, dest, sendtag);
+    if (source == kProcNull) return Status{kProcNull, recvtag, 0};
+    return rr.wait();
+}
+
+bool iprobe(const Comm& comm, int source, int tag, Status* out) {
+    validate_rank(comm, source, true, "source");
+    validate_tag(tag, true);
+    RankCtx& ctx = comm.ctx();
+    const int src_world =
+        (source == kAnySource) ? kAnySource : comm.to_world(source);
+    Status st;
+    const bool found = ctx.runtime->transport().iprobe(
+        ctx.world_rank, comm.state().ctx_p2p, src_world, tag, &st);
+    if (found && out) {
+        st.source = comm.from_world(st.source);
+        *out = st;
+    }
+    return found;
+}
+
+void probe(const Comm& comm, int source, int tag, Status* out) {
+    validate_rank(comm, source, true, "source");
+    validate_tag(tag, true);
+    RankCtx& ctx = comm.ctx();
+    const int src_world =
+        (source == kAnySource) ? kAnySource : comm.to_world(source);
+    Status st;
+    ctx.runtime->transport().probe(ctx.world_rank, comm.state().ctx_p2p,
+                                   src_world, tag, &st);
+    st.source = comm.from_world(st.source);
+    if (out) *out = st;
+}
+
+// ---- Request ----
+
+Request::~Request() { release(); }
+
+Request& Request::operator=(Request&& other) noexcept {
+    if (this != &other) {
+        release();
+        ctx_ = other.ctx_;
+        state_ = other.state_;
+        recv_ = std::move(other.recv_);
+        other.ctx_ = nullptr;
+        other.state_ = nullptr;
+    }
+    return *this;
+}
+
+void Request::release() {
+    if (recv_ && ctx_ != nullptr && !recv_->completed) {
+        ctx_->runtime->transport().cancel_recv(ctx_->world_rank, recv_.get());
+    }
+    recv_.reset();
+    ctx_ = nullptr;
+    state_ = nullptr;
+}
+
+Request Request::make_send(const Comm& comm) {
+    Request r;
+    r.ctx_ = &comm.ctx();
+    r.state_ = &comm.state();
+    return r;
+}
+
+Request Request::make_recv(const Comm& comm, std::unique_ptr<PostedRecv> pr) {
+    Request r;
+    r.ctx_ = &comm.ctx();
+    r.state_ = &comm.state();
+    r.recv_ = std::move(pr);
+    return r;
+}
+
+Status Request::finish_recv() {
+    PostedRecv& pr = *recv_;
+    const VTime t_recv0 = ctx_->clock.now();
+    ctx_->clock.sync_to(pr.arrival);
+    ctx_->clock.advance(pr.recv_overhead);
+    if (ctx_->tracer) {
+        ctx_->tracer->record(TraceEvent::Kind::Recv, t_recv0,
+                             ctx_->clock.now(), pr.matched_src, pr.msg_bytes);
+    }
+    ctx_->stats.msgs_received += 1;
+    ctx_->stats.bytes_received += pr.msg_bytes;
+    if (pr.truncated) {
+        const auto msg_bytes = pr.msg_bytes;
+        const auto cap = pr.capacity;
+        release();
+        throw TruncationError(msg_bytes, cap);
+    }
+    Status st;
+    st.source = state_->from_world(pr.matched_src);
+    st.tag = pr.matched_tag;
+    st.bytes = pr.msg_bytes;
+    release();
+    return st;
+}
+
+Status Request::wait() {
+    if (!valid()) return Status{};
+    if (!recv_) {  // send requests are already complete
+        Status st;
+        release();
+        return st;
+    }
+    ctx_->runtime->transport().wait_recv(ctx_->world_rank, recv_.get());
+    return finish_recv();
+}
+
+bool Request::test(Status* out) {
+    if (!valid()) return true;
+    if (!recv_) {
+        release();
+        return true;
+    }
+    if (!ctx_->runtime->transport().test_recv(ctx_->world_rank, recv_.get())) {
+        return false;
+    }
+    Status st = finish_recv();
+    if (out) *out = st;
+    return true;
+}
+
+void wait_all(std::span<Request> reqs) {
+    for (Request& r : reqs) {
+        r.wait();
+    }
+}
+
+int wait_any(std::span<Request> reqs, Status* out) {
+    // Completed sends and already-completed receives win immediately, in
+    // index order (deterministic).
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!reqs[i].valid()) continue;
+        Status st;
+        if (reqs[i].test(&st)) {
+            if (out) *out = st;
+            return static_cast<int>(i);
+        }
+    }
+    // Everything valid is a pending receive: block until one completes.
+    std::vector<PostedRecv*> pending;
+    std::vector<std::size_t> index_of;
+    RankCtx* ctx = nullptr;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (PostedRecv* pr = reqs[i].pending_recv()) {
+            pending.push_back(pr);
+            index_of.push_back(i);
+            ctx = &reqs[i].owner_ctx();
+        }
+    }
+    if (pending.empty()) return -1;
+    const std::size_t hit =
+        ctx->runtime->transport().wait_any_recv(ctx->world_rank, pending);
+    const std::size_t idx = index_of[hit];
+    Status st;
+    reqs[idx].test(&st);  // completed: consumes and charges the clock
+    if (out) *out = st;
+    return static_cast<int>(idx);
+}
+
+PersistentRequest PersistentRequest::send_init(const Comm& comm,
+                                               const void* buf,
+                                               std::size_t count, Datatype dt,
+                                               int dest, int tag) {
+    validate_rank(comm, dest, false, "destination");
+    validate_tag(tag, false);
+    PersistentRequest p;
+    p.kind_ = Kind::Send;
+    p.comm_ = comm;
+    p.buf_ = const_cast<void*>(buf);
+    p.count_ = count;
+    p.dt_ = dt;
+    p.peer_ = dest;
+    p.tag_ = tag;
+    return p;
+}
+
+PersistentRequest PersistentRequest::recv_init(const Comm& comm, void* buf,
+                                               std::size_t count, Datatype dt,
+                                               int source, int tag) {
+    validate_rank(comm, source, true, "source");
+    validate_tag(tag, true);
+    PersistentRequest p;
+    p.kind_ = Kind::Recv;
+    p.comm_ = comm;
+    p.buf_ = buf;
+    p.count_ = count;
+    p.dt_ = dt;
+    p.peer_ = source;
+    p.tag_ = tag;
+    return p;
+}
+
+void PersistentRequest::start() {
+    if (!valid()) throw ArgumentError("start on an uninitialized request");
+    if (active()) throw ArgumentError("start on an already-active request");
+    if (kind_ == Kind::Send) {
+        inner_ = isend(comm_, buf_, count_, dt_, peer_, tag_);
+    } else {
+        inner_ = irecv(comm_, buf_, count_, dt_, peer_, tag_);
+    }
+}
+
+Status PersistentRequest::wait() {
+    if (!active()) throw ArgumentError("wait on an inactive persistent request");
+    return inner_.wait();
+}
+
+int test_some(std::span<Request> reqs,
+              std::vector<std::pair<int, Status>>* done) {
+    int n = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (!reqs[i].valid()) continue;
+        Status st;
+        if (reqs[i].test(&st)) {
+            if (done) done->emplace_back(static_cast<int>(i), st);
+            ++n;
+        }
+    }
+    return n;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <span>
+
+#include "minimpi/comm.h"
+#include "minimpi/request.h"
+
+namespace minimpi {
+
+/// Blocking standard send (buffered-eager: always completes locally).
+/// @p dest may be kProcNull (no-op). Tags must be in [0, kTagUpperBound).
+void send(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
+          int dest, int tag);
+
+/// Synchronous send (MPI_Ssend): returns only once the matching receive
+/// has started, modelled as a zero-byte acknowledgement from the receiver.
+/// Faithful to MPI also in the unhappy case: two ranks ssend-ing to each
+/// other before receiving deadlock, exactly as the standard says they must.
+void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
+           int dest, int tag);
+
+/// Blocking receive. @p source may be kAnySource, @p tag may be kAnyTag.
+Status recv(const Comm& comm, void* buf, std::size_t count, Datatype dt,
+            int source, int tag);
+
+/// Nonblocking send/receive.
+Request isend(const Comm& comm, const void* buf, std::size_t count,
+              Datatype dt, int dest, int tag);
+Request irecv(const Comm& comm, void* buf, std::size_t count, Datatype dt,
+              int source, int tag);
+
+/// MPI_Sendrecv: concurrent send and receive (deadlock-free).
+Status sendrecv(const Comm& comm, const void* sendbuf, std::size_t sendcount,
+                int dest, int sendtag, void* recvbuf, std::size_t recvcount,
+                int source, int recvtag, Datatype dt);
+
+/// MPI_Iprobe / MPI_Probe. Status::bytes reports payload size; source is a
+/// comm-local rank.
+bool iprobe(const Comm& comm, int source, int tag, Status* out);
+void probe(const Comm& comm, int source, int tag, Status* out);
+
+/// Typed convenience wrappers.
+template <typename T>
+void send(const Comm& comm, std::span<const T> data, int dest, int tag) {
+    send(comm, data.data(), data.size(), datatype_of<T>(), dest, tag);
+}
+template <typename T>
+Status recv(const Comm& comm, std::span<T> data, int source, int tag) {
+    return recv(comm, data.data(), data.size(), datatype_of<T>(), source, tag);
+}
+template <typename T>
+void send_value(const Comm& comm, const T& v, int dest, int tag) {
+    send(comm, &v, 1, datatype_of<T>(), dest, tag);
+}
+template <typename T>
+T recv_value(const Comm& comm, int source, int tag) {
+    T v{};
+    recv(comm, &v, 1, datatype_of<T>(), source, tag);
+    return v;
+}
+
+namespace detail {
+
+/// Internal byte-level primitives used by both the public p2p layer and the
+/// collective algorithms. `coll_ctx` selects the collective matching context
+/// (the stand-in for MPI's separate collective communicator context).
+void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
+                int tag, bool coll_ctx);
+Status recv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
+                  int tag, bool coll_ctx);
+Request isend_bytes(const Comm& comm, const void* buf, std::size_t bytes,
+                    int dest, int tag, bool coll_ctx);
+Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
+                    int tag, bool coll_ctx);
+
+}  // namespace detail
+
+}  // namespace minimpi

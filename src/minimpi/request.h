@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "minimpi/transport.h"
+
+namespace minimpi {
+
+/// Handle for a nonblocking operation (MPI_Request). Sends complete
+/// immediately (the transport is eager/buffered); receives complete when a
+/// matching message arrives. Move-only; a pending receive that is destroyed
+/// without wait()/test() is deregistered from the mailbox.
+class Request {
+public:
+    Request() = default;
+    Request(Request&& other) noexcept
+        : ctx_(other.ctx_),
+          state_(other.state_),
+          recv_(std::move(other.recv_)) {
+        other.ctx_ = nullptr;
+        other.state_ = nullptr;
+    }
+    Request& operator=(Request&&) noexcept;
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
+    ~Request();
+
+    bool valid() const { return ctx_ != nullptr; }
+
+    /// Block until the operation completes; returns the receive status
+    /// (sends return a default Status). Consumes the request.
+    Status wait();
+
+    /// Nonblocking completion check; on true fills @p out (if given) and
+    /// consumes the request.
+    bool test(Status* out = nullptr);
+
+    /// @internal factories used by the p2p layer.
+    static Request make_send(const Comm& comm);
+    static Request make_recv(const Comm& comm, std::unique_ptr<PostedRecv> r);
+
+    /// @internal wait_any support: the posted receive if this is a pending
+    /// receive request, null otherwise.
+    PostedRecv* pending_recv() const {
+        return (valid() && recv_) ? recv_.get() : nullptr;
+    }
+    RankCtx& owner_ctx() const { return *ctx_; }
+
+private:
+    /// Charge the receive completion to the clock and build the Status.
+    Status finish_recv();
+    void release();
+
+    RankCtx* ctx_ = nullptr;
+    CommState* state_ = nullptr;
+    std::unique_ptr<PostedRecv> recv_;  ///< null for send requests
+};
+
+/// Wait on every request, in index order (deterministic virtual time).
+void wait_all(std::span<Request> reqs);
+
+/// MPI_Waitany: block until some request completes; returns its index and
+/// fills @p out. Invalid (already consumed) entries are skipped; returns -1
+/// if every entry is invalid. Completion is scanned in index order, so the
+/// choice among simultaneously-complete requests is deterministic.
+int wait_any(std::span<Request> reqs, Status* out = nullptr);
+
+/// MPI_Testsome-flavoured helper: consume every currently-completed
+/// request, appending (index, status) pairs; returns how many completed.
+int test_some(std::span<Request> reqs,
+              std::vector<std::pair<int, Status>>* done);
+
+/// Persistent communication request (MPI_Send_init / MPI_Recv_init /
+/// MPI_Start): a reusable descriptor for a fixed (buffer, peer, tag)
+/// operation, re-armed with start() and completed with wait(). Useful for
+/// iterative halo-style traffic where the envelope never changes.
+class PersistentRequest {
+public:
+    PersistentRequest() = default;
+
+    static PersistentRequest send_init(const Comm& comm, const void* buf,
+                                       std::size_t count, Datatype dt,
+                                       int dest, int tag);
+    static PersistentRequest recv_init(const Comm& comm, void* buf,
+                                       std::size_t count, Datatype dt,
+                                       int source, int tag);
+
+    /// Arm the operation (MPI_Start). Must not already be active.
+    void start();
+    /// Complete the active operation; the request can be start()ed again.
+    Status wait();
+
+    bool active() const { return inner_.valid(); }
+    bool valid() const { return comm_.valid(); }
+
+private:
+    enum class Kind { Send, Recv };
+    Kind kind_ = Kind::Send;
+    Comm comm_;
+    void* buf_ = nullptr;
+    std::size_t count_ = 0;
+    Datatype dt_ = Datatype::Byte;
+    int peer_ = kProcNull;
+    int tag_ = 0;
+    Request inner_;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,183 @@
+#include "minimpi/runtime.h"
+
+#include <pthread.h>
+
+#include <cmath>
+#include <exception>
+
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+Runtime::Runtime(ClusterSpec cluster, ModelParams model, PayloadMode payload,
+                 RunOptions opts)
+    : cluster_(std::move(cluster)),
+      model_(std::move(model)),
+      payload_(payload),
+      opts_(opts) {}
+
+CommState* Runtime::create_comm(std::vector<int> members_world) {
+    auto st = std::make_unique<CommState>();
+    st->runtime = this;
+    st->ctx_p2p = alloc_ctx();
+    st->ctx_coll = alloc_ctx();
+    st->members = std::move(members_world);
+    st->world_to_local.assign(
+        static_cast<std::size_t>(cluster_.total_ranks()), -1);
+    for (std::size_t i = 0; i < st->members.size(); ++i) {
+        st->world_to_local.at(static_cast<std::size_t>(st->members[i])) =
+            static_cast<int>(i);
+    }
+    st->member_epoch.assign(st->members.size(), 0);
+    CommState* raw = st.get();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    comms_.push_back(std::move(st));
+    return raw;
+}
+
+void Runtime::keep_alive(std::shared_ptr<void> resource) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    resources_.push_back(std::move(resource));
+}
+
+void Runtime::poison_from(int world_rank) {
+    transport_->poison(world_rank);
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& comm : comms_) {
+        std::lock_guard<std::mutex> op_lock(comm->op_mu);
+        for (auto& [epoch, slot] : comm->ops) {
+            slot->cv.notify_all();
+        }
+    }
+}
+
+VTime Runtime::one_off_sync_cost(int nranks) const {
+    if (nranks <= 1) return model_.shm.overhead_us;
+    const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+    return rounds * (model_.net.alpha_us + 2.0 * model_.net.overhead_us);
+}
+
+namespace {
+
+struct RankThreadArgs {
+    Runtime* runtime;
+    RankCtx* ctx;
+    CommState* world_state;
+    const std::function<void(Comm&)>* rank_main;
+    std::exception_ptr* error_out;
+};
+
+void* rank_thread_entry(void* raw) {
+    auto* args = static_cast<RankThreadArgs*>(raw);
+    try {
+        Comm world(args->world_state, args->ctx, args->ctx->world_rank);
+        (*args->rank_main)(world);
+    } catch (...) {
+        *args->error_out = std::current_exception();
+        args->runtime->poison_from(args->ctx->world_rank);
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
+    const int n = cluster_.total_ranks();
+
+    // Fresh state for this run: a rank thread stuck from a previous failed
+    // run cannot exist (we always join), so replacing the registries is safe.
+    {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        comms_.clear();
+        resources_.clear();
+    }
+    transport_ = std::make_unique<Transport>(n, payload_);
+    next_ctx_.store(1);
+
+    std::vector<int> world_members(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) world_members[static_cast<std::size_t>(i)] = i;
+    CommState* world_state = create_comm(std::move(world_members));
+
+    std::vector<RankCtx> ctxs(static_cast<std::size_t>(n));
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+    std::vector<RankThreadArgs> args(static_cast<std::size_t>(n));
+    std::vector<pthread_t> threads(static_cast<std::size_t>(n));
+    std::vector<Tracer> tracers(
+        opts_.trace ? static_cast<std::size_t>(n) : 0);
+
+    for (int i = 0; i < n; ++i) {
+        auto& ctx = ctxs[static_cast<std::size_t>(i)];
+        ctx.world_rank = i;
+        ctx.runtime = this;
+        ctx.cluster = &cluster_;
+        ctx.model = &model_;
+        ctx.payload_mode = payload_;
+        if (opts_.trace) ctx.tracer = &tracers[static_cast<std::size_t>(i)];
+        args[static_cast<std::size_t>(i)] =
+            RankThreadArgs{this, &ctx, world_state, &rank_main,
+                           &errors[static_cast<std::size_t>(i)]};
+    }
+
+    pthread_attr_t attr;
+    pthread_attr_init(&attr);
+    pthread_attr_setstacksize(
+        &attr, std::max<std::size_t>(opts_.stack_bytes, 128 * 1024));
+
+    for (int i = 0; i < n; ++i) {
+        const int rc =
+            pthread_create(&threads[static_cast<std::size_t>(i)], &attr,
+                           rank_thread_entry, &args[static_cast<std::size_t>(i)]);
+        if (rc != 0) {
+            // Join what we started before reporting; without all ranks the
+            // job cannot progress, but started ranks may deadlock waiting
+            // for peers — so this is a hard configuration error we surface
+            // immediately rather than hang. Detach is unsafe; abort.
+            pthread_attr_destroy(&attr);
+            std::terminate();
+        }
+    }
+    pthread_attr_destroy(&attr);
+
+    for (int i = 0; i < n; ++i) {
+        pthread_join(threads[static_cast<std::size_t>(i)], nullptr);
+    }
+
+    // Prefer the originating error over the JobAborted exceptions raised in
+    // ranks that were merely unblocked by the poison.
+    std::exception_ptr first_abort;
+    for (int i = 0; i < n; ++i) {
+        auto& err = errors[static_cast<std::size_t>(i)];
+        if (!err) continue;
+        try {
+            std::rethrow_exception(err);
+        } catch (const JobAborted&) {
+            if (!first_abort) first_abort = err;
+        } catch (...) {
+            std::rethrow_exception(err);
+        }
+    }
+    if (first_abort) std::rethrow_exception(first_abort);
+
+    std::vector<VTime> clocks(static_cast<std::size_t>(n));
+    last_stats_.resize(static_cast<std::size_t>(n));
+    last_traces_.clear();
+    for (int i = 0; i < n; ++i) {
+        clocks[static_cast<std::size_t>(i)] =
+            ctxs[static_cast<std::size_t>(i)].clock.now();
+        last_stats_[static_cast<std::size_t>(i)] =
+            ctxs[static_cast<std::size_t>(i)].stats;
+    }
+    if (opts_.trace) {
+        last_traces_.reserve(tracers.size());
+        for (auto& t : tracers) last_traces_.push_back(t.events());
+    }
+    return clocks;
+}
+
+CommStats Runtime::total_stats() const {
+    CommStats total;
+    for (const auto& s : last_stats_) total += s;
+    return total;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/cluster.h"
+#include "minimpi/comm.h"
+#include "minimpi/context.h"
+#include "minimpi/netmodel.h"
+#include "minimpi/transport.h"
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// Options controlling rank-thread execution.
+struct RunOptions {
+    /// Stack size per rank thread. Large jobs (64 nodes x 24 ranks = 1536
+    /// threads) need small stacks; application code keeps big data on the
+    /// heap.
+    std::size_t stack_bytes = 1 << 20;
+
+    /// Record per-rank event timelines (see trace.h); retrieve with
+    /// Runtime::last_traces after run().
+    bool trace = false;
+};
+
+/// The simulated MPI job: spawns one thread per rank of the ClusterSpec,
+/// hands each a world communicator, and collects per-rank virtual clocks.
+///
+/// A Runtime can execute several `run` calls sequentially; each run starts
+/// from fresh clocks, transport and communicator state.
+class Runtime {
+public:
+    Runtime(ClusterSpec cluster, ModelParams model,
+            PayloadMode payload = PayloadMode::Real, RunOptions opts = {});
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /// Execute @p rank_main on every rank (as `rank_main(world)`), join all
+    /// threads, and return the final virtual clock of each rank. The first
+    /// exception thrown by any rank (lowest world rank wins) is rethrown
+    /// after all threads have been joined or released.
+    std::vector<VTime> run(const std::function<void(Comm&)>& rank_main);
+
+    /// Per-rank communication counters of the most recent run().
+    const std::vector<CommStats>& last_stats() const { return last_stats_; }
+
+    /// Sum of last_stats() over ranks.
+    CommStats total_stats() const;
+
+    /// Per-rank event timelines of the most recent run() (empty unless
+    /// RunOptions::trace was set).
+    const std::vector<std::vector<TraceEvent>>& last_traces() const {
+        return last_traces_;
+    }
+
+    const ClusterSpec& cluster() const { return cluster_; }
+    const ModelParams& model() const { return model_; }
+    PayloadMode payload_mode() const { return payload_; }
+
+    /// Fresh matching-context pair for a new communicator.
+    std::uint64_t alloc_ctx() { return next_ctx_.fetch_add(1); }
+
+    /// Create and register a communicator over the given world ranks
+    /// (ordered: index = comm rank).
+    CommState* create_comm(std::vector<int> members_world);
+
+    /// Register an arbitrary job-lifetime resource (shared windows, caches)
+    /// so it is released when the current run's state is torn down.
+    void keep_alive(std::shared_ptr<void> resource);
+
+    Transport& transport() { return *transport_; }
+
+    /// Abort the job on behalf of @p world_rank: poisons the transport and
+    /// wakes every rank blocked in a collective rendezvous.
+    void poison_from(int world_rank);
+
+    /// Modelled cost of a one-off collective coordination over @p nranks
+    /// ranks (communicator creation, window allocation).
+    VTime one_off_sync_cost(int nranks) const;
+
+private:
+    ClusterSpec cluster_;
+    ModelParams model_;
+    PayloadMode payload_;
+    RunOptions opts_;
+
+    std::unique_ptr<Transport> transport_;
+    std::atomic<std::uint64_t> next_ctx_{1};
+
+    std::mutex registry_mu_;
+    std::vector<std::unique_ptr<CommState>> comms_;
+    std::vector<std::shared_ptr<void>> resources_;
+    std::vector<CommStats> last_stats_;
+    std::vector<std::vector<TraceEvent>> last_traces_;
+};
+
+}  // namespace minimpi

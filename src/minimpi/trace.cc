@@ -1,0 +1,75 @@
+#include "minimpi/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace minimpi {
+
+namespace {
+
+char glyph(TraceEvent::Kind k) {
+    switch (k) {
+        case TraceEvent::Kind::Send: return 's';
+        case TraceEvent::Kind::Recv: return 'r';
+        case TraceEvent::Kind::Copy: return 'c';
+        case TraceEvent::Kind::Compute: return '#';
+        case TraceEvent::Kind::Sync: return '|';
+    }
+    return '?';
+}
+
+}  // namespace
+
+TraceSummary summarize(const std::vector<TraceEvent>& events) {
+    TraceSummary s;
+    for (const auto& e : events) {
+        const VTime dt = e.t_end - e.t_start;
+        switch (e.kind) {
+            case TraceEvent::Kind::Send: s.send_us += dt; break;
+            case TraceEvent::Kind::Recv: s.recv_us += dt; break;
+            case TraceEvent::Kind::Copy: s.copy_us += dt; break;
+            case TraceEvent::Kind::Compute: s.compute_us += dt; break;
+            case TraceEvent::Kind::Sync: s.sync_us += dt; break;
+        }
+    }
+    return s;
+}
+
+std::string render_timeline(const std::vector<std::vector<TraceEvent>>& ranks,
+                            int columns) {
+    VTime horizon = 0.0;
+    for (const auto& evs : ranks) {
+        for (const auto& e : evs) horizon = std::max(horizon, e.t_end);
+    }
+    std::string out;
+    if (horizon <= 0.0 || columns <= 0) return out;
+
+    char header[96];
+    std::snprintf(header, sizeof(header),
+                  "timeline: %d columns spanning %.2f us "
+                  "(s=send r=recv c=copy #=compute |=sync)\n",
+                  columns, horizon);
+    out += header;
+
+    const double scale = static_cast<double>(columns) / horizon;
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+        std::string row(static_cast<std::size_t>(columns), '.');
+        for (const auto& e : ranks[r]) {
+            int lo = static_cast<int>(e.t_start * scale);
+            int hi = static_cast<int>(e.t_end * scale);
+            lo = std::clamp(lo, 0, columns - 1);
+            hi = std::clamp(hi, lo, columns - 1);
+            for (int c = lo; c <= hi; ++c) {
+                row[static_cast<std::size_t>(c)] = glyph(e.kind);
+            }
+        }
+        char label[32];
+        std::snprintf(label, sizeof(label), "%4zu ", r);
+        out += label;
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace minimpi

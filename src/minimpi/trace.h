@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// One interval on a rank's virtual timeline.
+struct TraceEvent {
+    enum class Kind : std::uint8_t {
+        Send,     ///< CPU overhead of injecting a message
+        Recv,     ///< completion of a receive (arrival .. +overhead)
+        Copy,     ///< local memory copy
+        Compute,  ///< application flops
+        Sync,     ///< barrier / flag synchronization interval
+    };
+    Kind kind;
+    VTime t_start = 0.0;
+    VTime t_end = 0.0;
+    int peer = -1;          ///< world rank for Send/Recv, -1 otherwise
+    std::size_t bytes = 0;  ///< payload/copy size, 0 for Compute/Sync
+};
+
+/// Per-rank event recorder. Off by default (RunOptions::trace enables it);
+/// when off, the record calls are a branch on a null pointer.
+class Tracer {
+public:
+    void record(TraceEvent::Kind kind, VTime t_start, VTime t_end,
+                int peer = -1, std::size_t bytes = 0) {
+        events_.push_back({kind, t_start, t_end, peer, bytes});
+    }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    void clear() { events_.clear(); }
+
+private:
+    std::vector<TraceEvent> events_;
+};
+
+/// Per-kind time totals of one rank's trace (busy-time profile).
+struct TraceSummary {
+    VTime send_us = 0.0;
+    VTime recv_us = 0.0;  ///< includes time blocked waiting for arrivals
+    VTime copy_us = 0.0;
+    VTime compute_us = 0.0;
+    VTime sync_us = 0.0;
+
+    VTime communication_us() const { return send_us + recv_us + sync_us; }
+};
+
+/// Aggregate @p events into per-kind totals.
+TraceSummary summarize(const std::vector<TraceEvent>& events);
+
+/// Render per-rank timelines as an ASCII Gantt chart: one row per rank,
+/// @p columns characters spanning [0, horizon] where horizon is the latest
+/// event end. Send='s', Recv='r', Copy='c', Compute='#', Sync='|',
+/// idle='.'. Later events overwrite earlier ones within a cell.
+std::string render_timeline(const std::vector<std::vector<TraceEvent>>& ranks,
+                            int columns = 72);
+
+}  // namespace minimpi

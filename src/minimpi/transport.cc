@@ -1,0 +1,214 @@
+#include "minimpi/transport.h"
+
+#include <algorithm>
+
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+Transport::Transport(int nranks, PayloadMode mode) : mode_(mode) {
+    boxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+        boxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+std::unique_ptr<std::byte[]> Transport::make_payload(const void* src,
+                                                     std::size_t bytes) const {
+    if (mode_ == PayloadMode::SizeOnly || bytes == 0 || src == nullptr) {
+        return nullptr;
+    }
+    auto copy = std::make_unique<std::byte[]>(bytes);
+    std::memcpy(copy.get(), src, bytes);
+    return copy;
+}
+
+Transport::AckOut Transport::complete(PostedRecv* r, InMsg& m, int receiver) {
+    r->msg_bytes = m.bytes;
+    r->matched_src = m.src_global;
+    r->matched_tag = m.tag;
+    r->arrival = m.arrival;
+    r->recv_overhead = m.recv_overhead;
+    if (m.bytes > r->capacity) {
+        r->truncated = true;
+    } else if (m.payload && r->buf) {
+        std::memcpy(r->buf, m.payload.get(), m.bytes);
+    }
+    r->completed = true;
+
+    AckOut ack;
+    if (m.ack_to >= 0) {
+        ack.to = m.ack_to;
+        ack.tag = m.ack_tag;
+        ack.from = receiver;
+        ack.arrival = std::max(m.arrival, r->post_vtime) + m.ack_alpha;
+    }
+    return ack;
+}
+
+void Transport::send_ack(const AckOut& ack) {
+    if (ack.to < 0) return;
+    InMsg a;
+    a.ctx = kAckCtx;
+    a.src_global = ack.from;
+    a.tag = ack.tag;
+    a.bytes = 0;
+    a.arrival = ack.arrival;
+    a.recv_overhead = 0.0;
+    deliver(ack.to, std::move(a));
+}
+
+void Transport::deliver(int dst_global, InMsg msg) {
+    Mailbox& mb = box(dst_global);
+    AckOut ack;
+    {
+        std::lock_guard<std::mutex> lock(mb.mu);
+        bool matched = false;
+        for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+            if (matches(**it, msg)) {
+                ack = complete(*it, msg, dst_global);
+                mb.posted.erase(it);
+                mb.cv.notify_all();
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            mb.unexpected.push_back(std::move(msg));
+            // Probes may be waiting even with no posted receive.
+            mb.cv.notify_all();
+        }
+    }
+    send_ack(ack);
+}
+
+void Transport::post_recv(int me, PostedRecv* r) {
+    Mailbox& mb = box(me);
+    AckOut ack;
+    {
+        std::lock_guard<std::mutex> lock(mb.mu);
+        bool matched = false;
+        for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+            if (matches(*r, *it)) {
+                ack = complete(r, *it, me);
+                mb.unexpected.erase(it);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) mb.posted.push_back(r);
+    }
+    // Outside the lock: send_ack may lock any mailbox, including this one
+    // (self-ssend).
+    send_ack(ack);
+}
+
+void Transport::wait_recv(int me, PostedRecv* r) {
+    Mailbox& mb = box(me);
+    std::unique_lock<std::mutex> lock(mb.mu);
+    mb.cv.wait(lock, [r, this] { return r->completed || poisoned(); });
+    if (!r->completed) {
+        mb.posted.remove(r);
+        lock.unlock();
+        check_poison();
+    }
+}
+
+std::size_t Transport::wait_any_recv(int me,
+                                     std::span<PostedRecv* const> rs) {
+    Mailbox& mb = box(me);
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            if (rs[i]->completed) return i;
+        }
+        if (poisoned()) {
+            for (PostedRecv* r : rs) mb.posted.remove(r);
+            lock.unlock();
+            check_poison();
+        }
+        mb.cv.wait(lock);
+    }
+}
+
+void Transport::poison(int by_rank) {
+    poison_rank_.store(by_rank, std::memory_order_relaxed);
+    poisoned_.store(true, std::memory_order_release);
+    for (auto& mb : boxes_) {
+        std::lock_guard<std::mutex> lock(mb->mu);
+        mb->cv.notify_all();
+    }
+}
+
+void Transport::check_poison() const {
+    if (poisoned()) {
+        throw JobAborted(poison_rank_.load(std::memory_order_relaxed));
+    }
+}
+
+bool Transport::test_recv(int me, PostedRecv* r) {
+    Mailbox& mb = box(me);
+    std::lock_guard<std::mutex> lock(mb.mu);
+    return r->completed;
+}
+
+bool Transport::cancel_recv(int me, PostedRecv* r) {
+    Mailbox& mb = box(me);
+    std::lock_guard<std::mutex> lock(mb.mu);
+    if (r->completed) return false;
+    mb.posted.remove(r);
+    return true;
+}
+
+bool Transport::iprobe(int me, std::uint64_t ctx, int src_global, int tag,
+                       Status* out) {
+    Mailbox& mb = box(me);
+    std::lock_guard<std::mutex> lock(mb.mu);
+    PostedRecv probe_key;
+    probe_key.ctx = ctx;
+    probe_key.src_global = src_global;
+    probe_key.tag = tag;
+    for (const InMsg& m : mb.unexpected) {
+        if (matches(probe_key, m)) {
+            if (out) {
+                out->source = m.src_global;  // translated by caller
+                out->tag = m.tag;
+                out->bytes = m.bytes;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void Transport::probe(int me, std::uint64_t ctx, int src_global, int tag,
+                      Status* out) {
+    Mailbox& mb = box(me);
+    std::unique_lock<std::mutex> lock(mb.mu);
+    PostedRecv probe_key;
+    probe_key.ctx = ctx;
+    probe_key.src_global = src_global;
+    probe_key.tag = tag;
+    for (;;) {
+        for (const InMsg& m : mb.unexpected) {
+            if (matches(probe_key, m)) {
+                if (out) {
+                    out->source = m.src_global;
+                    out->tag = m.tag;
+                    out->bytes = m.bytes;
+                }
+                return;
+            }
+        }
+        check_poison();
+        mb.cv.wait(lock);
+    }
+}
+
+std::size_t Transport::unexpected_count(int me) {
+    Mailbox& mb = box(me);
+    std::lock_guard<std::mutex> lock(mb.mu);
+    return mb.unexpected.size();
+}
+
+}  // namespace minimpi

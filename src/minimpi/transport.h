@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "minimpi/types.h"
+
+namespace minimpi {
+
+/// A message in flight (or sitting in the unexpected queue). Payload is an
+/// owned eager copy; it is absent in SizeOnly mode or for zero-byte messages.
+/// `arrival` and `recv_overhead` carry the modelled timing computed by the
+/// sender, which knows the link class.
+struct InMsg {
+    std::uint64_t ctx = 0;  ///< communicator context id
+    int src_global = -1;    ///< sender's WORLD rank (translated by the p2p layer)
+    int tag = 0;
+    std::size_t bytes = 0;
+    std::unique_ptr<std::byte[]> payload;
+    VTime arrival = 0.0;        ///< modelled time the message reaches the dest
+    VTime recv_overhead = 0.0;  ///< CPU overhead the receiver pays on match
+
+    /// Synchronous-send support: when >= 0, matching this message emits a
+    /// zero-byte acknowledgement to world rank `ack_to` on the reserved ack
+    /// context, stamped max(arrival, recv-post time) + ack_alpha. This is
+    /// how MPI_Ssend learns its receive has started.
+    int ack_to = -1;
+    int ack_tag = 0;
+    VTime ack_alpha = 0.0;
+};
+
+/// Context id reserved for synchronous-send acknowledgements (never handed
+/// to a communicator; Runtime::alloc_ctx starts at 1).
+inline constexpr std::uint64_t kAckCtx = 0;
+
+/// A receive posted by the destination rank, owned by a Request (or stack
+/// frame for blocking receives). The mailbox keeps only a raw pointer while
+/// the receive is pending.
+struct PostedRecv {
+    std::uint64_t ctx = 0;
+    int src_global = kAnySource;  ///< WORLD rank or kAnySource
+    int tag = kAnyTag;
+    void* buf = nullptr;
+    std::size_t capacity = 0;
+
+    bool completed = false;
+    bool truncated = false;   ///< matched message exceeded `capacity`
+    std::size_t msg_bytes = 0;  ///< actual size of the matched message
+    int matched_src = -1;       ///< WORLD rank of the matched sender
+    int matched_tag = 0;
+    VTime arrival = 0.0;
+    VTime recv_overhead = 0.0;
+    VTime post_vtime = 0.0;  ///< receiver's clock when the recv was posted
+};
+
+/// Point-to-point matching engine: one mailbox per world rank, with MPI
+/// semantics — (context, source, tag) matching, wildcards, per-sender FIFO
+/// (non-overtaking), an unexpected-message queue and a posted-receive queue.
+///
+/// All sends are eager and buffered: the sender copies the payload (Real
+/// mode), delivers, and returns; there is no rendezvous. This preserves the
+/// standard's buffered-send semantics and cannot deadlock on send.
+class Transport {
+public:
+    Transport(int nranks, PayloadMode mode);
+
+    Transport(const Transport&) = delete;
+    Transport& operator=(const Transport&) = delete;
+
+    PayloadMode payload_mode() const { return mode_; }
+
+    /// Deliver a message to @p dst_global: either complete a matching posted
+    /// receive (copying the payload on the sender's thread) or enqueue it as
+    /// unexpected. `msg.payload` must already be an owned copy.
+    void deliver(int dst_global, InMsg msg);
+
+    /// Convenience for the sending side: build the owned payload copy
+    /// according to the payload mode. `src` may be null in SizeOnly mode.
+    std::unique_ptr<std::byte[]> make_payload(const void* src,
+                                              std::size_t bytes) const;
+
+    /// Register @p r in @p me's mailbox; if an unexpected message already
+    /// matches, complete immediately.
+    void post_recv(int me, PostedRecv* r);
+
+    /// Block the calling (receiver) thread until @p r completes.
+    void wait_recv(int me, PostedRecv* r);
+
+    /// Block until ANY of the given pending receives (all owned by @p me)
+    /// completes; returns the first completed index in scan order.
+    std::size_t wait_any_recv(int me, std::span<PostedRecv* const> rs);
+
+    /// Non-blocking completion check.
+    bool test_recv(int me, PostedRecv* r);
+
+    /// Remove a still-pending posted receive (used by Request teardown on
+    /// abnormal paths). Returns false if it had already completed.
+    bool cancel_recv(int me, PostedRecv* r);
+
+    /// MPI_Iprobe: report whether a matching message is pending without
+    /// receiving it. Fills @p out with the envelope when found.
+    bool iprobe(int me, std::uint64_t ctx, int src_global, int tag,
+                Status* out);
+
+    /// Blocking MPI_Probe.
+    void probe(int me, std::uint64_t ctx, int src_global, int tag,
+               Status* out);
+
+    /// Number of messages currently sitting unexpected in @p me's mailbox
+    /// (diagnostics/tests).
+    std::size_t unexpected_count(int me);
+
+    /// Mark the job as aborted by @p by_rank and wake every blocked waiter;
+    /// subsequent/pending blocking calls throw JobAborted.
+    void poison(int by_rank);
+
+    bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+    /// Throw JobAborted if the job has been poisoned.
+    void check_poison() const;
+
+private:
+    std::atomic<bool> poisoned_{false};
+    std::atomic<int> poison_rank_{-1};
+
+    struct Mailbox {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<InMsg> unexpected;
+        std::list<PostedRecv*> posted;
+    };
+
+    static bool matches(const PostedRecv& r, const InMsg& m) {
+        return r.ctx == m.ctx &&
+               (r.src_global == kAnySource || r.src_global == m.src_global) &&
+               (r.tag == kAnyTag || r.tag == m.tag);
+    }
+
+    /// Pending synchronous-send acknowledgement produced by a match.
+    struct AckOut {
+        int to = -1;
+        int tag = 0;
+        int from = -1;
+        VTime arrival = 0.0;
+    };
+
+    /// Fill completion fields of @p r from @p m and copy the payload.
+    /// @p receiver is the mailbox owner's world rank (the ack's source).
+    /// Caller holds the mailbox lock. Returns the ack to emit (to < 0 if
+    /// none); the caller sends it AFTER releasing the lock (lock-order
+    /// safety for mutually synchronous traffic).
+    AckOut complete(PostedRecv* r, InMsg& m, int receiver);
+
+    /// Emit a synchronous-send acknowledgement (no-op when ack.to < 0).
+    /// Must be called WITHOUT holding any mailbox lock.
+    void send_ack(const AckOut& ack);
+
+    Mailbox& box(int rank) { return *boxes_.at(static_cast<std::size_t>(rank)); }
+
+    PayloadMode mode_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "minimpi/error.h"
+
+namespace minimpi {
+
+/// Virtual time, in microseconds. All latency figures produced by the model
+/// are in this unit to match the paper's plots.
+using VTime = double;
+
+/// Wildcards and sentinels, mirroring their MPI equivalents.
+inline constexpr int kAnySource = -1;  ///< MPI_ANY_SOURCE
+inline constexpr int kAnyTag = -2;     ///< MPI_ANY_TAG
+inline constexpr int kProcNull = -3;   ///< MPI_PROC_NULL
+inline constexpr int kUndefined = -32766;  ///< MPI_UNDEFINED (split color)
+
+/// Highest tag value available to user point-to-point traffic. Tags above
+/// this are reserved for the runtime's internal collective protocols
+/// (a stand-in for MPI's separate collective context id).
+inline constexpr int kTagUpperBound = 1 << 20;
+
+/// Elementary datatypes. The runtime is untyped at the transport layer
+/// (bytes move); datatypes carry the element size and select the arithmetic
+/// used by reduction operators.
+enum class Datatype : std::uint8_t {
+    Byte,
+    Char,
+    Int32,
+    Int64,
+    UInt64,
+    Float,
+    Double,
+};
+
+/// Size in bytes of one element of @p dt.
+constexpr std::size_t datatype_size(Datatype dt) {
+    switch (dt) {
+        case Datatype::Byte:
+        case Datatype::Char:
+            return 1;
+        case Datatype::Int32:
+        case Datatype::Float:
+            return 4;
+        case Datatype::Int64:
+        case Datatype::UInt64:
+        case Datatype::Double:
+            return 8;
+    }
+    return 0;  // unreachable
+}
+
+/// Map a C++ arithmetic type onto the corresponding Datatype tag.
+template <typename T>
+constexpr Datatype datatype_of() {
+    if constexpr (std::is_same_v<T, std::byte> ||
+                  std::is_same_v<T, unsigned char>) {
+        return Datatype::Byte;
+    } else if constexpr (std::is_same_v<T, char>) {
+        return Datatype::Char;
+    } else if constexpr (std::is_same_v<T, std::int32_t>) {
+        return Datatype::Int32;
+    } else if constexpr (std::is_same_v<T, std::int64_t>) {
+        return Datatype::Int64;
+    } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+        return Datatype::UInt64;
+    } else if constexpr (std::is_same_v<T, float>) {
+        return Datatype::Float;
+    } else if constexpr (std::is_same_v<T, double>) {
+        return Datatype::Double;
+    } else {
+        static_assert(sizeof(T) == 0, "unsupported datatype");
+    }
+}
+
+/// Reduction operators (subset of the MPI predefined ops that the paper's
+/// applications and our extensions need).
+enum class Op : std::uint8_t {
+    Sum,
+    Prod,
+    Max,
+    Min,
+    LogicalAnd,
+    LogicalOr,
+    BitAnd,
+    BitOr,
+};
+
+/// Completion status of a receive, as in MPI_Status.
+struct Status {
+    int source = kProcNull;  ///< rank of the sender within the communicator
+    int tag = kAnyTag;       ///< tag of the matched message
+    std::size_t bytes = 0;   ///< payload size actually received
+};
+
+/// Whether message payloads are materialized. SizeOnly keeps the full
+/// control path (matching, ordering, virtual-time accounting) but skips the
+/// memcpy, enabling cluster-scale benchmarks (64 nodes x 24 ranks) whose
+/// aggregate buffers would not fit in host memory. See DESIGN.md section 2.
+enum class PayloadMode : std::uint8_t {
+    Real,
+    SizeOnly,
+};
+
+}  // namespace minimpi

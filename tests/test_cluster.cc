@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "minimpi/cluster.h"
+#include "minimpi/error.h"
+
+using namespace minimpi;
+
+TEST(Cluster, RegularBasics) {
+    const ClusterSpec c = ClusterSpec::regular(4, 6);
+    EXPECT_EQ(c.num_nodes(), 4);
+    EXPECT_EQ(c.total_ranks(), 24);
+    for (int n = 0; n < 4; ++n) EXPECT_EQ(c.procs_on_node(n), 6);
+}
+
+TEST(Cluster, SmpPlacementIsContiguous) {
+    const ClusterSpec c = ClusterSpec::regular(3, 4, Placement::Smp);
+    for (int r = 0; r < 12; ++r) {
+        EXPECT_EQ(c.node_of(r), r / 4);
+        EXPECT_EQ(c.rank_on_node(r), r % 4);
+    }
+}
+
+TEST(Cluster, RoundRobinPlacementDeals) {
+    const ClusterSpec c = ClusterSpec::regular(3, 2, Placement::RoundRobin);
+    EXPECT_EQ(c.node_of(0), 0);
+    EXPECT_EQ(c.node_of(1), 1);
+    EXPECT_EQ(c.node_of(2), 2);
+    EXPECT_EQ(c.node_of(3), 0);
+    EXPECT_EQ(c.node_of(4), 1);
+    EXPECT_EQ(c.node_of(5), 2);
+}
+
+TEST(Cluster, IrregularCounts) {
+    const ClusterSpec c = ClusterSpec::irregular({5, 1, 3});
+    EXPECT_EQ(c.total_ranks(), 9);
+    EXPECT_EQ(c.procs_on_node(0), 5);
+    EXPECT_EQ(c.procs_on_node(2), 3);
+    EXPECT_EQ(c.node_of(0), 0);
+    EXPECT_EQ(c.node_of(5), 1);
+    EXPECT_EQ(c.node_of(6), 2);
+}
+
+TEST(Cluster, RoundRobinIrregularFillsEveryNodeExactly) {
+    const ClusterSpec c =
+        ClusterSpec::irregular({4, 2, 3}, Placement::RoundRobin);
+    std::vector<int> per_node(3, 0);
+    for (int r = 0; r < c.total_ranks(); ++r) {
+        ++per_node[static_cast<std::size_t>(c.node_of(r))];
+    }
+    EXPECT_EQ(per_node[0], 4);
+    EXPECT_EQ(per_node[1], 2);
+    EXPECT_EQ(per_node[2], 3);
+}
+
+TEST(Cluster, RanksOfNodeMatchesNodeOf) {
+    for (Placement pl : {Placement::Smp, Placement::RoundRobin}) {
+        const ClusterSpec c = ClusterSpec::irregular({3, 5, 2, 4}, pl);
+        std::set<int> seen;
+        for (int n = 0; n < c.num_nodes(); ++n) {
+            const auto& members = c.ranks_of_node(n);
+            EXPECT_EQ(static_cast<int>(members.size()), c.procs_on_node(n));
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                EXPECT_EQ(c.node_of(members[i]), n);
+                EXPECT_EQ(c.rank_on_node(members[i]), static_cast<int>(i));
+                EXPECT_TRUE(seen.insert(members[i]).second);
+                if (i > 0) {
+                    EXPECT_LT(members[i - 1], members[i]);
+                }
+            }
+        }
+        EXPECT_EQ(static_cast<int>(seen.size()), c.total_ranks());
+    }
+}
+
+TEST(Cluster, NodeSortedRanksIsAPermutationInNodeOrder) {
+    const ClusterSpec c =
+        ClusterSpec::irregular({2, 3, 2}, Placement::RoundRobin);
+    const auto& sorted = c.node_sorted_ranks();
+    ASSERT_EQ(static_cast<int>(sorted.size()), c.total_ranks());
+    int prev_node = -1;
+    std::set<int> seen;
+    for (int r : sorted) {
+        EXPECT_GE(c.node_of(r), prev_node);
+        prev_node = c.node_of(r);
+        EXPECT_TRUE(seen.insert(r).second);
+    }
+}
+
+TEST(Cluster, SameNode) {
+    const ClusterSpec c = ClusterSpec::regular(2, 3);
+    EXPECT_TRUE(c.same_node(0, 2));
+    EXPECT_FALSE(c.same_node(2, 3));
+}
+
+TEST(Cluster, RejectsBadShapes) {
+    EXPECT_THROW(ClusterSpec::regular(0, 4), ArgumentError);
+    EXPECT_THROW(ClusterSpec::regular(4, 0), ArgumentError);
+    EXPECT_THROW(ClusterSpec::regular(-1, 2), ArgumentError);
+    EXPECT_THROW(ClusterSpec::irregular({}), ArgumentError);
+    EXPECT_THROW(ClusterSpec::irregular({3, 0, 2}), ArgumentError);
+    EXPECT_THROW(ClusterSpec::irregular({3, -2}), ArgumentError);
+}
+
+class ClusterPlacementP
+    : public ::testing::TestWithParam<std::tuple<Placement, int, int>> {};
+
+TEST_P(ClusterPlacementP, EveryRankMappedConsistently) {
+    const auto [pl, nodes, ppn] = GetParam();
+    const ClusterSpec c = ClusterSpec::regular(nodes, ppn, pl);
+    EXPECT_EQ(c.total_ranks(), nodes * ppn);
+    std::vector<int> count(static_cast<std::size_t>(nodes), 0);
+    for (int r = 0; r < c.total_ranks(); ++r) {
+        const int n = c.node_of(r);
+        ASSERT_GE(n, 0);
+        ASSERT_LT(n, nodes);
+        EXPECT_EQ(c.ranks_of_node(n)[static_cast<std::size_t>(
+                      c.rank_on_node(r))],
+                  r);
+        ++count[static_cast<std::size_t>(n)];
+    }
+    for (int n = 0; n < nodes; ++n) {
+        EXPECT_EQ(count[static_cast<std::size_t>(n)], ppn);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterPlacementP,
+    ::testing::Combine(::testing::Values(Placement::Smp,
+                                         Placement::RoundRobin),
+                       ::testing::Values(1, 2, 5, 8),
+                       ::testing::Values(1, 3, 7, 24)));

@@ -1,0 +1,365 @@
+// Data-correctness sweep over every collective, parameterized by cluster
+// shape (single node, multi-node, irregular population, round-robin
+// placement) and message size — including 0-element edge cases. Every value
+// is derived from (rank, index) so misplaced blocks are always detected.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+namespace {
+
+struct Shape {
+    const char* name;
+    std::function<ClusterSpec()> make;
+};
+
+const Shape kShapes[] = {
+    {"solo", [] { return ClusterSpec::regular(1, 1); }},
+    {"node5", [] { return ClusterSpec::regular(1, 5); }},
+    {"node8", [] { return ClusterSpec::regular(1, 8); }},
+    {"n2x3", [] { return ClusterSpec::regular(2, 3); }},
+    {"n4x4", [] { return ClusterSpec::regular(4, 4); }},
+    {"n3x1", [] { return ClusterSpec::regular(3, 1); }},
+    {"irr314", [] { return ClusterSpec::irregular({3, 1, 4}); }},
+    {"rr253",
+     [] { return ClusterSpec::irregular({2, 5, 3}, Placement::RoundRobin); }},
+    {"n2x12", [] { return ClusterSpec::regular(2, 12); }},
+};
+
+std::int64_t val(int rank, std::size_t i) {
+    return static_cast<std::int64_t>(rank) * 1000003 +
+           static_cast<std::int64_t>(i) * 7 + 13;
+}
+
+class CollP : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+protected:
+    Runtime make_rt() const {
+        return Runtime(kShapes[std::get<0>(GetParam())].make(),
+                       ModelParams::cray());
+    }
+    std::size_t count() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CollP, BarrierCompletes) {
+    Runtime rt = make_rt();
+    rt.run([](Comm& world) {
+        for (int i = 0; i < 3; ++i) barrier(world);
+    });
+}
+
+TEST_P(CollP, BcastFromEveryInterestingRoot) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        for (int root : {0, p - 1, p / 2}) {
+            std::vector<std::int64_t> buf(n, -1);
+            if (world.rank() == root) {
+                for (std::size_t i = 0; i < n; ++i) buf[i] = val(root, i);
+            }
+            bcast(world, buf.data(), n, Datatype::Int64, root);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(buf[i], val(root, i))
+                    << "rank " << world.rank() << " root " << root;
+            }
+        }
+    });
+}
+
+TEST_P(CollP, GatherToEveryInterestingRoot) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        for (int root : {0, p - 1, p / 2}) {
+            std::vector<std::int64_t> mine(n);
+            for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+            std::vector<std::int64_t> all(n * static_cast<std::size_t>(p), -1);
+            gather(world, mine.data(), n, all.data(), Datatype::Int64, root);
+            if (world.rank() == root) {
+                for (int r = 0; r < p; ++r) {
+                    for (std::size_t i = 0; i < n; ++i) {
+                        ASSERT_EQ(all[static_cast<std::size_t>(r) * n + i],
+                                  val(r, i))
+                            << "root " << root << " block " << r;
+                    }
+                }
+            }
+        }
+    });
+}
+
+TEST_P(CollP, GatherInPlaceAtRoot) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        const int root = p - 1;
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+        std::vector<std::int64_t> all(n * static_cast<std::size_t>(p), -1);
+        if (world.rank() == root) {
+            std::copy(mine.begin(), mine.end(),
+                      all.begin() + static_cast<std::ptrdiff_t>(
+                                        static_cast<std::size_t>(root) * n));
+            gather(world, kInPlace, n, all.data(), Datatype::Int64, root);
+            for (int r = 0; r < p; ++r) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    ASSERT_EQ(all[static_cast<std::size_t>(r) * n + i],
+                              val(r, i));
+                }
+            }
+        } else {
+            gather(world, mine.data(), n, nullptr, Datatype::Int64, root);
+        }
+    });
+}
+
+TEST_P(CollP, ScatterFromEveryInterestingRoot) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        for (int root : {0, p - 1, p / 2}) {
+            std::vector<std::int64_t> all;
+            if (world.rank() == root) {
+                all.resize(n * static_cast<std::size_t>(p));
+                for (int r = 0; r < p; ++r) {
+                    for (std::size_t i = 0; i < n; ++i) {
+                        all[static_cast<std::size_t>(r) * n + i] = val(r, i);
+                    }
+                }
+            }
+            std::vector<std::int64_t> mine(n, -1);
+            scatter(world, world.rank() == root ? all.data() : nullptr, n,
+                    mine.data(), Datatype::Int64, root);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(mine[i], val(world.rank(), i))
+                    << "rank " << world.rank() << " root " << root;
+            }
+        }
+    });
+}
+
+TEST_P(CollP, Allgather) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+        std::vector<std::int64_t> all(n * static_cast<std::size_t>(p), -1);
+        allgather(world, mine.data(), n, all.data(), Datatype::Int64);
+        for (int r = 0; r < p; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(all[static_cast<std::size_t>(r) * n + i], val(r, i))
+                    << "rank " << world.rank() << " block " << r;
+            }
+        }
+    });
+}
+
+TEST_P(CollP, AllgatherInPlace) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::int64_t> all(n * static_cast<std::size_t>(p), -1);
+        for (std::size_t i = 0; i < n; ++i) {
+            all[static_cast<std::size_t>(world.rank()) * n + i] =
+                val(world.rank(), i);
+        }
+        allgather(world, kInPlace, n, all.data(), Datatype::Int64);
+        for (int r = 0; r < p; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(all[static_cast<std::size_t>(r) * n + i], val(r, i));
+            }
+        }
+    });
+}
+
+TEST_P(CollP, AllgathervWithRankDependentCounts) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+        std::size_t total = 0;
+        for (int r = 0; r < p; ++r) {
+            counts[static_cast<std::size_t>(r)] =
+                n + static_cast<std::size_t>(r % 3);
+            displs[static_cast<std::size_t>(r)] = total;
+            total += counts[static_cast<std::size_t>(r)];
+        }
+        const std::size_t my_count =
+            counts[static_cast<std::size_t>(world.rank())];
+        std::vector<std::int64_t> mine(my_count);
+        for (std::size_t i = 0; i < my_count; ++i) {
+            mine[i] = val(world.rank(), i);
+        }
+        std::vector<std::int64_t> all(total, -1);
+        allgatherv(world, mine.data(), my_count, all.data(), counts, displs,
+                   Datatype::Int64);
+        for (int r = 0; r < p; ++r) {
+            for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)];
+                 ++i) {
+                ASSERT_EQ(all[displs[static_cast<std::size_t>(r)] + i],
+                          val(r, i))
+                    << "rank " << world.rank() << " block " << r;
+            }
+        }
+    });
+}
+
+TEST_P(CollP, GathervAndScatterv) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        const int root = p / 2;
+        std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+        std::size_t total = 0;
+        for (int r = 0; r < p; ++r) {
+            counts[static_cast<std::size_t>(r)] =
+                n + static_cast<std::size_t>((r * 2) % 5);
+            displs[static_cast<std::size_t>(r)] = total;
+            total += counts[static_cast<std::size_t>(r)];
+        }
+        const std::size_t my_count =
+            counts[static_cast<std::size_t>(world.rank())];
+
+        // gatherv
+        std::vector<std::int64_t> mine(my_count);
+        for (std::size_t i = 0; i < my_count; ++i) {
+            mine[i] = val(world.rank(), i);
+        }
+        std::vector<std::int64_t> all(total, -1);
+        gatherv(world, mine.data(), my_count,
+                world.rank() == root ? all.data() : nullptr, counts, displs,
+                Datatype::Int64, root);
+        if (world.rank() == root) {
+            for (int r = 0; r < p; ++r) {
+                for (std::size_t i = 0;
+                     i < counts[static_cast<std::size_t>(r)]; ++i) {
+                    ASSERT_EQ(all[displs[static_cast<std::size_t>(r)] + i],
+                              val(r, i));
+                }
+            }
+        }
+
+        // scatterv the same data back out.
+        std::vector<std::int64_t> back(my_count, -1);
+        scatterv(world, world.rank() == root ? all.data() : nullptr, counts,
+                 displs, back.data(), my_count, Datatype::Int64, root);
+        for (std::size_t i = 0; i < my_count; ++i) {
+            ASSERT_EQ(back[i], val(world.rank(), i));
+        }
+    });
+}
+
+TEST_P(CollP, ReduceSumExactInt) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        const int root = p - 1;
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+        std::vector<std::int64_t> out(n, -1);
+        reduce(world, mine.data(), world.rank() == root ? out.data() : nullptr,
+               n, Datatype::Int64, Op::Sum, root);
+        if (world.rank() == root) {
+            for (std::size_t i = 0; i < n; ++i) {
+                std::int64_t want = 0;
+                for (int r = 0; r < p; ++r) want += val(r, i);
+                ASSERT_EQ(out[i], want) << "element " << i;
+            }
+        }
+    });
+}
+
+TEST_P(CollP, AllreduceSumMaxMin) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+
+        std::vector<std::int64_t> sum(n, -1);
+        allreduce(world, mine.data(), sum.data(), n, Datatype::Int64, Op::Sum);
+        std::vector<std::int64_t> mx(n, -1);
+        allreduce(world, mine.data(), mx.data(), n, Datatype::Int64, Op::Max);
+        std::vector<std::int64_t> mn(n, -1);
+        allreduce(world, mine.data(), mn.data(), n, Datatype::Int64, Op::Min);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t wsum = 0;
+            for (int r = 0; r < p; ++r) wsum += val(r, i);
+            ASSERT_EQ(sum[i], wsum);
+            ASSERT_EQ(mx[i], val(p - 1, i));  // val increases with rank
+            ASSERT_EQ(mn[i], val(0, i));
+        }
+    });
+}
+
+TEST_P(CollP, AllreduceInPlace) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::int64_t> buf(n);
+        for (std::size_t i = 0; i < n; ++i) buf[i] = val(world.rank(), i);
+        allreduce(world, kInPlace, buf.data(), n, Datatype::Int64, Op::Sum);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t want = 0;
+            for (int r = 0; r < p; ++r) want += val(r, i);
+            ASSERT_EQ(buf[i], want);
+        }
+    });
+}
+
+TEST_P(CollP, AlltoallPersonalizedExchange) {
+    Runtime rt = make_rt();
+    const std::size_t n = count();
+    rt.run([n](Comm& world) {
+        const int p = world.size();
+        std::vector<std::int64_t> out(n * static_cast<std::size_t>(p));
+        for (int d = 0; d < p; ++d) {
+            for (std::size_t i = 0; i < n; ++i) {
+                // Encode (me, dest, i).
+                out[static_cast<std::size_t>(d) * n + i] =
+                    val(world.rank() * 131 + d, i);
+            }
+        }
+        std::vector<std::int64_t> in(n * static_cast<std::size_t>(p), -1);
+        alltoall(world, out.data(), n, in.data(), Datatype::Int64);
+        for (int s = 0; s < p; ++s) {
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(in[static_cast<std::size_t>(s) * n + i],
+                          val(s * 131 + world.rank(), i))
+                    << "rank " << world.rank() << " from " << s;
+            }
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollP,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kShapes))),
+                       ::testing::Values<std::size_t>(0, 1, 3, 17, 256, 4099)),
+    [](const ::testing::TestParamInfo<CollP::ParamType>& info) {
+        return std::string(kShapes[std::get<0>(info.param)].name) + "_c" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

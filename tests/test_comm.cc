@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+TEST(Comm, WorldIdentity) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        EXPECT_EQ(world.size(), 6);
+        EXPECT_TRUE(world.valid());
+        EXPECT_EQ(world.to_world(), world.rank());
+        EXPECT_EQ(world.from_world(world.rank()), world.rank());
+    });
+}
+
+TEST(Comm, SplitEvenOdd) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm half = world.split(world.rank() % 2);
+        EXPECT_EQ(half.size(), 3);
+        // Members keep relative order (key defaults equal -> parent order).
+        EXPECT_EQ(half.to_world(half.rank()), world.rank());
+        EXPECT_EQ(half.rank(), world.rank() / 2);
+    });
+}
+
+TEST(Comm, SplitKeyReversesOrder) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm rev = world.split(0, -world.rank());
+        EXPECT_EQ(rev.size(), 4);
+        EXPECT_EQ(rev.rank(), 3 - world.rank());
+        EXPECT_EQ(rev.to_world(0), 3);
+    });
+}
+
+TEST(Comm, SplitUndefinedYieldsNullComm) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm c = world.split(world.rank() == 0 ? 0 : kUndefined);
+        if (world.rank() == 0) {
+            EXPECT_TRUE(c.valid());
+            EXPECT_EQ(c.size(), 1);
+        } else {
+            EXPECT_FALSE(c.valid());
+            EXPECT_THROW(c.size(), CommError);
+        }
+    });
+}
+
+TEST(Comm, SplitSharedGroupsByNode) {
+    Runtime rt(ClusterSpec::irregular({2, 4, 1}), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm shm = world.split_shared();
+        const int my_node = world.ctx().cluster->node_of(world.rank());
+        EXPECT_EQ(shm.size(),
+                  world.ctx().cluster->procs_on_node(my_node));
+        for (int r = 0; r < shm.size(); ++r) {
+            EXPECT_EQ(world.ctx().cluster->node_of(shm.to_world(r)), my_node);
+        }
+    });
+}
+
+TEST(Comm, NestedSplits) {
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm shm = world.split_shared();       // 2 comms of 4
+        Comm pair = shm.split(shm.rank() / 2); // 2 comms of 2 per node
+        EXPECT_EQ(pair.size(), 2);
+        Comm solo = pair.split(pair.rank());   // singleton comms
+        EXPECT_EQ(solo.size(), 1);
+        EXPECT_EQ(solo.rank(), 0);
+        EXPECT_EQ(solo.to_world(0), world.rank());
+    });
+}
+
+TEST(Comm, DupPreservesGroupButSeparatesTraffic) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm dup = world.dup();
+        EXPECT_EQ(dup.size(), world.size());
+        EXPECT_EQ(dup.rank(), world.rank());
+        // A message sent on world must not match a recv on dup.
+        if (world.rank() == 0) {
+            send_value(world, 1, 1, 0);
+            send_value(dup, 2, 1, 0);
+        } else {
+            EXPECT_EQ(recv_value<int>(dup, 0, 0), 2);
+            EXPECT_EQ(recv_value<int>(world, 0, 0), 1);
+        }
+    });
+}
+
+TEST(Comm, CollectiveOnSubcommunicatorOnly) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm shm = world.split_shared();
+        int v = (shm.rank() == 0) ? world.rank() + 50 : -1;
+        bcast(shm, &v, 1, Datatype::Int32, 0);
+        // Each node's broadcast root is its first world rank.
+        const int expect = (world.rank() < 2) ? 50 : 52;
+        EXPECT_EQ(v, expect);
+    });
+}
+
+TEST(Comm, ManySequentialSplitsStayAligned) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        // The per-rank collective epochs must line up over many calls.
+        for (int i = 0; i < 20; ++i) {
+            Comm c = world.split((world.rank() + i) % 2);
+            EXPECT_EQ(c.size(), 2);
+            barrier(c);
+        }
+    });
+}
+
+TEST(Comm, NodeOfQueriesTopology) {
+    Runtime rt(ClusterSpec::regular(3, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_EQ(world.node_of(r), r / 2);
+        }
+    });
+}
+
+TEST(Comm, SplitChargesOneOffTime) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    auto clocks = rt.run([](Comm& world) { world.split(0); });
+    for (VTime t : clocks) EXPECT_GT(t, 0.0);
+    // Collective coordination synchronizes the members' clocks.
+    for (VTime t : clocks) EXPECT_DOUBLE_EQ(t, clocks[0]);
+}

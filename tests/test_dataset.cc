@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "apps/dataset.h"
+#include "linalg/rng.h"
+
+using namespace apps;
+
+TEST(Dataset, ShapeAndDensity) {
+    const auto d = SparseDataset::chembl_like(200, 80, 0.1, 1);
+    EXPECT_EQ(d.rows(), 200);
+    EXPECT_EQ(d.cols(), 80);
+    const std::size_t target = static_cast<std::size_t>(0.1 * 200 * 80);
+    EXPECT_NEAR(static_cast<double>(d.nnz() + d.test_set().size()),
+                static_cast<double>(target), 1.0);
+}
+
+TEST(Dataset, CsrCscConsistent) {
+    const auto d = SparseDataset::chembl_like(100, 50, 0.2, 2);
+    std::map<std::pair<int, int>, double> from_rows;
+    for (int r = 0; r < d.rows(); ++r) {
+        const auto idx = d.row_cols(r);
+        const auto val = d.row_vals(r);
+        for (std::size_t t = 0; t < idx.size(); ++t) {
+            from_rows[{r, idx[t]}] = val[t];
+        }
+    }
+    EXPECT_EQ(from_rows.size(), d.nnz());
+    std::size_t seen = 0;
+    for (int c = 0; c < d.cols(); ++c) {
+        const auto idx = d.col_rows(c);
+        const auto val = d.col_vals(c);
+        ASSERT_EQ(idx.size(), static_cast<std::size_t>(d.col_nnz(c)));
+        for (std::size_t t = 0; t < idx.size(); ++t, ++seen) {
+            auto it = from_rows.find({idx[t], c});
+            ASSERT_NE(it, from_rows.end());
+            EXPECT_DOUBLE_EQ(it->second, val[t]);
+        }
+    }
+    EXPECT_EQ(seen, d.nnz());
+}
+
+TEST(Dataset, DeterministicBySeed) {
+    const auto a = SparseDataset::chembl_like(60, 30, 0.2, 7);
+    const auto b = SparseDataset::chembl_like(60, 30, 0.2, 7);
+    const auto c = SparseDataset::chembl_like(60, 30, 0.2, 8);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (int r = 0; r < 60; ++r) {
+        ASSERT_EQ(a.row_nnz(r), b.row_nnz(r));
+        const auto va = a.row_vals(r);
+        const auto vb = b.row_vals(r);
+        for (std::size_t i = 0; i < va.size(); ++i) {
+            ASSERT_DOUBLE_EQ(va[i], vb[i]);
+        }
+    }
+    EXPECT_NE(a.nnz(), c.nnz());  // overwhelmingly likely
+}
+
+TEST(Dataset, GroundTruthFitsItsOwnData) {
+    // The generator's low-rank + noise model must be recoverable: residuals
+    // of the true factors are at the noise level on BOTH train and test.
+    const int k = 4;
+    const double noise = 0.1;
+    const auto d = SparseDataset::chembl_like(150, 60, 0.25, 1234, k, noise);
+    linalg::Rng rng(1234);
+    const double scale = 1.25 / std::sqrt(std::sqrt(static_cast<double>(k)));
+    std::vector<double> u(150 * k), v(60 * k);
+    for (auto& x : u) x = rng.normal() * scale;
+    for (auto& x : v) x = rng.normal() * scale;
+    auto pred = [&](int r, int c) {
+        double p = 0;
+        for (int j = 0; j < k; ++j) {
+            p += u[static_cast<std::size_t>(r * k + j)] *
+                 v[static_cast<std::size_t>(c * k + j)];
+        }
+        return p;
+    };
+    double se = 0;
+    std::size_t n = 0;
+    for (int r = 0; r < d.rows(); ++r) {
+        const auto idx = d.row_cols(r);
+        const auto val = d.row_vals(r);
+        for (std::size_t t = 0; t < idx.size(); ++t, ++n) {
+            const double e = pred(r, idx[t]) - val[t];
+            se += e * e;
+        }
+    }
+    EXPECT_NEAR(std::sqrt(se / static_cast<double>(n)), noise, 0.02);
+}
+
+TEST(Dataset, HoldoutIsDisjointFraction) {
+    const auto d = SparseDataset::chembl_like(100, 40, 0.3, 5, 4, 0.1, 0.2);
+    const double frac =
+        static_cast<double>(d.test_set().size()) /
+        static_cast<double>(d.nnz() + d.test_set().size());
+    EXPECT_NEAR(frac, 0.2, 0.04);
+    // Holdout cells are not in the training set.
+    std::map<std::pair<int, int>, bool> train;
+    for (int r = 0; r < d.rows(); ++r) {
+        for (int c : d.row_cols(r)) train[{r, c}] = true;
+    }
+    for (const auto& t : d.test_set()) {
+        EXPECT_FALSE(train.count({t.row, t.col}));
+    }
+}
+
+TEST(Dataset, StructureOnlyCountsWithoutIndices) {
+    const auto d = SparseDataset::structure_only(500, 100, 0.05, 3);
+    EXPECT_TRUE(d.is_structure_only());
+    EXPECT_GT(d.nnz(), 0u);
+    std::size_t total = 0;
+    for (int r = 0; r < d.rows(); ++r) {
+        EXPECT_GE(d.row_nnz(r), 1);
+        total += static_cast<std::size_t>(d.row_nnz(r));
+    }
+    EXPECT_EQ(total, d.nnz());
+    // Average close to density * cols.
+    EXPECT_NEAR(static_cast<double>(total) / 500.0, 0.05 * 100, 1.0);
+    EXPECT_THROW(d.row_cols(0), std::logic_error);
+    EXPECT_THROW(d.col_vals(0), std::logic_error);
+}
+
+TEST(Dataset, RejectsBadParameters) {
+    EXPECT_THROW(SparseDataset::chembl_like(0, 10, 0.1, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(SparseDataset::chembl_like(10, 10, 0.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(SparseDataset::chembl_like(10, 10, 1.5, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(SparseDataset::structure_only(10, -1, 0.1, 1),
+                 std::invalid_argument);
+}

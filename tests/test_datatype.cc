@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hybrid/hympi.h"
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+namespace {
+
+/// A RankCtx suitable for charging outside a Runtime (model only).
+struct CtxFixture {
+    ClusterSpec cluster = ClusterSpec::regular(1, 1);
+    ModelParams model = ModelParams::test();
+    RankCtx ctx;
+    CtxFixture() {
+        ctx.world_rank = 0;
+        ctx.cluster = &cluster;
+        ctx.model = &model;
+        ctx.payload_mode = PayloadMode::Real;
+    }
+};
+
+}  // namespace
+
+TEST(Layout, ContiguousRoundTrip) {
+    CtxFixture f;
+    Layout l = Layout::contiguous(16);
+    EXPECT_EQ(l.size(), 16u);
+    EXPECT_EQ(l.extent(), 16u);
+    std::vector<std::byte> src(16), packed(16), back(16);
+    for (std::size_t i = 0; i < 16; ++i) src[i] = static_cast<std::byte>(i);
+    EXPECT_EQ(l.pack(f.ctx, src.data(), packed.data()), 16u);
+    EXPECT_EQ(packed, src);
+    EXPECT_EQ(l.unpack(f.ctx, packed.data(), back.data()), 16u);
+    EXPECT_EQ(back, src);
+}
+
+TEST(Layout, VectorStridedColumns) {
+    // Extract column 1 of a 4x3 byte matrix: count=4, block=1, stride=3.
+    CtxFixture f;
+    Layout col = Layout::vector(4, 1, 3);
+    EXPECT_EQ(col.size(), 4u);
+    EXPECT_EQ(col.extent(), 10u);
+    std::vector<std::byte> m(12);
+    std::iota(reinterpret_cast<unsigned char*>(m.data()),
+              reinterpret_cast<unsigned char*>(m.data()) + 12, 0);
+    std::vector<std::byte> packed(4);
+    // Column 1 starts at offset 1.
+    col.pack(f.ctx, m.data() + 1, packed.data());
+    EXPECT_EQ(static_cast<int>(packed[0]), 1);
+    EXPECT_EQ(static_cast<int>(packed[1]), 4);
+    EXPECT_EQ(static_cast<int>(packed[2]), 7);
+    EXPECT_EQ(static_cast<int>(packed[3]), 10);
+
+    // Unpack into a zeroed matrix restores just that column.
+    std::vector<std::byte> out(12, std::byte{0});
+    col.unpack(f.ctx, packed.data(), out.data() + 1);
+    EXPECT_EQ(static_cast<int>(out[4]), 4);
+    EXPECT_EQ(static_cast<int>(out[0]), 0);
+}
+
+TEST(Layout, VectorRejectsOverlappingStride) {
+    EXPECT_THROW(Layout::vector(3, 8, 4), ArgumentError);
+}
+
+TEST(Layout, IndexedSkipsEmptyExtents) {
+    Layout l = Layout::indexed({{0, 4}, {10, 0}, {8, 2}});
+    EXPECT_EQ(l.size(), 6u);
+    EXPECT_EQ(l.num_extents(), 2u);
+    EXPECT_EQ(l.extent(), 10u);
+}
+
+TEST(Layout, PackChargesVirtualTime) {
+    CtxFixture f;
+    Layout l = Layout::vector(8, 64, 128);
+    std::vector<std::byte> src(l.extent()), out(l.size());
+    const VTime before = f.ctx.clock.now();
+    l.pack(f.ctx, src.data(), out.data());
+    // 8 extents, 64 bytes each.
+    const VTime want = 8 * (f.model.memcpy_alpha_us +
+                            64 * f.model.memcpy_beta_us_per_byte);
+    EXPECT_NEAR(f.ctx.clock.now() - before, want, 1e-9);
+}
+
+TEST(Layout, RepackRankOrderUnderRoundRobin) {
+    Runtime rt(ClusterSpec::regular(3, 3, Placement::RoundRobin),
+               ModelParams::cray());
+    rt.run([](Comm& world) {
+        hympi::HierComm hc(world);
+        ASSERT_FALSE(hc.smp_contiguous());
+        const std::size_t bb = sizeof(std::int64_t);
+        hympi::AllgatherChannel ch(hc, bb);
+        *reinterpret_cast<std::int64_t*>(ch.my_block()) =
+            900 + world.rank();
+        ch.run();
+        std::vector<std::int64_t> rank_order(
+            static_cast<std::size_t>(world.size()));
+        ch.repack_rank_order(rank_order.data());
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_EQ(rank_order[static_cast<std::size_t>(r)], 900 + r)
+                << "rank-order slot " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(Layout, RepackCostsMoreThanSlotAccess) {
+    // The Sect. 6 point: pack/unpack has a price; the slot map is free.
+    Runtime rt(ClusterSpec::regular(2, 4, Placement::RoundRobin),
+               ModelParams::cray(), PayloadMode::SizeOnly);
+    auto clocks = rt.run([](Comm& world) {
+        hympi::HierComm hc(world);
+        hympi::AllgatherChannel ch(hc, 4096);
+        ch.run();
+        const VTime before = world.ctx().clock.now();
+        ch.repack_rank_order(nullptr);
+        EXPECT_GT(world.ctx().clock.now() - before, 1.0)
+            << "repacking 8 x 4 KiB must cost real virtual time";
+    });
+    (void)clocks;
+}

@@ -1,0 +1,117 @@
+// End-to-end determinism: the virtual clocks of every layer (collectives,
+// hybrid channels, SUMMA, BPMF) are bit-identical across repeated runs —
+// the property that makes single-execution benchmarking sound.
+
+#include <gtest/gtest.h>
+
+#include "apps/bpmf.h"
+#include "apps/summa.h"
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+using namespace apps;
+
+namespace {
+
+template <typename F>
+std::vector<VTime> run_twice_expect_equal(const ClusterSpec& spec,
+                                          const ModelParams& m, F body,
+                                          PayloadMode mode = PayloadMode::Real) {
+    Runtime rt1(spec, m, mode);
+    Runtime rt2(spec, m, mode);
+    const auto a = rt1.run(body);
+    const auto b = rt2.run(body);
+    EXPECT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "rank " << i;
+    }
+    return a;
+}
+
+}  // namespace
+
+TEST(Determinism, HybridChannels) {
+    run_twice_expect_equal(
+        ClusterSpec::irregular({3, 5, 2}), ModelParams::cray(),
+        [](Comm& world) {
+            HierComm hc(world);
+            AllgatherChannel ag(hc, 256);
+            BcastChannel bc(hc, 512);
+            for (int i = 0; i < 4; ++i) {
+                ag.run(SyncPolicy::Barrier);
+                ag.quiesce();
+                bc.run(i % world.size(), SyncPolicy::Flags);
+            }
+        });
+}
+
+TEST(Determinism, HybridExtensions) {
+    run_twice_expect_equal(
+        ClusterSpec::regular(2, 4), ModelParams::openmpi(), [](Comm& world) {
+            HierComm hc(world);
+            AllreduceChannel ar(hc, 64, Datatype::Double);
+            AlltoallChannel a2a(hc, 32);
+            std::vector<double> zeros(64, 0.0);
+            std::memcpy(ar.my_input(), zeros.data(), 64 * sizeof(double));
+            for (int i = 0; i < 3; ++i) {
+                ar.run(Op::Sum);
+                a2a.run();
+            }
+        });
+}
+
+TEST(Determinism, SummaBothBackends) {
+    for (Backend backend : {Backend::PureMpi, Backend::Hybrid}) {
+        run_twice_expect_equal(
+            ClusterSpec::regular(2, 2), ModelParams::cray(),
+            [backend](Comm& world) {
+                SummaConfig cfg;
+                cfg.grid = 2;
+                cfg.block = 16;
+                cfg.backend = backend;
+                Summa summa(world, cfg);
+                summa.init([](std::size_t i, std::size_t j) {
+                               return 0.1 * static_cast<double>(i + j);
+                           },
+                           [](std::size_t i, std::size_t j) {
+                               return static_cast<double>(i) -
+                                      0.5 * static_cast<double>(j);
+                           });
+                summa.multiply();
+                summa.multiply();
+            });
+    }
+}
+
+TEST(Determinism, BpmfFullPipeline) {
+    const auto data = SparseDataset::chembl_like(80, 40, 0.3, 17, 4);
+    run_twice_expect_equal(ClusterSpec::regular(2, 3), ModelParams::cray(),
+                           [&](Comm& world) {
+                               BpmfConfig cfg;
+                               cfg.num_latent = 4;
+                               cfg.iterations = 3;
+                               cfg.backend = Backend::Hybrid;
+                               Bpmf bpmf(world, data, cfg);
+                               bpmf.run();
+                           });
+}
+
+TEST(Determinism, SizeOnlyBenchesMatchRealExecution) {
+    // The exact scenario of the figure benches: SizeOnly virtual times must
+    // equal the Real ones for the hybrid allgather channel.
+    auto body = [](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, 4096);
+        for (int i = 0; i < 3; ++i) ch.run();
+    };
+    Runtime real_rt(ClusterSpec::regular(3, 4), ModelParams::cray(),
+                    PayloadMode::Real);
+    Runtime size_rt(ClusterSpec::regular(3, 4), ModelParams::cray(),
+                    PayloadMode::SizeOnly);
+    const auto real = real_rt.run(body);
+    const auto sized = size_rt.run(body);
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        EXPECT_DOUBLE_EQ(real[i], sized[i]) << "rank " << i;
+    }
+}

@@ -1,0 +1,171 @@
+// Cross-cutting edge cases that the per-module suites do not pin down:
+// zero-size contributions in the hybrid channels, SizeOnly coverage of
+// every extension channel, repack on SMP layouts, accessor/owner mapping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "apps/bpmf.h"
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+TEST(EdgeCases, HybridAllgatherWithZeroByteRanks) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        // Odd ranks contribute nothing at all.
+        std::vector<std::size_t> bytes(static_cast<std::size_t>(world.size()));
+        for (int r = 0; r < world.size(); ++r) {
+            bytes[static_cast<std::size_t>(r)] = (r % 2 == 0) ? 16 : 0;
+        }
+        AllgatherChannel ch(hc, bytes);
+        if (world.rank() % 2 == 0) {
+            std::memset(ch.my_block(), world.rank() + 1, 16);
+        }
+        ch.run();
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_EQ(ch.block_size(r), (r % 2 == 0) ? 16u : 0u);
+            if (r % 2 == 0) {
+                EXPECT_EQ(static_cast<int>(ch.block_of(r)[0]), r + 1);
+            }
+        }
+        barrier(world);
+    });
+}
+
+TEST(EdgeCases, HybridAllgatherAllZero) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, std::size_t{0});
+        ch.run();  // nothing to move; must still synchronize and terminate
+        EXPECT_EQ(ch.total_bytes(), 0u);
+        barrier(world);
+    });
+}
+
+TEST(EdgeCases, ExtensionChannelsRunInSizeOnlyMode) {
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::cray(),
+               PayloadMode::SizeOnly);
+    auto clocks = rt.run([](Comm& world) {
+        HierComm hc(world);
+        AllreduceChannel ar(hc, 64, Datatype::Double);
+        ar.run(Op::Sum);
+        GatherChannel g(hc, 128, 0);
+        g.run();
+        ScatterChannel s(hc, 128, world.size() - 1);
+        s.run();
+        ReduceChannel r(hc, 32, Datatype::Int64, 1);
+        r.run(Op::Max);
+        AlltoallChannel a(hc, 16);
+        a.run();
+        HaloExchange1D hx(hc, 256, 8, HaloBackend::Hybrid);
+        hx.publish_and_exchange();
+    });
+    for (VTime t : clocks) EXPECT_GT(t, 0.0);
+}
+
+TEST(EdgeCases, RepackMatchesBlockAccessUnderSmp) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bb = 24;
+        AllgatherChannel ch(hc, bb);
+        for (std::size_t i = 0; i < bb; ++i) {
+            ch.my_block()[i] =
+                static_cast<std::byte>((world.rank() + static_cast<int>(i)) & 0xFF);
+        }
+        ch.run();
+        std::vector<std::byte> packed(ch.total_bytes());
+        ch.repack_rank_order(packed.data());
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_EQ(std::memcmp(packed.data() + static_cast<std::size_t>(r) * bb,
+                                  ch.block_of(r), bb),
+                      0)
+                << "rank " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(EdgeCases, BpmfVectorAccessorsMapOwnership) {
+    const auto data = apps::SparseDataset::chembl_like(40, 20, 0.4, 3, 4);
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+    rt.run([&](Comm& world) {
+        apps::BpmfConfig cfg;
+        cfg.num_latent = 4;
+        cfg.backend = apps::Backend::Hybrid;
+        apps::Bpmf bpmf(world, data, cfg);
+        bpmf.step();
+        // Every movie/user vector is finite and readable from every rank.
+        for (int m = 0; m < data.rows(); ++m) {
+            const double* v = bpmf.movie_vec(m);
+            ASSERT_NE(v, nullptr);
+            for (int j = 0; j < 4; ++j) {
+                ASSERT_TRUE(std::isfinite(v[j]));
+            }
+        }
+        for (int n = 0; n < data.cols(); ++n) {
+            ASSERT_NE(bpmf.user_vec(n), nullptr);
+        }
+        barrier(world);
+    });
+}
+
+TEST(EdgeCases, SingleRankWorldSupportsEverything) {
+    Runtime rt(ClusterSpec::regular(1, 1), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        EXPECT_TRUE(hc.is_leader());
+        EXPECT_EQ(hc.num_nodes(), 1);
+
+        AllgatherChannel ag(hc, 8);
+        *reinterpret_cast<std::int64_t*>(ag.my_block()) = 42;
+        ag.run();
+        EXPECT_EQ(*reinterpret_cast<std::int64_t*>(ag.block_of(0)), 42);
+
+        BcastChannel bc(hc, 8);
+        *reinterpret_cast<std::int64_t*>(bc.write_buffer()) = 7;
+        bc.run(0);
+        EXPECT_EQ(*reinterpret_cast<std::int64_t*>(bc.read_buffer()), 7);
+
+        AllreduceChannel ar(hc, 1, Datatype::Int64);
+        *reinterpret_cast<std::int64_t*>(ar.my_input()) = 13;
+        ar.run(Op::Sum);
+        EXPECT_EQ(*reinterpret_cast<const std::int64_t*>(ar.result()), 13);
+
+        HaloExchange1D hx(hc, 4, 2, HaloBackend::Hybrid);
+        double* w = hx.write_cells();
+        for (int i = 0; i < 4; ++i) w[i] = i;
+        hx.publish_and_exchange();
+        // Periodic wrap onto itself.
+        EXPECT_DOUBLE_EQ(hx.left_halo()[0], 2.0);
+        EXPECT_DOUBLE_EQ(hx.right_halo()[0], 0.0);
+    });
+}
+
+TEST(EdgeCases, ChannelsOnSubCommunicator) {
+    // The hybrid machinery works on any communicator, not just world —
+    // SUMMA uses it on row/column comms.
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::cray());
+    rt.run([](Comm& world) {
+        Comm evens = world.split(world.rank() % 2 == 0 ? 0 : kUndefined);
+        if (evens.valid()) {
+            HierComm hc(evens);
+            EXPECT_EQ(hc.world().size(), 4);
+            AllgatherChannel ch(hc, sizeof(int));
+            *reinterpret_cast<int*>(ch.my_block()) = world.rank();
+            ch.run();
+            for (int r = 0; r < evens.size(); ++r) {
+                EXPECT_EQ(*reinterpret_cast<const int*>(ch.block_of(r)),
+                          evens.to_world(r));
+            }
+            barrier(evens);
+        }
+        barrier(world);
+    });
+}

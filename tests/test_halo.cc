@@ -1,0 +1,180 @@
+// 1D halo exchange (the hybrid point-to-point extension): ghost regions
+// must always mirror the periodic neighbors' boundary cells, both backends
+// must agree, and the hybrid interior must be genuinely zero-copy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+double cell_value(int rank, std::size_t i, int epoch) {
+    return 1000.0 * rank + static_cast<double>(i) + 0.001 * epoch;
+}
+
+}  // namespace
+
+class HaloP : public ::testing::TestWithParam<
+                  std::tuple<HaloBackend, SyncPolicy, int /*shape*/>> {
+protected:
+    static ClusterSpec shape(int idx) {
+        switch (idx) {
+            case 0: return ClusterSpec::regular(1, 1);
+            case 1: return ClusterSpec::regular(1, 5);
+            case 2: return ClusterSpec::regular(3, 2);
+            default: return ClusterSpec::irregular({2, 4, 1});
+        }
+    }
+};
+
+TEST_P(HaloP, GhostsMirrorNeighbors) {
+    const auto [backend, sync, shape_idx] = GetParam();
+    Runtime rt(shape(shape_idx), ModelParams::cray());
+    rt.run([&, backend = backend, sync = sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t cells = 12, halo = 3;
+        HaloExchange1D hx(hc, cells, halo, backend);
+        const int p = world.size();
+
+        for (int epoch = 0; epoch < 3; ++epoch) {
+            double* w = hx.write_cells();
+            for (std::size_t i = 0; i < cells; ++i) {
+                w[i] = cell_value(world.rank(), i, epoch);
+            }
+            hx.publish_and_exchange(sync);
+
+            const int left = (world.rank() - 1 + p) % p;
+            const int right = (world.rank() + 1) % p;
+            for (std::size_t i = 0; i < halo; ++i) {
+                ASSERT_DOUBLE_EQ(hx.left_halo()[i],
+                                 cell_value(left, cells - halo + i, epoch))
+                    << "epoch " << epoch << " rank " << world.rank();
+                ASSERT_DOUBLE_EQ(hx.right_halo()[i],
+                                 cell_value(right, i, epoch));
+            }
+            for (std::size_t i = 0; i < cells; ++i) {
+                ASSERT_DOUBLE_EQ(hx.cells()[i],
+                                 cell_value(world.rank(), i, epoch));
+            }
+        }
+        barrier(world);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HaloP,
+    ::testing::Combine(::testing::Values(HaloBackend::PureMpi,
+                                         HaloBackend::Hybrid),
+                       ::testing::Values(SyncPolicy::Barrier,
+                                         SyncPolicy::Flags),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+        std::string s = std::get<0>(info.param) == HaloBackend::PureMpi
+                            ? "ori"
+                            : "hy";
+        s += std::get<1>(info.param) == SyncPolicy::Barrier ? "_bar" : "_flag";
+        s += "_s" + std::to_string(std::get<2>(info.param));
+        return s;
+    });
+
+TEST(Halo, HybridInteriorHaloIsZeroCopyAlias) {
+    Runtime rt(ClusterSpec::regular(1, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        HaloExchange1D hx(hc, 8, 2, HaloBackend::Hybrid);
+        double* w = hx.write_cells();
+        for (std::size_t i = 0; i < 8; ++i) w[i] = world.rank() + 0.125;
+        hx.publish_and_exchange();
+        if (world.rank() == 1) {
+            // My left halo must be the exact addresses of rank 0's cells.
+            EXPECT_EQ(hx.left_halo(), hx.cells() - 2)
+                << "adjacent ranks share one slab";
+        }
+        barrier(world);
+    });
+}
+
+TEST(Halo, StencilConvergesIdenticallyOnBothBackends) {
+    // Jacobi smoothing of a periodic profile: after k steps both backends
+    // must hold bit-identical cell values.
+    auto run_steps = [](HaloBackend backend) {
+        Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+        std::vector<double> snapshot;
+        std::mutex mu;
+        rt.run([&](Comm& world) {
+            HierComm hc(world);
+            const std::size_t n = 16;
+            HaloExchange1D hx(hc, n, 1, backend);
+            double* w = hx.write_cells();
+            for (std::size_t i = 0; i < n; ++i) {
+                w[i] = std::sin(0.1 * (world.rank() * n + i));
+            }
+            hx.publish_and_exchange();
+            for (int step = 0; step < 10; ++step) {
+                const double* c = hx.cells();
+                const double* l = hx.left_halo();
+                const double* r = hx.right_halo();
+                double* next = hx.write_cells();
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double left = (i == 0) ? l[0] : c[i - 1];
+                    const double right = (i == n - 1) ? r[0] : c[i + 1];
+                    next[i] = 0.25 * left + 0.5 * c[i] + 0.25 * right;
+                }
+                hx.publish_and_exchange();
+            }
+            if (world.rank() == 2) {
+                std::lock_guard<std::mutex> lock(mu);
+                snapshot.assign(hx.cells(), hx.cells() + n);
+            }
+            barrier(world);
+        });
+        return snapshot;
+    };
+    const auto a = run_steps(HaloBackend::PureMpi);
+    const auto b = run_steps(HaloBackend::Hybrid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "cell " << i;
+    }
+}
+
+TEST(Halo, HybridCheaperThanPureOnWideNodes) {
+    VTime t[2] = {0, 0};
+    for (HaloBackend backend : {HaloBackend::PureMpi, HaloBackend::Hybrid}) {
+        Runtime rt(ClusterSpec::regular(2, 12), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        auto clocks = rt.run([backend](Comm& world) {
+            HierComm hc(world);
+            HaloExchange1D hx(hc, 4096, 64, backend);
+            barrier(world);
+            for (int i = 0; i < 10; ++i) {
+                hx.publish_and_exchange(SyncPolicy::Flags);
+            }
+        });
+        t[backend == HaloBackend::Hybrid] =
+            *std::max_element(clocks.begin(), clocks.end());
+    }
+    EXPECT_GT(t[0], t[1]) << "Ori=" << t[0] << " Hy=" << t[1];
+}
+
+TEST(Halo, RejectsBadConfigurations) {
+    Runtime rt(ClusterSpec::regular(2, 2, Placement::RoundRobin),
+               ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) {
+        HierComm hc(world);
+        HaloExchange1D hx(hc, 8, 2, HaloBackend::Hybrid);
+    }),
+                 ArgumentError);
+    Runtime rt2(ClusterSpec::regular(1, 2), ModelParams::test());
+    EXPECT_THROW(rt2.run([](Comm& world) {
+        HierComm hc(world);
+        HaloExchange1D hx(hc, 4, 8, HaloBackend::Hybrid);  // halo > cells
+    }),
+                 ArgumentError);
+}

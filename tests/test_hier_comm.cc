@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+TEST(HierComm, TwoLevelSplit) {
+    Runtime rt(ClusterSpec::regular(3, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        EXPECT_EQ(hc.num_nodes(), 3);
+        EXPECT_EQ(hc.shm().size(), 4);
+        EXPECT_EQ(hc.my_node(), world.rank() / 4);
+        const bool leader = (world.rank() % 4 == 0);
+        EXPECT_EQ(hc.is_leader(), leader);
+        if (leader) {
+            EXPECT_TRUE(hc.bridge().valid());
+            EXPECT_EQ(hc.bridge().size(), 3);
+            EXPECT_EQ(hc.bridge().rank(), hc.my_node());
+        } else {
+            EXPECT_FALSE(hc.bridge().valid());
+        }
+    });
+}
+
+TEST(HierComm, SlotsAreIdentityUnderSmp) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        EXPECT_TRUE(hc.smp_contiguous());
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_EQ(hc.slot_of(r), r);
+            EXPECT_EQ(hc.rank_at(r), r);
+        }
+    });
+}
+
+TEST(HierComm, SlotsAreNodeMajorUnderRoundRobin) {
+    Runtime rt(ClusterSpec::regular(2, 2, Placement::RoundRobin),
+               ModelParams::test());
+    rt.run([](Comm& world) {
+        // ranks 0,2 -> node 0; ranks 1,3 -> node 1.
+        HierComm hc(world);
+        EXPECT_FALSE(hc.smp_contiguous());
+        EXPECT_EQ(hc.slot_of(0), 0);
+        EXPECT_EQ(hc.slot_of(2), 1);
+        EXPECT_EQ(hc.slot_of(1), 2);
+        EXPECT_EQ(hc.slot_of(3), 3);
+        for (int s = 0; s < 4; ++s) {
+            EXPECT_EQ(hc.slot_of(hc.rank_at(s)), s);
+        }
+        EXPECT_EQ(hc.node_offset(0), 0);
+        EXPECT_EQ(hc.node_offset(1), 2);
+    });
+}
+
+TEST(HierComm, IrregularNodeSizes) {
+    Runtime rt(ClusterSpec::irregular({4, 1, 2}), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        EXPECT_EQ(hc.num_nodes(), 3);
+        EXPECT_EQ(hc.node_size(0), 4);
+        EXPECT_EQ(hc.node_size(1), 1);
+        EXPECT_EQ(hc.node_size(2), 2);
+        EXPECT_EQ(hc.node_offset(2), 5);
+        // The single-rank node's member is its own leader.
+        if (world.rank() == 4) {
+            EXPECT_TRUE(hc.is_leader());
+            EXPECT_EQ(hc.shm().size(), 1);
+        }
+    });
+}
+
+TEST(HierComm, HierarchyOnSubCommunicator) {
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        // Even-world-rank communicator: 2 ranks per node.
+        Comm evens = world.split(world.rank() % 2 == 0 ? 0 : kUndefined);
+        if (!evens.valid()) return;
+        HierComm hc(evens);
+        EXPECT_EQ(hc.num_nodes(), 2);
+        EXPECT_EQ(hc.shm().size(), 2);
+        EXPECT_EQ(hc.world().size(), 4);
+    });
+}
+
+TEST(HierComm, MultiLeaderAssignment) {
+    Runtime rt(ClusterSpec::regular(2, 6), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world, /*leaders_per_node=*/3);
+        const int shm_rank = world.rank() % 6;
+        if (shm_rank < 3) {
+            EXPECT_EQ(hc.leader_index(), shm_rank);
+            EXPECT_TRUE(hc.bridge().valid());
+            EXPECT_EQ(hc.bridge().size(), 2);
+        } else {
+            EXPECT_EQ(hc.leader_index(), -1);
+            EXPECT_FALSE(hc.bridge().valid());
+        }
+    });
+}
+
+TEST(HierComm, MoreLeadersThanRanksClamps) {
+    Runtime rt(ClusterSpec::irregular({2, 5}), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world, /*leaders_per_node=*/4);
+        // Node 0 has only 2 members: both are leaders; node 1 gets 4.
+        if (world.rank() < 2) {
+            EXPECT_EQ(hc.leader_index(), world.rank());
+        }
+        // Bridge for slice 0 spans both nodes; slices 2,3 only node 1.
+        if (hc.leader_index() == 0) {
+            EXPECT_EQ(hc.bridge().size(), 2);
+        }
+        if (hc.leader_index() >= 2) {
+            EXPECT_EQ(hc.bridge().size(), 1);
+        }
+    });
+}
+
+TEST(HierComm, RejectsBadLeaderCount) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) { HierComm hc(world, 0); }),
+                 ArgumentError);
+}
+
+TEST(HierComm, NodeSharedBufferVisibleNodeWide) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        NodeSharedBuffer buf(hc, 3 * sizeof(int));
+        reinterpret_cast<int*>(buf.data())[hc.shm().rank()] = world.rank();
+        barrier(hc.shm());
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(reinterpret_cast<int*>(buf.data())[i],
+                      hc.shm().to_world(i));
+        }
+        barrier(hc.shm());
+    });
+}

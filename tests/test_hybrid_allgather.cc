@@ -1,0 +1,200 @@
+// Hy_Allgather correctness: parameterized over cluster shape, placement,
+// synchronization policy, bridge algorithm and leader count — the data in
+// the node-shared buffer must always equal the naive allgather's result.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+struct Shape {
+    const char* name;
+    std::function<ClusterSpec()> make;
+};
+
+const Shape kShapes[] = {
+    {"single", [] { return ClusterSpec::regular(1, 6); }},
+    {"n2x3", [] { return ClusterSpec::regular(2, 3); }},
+    {"n4x2", [] { return ClusterSpec::regular(4, 2); }},
+    {"n3x1", [] { return ClusterSpec::regular(3, 1); }},
+    {"irr", [] { return ClusterSpec::irregular({4, 2, 3}); }},
+    {"rr", [] { return ClusterSpec::irregular({3, 2, 4}, Placement::RoundRobin); }},
+};
+
+void fill(std::byte* p, std::size_t n, int seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = static_cast<std::byte>((seed * 167 + static_cast<int>(i) * 3) & 0xFF);
+    }
+}
+
+::testing::AssertionResult blocks_ok(const AllgatherChannel& ch, int p,
+                                     int me) {
+    for (int r = 0; r < p; ++r) {
+        const std::byte* b = ch.block_of(r);
+        for (std::size_t i = 0; i < ch.block_size(r); ++i) {
+            const auto want =
+                static_cast<std::byte>((r * 167 + static_cast<int>(i) * 3) & 0xFF);
+            if (b[i] != want) {
+                return ::testing::AssertionFailure()
+                       << "rank " << me << " block " << r << " byte " << i;
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+class HyAllgatherP
+    : public ::testing::TestWithParam<
+          std::tuple<int, SyncPolicy, BridgeAlgo, int /*leaders*/>> {};
+
+TEST_P(HyAllgatherP, GathersCorrectly) {
+    const auto [shape, sync, algo, leaders] = GetParam();
+    Runtime rt(kShapes[shape].make(), ModelParams::cray());
+    rt.run([&, sync = sync, algo = algo, leaders = leaders](Comm& world) {
+        HierComm hc(world, leaders);
+        const std::size_t bb = 96;
+        AllgatherChannel ch(hc, bb);
+        fill(ch.my_block(), bb, world.rank());
+        ch.run(sync, algo);
+        EXPECT_TRUE(blocks_ok(ch, world.size(), world.rank()));
+        barrier(world);
+    });
+}
+
+TEST_P(HyAllgatherP, RepeatedRunsWithMutation) {
+    const auto [shape, sync, algo, leaders] = GetParam();
+    Runtime rt(kShapes[shape].make(), ModelParams::cray());
+    rt.run([&, sync = sync, algo = algo, leaders = leaders](Comm& world) {
+        HierComm hc(world, leaders);
+        const std::size_t bb = 40;
+        AllgatherChannel ch(hc, bb);
+        for (int epoch = 0; epoch < 4; ++epoch) {
+            fill(ch.my_block(), bb, world.rank() + epoch * 1000);
+            ch.run(sync, algo);
+            for (int r = 0; r < world.size(); ++r) {
+                const std::byte* b = ch.block_of(r);
+                const int seed = r + epoch * 1000;
+                for (std::size_t i = 0; i < bb; ++i) {
+                    ASSERT_EQ(b[i], static_cast<std::byte>(
+                                        (seed * 167 + static_cast<int>(i) * 3) &
+                                        0xFF))
+                        << "epoch " << epoch;
+                }
+            }
+            // Readers must quiesce before the next epoch's writes.
+            ch.quiesce(sync);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HyAllgatherP,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(std::size(kShapes))),
+        ::testing::Values(SyncPolicy::Barrier, SyncPolicy::Flags),
+        ::testing::Values(BridgeAlgo::Allgatherv, BridgeAlgo::Bcast,
+                          BridgeAlgo::Pipelined),
+        ::testing::Values(1, 2)),
+    [](const auto& info) {
+        const int shape = std::get<0>(info.param);
+        const SyncPolicy sync = std::get<1>(info.param);
+        const BridgeAlgo algo = std::get<2>(info.param);
+        const int leaders = std::get<3>(info.param);
+        std::string s = kShapes[shape].name;
+        s += sync == SyncPolicy::Barrier ? "_bar" : "_flag";
+        s += algo == BridgeAlgo::Allgatherv
+                 ? "_agv"
+                 : (algo == BridgeAlgo::Bcast ? "_bc" : "_pipe");
+        s += "_L" + std::to_string(leaders);
+        return s;
+    });
+
+TEST(HyAllgather, IrregularBlockSizes) {
+    Runtime rt(ClusterSpec::irregular({3, 2, 2}), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const int p = world.size();
+        std::vector<std::size_t> bytes(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            bytes[static_cast<std::size_t>(r)] =
+                static_cast<std::size_t>((r * 13) % 50);
+        }
+        AllgatherChannel ch(hc, bytes);
+        fill(ch.my_block(), ch.block_size(world.rank()), world.rank());
+        ch.run();
+        EXPECT_TRUE(blocks_ok(ch, p, world.rank()));
+        barrier(world);
+    });
+}
+
+TEST(HyAllgather, LargeBlocksUsePipelineCorrectly) {
+    Runtime rt(ClusterSpec::regular(3, 2), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bb = 300 * 1024;  // several pipeline segments
+        AllgatherChannel ch(hc, bb);
+        fill(ch.my_block(), bb, world.rank());
+        ch.run(SyncPolicy::Barrier, BridgeAlgo::Pipelined);
+        EXPECT_TRUE(blocks_ok(ch, world.size(), world.rank()));
+        barrier(world);
+    });
+}
+
+TEST(HyAllgather, MatchesNaiveAllgatherData) {
+    Runtime rt(ClusterSpec::irregular({2, 4}), ModelParams::cray());
+    rt.run([](Comm& world) {
+        const std::size_t n = 17;
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            mine[i] = world.rank() * 37 + static_cast<std::int64_t>(i);
+        }
+        std::vector<std::int64_t> naive(n * 6);
+        allgather(world, mine.data(), n, naive.data(), Datatype::Int64);
+
+        HierComm hc(world);
+        AllgatherChannel ch(hc, n * sizeof(std::int64_t));
+        std::memcpy(ch.my_block(), mine.data(), n * sizeof(std::int64_t));
+        ch.run();
+        for (int r = 0; r < 6; ++r) {
+            EXPECT_EQ(std::memcmp(ch.block_of(r),
+                                  naive.data() + static_cast<std::size_t>(r) * n,
+                                  n * sizeof(std::int64_t)),
+                      0)
+                << "block " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(HyAllgather, ChannelRejectsWrongArity) {
+    Runtime rt(ClusterSpec::regular(1, 3), ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) {
+        HierComm hc(world);
+        std::vector<std::size_t> bytes(2, 8);  // needs 3
+        AllgatherChannel ch(hc, bytes);
+    }),
+                 ArgumentError);
+}
+
+TEST(HyAllgather, SizeOnlyModeRunsWithoutMemory) {
+    Runtime rt(ClusterSpec::regular(4, 6), ModelParams::cray(),
+               PayloadMode::SizeOnly);
+    auto clocks = rt.run([](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, 1 << 20);
+        EXPECT_EQ(ch.data(), nullptr);
+        ch.run();
+        ch.run();
+    });
+    for (VTime t : clocks) EXPECT_GT(t, 0.0);
+}
+
+}  // namespace

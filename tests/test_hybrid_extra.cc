@@ -1,0 +1,212 @@
+// The extension channels (beyond the paper's allgather/bcast): hybrid
+// allreduce, gather, scatter, reduce and alltoall must agree with the flat
+// pure-MPI collectives on every shape and sync policy.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+struct Shape {
+    const char* name;
+    std::function<ClusterSpec()> make;
+};
+
+const Shape kShapes[] = {
+    {"single", [] { return ClusterSpec::regular(1, 4); }},
+    {"n2x3", [] { return ClusterSpec::regular(2, 3); }},
+    {"irr", [] { return ClusterSpec::irregular({1, 3, 2}); }},
+    {"rr", [] { return ClusterSpec::irregular({2, 3, 2}, Placement::RoundRobin); }},
+};
+
+class HyExtraP
+    : public ::testing::TestWithParam<std::tuple<int, SyncPolicy>> {
+protected:
+    Runtime make_rt() const {
+        return Runtime(kShapes[std::get<0>(GetParam())].make(),
+                       ModelParams::cray());
+    }
+    SyncPolicy sync() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(HyExtraP, AllreduceMatchesFlat) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t n = 29;
+        AllreduceChannel ch(hc, n, Datatype::Int64);
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            mine[i] = world.rank() * 19 + static_cast<std::int64_t>(i);
+        }
+        std::memcpy(ch.my_input(), mine.data(), n * sizeof(std::int64_t));
+        ch.run(Op::Sum, sync);
+
+        std::vector<std::int64_t> flat(n);
+        allreduce(world, mine.data(), flat.data(), n, Datatype::Int64,
+                  Op::Sum);
+        EXPECT_EQ(std::memcmp(ch.result(), flat.data(),
+                              n * sizeof(std::int64_t)),
+                  0);
+        barrier(world);
+    });
+}
+
+TEST_P(HyExtraP, AllreduceMaxRepeated) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t n = 8;
+        AllreduceChannel ch(hc, n, Datatype::Double);
+        for (int epoch = 0; epoch < 3; ++epoch) {
+            auto* in = reinterpret_cast<double*>(ch.my_input());
+            for (std::size_t i = 0; i < n; ++i) {
+                in[i] = world.rank() + epoch * 10.0 + 0.5 * static_cast<double>(i);
+            }
+            ch.run(Op::Max, sync);
+            const auto* res = reinterpret_cast<const double*>(ch.result());
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_DOUBLE_EQ(res[i], (world.size() - 1) + epoch * 10.0 +
+                                             0.5 * static_cast<double>(i));
+            }
+            // No quiesce needed: run()'s leading sync orders this epoch's
+            // result reads before the next epoch's stripe writes.
+        }
+    });
+}
+
+TEST_P(HyExtraP, GatherCollectsAtRoot) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bb = 24;
+        const int root = world.size() - 1;
+        GatherChannel ch(hc, bb, root);
+        for (std::size_t i = 0; i < bb; ++i) {
+            ch.my_block()[i] =
+                static_cast<std::byte>((world.rank() * 101 + static_cast<int>(i)) & 0xFF);
+        }
+        ch.run(sync);
+        if (world.rank() == root) {
+            for (int r = 0; r < world.size(); ++r) {
+                for (std::size_t i = 0; i < bb; ++i) {
+                    ASSERT_EQ(ch.gathered(r)[i],
+                              static_cast<std::byte>(
+                                  (r * 101 + static_cast<int>(i)) & 0xFF))
+                        << "block " << r;
+                }
+            }
+        }
+        barrier(world);
+    });
+}
+
+TEST_P(HyExtraP, ScatterDistributesFromRoot) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bb = 16;
+        const int root = 0;
+        ScatterChannel ch(hc, bb, root);
+        if (world.rank() == root) {
+            for (int r = 0; r < world.size(); ++r) {
+                for (std::size_t i = 0; i < bb; ++i) {
+                    ch.outgoing(r)[i] = static_cast<std::byte>(
+                        (r * 59 + static_cast<int>(i)) & 0xFF);
+                }
+            }
+        }
+        ch.run(sync);
+        for (std::size_t i = 0; i < bb; ++i) {
+            EXPECT_EQ(ch.my_block()[i],
+                      static_cast<std::byte>(
+                          (world.rank() * 59 + static_cast<int>(i)) & 0xFF));
+        }
+        barrier(world);
+    });
+}
+
+TEST_P(HyExtraP, ReduceMatchesFlat) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t n = 11;
+        const int root = world.size() / 2;
+        ReduceChannel ch(hc, n, Datatype::Int64, root);
+        std::vector<std::int64_t> mine(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            mine[i] = (world.rank() + 1) * (static_cast<std::int64_t>(i) + 1);
+        }
+        std::memcpy(ch.my_input(), mine.data(), n * sizeof(std::int64_t));
+        ch.run(Op::Sum, sync);
+
+        std::vector<std::int64_t> flat(n);
+        reduce(world, mine.data(), world.rank() == root ? flat.data() : nullptr,
+               n, Datatype::Int64, Op::Sum, root);
+        if (world.rank() == root) {
+            EXPECT_EQ(std::memcmp(ch.result(), flat.data(),
+                                  n * sizeof(std::int64_t)),
+                      0);
+        }
+        barrier(world);
+    });
+}
+
+TEST_P(HyExtraP, AlltoallMatchesFlat) {
+    Runtime rt = make_rt();
+    const SyncPolicy sync = this->sync();
+    rt.run([sync](Comm& world) {
+        HierComm hc(world);
+        const std::size_t n = 5;  // int64 per pair
+        const std::size_t bb = n * sizeof(std::int64_t);
+        const int p = world.size();
+        AlltoallChannel ch(hc, bb);
+        std::vector<std::int64_t> out(n * static_cast<std::size_t>(p));
+        for (int d = 0; d < p; ++d) {
+            for (std::size_t i = 0; i < n; ++i) {
+                out[static_cast<std::size_t>(d) * n + i] =
+                    world.rank() * 1000 + d * 10 + static_cast<std::int64_t>(i);
+            }
+            std::memcpy(ch.send_block(d),
+                        out.data() + static_cast<std::size_t>(d) * n, bb);
+        }
+        ch.run(sync);
+
+        std::vector<std::int64_t> flat(n * static_cast<std::size_t>(p));
+        alltoall(world, out.data(), n, flat.data(), Datatype::Int64);
+        for (int s = 0; s < p; ++s) {
+            EXPECT_EQ(std::memcmp(ch.recv_block(s),
+                                  flat.data() + static_cast<std::size_t>(s) * n,
+                                  bb),
+                      0)
+                << "from " << s;
+        }
+        barrier(world);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HyExtraP,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kShapes))),
+                       ::testing::Values(SyncPolicy::Barrier,
+                                         SyncPolicy::Flags)),
+    [](const auto& info) {
+        return std::string(kShapes[std::get<0>(info.param)].name) +
+               (std::get<1>(info.param) == SyncPolicy::Barrier ? "_bar"
+                                                               : "_flag");
+    });
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+void fill_block(std::byte* p, std::size_t bytes, int seed) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+        p[i] = static_cast<std::byte>((seed * 131 + static_cast<int>(i)) & 0xFF);
+    }
+}
+
+bool check_block(const std::byte* p, std::size_t bytes, int seed) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+        if (p[i] !=
+            static_cast<std::byte>((seed * 131 + static_cast<int>(i)) & 0xFF)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+TEST(HybridSmoke, AllgatherTwoNodes) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bb = 48;
+        AllgatherChannel ch(hc, bb);
+        fill_block(ch.my_block(), bb, world.rank());
+        ch.run();
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_TRUE(check_block(ch.block_of(r), bb, r))
+                << "rank " << world.rank() << " reading block " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(HybridSmoke, BcastTwoNodes) {
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const std::size_t bytes = 100;
+        BcastChannel ch(hc, bytes);
+        const int root = 0;
+        if (world.rank() == root) fill_block(ch.write_buffer(), bytes, 777);
+        ch.run(root);
+        EXPECT_TRUE(check_block(ch.read_buffer(), bytes, 777))
+            << "rank " << world.rank();
+        barrier(world);
+    });
+}
+
+TEST(HybridSmoke, SingleNodeAllgatherIsOneBarrier) {
+    Runtime rt(ClusterSpec::regular(1, 8), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, 64);
+        fill_block(ch.my_block(), 64, world.rank());
+        ch.run();
+        for (int r = 0; r < world.size(); ++r) {
+            EXPECT_TRUE(check_block(ch.block_of(r), 64, r));
+        }
+        barrier(world);
+    });
+}
+
+TEST(HybridSmoke, AllreduceMatchesFlat) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        const std::size_t n = 17;
+        AllreduceChannel ch(hc, n, Datatype::Double);
+        auto* in = reinterpret_cast<double*>(ch.my_input());
+        std::vector<double> mine(n), expect(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            mine[i] = world.rank() + 0.25 * static_cast<double>(i);
+        }
+        std::memcpy(in, mine.data(), n * sizeof(double));
+        ch.run(Op::Sum);
+
+        std::vector<double> flat(n);
+        allreduce(world, mine.data(), flat.data(), n, Datatype::Double, Op::Sum);
+        const auto* res = reinterpret_cast<const double*>(ch.result());
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_DOUBLE_EQ(res[i], flat[i]) << "element " << i;
+        }
+        barrier(world);
+    });
+}

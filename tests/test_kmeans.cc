@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "apps/kmeans.h"
+
+using namespace minimpi;
+using namespace apps;
+
+TEST(Kmeans, ObjectiveDecreasesMonotonically) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        KmeansConfig cfg;
+        cfg.clusters = 4;
+        cfg.dims = 3;
+        cfg.points_per_rank = 200;
+        Kmeans km(world, cfg);
+        double prev = km.step();
+        for (int i = 0; i < 8; ++i) {
+            const double sse = km.step();
+            EXPECT_LE(sse, prev * (1.0 + 1e-12)) << "iteration " << i;
+            prev = sse;
+        }
+        barrier(world);
+    });
+}
+
+TEST(Kmeans, BackendsAgreeExactly) {
+    // Both backends reduce the same per-rank statistics; the hybrid striped
+    // on-node reduction and the flat allreduce may differ in floating-point
+    // order, so compare with a tight tolerance rather than bitwise.
+    double sse[2] = {0, 0};
+    std::vector<double> cents[2];
+    for (Backend backend : {Backend::PureMpi, Backend::Hybrid}) {
+        Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+        std::mutex mu;
+        rt.run([&](Comm& world) {
+            KmeansConfig cfg;
+            cfg.clusters = 4;
+            cfg.dims = 3;
+            cfg.points_per_rank = 100;
+            cfg.backend = backend;
+            Kmeans km(world, cfg);
+            double last = 0;
+            for (int i = 0; i < 6; ++i) last = km.step();
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (world.rank() == 0) {
+                    sse[backend == Backend::Hybrid] = last;
+                    cents[backend == Backend::Hybrid] = km.centroids();
+                }
+            }
+            barrier(world);
+        });
+    }
+    EXPECT_NEAR(sse[0], sse[1], 1e-6 * sse[0]);
+    ASSERT_EQ(cents[0].size(), cents[1].size());
+    for (std::size_t i = 0; i < cents[0].size(); ++i) {
+        EXPECT_NEAR(cents[0][i], cents[1][i], 1e-9);
+    }
+}
+
+TEST(Kmeans, RecoversPlantedCenters) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::cray());
+    rt.run([](Comm& world) {
+        KmeansConfig cfg;
+        cfg.clusters = 3;
+        cfg.dims = 3;
+        cfg.points_per_rank = 300;
+        cfg.iterations = 15;
+        cfg.backend = Backend::Hybrid;
+        Kmeans km(world, cfg);
+        km.run();
+        // Planted mixture noise sd = 0.5 over d=3 dims -> per-point SSE
+        // ~ 3 * 0.25; allow generous slack for init perturbation.
+        const double per_point =
+            km.step() / (4.0 * 300.0);
+        EXPECT_LT(per_point, 1.5);
+        barrier(world);
+    });
+}
+
+TEST(Kmeans, HybridCheaperOnWideNodes) {
+    VTime t[2] = {0, 0};
+    for (Backend backend : {Backend::PureMpi, Backend::Hybrid}) {
+        Runtime rt(ClusterSpec::regular(2, 12), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        auto clocks = rt.run([backend](Comm& world) {
+            KmeansConfig cfg;
+            cfg.clusters = 32;
+            cfg.dims = 16;
+            cfg.backend = backend;
+            cfg.points_per_rank = 1;  // communication-dominated
+            Kmeans km(world, cfg);
+            km.run();
+        });
+        t[backend == Backend::Hybrid] =
+            *std::max_element(clocks.begin(), clocks.end());
+    }
+    EXPECT_GT(t[0], t[1]) << "Ori=" << t[0] << " Hy=" << t[1];
+}
+
+TEST(Kmeans, RejectsBadConfig) {
+    Runtime rt(ClusterSpec::regular(1, 1), ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) {
+        KmeansConfig cfg;
+        cfg.clusters = 0;
+        Kmeans km(world, cfg);
+    }),
+                 ArgumentError);
+}

@@ -1,0 +1,152 @@
+// Regression tests for the PAPER'S CLAIMS (scaled-down versions of the
+// figure benches): if a model or library change breaks a reproduced shape
+// — who wins, how the advantage scales — these fail before the full bench
+// run would reveal it. See EXPERIMENTS.md for the full-size results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/bpmf.h"
+#include "apps/summa.h"
+#include "bench_util/latency.h"
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace apps;
+
+namespace {
+
+double hy_allgather_us(const ClusterSpec& spec, const ModelParams& m,
+                       std::size_t elements) {
+    Runtime rt(spec, m, PayloadMode::SizeOnly);
+    return benchu::osu_latency(
+        rt, 2, 4, [elements](Comm& world) -> std::function<void()> {
+            auto hc = std::make_shared<hympi::HierComm>(world);
+            auto ch = std::make_shared<hympi::AllgatherChannel>(
+                *hc, elements * sizeof(double));
+            return [hc, ch] { ch->run(); };
+        });
+}
+
+double naive_allgather_us(const ClusterSpec& spec, const ModelParams& m,
+                          std::size_t elements) {
+    Runtime rt(spec, m, PayloadMode::SizeOnly);
+    return benchu::osu_latency(
+        rt, 2, 4, [elements](Comm& world) -> std::function<void()> {
+            return [elements, &world] {
+                allgather(world, nullptr, elements, nullptr, Datatype::Double);
+            };
+        });
+}
+
+}  // namespace
+
+TEST(PaperClaims, Fig7_SingleNodeHybridIsFlatAndAlwaysWins) {
+    const ClusterSpec one_node = ClusterSpec::regular(1, 24);
+    for (const ModelParams& m :
+         {ModelParams::cray(), ModelParams::openmpi()}) {
+        const double hy_small = hy_allgather_us(one_node, m, 1);
+        const double hy_large = hy_allgather_us(one_node, m, 32768);
+        EXPECT_NEAR(hy_small, hy_large, 1e-6)
+            << "Hy_Allgather on one node is a barrier: size-independent";
+        const double nv_small = naive_allgather_us(one_node, m, 1);
+        const double nv_large = naive_allgather_us(one_node, m, 32768);
+        EXPECT_GT(nv_small, hy_small);
+        EXPECT_GT(nv_large, 100.0 * hy_large);
+        EXPECT_GT(nv_large, 20.0 * nv_small) << "naive grows steadily";
+    }
+}
+
+TEST(PaperClaims, Fig8_OneProcPerNodeHybridSlightlyWorse) {
+    const ClusterSpec spec = ClusterSpec::regular(16, 1);
+    const ModelParams m = ModelParams::cray();
+    const double hy = hy_allgather_us(spec, m, 64);
+    const double nv = naive_allgather_us(spec, m, 64);
+    EXPECT_GT(hy, nv) << "hybrid loses without on-node processes";
+    EXPECT_LT(hy, 2.5 * nv) << "...but only slightly (allgatherv penalty)";
+    // The gap shrinks for large messages.
+    const double hy_big = hy_allgather_us(spec, m, 32768);
+    const double nv_big = naive_allgather_us(spec, m, 32768);
+    EXPECT_LT(hy_big / nv_big, hy / nv);
+    EXPECT_LT(hy_big, 1.15 * nv_big);
+}
+
+TEST(PaperClaims, Fig9_AdvantageGrowsWithProcessesPerNode) {
+    const ModelParams m = ModelParams::cray();
+    double prev_ratio = 0.0;
+    for (int ppn : {3, 6, 12, 24}) {
+        const ClusterSpec spec = ClusterSpec::regular(8, ppn);
+        const double ratio = naive_allgather_us(spec, m, 512) /
+                             hy_allgather_us(spec, m, 512);
+        EXPECT_GT(ratio, 1.0) << "ppn=" << ppn;
+        EXPECT_GT(ratio, prev_ratio) << "advantage must grow, ppn=" << ppn;
+        prev_ratio = ratio;
+    }
+}
+
+TEST(PaperClaims, Fig10_IrregularNodesStillFavorHybrid) {
+    const ClusterSpec spec = ClusterSpec::irregular({12, 12, 12, 8});
+    const ModelParams m = ModelParams::openmpi();
+    for (std::size_t elements : {16u, 1024u, 16384u}) {
+        EXPECT_GT(naive_allgather_us(spec, m, elements),
+                  hy_allgather_us(spec, m, elements))
+            << elements << " elements";
+    }
+}
+
+TEST(PaperClaims, Fig11_SummaRatioAboveOneAndLargestForSmallTiles) {
+    auto summa_us = [](std::size_t tile, Backend backend) {
+        Runtime rt(ClusterSpec::regular(2, 8), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        benchu::Collector col;
+        rt.run([&](Comm& world) {
+            SummaConfig cfg;
+            cfg.grid = 4;
+            cfg.block = tile;
+            cfg.backend = backend;
+            Summa summa(world, cfg);
+            summa.multiply();
+            barrier(world);
+            const VTime t0 = world.ctx().clock.now();
+            summa.multiply();
+            col.add(world.ctx().clock.now() - t0);
+        });
+        return col.max_us();
+    };
+    const double r8 =
+        summa_us(8, Backend::PureMpi) / summa_us(8, Backend::Hybrid);
+    const double r64 =
+        summa_us(64, Backend::PureMpi) / summa_us(64, Backend::Hybrid);
+    const double r256 =
+        summa_us(256, Backend::PureMpi) / summa_us(256, Backend::Hybrid);
+    EXPECT_GT(r8, 1.3);
+    EXPECT_GT(r64, 1.0);
+    EXPECT_GT(r256, 0.99);
+    EXPECT_GT(r8, r64);
+    EXPECT_GT(r64, r256);
+}
+
+TEST(PaperClaims, Fig12_BpmfRatioAboveOneAndModest) {
+    const auto data = SparseDataset::structure_only(4000, 200, 0.01, 5);
+    auto bpmf_us = [&](Backend backend) {
+        Runtime rt(ClusterSpec::regular(3, 8), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        benchu::Collector col;
+        rt.run([&](Comm& world) {
+            BpmfConfig cfg;
+            cfg.num_latent = 32;
+            cfg.iterations = 4;
+            cfg.backend = backend;
+            Bpmf bpmf(world, data, cfg);
+            barrier(world);
+            const VTime t0 = world.ctx().clock.now();
+            bpmf.run();
+            col.add(world.ctx().clock.now() - t0);
+        });
+        return col.max_us();
+    };
+    const double ratio = bpmf_us(Backend::PureMpi) / bpmf_us(Backend::Hybrid);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 2.0) << "compute-dominated: the gain stays modest";
+}

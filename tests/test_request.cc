@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+TEST(Request, DefaultIsInvalidAndWaitIsNoop) {
+    Request r;
+    EXPECT_FALSE(r.valid());
+    Status st = r.wait();
+    EXPECT_EQ(st.source, kProcNull);
+    EXPECT_TRUE(r.test());
+}
+
+TEST(Request, SendRequestCompletesImmediately) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 0) {
+            int v = 9;
+            Request r = isend(world, &v, 1, Datatype::Int32, 1, 0);
+            EXPECT_TRUE(r.valid());
+            EXPECT_TRUE(r.test());
+            EXPECT_FALSE(r.valid()) << "test() consumes the request";
+        } else {
+            EXPECT_EQ(recv_value<int>(world, 0, 0), 9);
+        }
+    });
+}
+
+TEST(Request, MoveTransfersOwnership) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 1) {
+            int v = 0;
+            Request a = irecv(world, &v, 1, Datatype::Int32, 0, 0);
+            Request b = std::move(a);
+            EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+            EXPECT_TRUE(b.valid());
+            send(world, nullptr, 0, Datatype::Byte, 0, 1);
+            Status st = b.wait();
+            EXPECT_EQ(v, 17);
+            EXPECT_EQ(st.source, 0);
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 1, 1);
+            send_value(world, 17, 1, 0);
+        }
+    });
+}
+
+TEST(Request, MoveAssignCancelsPreviousPending) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 1) {
+            int a = 0, b = 0;
+            Request r = irecv(world, &a, 1, Datatype::Int32, 0, 5);
+            // Overwriting r must deregister the first receive; the message
+            // later sent with tag 5 must land in the second buffer.
+            r = irecv(world, &b, 1, Datatype::Int32, 0, 5);
+            send(world, nullptr, 0, Datatype::Byte, 0, 1);
+            r.wait();
+            EXPECT_EQ(a, 0);
+            EXPECT_EQ(b, 23);
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 1, 1);
+            send_value(world, 23, 1, 5);
+        }
+    });
+}
+
+TEST(Request, VectorOfRequestsReallocatesSafely) {
+    // PostedRecv addresses must stay stable through vector growth (the
+    // mailbox keeps raw pointers): Request stores it behind a unique_ptr.
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        const int n = 100;
+        if (world.rank() == 1) {
+            std::vector<int> vals(n, -1);
+            std::vector<Request> reqs;  // no reserve: force reallocation
+            for (int i = 0; i < n; ++i) {
+                reqs.push_back(irecv(world, &vals[static_cast<std::size_t>(i)],
+                                     1, Datatype::Int32, 0, i));
+            }
+            send(world, nullptr, 0, Datatype::Byte, 0, n + 1);
+            wait_all(reqs);
+            for (int i = 0; i < n; ++i) {
+                ASSERT_EQ(vals[static_cast<std::size_t>(i)], i * 3);
+            }
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 1, n + 1);
+            for (int i = 0; i < n; ++i) send_value(world, i * 3, 1, i);
+        }
+    });
+}
+
+TEST(Request, WaitAllMixedSendRecv) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.run([](Comm& world) {
+        const int peer = world.rank() ^ 1;
+        int in = -1, out = world.rank() + 40;
+        std::vector<Request> reqs;
+        reqs.push_back(irecv(world, &in, 1, Datatype::Int32, peer, 0));
+        reqs.push_back(isend(world, &out, 1, Datatype::Int32, peer, 0));
+        wait_all(reqs);
+        EXPECT_EQ(in, peer + 40);
+    });
+}
+
+TEST(Request, TestOnPendingDoesNotConsume) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 1) {
+            int v = 0;
+            Request r = irecv(world, &v, 1, Datatype::Int32, 0, 0);
+            EXPECT_FALSE(r.test());
+            EXPECT_TRUE(r.valid()) << "incomplete test must keep the request";
+            send(world, nullptr, 0, Datatype::Byte, 0, 1);
+            r.wait();
+            EXPECT_EQ(v, 71);
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 1, 1);
+            send_value(world, 71, 1, 0);
+        }
+    });
+}
+
+TEST(Request, WaitAnyReturnsACompletedIndex) {
+    Runtime rt(ClusterSpec::regular(1, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 0) {
+            int a = 0, b = 0;
+            std::vector<Request> reqs;
+            reqs.push_back(irecv(world, &a, 1, Datatype::Int32, 1, 0));
+            reqs.push_back(irecv(world, &b, 1, Datatype::Int32, 2, 0));
+            send(world, nullptr, 0, Datatype::Byte, 2, 1);  // release rank 2
+            Status st;
+            const int first = wait_any(reqs, &st);
+            ASSERT_EQ(first, 1) << "only rank 2's message can be in flight";
+            EXPECT_EQ(b, 222);
+            EXPECT_EQ(st.source, 2);
+            send(world, nullptr, 0, Datatype::Byte, 1, 1);  // release rank 1
+            const int second = wait_any(reqs, &st);
+            ASSERT_EQ(second, 0);
+            EXPECT_EQ(a, 111);
+            EXPECT_EQ(wait_any(reqs), -1) << "all requests consumed";
+        } else if (world.rank() == 1) {
+            recv(world, nullptr, 0, Datatype::Byte, 0, 1);
+            send_value(world, 111, 0, 0);
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 0, 1);
+            send_value(world, 222, 0, 0);
+        }
+    });
+}
+
+TEST(Request, TestSomeConsumesOnlyCompleted) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 0) {
+            int a = 0, b = 0;
+            std::vector<Request> reqs;
+            reqs.push_back(irecv(world, &a, 1, Datatype::Int32, 1, 0));
+            reqs.push_back(irecv(world, &b, 1, Datatype::Int32, 1, 99));
+            send(world, nullptr, 0, Datatype::Byte, 1, 1);
+            // Wait until the tag-0 message has landed, then poll.
+            while (!reqs[0].valid() || !reqs[0].test()) {
+                if (!reqs[0].valid()) break;
+            }
+            std::vector<std::pair<int, Status>> done;
+            const int n = test_some(reqs, &done);
+            EXPECT_EQ(n, 0) << "tag-99 never sent, tag-0 already consumed";
+            EXPECT_TRUE(reqs[1].valid());
+            // Tell rank 1 to send the second message, then finish.
+            send(world, nullptr, 0, Datatype::Byte, 1, 2);
+            reqs[1].wait();
+            EXPECT_EQ(b, 7);
+        } else {
+            recv(world, nullptr, 0, Datatype::Byte, 0, 1);
+            send_value(world, 3, 0, 0);
+            recv(world, nullptr, 0, Datatype::Byte, 0, 2);
+            send_value(world, 7, 0, 99);
+        }
+    });
+}
+
+TEST(Request, PersistentSendRecvRounds) {
+    Runtime rt(ClusterSpec::regular(2, 1), ModelParams::cray());
+    rt.run([](Comm& world) {
+        const int peer = 1 - world.rank();
+        int out = 0, in = -1;
+        PersistentRequest ps =
+            PersistentRequest::send_init(world, &out, 1, Datatype::Int32,
+                                         peer, 4);
+        PersistentRequest pr =
+            PersistentRequest::recv_init(world, &in, 1, Datatype::Int32, peer,
+                                         4);
+        for (int round = 0; round < 5; ++round) {
+            out = world.rank() * 100 + round;
+            pr.start();
+            ps.start();
+            ps.wait();
+            Status st = pr.wait();
+            EXPECT_EQ(in, peer * 100 + round);
+            EXPECT_EQ(st.source, peer);
+        }
+    });
+}
+
+TEST(Request, PersistentMisuseThrows) {
+    Runtime rt(ClusterSpec::regular(1, 1), ModelParams::test());
+    rt.run([](Comm& world) {
+        PersistentRequest empty;
+        EXPECT_THROW(empty.start(), ArgumentError);
+        int v = 0;
+        PersistentRequest pr = PersistentRequest::recv_init(
+            world, &v, 1, Datatype::Int32, 0, 0);
+        EXPECT_THROW(pr.wait(), ArgumentError) << "wait before start";
+        pr.start();
+        EXPECT_THROW(pr.start(), ArgumentError) << "double start";
+        send_value(world, 1, 0, 0);
+        pr.wait();
+        EXPECT_EQ(v, 1);
+        pr.start();  // reusable after completion
+        send_value(world, 2, 0, 0);
+        pr.wait();
+        EXPECT_EQ(v, 2);
+        EXPECT_THROW(PersistentRequest::send_init(world, &v, 1,
+                                                  Datatype::Int32, 9, 0),
+                     ArgumentError);
+    });
+}

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/rng.h"
+
+using namespace linalg;
+
+TEST(Rng, DeterministicBySeed) {
+    Rng a(42), b(42), c(43);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto x = a.next_u64();
+        EXPECT_EQ(x, b.next_u64());
+        if (x != c.next_u64()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(8);
+    const int n = 50000;
+    double s1 = 0, s2 = 0, s3 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        s1 += x;
+        s2 += x * x;
+        s3 += x * x * x;
+    }
+    EXPECT_NEAR(s1 / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+    EXPECT_NEAR(s3 / n, 0.0, 0.1);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+    Rng rng(9);
+    const double shape = 3.5, scale = 2.0;
+    const int n = 40000;
+    double s1 = 0, s2 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gamma(shape, scale);
+        ASSERT_GT(x, 0.0);
+        s1 += x;
+        s2 += x * x;
+    }
+    const double mean = s1 / n;
+    const double var = s2 / n - mean * mean;
+    EXPECT_NEAR(mean, shape * scale, 0.1);              // 7.0
+    EXPECT_NEAR(var, shape * scale * scale, 0.5);       // 14.0
+}
+
+TEST(Rng, GammaSmallShape) {
+    Rng rng(10);
+    const int n = 40000;
+    double s1 = 0;
+    for (int i = 0; i < n; ++i) s1 += rng.gamma(0.5, 1.0);
+    EXPECT_NEAR(s1 / n, 0.5, 0.03);
+    EXPECT_THROW(rng.gamma(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(rng.gamma(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ChiSquaredMean) {
+    Rng rng(11);
+    const int n = 30000;
+    double s = 0;
+    for (int i = 0; i < n; ++i) s += rng.chi_squared(5.0);
+    EXPECT_NEAR(s / n, 5.0, 0.1);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfCallOrder) {
+    // The same (seed, a, b, c) always yields the same stream; different
+    // tuples differ.
+    Rng s1 = substream(99, 1, 2, 3);
+    Rng s2 = substream(99, 1, 2, 3);
+    Rng s3 = substream(99, 1, 2, 4);
+    EXPECT_EQ(s1.next_u64(), s2.next_u64());
+    EXPECT_NE(s1.next_u64(), s3.next_u64());
+}
+
+TEST(Rng, MvNormalFromPrecisionCovariance) {
+    // Precision Lambda = diag(4, 1) -> covariance diag(0.25, 1); mean (1,2).
+    Matrix lambda(2, 2);
+    lambda(0, 0) = 4.0;
+    lambda(1, 1) = 1.0;
+    const Matrix l = cholesky(lambda);
+    std::vector<double> mu = {1.0, 2.0};
+    Rng rng(12);
+    const int n = 40000;
+    double m0 = 0, m1 = 0, v0 = 0, v1 = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto x = mvnormal_from_precision_chol(rng, mu, l);
+        m0 += x[0];
+        m1 += x[1];
+        v0 += (x[0] - 1.0) * (x[0] - 1.0);
+        v1 += (x[1] - 2.0) * (x[1] - 2.0);
+    }
+    EXPECT_NEAR(m0 / n, 1.0, 0.02);
+    EXPECT_NEAR(m1 / n, 2.0, 0.03);
+    EXPECT_NEAR(v0 / n, 0.25, 0.01);
+    EXPECT_NEAR(v1 / n, 1.0, 0.04);
+}
+
+TEST(Rng, WishartMeanIsDfTimesScale) {
+    // W ~ Wishart(df, S) has E[W] = df * S. Use S = diag(2, 0.5).
+    Matrix s(2, 2);
+    s(0, 0) = 2.0;
+    s(1, 1) = 0.5;
+    const Matrix ls = cholesky(s);
+    const double df = 6.0;
+    Rng rng(13);
+    const int n = 20000;
+    Matrix acc(2, 2);
+    for (int i = 0; i < n; ++i) {
+        const Matrix w = wishart(rng, df, ls);
+        for (std::size_t a = 0; a < 2; ++a) {
+            for (std::size_t b = 0; b < 2; ++b) acc(a, b) += w(a, b);
+        }
+    }
+    EXPECT_NEAR(acc(0, 0) / n, df * 2.0, 0.2);
+    EXPECT_NEAR(acc(1, 1) / n, df * 0.5, 0.06);
+    EXPECT_NEAR(acc(0, 1) / n, 0.0, 0.1);
+}
+
+TEST(Rng, WishartSamplesAreSpd) {
+    Matrix s = Matrix::identity(4);
+    const Matrix ls = cholesky(s);
+    Rng rng(14);
+    for (int i = 0; i < 50; ++i) {
+        const Matrix w = wishart(rng, 6.0, ls);
+        EXPECT_NO_THROW(cholesky(w)) << "sample " << i;
+    }
+}

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+namespace {
+std::int64_t val(int rank, std::size_t i) {
+    return rank * 17 + static_cast<std::int64_t>(i) + 1;
+}
+}  // namespace
+
+class ScanP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanP, InclusiveScanSum) {
+    const int p = GetParam();
+    Runtime rt(ClusterSpec::regular(1, p), ModelParams::test());
+    rt.run([](Comm& world) {
+        const std::size_t n = 9;
+        std::vector<std::int64_t> mine(n), out(n);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+        scan(world, mine.data(), out.data(), n, Datatype::Int64, Op::Sum);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t want = 0;
+            for (int r = 0; r <= world.rank(); ++r) want += val(r, i);
+            ASSERT_EQ(out[i], want) << "rank " << world.rank();
+        }
+    });
+}
+
+TEST_P(ScanP, InclusiveScanMax) {
+    const int p = GetParam();
+    Runtime rt(ClusterSpec::regular(1, p), ModelParams::test());
+    rt.run([](Comm& world) {
+        // Non-monotone contribution: max over prefix is a real test.
+        double mine = (world.rank() % 3 == 1) ? 100.0 + world.rank()
+                                              : static_cast<double>(world.rank());
+        double out = -1;
+        scan(world, &mine, &out, 1, Datatype::Double, Op::Max);
+        double want = 0;
+        for (int r = 0; r <= world.rank(); ++r) {
+            want = std::max(want, (r % 3 == 1) ? 100.0 + r
+                                               : static_cast<double>(r));
+        }
+        EXPECT_DOUBLE_EQ(out, want);
+    });
+}
+
+TEST_P(ScanP, ExclusiveScan) {
+    const int p = GetParam();
+    Runtime rt(ClusterSpec::regular(1, p), ModelParams::test());
+    rt.run([](Comm& world) {
+        const std::size_t n = 5;
+        std::vector<std::int64_t> mine(n), out(n, -777);
+        for (std::size_t i = 0; i < n; ++i) mine[i] = val(world.rank(), i);
+        exscan(world, mine.data(), out.data(), n, Datatype::Int64, Op::Sum);
+        if (world.rank() == 0) {
+            for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], -777);
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                std::int64_t want = 0;
+                for (int r = 0; r < world.rank(); ++r) want += val(r, i);
+                ASSERT_EQ(out[i], want);
+            }
+        }
+    });
+}
+
+TEST_P(ScanP, ReduceScatterBlock) {
+    const int p = GetParam();
+    Runtime rt(ClusterSpec::regular(1, p), ModelParams::test());
+    rt.run([](Comm& world) {
+        const std::size_t n = 4;  // elements per rank
+        const int pp = world.size();
+        std::vector<std::int64_t> mine(n * static_cast<std::size_t>(pp));
+        for (int blk = 0; blk < pp; ++blk) {
+            for (std::size_t i = 0; i < n; ++i) {
+                mine[static_cast<std::size_t>(blk) * n + i] =
+                    val(world.rank() * 31 + blk, i);
+            }
+        }
+        std::vector<std::int64_t> out(n, -1);
+        reduce_scatter_block(world, mine.data(), out.data(), n,
+                             Datatype::Int64, Op::Sum);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t want = 0;
+            for (int r = 0; r < pp; ++r) {
+                want += val(r * 31 + world.rank(), i);
+            }
+            ASSERT_EQ(out[i], want) << "rank " << world.rank();
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanP, ::testing::Values(1, 2, 3, 5, 8, 13),
+                         [](const auto& info) {
+                             return "p" + std::to_string(info.param);
+                         });
+
+TEST(Scan, InPlace) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        double buf = 1.5 * world.rank() + 0.5;
+        scan(world, kInPlace, &buf, 1, Datatype::Double, Op::Sum);
+        double want = 0;
+        for (int r = 0; r <= world.rank(); ++r) want += 1.5 * r + 0.5;
+        EXPECT_DOUBLE_EQ(buf, want);
+    });
+}
+
+TEST(Scan, ReduceScatterMatchesReducePlusScatter) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.run([](Comm& world) {
+        const int p = world.size();
+        const std::size_t n = 6;
+        std::vector<double> mine(n * static_cast<std::size_t>(p));
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+            mine[i] = world.rank() + 0.25 * static_cast<double>(i);
+        }
+        std::vector<double> rs(n);
+        reduce_scatter_block(world, mine.data(), rs.data(), n,
+                             Datatype::Double, Op::Sum);
+
+        std::vector<double> red(n * static_cast<std::size_t>(p));
+        reduce(world, mine.data(), world.rank() == 0 ? red.data() : nullptr,
+               mine.size(), Datatype::Double, Op::Sum, 0);
+        std::vector<double> sc(n);
+        scatter(world, world.rank() == 0 ? red.data() : nullptr, n, sc.data(),
+                Datatype::Double, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_DOUBLE_EQ(rs[i], sc[i]);
+        }
+    });
+}

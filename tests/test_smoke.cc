@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+TEST(Smoke, PingPong) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 0) {
+            int v = 42;
+            send_value(world, v, 1, 7);
+            int back = recv_value<int>(world, 1, 7);
+            EXPECT_EQ(back, 43);
+        } else {
+            int v = recv_value<int>(world, 0, 7);
+            v += 1;
+            send_value(world, v, 0, 7);
+        }
+    });
+}
+
+TEST(Smoke, AllgatherSmall) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        const int p = world.size();
+        std::vector<double> recv(static_cast<std::size_t>(p), -1.0);
+        double mine = 100.0 + world.rank();
+        allgather(world, &mine, 1, recv.data(), Datatype::Double);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)], 100.0 + i)
+                << "rank " << world.rank() << " slot " << i;
+        }
+    });
+}
+
+TEST(Smoke, BarrierAdvancesClock) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    auto clocks = rt.run([](Comm& world) { barrier(world); });
+    for (VTime t : clocks) EXPECT_GT(t, 0.0);
+}
+
+TEST(Smoke, SharedWindow) {
+    Runtime rt(ClusterSpec::regular(2, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm shm = world.split_shared();
+        EXPECT_EQ(shm.size(), 4);
+        const std::size_t my_bytes = (shm.rank() == 0) ? 4 * sizeof(int) : 0;
+        Win win = win_allocate_shared(shm, my_bytes);
+        auto [base, sz] = win.shared_query(0);
+        ASSERT_NE(base, nullptr);
+        EXPECT_EQ(sz, 4 * sizeof(int));
+        int* slots = reinterpret_cast<int*>(base);
+        slots[shm.rank()] = 1000 + world.rank();
+        barrier(shm);
+        for (int i = 0; i < 4; ++i) {
+            const int owner_world = shm.to_world(i);
+            EXPECT_EQ(slots[i], 1000 + owner_world);
+        }
+        barrier(shm);
+    });
+}

@@ -1,0 +1,109 @@
+// NodeSync: the two synchronization flavors of paper Sect. 6. Checks the
+// ordering guarantees (real data visibility) and the virtual-time
+// properties (flags are cheaper than barriers; signal times propagate into
+// waiter clocks).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+TEST(NodeSync, ReadyPhaseOrdersChildWritesBeforeLeaderReads) {
+    Runtime rt(ClusterSpec::regular(1, 6), ModelParams::test());
+    // Shared flag array written before ready_phase, read by leader after.
+    std::array<std::atomic<int>, 6> slots{};
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        NodeSync sync(hc);
+        for (int epoch = 1; epoch <= 5; ++epoch) {
+            slots[static_cast<std::size_t>(world.rank())]
+                .store(epoch, std::memory_order_release);
+            sync.ready_phase(SyncPolicy::Flags);
+            if (hc.is_leader()) {
+                for (const auto& s : slots) {
+                    EXPECT_EQ(s.load(std::memory_order_acquire), epoch);
+                }
+            }
+            sync.release_phase(SyncPolicy::Flags);
+        }
+    });
+}
+
+TEST(NodeSync, ReleasePhaseOrdersLeaderWritesBeforeChildReads) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    std::atomic<int> value{0};
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        NodeSync sync(hc);
+        for (int epoch = 1; epoch <= 5; ++epoch) {
+            sync.ready_phase(SyncPolicy::Flags);
+            if (hc.is_leader()) {
+                value.store(epoch * 11, std::memory_order_release);
+            }
+            sync.release_phase(SyncPolicy::Flags);
+            EXPECT_EQ(value.load(std::memory_order_acquire), epoch * 11);
+            sync.full_sync(SyncPolicy::Flags);
+        }
+    });
+}
+
+TEST(NodeSync, FlagsCheaperThanBarrierForLeaderWaitPattern) {
+    for (int ppn : {4, 12, 24}) {
+        VTime t_barrier = 0, t_flags = 0;
+        for (SyncPolicy p : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+            Runtime rt(ClusterSpec::regular(1, ppn), ModelParams::cray());
+            auto clocks = rt.run([p](Comm& world) {
+                HierComm hc(world);
+                NodeSync sync(hc);
+                const VTime t0 = world.ctx().clock.now();
+                for (int i = 0; i < 10; ++i) {
+                    sync.ready_phase(p);
+                    sync.release_phase(p);
+                }
+                world.ctx().clock.sync_to(world.ctx().clock.now());
+                (void)t0;
+            });
+            const VTime max_t =
+                *std::max_element(clocks.begin(), clocks.end());
+            (p == SyncPolicy::Barrier ? t_barrier : t_flags) = max_t;
+        }
+        EXPECT_LT(t_flags, t_barrier) << "ppn " << ppn;
+    }
+}
+
+TEST(NodeSync, SignalTimePropagatesToWaiterClock) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::cray());
+    auto clocks = rt.run([](Comm& world) {
+        HierComm hc(world);
+        NodeSync sync(hc);
+        if (!hc.is_leader()) {
+            // The child is 500us "late"; the leader must wait for it.
+            world.ctx().clock.advance(500.0);
+        }
+        sync.ready_phase(SyncPolicy::Flags);
+        sync.release_phase(SyncPolicy::Flags);
+    });
+    // The leader's final clock reflects the child's late signal.
+    EXPECT_GE(clocks[0], 500.0);
+    EXPECT_GE(clocks[1], 500.0);
+}
+
+TEST(NodeSync, IndependentPerNode) {
+    // Nodes synchronize independently: a slow node does not hold up a fast
+    // one through NodeSync (only through the bridge).
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    auto clocks = rt.run([](Comm& world) {
+        HierComm hc(world);
+        NodeSync sync(hc);
+        if (hc.my_node() == 1) world.ctx().clock.advance(1000.0);
+        sync.full_sync(SyncPolicy::Flags);
+    });
+    EXPECT_LT(clocks[0], 100.0);  // node 0 stays fast
+    EXPECT_LT(clocks[1], 100.0);
+    EXPECT_GE(clocks[2], 1000.0);
+    EXPECT_GE(clocks[3], 1000.0);
+}

@@ -1,0 +1,186 @@
+// Properties of the virtual-time model: analytic point-to-point costs,
+// link-bandwidth serialization, determinism across runs and host
+// scheduling, and Real/SizeOnly timing equivalence.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+namespace {
+
+/// Final per-rank clocks of one scripted run.
+template <typename F>
+std::vector<VTime> clocks_of(const ClusterSpec& spec, const ModelParams& m,
+                             F body, PayloadMode mode = PayloadMode::Real) {
+    Runtime rt(spec, m, mode);
+    return rt.run(body);
+}
+
+}  // namespace
+
+TEST(VTime, PingMatchesAnalyticCost) {
+    ModelParams m = ModelParams::cray();
+    const std::size_t bytes = 4096;
+    auto clocks = clocks_of(
+        ClusterSpec::regular(2, 1), m, [bytes](Comm& world) {
+            std::vector<std::byte> buf(bytes);
+            if (world.rank() == 0) {
+                send(world, buf.data(), bytes, Datatype::Byte, 1, 0);
+            } else {
+                recv(world, buf.data(), bytes, Datatype::Byte, 0, 0);
+            }
+        });
+    // Sender: one message overhead.
+    EXPECT_DOUBLE_EQ(clocks[0], m.net.overhead_us);
+    // Receiver: overhead_send + wire + overhead_recv.
+    const VTime wire = m.net.alpha_us +
+                       static_cast<VTime>(bytes) * m.net.beta_us_per_byte;
+    EXPECT_NEAR(clocks[1], 2 * m.net.overhead_us + wire, 1e-9);
+}
+
+TEST(VTime, IntraNodeUsesShmLink) {
+    ModelParams m = ModelParams::cray();
+    auto clocks = clocks_of(ClusterSpec::regular(1, 2), m, [](Comm& world) {
+        int v = 1;
+        if (world.rank() == 0) {
+            send(world, &v, 1, Datatype::Int32, 1, 0);
+        } else {
+            recv(world, &v, 1, Datatype::Int32, 0, 0);
+        }
+    });
+    const VTime wire = m.shm.alpha_us + 4 * m.shm.beta_us_per_byte;
+    EXPECT_NEAR(clocks[1], 2 * m.shm.overhead_us + wire, 1e-9);
+    EXPECT_LT(clocks[1], 2 * m.net.overhead_us + m.net.alpha_us +
+                             4 * m.net.beta_us_per_byte);
+}
+
+TEST(VTime, BackToBackSendsSerializeOnLinkBandwidth) {
+    ModelParams m = ModelParams::cray();
+    const std::size_t bytes = 1 << 20;
+    const int k = 4;
+    auto clocks = clocks_of(
+        ClusterSpec::regular(2, 1), m, [&](Comm& world) {
+            std::vector<std::byte> buf(bytes);
+            if (world.rank() == 0) {
+                for (int i = 0; i < k; ++i) {
+                    send(world, buf.data(), bytes, Datatype::Byte, 1, i);
+                }
+            } else {
+                for (int i = 0; i < k; ++i) {
+                    recv(world, buf.data(), bytes, Datatype::Byte, 0, i);
+                }
+            }
+        });
+    // The k-th message cannot arrive before k transfer times have elapsed:
+    // the link is a serial resource, segmentation is not a free lunch.
+    const VTime transfer = static_cast<VTime>(bytes) * m.net.beta_us_per_byte;
+    EXPECT_GE(clocks[1], k * transfer);
+    EXPECT_LT(clocks[1], k * transfer + m.net.alpha_us +
+                             2 * k * m.net.overhead_us + 1.0);
+}
+
+TEST(VTime, TunedShmBarrierIsCheaperThanOnNodeBcast) {
+    ModelParams m = ModelParams::cray();
+    auto barrier_clocks =
+        clocks_of(ClusterSpec::regular(1, 24), m,
+                  [](Comm& world) { barrier(world); });
+    auto bcast_clocks = clocks_of(
+        ClusterSpec::regular(1, 24), m, [](Comm& world) {
+            std::int64_t v = 1;
+            bcast(world, &v, 1, Datatype::Int64, 0);
+        });
+    const VTime barrier_max =
+        *std::max_element(barrier_clocks.begin(), barrier_clocks.end());
+    const VTime bcast_max =
+        *std::max_element(bcast_clocks.begin(), bcast_clocks.end());
+    // The asymmetry that powers the paper's Fig. 7 / Fig. 11 gains.
+    EXPECT_LT(3 * barrier_max, bcast_max);
+}
+
+TEST(VTime, DeterministicAcrossRepetitions) {
+    ModelParams m = ModelParams::openmpi();
+    auto body = [](Comm& world) {
+        std::vector<double> mine(64, world.rank());
+        std::vector<double> all(64 * static_cast<std::size_t>(world.size()));
+        for (int i = 0; i < 5; ++i) {
+            allgather(world, mine.data(), 64, all.data(), Datatype::Double);
+            allreduce(world, kInPlace, mine.data(), 64, Datatype::Double,
+                      Op::Max);
+            barrier(world);
+        }
+    };
+    const auto a = clocks_of(ClusterSpec::irregular({3, 5, 2}), m, body);
+    const auto b = clocks_of(ClusterSpec::irregular({3, 5, 2}), m, body);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "rank " << i;
+    }
+}
+
+TEST(VTime, SizeOnlyMatchesRealTiming) {
+    ModelParams m = ModelParams::cray();
+    auto body = [](Comm& world) {
+        const std::size_t n = 512;
+        const bool real = world.ctx().payload_mode == PayloadMode::Real;
+        std::vector<double> mine(real ? n : 0);
+        std::vector<double> all(
+            real ? n * static_cast<std::size_t>(world.size()) : 0);
+        for (int i = 0; i < 3; ++i) {
+            allgather(world, real ? mine.data() : nullptr, n,
+                      real ? all.data() : nullptr, Datatype::Double);
+            bcast(world, real ? mine.data() : nullptr, n, Datatype::Double, 1);
+        }
+    };
+    const auto real = clocks_of(ClusterSpec::regular(2, 4), m, body,
+                                PayloadMode::Real);
+    const auto sized = clocks_of(ClusterSpec::regular(2, 4), m, body,
+                                 PayloadMode::SizeOnly);
+    ASSERT_EQ(real.size(), sized.size());
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        EXPECT_DOUBLE_EQ(real[i], sized[i]) << "rank " << i;
+    }
+}
+
+TEST(VTime, MemcpyAndFlopChargesAccumulate) {
+    ModelParams m = ModelParams::cray();
+    auto clocks = clocks_of(ClusterSpec::regular(1, 1), m, [&](Comm& world) {
+        RankCtx& ctx = world.ctx();
+        ctx.charge_memcpy(8000);
+        ctx.charge_flops(2000.0);
+    });
+    const VTime want = m.memcpy_alpha_us + 8000 * m.memcpy_beta_us_per_byte +
+                       2000.0 / m.flops_per_us;
+    EXPECT_NEAR(clocks[0], want, 1e-9);
+}
+
+TEST(VTime, BarrierSynchronizesSkewedClocks) {
+    ModelParams m = ModelParams::cray();
+    auto clocks = clocks_of(ClusterSpec::regular(1, 4), m, [](Comm& world) {
+        // Skew: rank r computes r milliseconds.
+        world.ctx().charge_flops(1e3 * world.ctx().model->flops_per_us *
+                                 world.rank());
+        barrier(world);
+    });
+    // Everyone leaves the barrier no earlier than the slowest arrival.
+    for (VTime t : clocks) EXPECT_GE(t, 3000.0);
+}
+
+TEST(VTime, ProfilesDiffer) {
+    auto body = [](Comm& world) {
+        std::vector<double> mine(1024, 1.0);
+        std::vector<double> all(1024 * 4);
+        allgather(world, mine.data(), 1024, all.data(), Datatype::Double);
+    };
+    const auto cray =
+        clocks_of(ClusterSpec::regular(4, 1), ModelParams::cray(), body);
+    const auto ompi =
+        clocks_of(ClusterSpec::regular(4, 1), ModelParams::openmpi(), body);
+    // InfiniBand/Open MPI profile is strictly slower for this pattern.
+    for (std::size_t i = 0; i < cray.size(); ++i) {
+        EXPECT_LT(cray[i], ompi[i]);
+    }
+}

@@ -1,0 +1,158 @@
+// Analytic validation of the collective cost model: for hand-computable
+// schedules, the virtual clocks must equal the Hockney-model prediction to
+// floating-point accuracy — not merely "be positive".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hybrid/hympi.h"
+#include "minimpi/coll_internal.h"
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+namespace {
+
+/// Uniform single-link profile so predictions are simple.
+ModelParams uniform_model() {
+    ModelParams m = ModelParams::test();
+    m.shm = LinkParams{1.0, 0.001, 0.5};  // alpha 1us, beta 1ns/B, o 0.5us
+    m.net = m.shm;
+    m.smp_aware = false;
+    m.memcpy_alpha_us = 0.0;
+    m.memcpy_beta_us_per_byte = 0.0;
+    return m;
+}
+
+VTime max_clock(const std::vector<VTime>& v) {
+    return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace
+
+TEST(VTimeAnalytic, BinomialBcastDepthTwo) {
+    // p = 4, root 0, m bytes: the deepest leaf (vrank 3) gets the payload
+    // via vrank 2. Completion = 4o + 2(alpha + m beta):
+    //   root: o (send to 2) ... rank2 completes at o + A + o, sends at +o,
+    //   rank3 completes at 3o + 2A + o  where A = alpha + m beta.
+    const ModelParams m = uniform_model();
+    const std::size_t bytes = 1000;
+    Runtime rt(ClusterSpec::regular(1, 4), m);
+    auto clocks = rt.run([&](Comm& world) {
+        std::vector<std::byte> buf(bytes);
+        detail::bcast_binomial(world, buf.data(), bytes, 0);
+    });
+    const VTime A = 1.0 + 0.001 * static_cast<double>(bytes);
+    EXPECT_NEAR(clocks[3], 4 * 0.5 + 2 * A, 1e-9);
+    // vrank 1 receives directly from the root, AFTER the send to vrank 2:
+    // root's two sends serialize on its CPU (2o), then one hop.
+    EXPECT_NEAR(clocks[1], 2 * 0.5 + A + 0.5, 1e-9);
+    EXPECT_NEAR(clocks[0], 2 * 0.5, 1e-9);  // root: two send overheads
+}
+
+TEST(VTimeAnalytic, RingAllgatherSteadyState) {
+    // Symmetric ring: every round costs 2o + A; p-1 rounds.
+    const ModelParams m = uniform_model();
+    const std::size_t bytes = 4096;
+    for (int p : {2, 5, 8}) {
+        Runtime rt(ClusterSpec::regular(1, p), m);
+        auto clocks = rt.run([&](Comm& world) {
+            detail::allgather_ring(world, nullptr, nullptr, bytes);
+        });
+        const VTime A = 1.0 + 0.001 * static_cast<double>(bytes);
+        const VTime want = (p - 1) * (2 * 0.5 + A);
+        for (VTime t : clocks) EXPECT_NEAR(t, want, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(VTimeAnalytic, RecursiveDoublingAllgatherLogRounds) {
+    // Round k exchanges 2^k blocks: total = sum over k of
+    // (2o + alpha + 2^k m beta) = log2(p)(2o+alpha) + (p-1) m beta.
+    const ModelParams m = uniform_model();
+    const std::size_t bytes = 2048;
+    for (int p : {2, 4, 8, 16}) {
+        Runtime rt(ClusterSpec::regular(1, p), m);
+        auto clocks = rt.run([&](Comm& world) {
+            detail::allgather_recursive_doubling(world, nullptr, nullptr,
+                                                 bytes);
+        });
+        const double rounds = std::log2(static_cast<double>(p));
+        const VTime want = rounds * (2 * 0.5 + 1.0) +
+                           (p - 1) * 0.001 * static_cast<double>(bytes);
+        for (VTime t : clocks) EXPECT_NEAR(t, want, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(VTimeAnalytic, DisseminationBarrierLogRounds) {
+    const ModelParams m = uniform_model();
+    for (int p : {2, 4, 8, 16, 32}) {
+        Runtime rt(ClusterSpec::regular(1, p), m);
+        auto clocks = rt.run(
+            [&](Comm& world) { detail::barrier_dissemination(world); });
+        const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+        // Each round: send overhead + (alpha arrival) + recv overhead.
+        const VTime want = rounds * (2 * 0.5 + 1.0);
+        for (VTime t : clocks) EXPECT_NEAR(t, want, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(VTimeAnalytic, TunedShmBarrierFormula) {
+    ModelParams m = ModelParams::cray();
+    for (int p : {2, 8, 24}) {
+        Runtime rt(ClusterSpec::regular(1, p), m);
+        auto clocks = rt.run([&](Comm& world) { barrier(world); });
+        const VTime want = m.shm_barrier_base_us +
+                           m.shm_barrier_hop_us *
+                               std::log2(static_cast<double>(p));
+        for (VTime t : clocks) EXPECT_NEAR(t, want, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(VTimeAnalytic, HybridSingleNodeAllgatherIsOneBarrier) {
+    // The Fig. 7 headline as an exact equation: Hy_Allgather on one node
+    // costs exactly one tuned barrier, independent of the payload.
+    ModelParams m = ModelParams::cray();
+    for (std::size_t bytes : {8u, 1u << 20}) {
+        Runtime rt(ClusterSpec::regular(1, 24), m, PayloadMode::SizeOnly);
+        auto clocks = rt.run([&](Comm& world) {
+            hympi::HierComm hc(world);
+            hympi::AllgatherChannel ch(hc, bytes);
+            const VTime before = world.ctx().clock.now();
+            ch.run();
+            const VTime want = m.shm_barrier_base_us +
+                               m.shm_barrier_hop_us * std::log2(24.0);
+            EXPECT_NEAR(world.ctx().clock.now() - before, want, 1e-9);
+        });
+        EXPECT_GT(max_clock(clocks), 0.0);
+    }
+}
+
+TEST(VTimeAnalytic, LatencyMonotoneInBytesAndRanks) {
+    // Property sweep: collective latency never decreases with message size
+    // or with the number of ranks (for the flat algorithms on one node).
+    const ModelParams m = uniform_model();
+    VTime prev_bytes = 0.0;
+    for (std::size_t bytes : {0u, 64u, 1024u, 65536u}) {
+        Runtime rt(ClusterSpec::regular(1, 6), m);
+        auto clocks = rt.run([&](Comm& world) {
+            std::vector<std::byte> buf(std::max<std::size_t>(bytes, 1));
+            detail::bcast_binomial(world, buf.data(), bytes, 0);
+        });
+        const VTime t = max_clock(clocks);
+        EXPECT_GE(t, prev_bytes);
+        prev_bytes = t;
+    }
+    VTime prev_ranks = 0.0;
+    for (int p : {1, 2, 4, 8, 16}) {
+        Runtime rt(ClusterSpec::regular(1, p), m);
+        auto clocks = rt.run([&](Comm& world) {
+            std::vector<std::byte> buf(512);
+            detail::bcast_binomial(world, buf.data(), 512, 0);
+        });
+        const VTime t = max_clock(clocks);
+        EXPECT_GE(t, prev_ranks) << "p=" << p;
+        prev_ranks = t;
+    }
+}

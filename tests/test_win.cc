@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "minimpi/minimpi.h"
+
+using namespace minimpi;
+
+TEST(Win, LeaderAllocatesChildrenQuery) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        const std::size_t mine = (world.rank() == 0) ? 256 : 0;
+        Win w = win_allocate_shared(world, mine);
+        EXPECT_TRUE(w.valid());
+        auto [base, size] = w.shared_query(0);
+        EXPECT_NE(base, nullptr);
+        EXPECT_EQ(size, 256u);
+        EXPECT_EQ(w.my_size(), mine);
+        EXPECT_EQ(w.total_size(), 256u);
+    });
+}
+
+TEST(Win, PerRankSegmentsAreDisjointAndOrdered) {
+    Runtime rt(ClusterSpec::regular(1, 4), ModelParams::test());
+    rt.run([](Comm& world) {
+        Win w = win_allocate_shared(world,
+                                    16 * static_cast<std::size_t>(world.rank() + 1));
+        std::byte* prev_end = nullptr;
+        for (int r = 0; r < 4; ++r) {
+            auto [base, size] = w.shared_query(r);
+            EXPECT_EQ(size, 16u * static_cast<std::size_t>(r + 1));
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(base) % 64, 0u)
+                << "segments must be cache-line aligned";
+            if (prev_end != nullptr) {
+                EXPECT_GE(base, prev_end);
+            }
+            prev_end = base + size;
+        }
+    });
+}
+
+TEST(Win, StoresAreVisibleToAllRanksAfterBarrier) {
+    Runtime rt(ClusterSpec::regular(2, 3), ModelParams::test());
+    rt.run([](Comm& world) {
+        Comm shm = world.split_shared();
+        Win w = win_allocate_shared(shm, sizeof(double));
+        *reinterpret_cast<double*>(w.my_base()) = 1.5 * world.rank();
+        barrier(shm);
+        for (int r = 0; r < shm.size(); ++r) {
+            auto [base, size] = w.shared_query(r);
+            EXPECT_DOUBLE_EQ(*reinterpret_cast<double*>(base),
+                             1.5 * shm.to_world(r));
+        }
+        barrier(shm);
+    });
+}
+
+TEST(Win, RejectsMultiNodeCommunicator) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::test());
+    EXPECT_THROW(
+        rt.run([](Comm& world) { win_allocate_shared(world, 64); }),
+        WinError);
+}
+
+TEST(Win, QueryOutOfRangeThrows) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        Win w = win_allocate_shared(world, 8);
+        EXPECT_THROW(w.shared_query(2), WinError);
+        EXPECT_THROW(w.shared_query(-1), WinError);
+    });
+}
+
+TEST(Win, InvalidWindowThrows) {
+    Win w;
+    EXPECT_FALSE(w.valid());
+    EXPECT_THROW(w.shared_query(0), WinError);
+}
+
+TEST(Win, SizeOnlyModeSkipsAllocation) {
+    Runtime rt(ClusterSpec::regular(1, 3), ModelParams::test(),
+               PayloadMode::SizeOnly);
+    rt.run([](Comm& world) {
+        Win w = win_allocate_shared(world, 1 << 20);
+        EXPECT_TRUE(w.valid());
+        EXPECT_EQ(w.my_base(), nullptr);
+        EXPECT_EQ(w.total_size(), 3u << 20);  // sizes still tracked
+    });
+}
+
+TEST(Win, ZeroTotalWindow) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        Win w = win_allocate_shared(world, 0);
+        EXPECT_TRUE(w.valid());
+        EXPECT_EQ(w.total_size(), 0u);
+        EXPECT_EQ(w.my_size(), 0u);
+    });
+}
+
+TEST(Win, MultipleWindowsCoexist) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        Win a = win_allocate_shared(world, 32);
+        Win b = win_allocate_shared(world, 32);
+        *reinterpret_cast<int*>(a.my_base()) = 1;
+        *reinterpret_cast<int*>(b.my_base()) = 2;
+        barrier(world);
+        for (int r = 0; r < 2; ++r) {
+            EXPECT_EQ(*reinterpret_cast<int*>(a.shared_query(r).first), 1);
+            EXPECT_EQ(*reinterpret_cast<int*>(b.shared_query(r).first), 2);
+        }
+        barrier(world);
+    });
+}
