@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bridge.dir/ablation_bridge.cc.o"
+  "CMakeFiles/ablation_bridge.dir/ablation_bridge.cc.o.d"
+  "ablation_bridge"
+  "ablation_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msgcount.dir/ablation_msgcount.cc.o"
+  "CMakeFiles/ablation_msgcount.dir/ablation_msgcount.cc.o.d"
+  "ablation_msgcount"
+  "ablation_msgcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msgcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

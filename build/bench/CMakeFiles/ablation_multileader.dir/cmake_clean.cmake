@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multileader.dir/ablation_multileader.cc.o"
+  "CMakeFiles/ablation_multileader.dir/ablation_multileader.cc.o.d"
+  "ablation_multileader"
+  "ablation_multileader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multileader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

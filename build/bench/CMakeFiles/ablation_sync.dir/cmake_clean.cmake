@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync.dir/ablation_sync.cc.o"
+  "CMakeFiles/ablation_sync.dir/ablation_sync.cc.o.d"
+  "ablation_sync"
+  "ablation_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

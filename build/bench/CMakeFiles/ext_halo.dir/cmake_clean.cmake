@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_halo.dir/ext_halo.cc.o"
+  "CMakeFiles/ext_halo.dir/ext_halo.cc.o.d"
+  "ext_halo"
+  "ext_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

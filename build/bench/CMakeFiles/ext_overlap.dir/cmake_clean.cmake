@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_overlap.dir/ext_overlap.cc.o"
+  "CMakeFiles/ext_overlap.dir/ext_overlap.cc.o.d"
+  "ext_overlap"
+  "ext_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

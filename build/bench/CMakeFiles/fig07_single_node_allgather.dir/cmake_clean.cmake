@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_node_allgather.dir/fig07_single_node_allgather.cc.o"
+  "CMakeFiles/fig07_single_node_allgather.dir/fig07_single_node_allgather.cc.o.d"
+  "fig07_single_node_allgather"
+  "fig07_single_node_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_node_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

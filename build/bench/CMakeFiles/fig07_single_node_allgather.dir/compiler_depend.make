@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_single_node_allgather.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_single_node_allgather.
+# This may be replaced when dependencies are built.

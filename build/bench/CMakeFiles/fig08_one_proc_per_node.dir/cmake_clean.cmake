@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_one_proc_per_node.dir/fig08_one_proc_per_node.cc.o"
+  "CMakeFiles/fig08_one_proc_per_node.dir/fig08_one_proc_per_node.cc.o.d"
+  "fig08_one_proc_per_node"
+  "fig08_one_proc_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_one_proc_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

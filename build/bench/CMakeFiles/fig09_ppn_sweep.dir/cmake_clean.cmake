@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ppn_sweep.dir/fig09_ppn_sweep.cc.o"
+  "CMakeFiles/fig09_ppn_sweep.dir/fig09_ppn_sweep.cc.o.d"
+  "fig09_ppn_sweep"
+  "fig09_ppn_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ppn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_irregular.dir/fig10_irregular.cc.o"
+  "CMakeFiles/fig10_irregular.dir/fig10_irregular.cc.o.d"
+  "fig10_irregular"
+  "fig10_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

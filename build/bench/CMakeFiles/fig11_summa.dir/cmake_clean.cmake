@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_summa.dir/fig11_summa.cc.o"
+  "CMakeFiles/fig11_summa.dir/fig11_summa.cc.o.d"
+  "fig11_summa"
+  "fig11_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bpmf.dir/fig12_bpmf.cc.o"
+  "CMakeFiles/fig12_bpmf.dir/fig12_bpmf.cc.o.d"
+  "fig12_bpmf"
+  "fig12_bpmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bpmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

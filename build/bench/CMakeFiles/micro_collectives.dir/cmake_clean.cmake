@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_collectives.dir/micro_collectives.cc.o"
+  "CMakeFiles/micro_collectives.dir/micro_collectives.cc.o.d"
+  "micro_collectives"
+  "micro_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

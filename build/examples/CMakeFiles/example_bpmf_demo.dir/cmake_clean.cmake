@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bpmf_demo.dir/bpmf_demo.cpp.o"
+  "CMakeFiles/example_bpmf_demo.dir/bpmf_demo.cpp.o.d"
+  "example_bpmf_demo"
+  "example_bpmf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bpmf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

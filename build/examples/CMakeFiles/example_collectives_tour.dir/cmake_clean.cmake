@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collectives_tour.dir/collectives_tour.cpp.o"
+  "CMakeFiles/example_collectives_tour.dir/collectives_tour.cpp.o.d"
+  "example_collectives_tour"
+  "example_collectives_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collectives_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

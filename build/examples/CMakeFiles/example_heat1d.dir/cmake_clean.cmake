@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat1d.dir/heat1d.cpp.o"
+  "CMakeFiles/example_heat1d.dir/heat1d.cpp.o.d"
+  "example_heat1d"
+  "example_heat1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

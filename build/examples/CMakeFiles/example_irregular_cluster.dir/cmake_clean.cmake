@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_irregular_cluster.dir/irregular_cluster.cpp.o"
+  "CMakeFiles/example_irregular_cluster.dir/irregular_cluster.cpp.o.d"
+  "example_irregular_cluster"
+  "example_irregular_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_irregular_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kmeans_demo.dir/kmeans_demo.cpp.o"
+  "CMakeFiles/example_kmeans_demo.dir/kmeans_demo.cpp.o.d"
+  "example_kmeans_demo"
+  "example_kmeans_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kmeans_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_summa_demo.dir/summa_demo.cpp.o"
+  "CMakeFiles/example_summa_demo.dir/summa_demo.cpp.o.d"
+  "example_summa_demo"
+  "example_summa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_summa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_timeline.dir/timeline.cpp.o"
+  "CMakeFiles/example_timeline.dir/timeline.cpp.o.d"
+  "example_timeline"
+  "example_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bpmf.cc" "src/apps/CMakeFiles/apps.dir/bpmf.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/bpmf.cc.o.d"
+  "/root/repo/src/apps/dataset.cc" "src/apps/CMakeFiles/apps.dir/dataset.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/dataset.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/summa.cc" "src/apps/CMakeFiles/apps.dir/summa.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/summa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hybrid/CMakeFiles/hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

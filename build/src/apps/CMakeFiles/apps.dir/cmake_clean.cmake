@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/bpmf.cc.o"
+  "CMakeFiles/apps.dir/bpmf.cc.o.d"
+  "CMakeFiles/apps.dir/dataset.cc.o"
+  "CMakeFiles/apps.dir/dataset.cc.o.d"
+  "CMakeFiles/apps.dir/kmeans.cc.o"
+  "CMakeFiles/apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/apps.dir/summa.cc.o"
+  "CMakeFiles/apps.dir/summa.cc.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

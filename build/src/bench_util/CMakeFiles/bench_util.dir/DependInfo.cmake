@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/latency.cc" "src/bench_util/CMakeFiles/bench_util.dir/latency.cc.o" "gcc" "src/bench_util/CMakeFiles/bench_util.dir/latency.cc.o.d"
+  "/root/repo/src/bench_util/table.cc" "src/bench_util/CMakeFiles/bench_util.dir/table.cc.o" "gcc" "src/bench_util/CMakeFiles/bench_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hybrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

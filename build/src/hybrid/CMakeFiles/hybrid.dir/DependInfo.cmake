@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/halo.cc" "src/hybrid/CMakeFiles/hybrid.dir/halo.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/halo.cc.o.d"
+  "/root/repo/src/hybrid/hier_comm.cc" "src/hybrid/CMakeFiles/hybrid.dir/hier_comm.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/hier_comm.cc.o.d"
+  "/root/repo/src/hybrid/hy_allgather.cc" "src/hybrid/CMakeFiles/hybrid.dir/hy_allgather.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/hy_allgather.cc.o.d"
+  "/root/repo/src/hybrid/hy_bcast.cc" "src/hybrid/CMakeFiles/hybrid.dir/hy_bcast.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/hy_bcast.cc.o.d"
+  "/root/repo/src/hybrid/hy_extra.cc" "src/hybrid/CMakeFiles/hybrid.dir/hy_extra.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/hy_extra.cc.o.d"
+  "/root/repo/src/hybrid/shared_buffer.cc" "src/hybrid/CMakeFiles/hybrid.dir/shared_buffer.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/shared_buffer.cc.o.d"
+  "/root/repo/src/hybrid/sync.cc" "src/hybrid/CMakeFiles/hybrid.dir/sync.cc.o" "gcc" "src/hybrid/CMakeFiles/hybrid.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

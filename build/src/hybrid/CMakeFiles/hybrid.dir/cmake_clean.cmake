@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid.dir/halo.cc.o"
+  "CMakeFiles/hybrid.dir/halo.cc.o.d"
+  "CMakeFiles/hybrid.dir/hier_comm.cc.o"
+  "CMakeFiles/hybrid.dir/hier_comm.cc.o.d"
+  "CMakeFiles/hybrid.dir/hy_allgather.cc.o"
+  "CMakeFiles/hybrid.dir/hy_allgather.cc.o.d"
+  "CMakeFiles/hybrid.dir/hy_bcast.cc.o"
+  "CMakeFiles/hybrid.dir/hy_bcast.cc.o.d"
+  "CMakeFiles/hybrid.dir/hy_extra.cc.o"
+  "CMakeFiles/hybrid.dir/hy_extra.cc.o.d"
+  "CMakeFiles/hybrid.dir/shared_buffer.cc.o"
+  "CMakeFiles/hybrid.dir/shared_buffer.cc.o.d"
+  "CMakeFiles/hybrid.dir/sync.cc.o"
+  "CMakeFiles/hybrid.dir/sync.cc.o.d"
+  "libhybrid.a"
+  "libhybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/rng.cc" "src/linalg/CMakeFiles/linalg.dir/rng.cc.o" "gcc" "src/linalg/CMakeFiles/linalg.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

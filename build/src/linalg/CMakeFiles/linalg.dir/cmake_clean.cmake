@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg.dir/cholesky.cc.o"
+  "CMakeFiles/linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/linalg.dir/matrix.cc.o"
+  "CMakeFiles/linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/linalg.dir/rng.cc.o"
+  "CMakeFiles/linalg.dir/rng.cc.o.d"
+  "liblinalg.a"
+  "liblinalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

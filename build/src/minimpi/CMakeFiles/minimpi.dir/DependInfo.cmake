@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/cart.cc" "src/minimpi/CMakeFiles/minimpi.dir/cart.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/cart.cc.o.d"
+  "/root/repo/src/minimpi/cluster.cc" "src/minimpi/CMakeFiles/minimpi.dir/cluster.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/cluster.cc.o.d"
+  "/root/repo/src/minimpi/coll.cc" "src/minimpi/CMakeFiles/minimpi.dir/coll.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/coll.cc.o.d"
+  "/root/repo/src/minimpi/coll_allgather.cc" "src/minimpi/CMakeFiles/minimpi.dir/coll_allgather.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/coll_allgather.cc.o.d"
+  "/root/repo/src/minimpi/coll_hier.cc" "src/minimpi/CMakeFiles/minimpi.dir/coll_hier.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/coll_hier.cc.o.d"
+  "/root/repo/src/minimpi/coll_reduce.cc" "src/minimpi/CMakeFiles/minimpi.dir/coll_reduce.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/coll_reduce.cc.o.d"
+  "/root/repo/src/minimpi/coll_scan.cc" "src/minimpi/CMakeFiles/minimpi.dir/coll_scan.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/coll_scan.cc.o.d"
+  "/root/repo/src/minimpi/comm.cc" "src/minimpi/CMakeFiles/minimpi.dir/comm.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/comm.cc.o.d"
+  "/root/repo/src/minimpi/context.cc" "src/minimpi/CMakeFiles/minimpi.dir/context.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/context.cc.o.d"
+  "/root/repo/src/minimpi/datatype.cc" "src/minimpi/CMakeFiles/minimpi.dir/datatype.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/datatype.cc.o.d"
+  "/root/repo/src/minimpi/netmodel.cc" "src/minimpi/CMakeFiles/minimpi.dir/netmodel.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/netmodel.cc.o.d"
+  "/root/repo/src/minimpi/p2p.cc" "src/minimpi/CMakeFiles/minimpi.dir/p2p.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/p2p.cc.o.d"
+  "/root/repo/src/minimpi/runtime.cc" "src/minimpi/CMakeFiles/minimpi.dir/runtime.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/runtime.cc.o.d"
+  "/root/repo/src/minimpi/trace.cc" "src/minimpi/CMakeFiles/minimpi.dir/trace.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/trace.cc.o.d"
+  "/root/repo/src/minimpi/transport.cc" "src/minimpi/CMakeFiles/minimpi.dir/transport.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/transport.cc.o.d"
+  "/root/repo/src/minimpi/win.cc" "src/minimpi/CMakeFiles/minimpi.dir/win.cc.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/win.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_smoke.dir/test_apps_smoke.cc.o"
+  "CMakeFiles/test_apps_smoke.dir/test_apps_smoke.cc.o.d"
+  "test_apps_smoke"
+  "test_apps_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpmf.dir/test_bpmf.cc.o"
+  "CMakeFiles/test_bpmf.dir/test_bpmf.cc.o.d"
+  "test_bpmf"
+  "test_bpmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

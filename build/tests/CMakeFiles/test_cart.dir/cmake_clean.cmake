@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart.dir/test_cart.cc.o"
+  "CMakeFiles/test_cart.dir/test_cart.cc.o.d"
+  "test_cart"
+  "test_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll.dir/test_coll.cc.o"
+  "CMakeFiles/test_coll.dir/test_coll.cc.o.d"
+  "test_coll"
+  "test_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

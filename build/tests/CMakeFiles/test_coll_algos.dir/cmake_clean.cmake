@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_algos.dir/test_coll_algos.cc.o"
+  "CMakeFiles/test_coll_algos.dir/test_coll_algos.cc.o.d"
+  "test_coll_algos"
+  "test_coll_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset.dir/test_dataset.cc.o"
+  "CMakeFiles/test_dataset.dir/test_dataset.cc.o.d"
+  "test_dataset"
+  "test_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datatype.dir/test_datatype.cc.o"
+  "CMakeFiles/test_datatype.dir/test_datatype.cc.o.d"
+  "test_datatype"
+  "test_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_cases.dir/test_edge_cases.cc.o"
+  "CMakeFiles/test_edge_cases.dir/test_edge_cases.cc.o.d"
+  "test_edge_cases"
+  "test_edge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

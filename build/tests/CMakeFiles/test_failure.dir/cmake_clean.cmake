@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure.dir/test_failure.cc.o"
+  "CMakeFiles/test_failure.dir/test_failure.cc.o.d"
+  "test_failure"
+  "test_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo.dir/test_halo.cc.o"
+  "CMakeFiles/test_halo.dir/test_halo.cc.o.d"
+  "test_halo"
+  "test_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hier_comm.dir/test_hier_comm.cc.o"
+  "CMakeFiles/test_hier_comm.dir/test_hier_comm.cc.o.d"
+  "test_hier_comm"
+  "test_hier_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hier_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_allgather.dir/test_hybrid_allgather.cc.o"
+  "CMakeFiles/test_hybrid_allgather.dir/test_hybrid_allgather.cc.o.d"
+  "test_hybrid_allgather"
+  "test_hybrid_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_bcast.dir/test_hybrid_bcast.cc.o"
+  "CMakeFiles/test_hybrid_bcast.dir/test_hybrid_bcast.cc.o.d"
+  "test_hybrid_bcast"
+  "test_hybrid_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_extra.dir/test_hybrid_extra.cc.o"
+  "CMakeFiles/test_hybrid_extra.dir/test_hybrid_extra.cc.o.d"
+  "test_hybrid_extra"
+  "test_hybrid_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

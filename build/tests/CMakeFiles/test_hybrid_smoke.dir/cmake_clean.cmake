@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_smoke.dir/test_hybrid_smoke.cc.o"
+  "CMakeFiles/test_hybrid_smoke.dir/test_hybrid_smoke.cc.o.d"
+  "test_hybrid_smoke"
+  "test_hybrid_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hybrid_smoke.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlap.dir/test_overlap.cc.o"
+  "CMakeFiles/test_overlap.dir/test_overlap.cc.o.d"
+  "test_overlap"
+  "test_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2p.dir/test_p2p.cc.o"
+  "CMakeFiles/test_p2p.dir/test_p2p.cc.o.d"
+  "test_p2p"
+  "test_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

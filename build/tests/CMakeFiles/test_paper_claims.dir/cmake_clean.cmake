@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_claims.dir/test_paper_claims.cc.o"
+  "CMakeFiles/test_paper_claims.dir/test_paper_claims.cc.o.d"
+  "test_paper_claims"
+  "test_paper_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

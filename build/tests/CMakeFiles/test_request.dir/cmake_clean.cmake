@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request.dir/test_request.cc.o"
+  "CMakeFiles/test_request.dir/test_request.cc.o.d"
+  "test_request"
+  "test_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

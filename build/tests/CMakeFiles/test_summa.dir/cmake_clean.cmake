@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summa.dir/test_summa.cc.o"
+  "CMakeFiles/test_summa.dir/test_summa.cc.o.d"
+  "test_summa"
+  "test_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/test_transport.cc.o"
+  "CMakeFiles/test_transport.dir/test_transport.cc.o.d"
+  "test_transport"
+  "test_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtime.dir/test_vtime.cc.o"
+  "CMakeFiles/test_vtime.dir/test_vtime.cc.o.d"
+  "test_vtime"
+  "test_vtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

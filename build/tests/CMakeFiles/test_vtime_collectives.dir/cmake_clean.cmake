@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtime_collectives.dir/test_vtime_collectives.cc.o"
+  "CMakeFiles/test_vtime_collectives.dir/test_vtime_collectives.cc.o.d"
+  "test_vtime_collectives"
+  "test_vtime_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtime_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

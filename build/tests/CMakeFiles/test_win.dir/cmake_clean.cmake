@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_win.dir/test_win.cc.o"
+  "CMakeFiles/test_win.dir/test_win.cc.o.d"
+  "test_win"
+  "test_win.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_win.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
