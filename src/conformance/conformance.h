@@ -1,0 +1,132 @@
+#pragma once
+
+/// Differential conformance harness for the hybrid MPI+MPI collectives.
+///
+/// The paper's central correctness claim is that the Hy_* collectives
+/// produce exactly the data a flat MPI collective would, while sharing one
+/// on-node copy behind barrier or flag synchronization. This subsystem
+/// checks that claim systematically instead of on a few hand-picked
+/// topologies: a seeded generator draws random cluster shapes (regular and
+/// irregular populations, including the paper's 42x24+1x16 shape scaled
+/// down), placements, sub-communicators, payload sizes (0 bytes and up),
+/// datatypes and both SyncPolicy flavors; each case runs the hybrid channel
+/// and the flat reference collective in the same virtual-time runtime and
+/// requires byte-identical buffers plus monotone, repeat-identical virtual
+/// clocks — optionally under deterministic message jitter and delayed
+/// leader progress (minimpi::FaultPlan). Failing cases are shrunk to a
+/// minimal reproducer (seed + topology + size) before being reported.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hybrid/hympi.h"
+#include "minimpi/minimpi.h"
+
+namespace conformance {
+
+/// Collectives covered by the harness — every hybrid channel the library
+/// offers, each diffed against its flat pure-MPI reference.
+enum class CollOp : std::uint8_t {
+    Allgather,
+    Allgatherv,
+    Bcast,
+    Allreduce,
+    Reduce,
+    Gather,
+    Scatter,
+    Alltoall,
+};
+inline constexpr int kNumOps = 8;
+
+const char* op_name(CollOp op);
+
+/// One fully-specified randomized case. Quantities that depend on the
+/// active communicator's size (sub-communicator membership, per-rank
+/// allgatherv counts, the root of rooted ops) are pure functions of `seed`
+/// evaluated at run time, so a spec stays valid while the shrinker mutates
+/// its topology.
+struct CaseSpec {
+    std::uint64_t seed = 1;
+
+    std::vector<int> procs_per_node{1};
+    minimpi::Placement placement = minimpi::Placement::Smp;
+    bool cray_profile = true;  ///< vendor profile: cray() vs openmpi()
+    bool subcomm = false;      ///< run on a seeded proper sub-communicator
+
+    CollOp op = CollOp::Allgather;
+    hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
+    hympi::BridgeAlgo bridge = hympi::BridgeAlgo::Allgatherv;  ///< allgather*
+    int leaders = 1;
+    int iterations = 1;
+
+    /// Per-rank payload bytes (regular ops); scale cap for the derived
+    /// allgatherv counts; element count x datatype size for reductions.
+    std::size_t block_bytes = 0;
+    minimpi::Datatype dt = minimpi::Datatype::Byte;  ///< reductions only
+    minimpi::Op red_op = minimpi::Op::Sum;           ///< reductions only
+
+    minimpi::FaultPlan faults;
+
+    int total_ranks() const;
+    /// One-line reproducer, stable across runs.
+    std::string describe() const;
+
+    /// The derived quantities (exposed for tests and describe()).
+    std::vector<int> derive_members() const;  ///< active world ranks
+    std::vector<std::size_t> derive_v_bytes(int active_size) const;
+    int derive_root(int active_size) const;
+};
+
+/// Outcome of one differential execution.
+struct CaseResult {
+    bool ok = true;
+    std::string detail;                  ///< first mismatch; empty when ok
+    std::vector<minimpi::VTime> clocks;  ///< final per-rank virtual clocks
+};
+
+/// Draw the @p index-th case of the stream anchored at @p master_seed.
+/// @p with_faults gates jitter/delay injection (never corruption).
+CaseSpec generate_case(std::uint64_t master_seed, int index,
+                       bool with_faults = true);
+
+/// Execute hybrid and flat reference paths in one virtual-time runtime and
+/// compare byte-for-byte; also checks per-rank clock monotonicity across
+/// the case's checkpoints.
+CaseResult run_case(const CaseSpec& spec);
+
+/// run_case twice; additionally require bit-identical clock vectors.
+CaseResult run_case_checked(const CaseSpec& spec);
+
+/// Greedily minimize a failing spec — node count, ppn, payload size,
+/// iterations, leaders, sub-communicator, faults — while it keeps failing.
+/// Each candidate costs one run_case_checked; bounded by @p max_runs.
+CaseSpec shrink(const CaseSpec& failing, int max_runs = 160);
+
+struct HarnessReport {
+    int cases = 0;
+    int failures = 0;
+    std::string first_failure;  ///< shrunk reproducer + mismatch detail
+};
+
+/// Generate and check @p ncases specs. Stops at the first failure, shrinks
+/// it, and formats the minimized reproducer into the report.
+HarnessReport run_random_cases(std::uint64_t master_seed, int ncases,
+                               bool with_faults = true);
+
+namespace detail {
+
+/// splitmix64 — the harness's deterministic stream mixer.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Deterministic payload byte for (seed, rank-ish salt, byte index).
+inline std::byte pattern_byte(std::uint64_t seed, std::uint64_t salt,
+                              std::size_t i) {
+    return static_cast<std::byte>(
+        mix64(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^ (i >> 3)) >>
+        ((i & 7) * 8));
+}
+
+}  // namespace detail
+
+}  // namespace conformance

@@ -1,0 +1,464 @@
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "conformance/conformance.h"
+
+namespace conformance {
+
+namespace {
+
+using hympi::AllgatherChannel;
+using hympi::AllreduceChannel;
+using hympi::AlltoallChannel;
+using hympi::BcastChannel;
+using hympi::GatherChannel;
+using hympi::HierComm;
+using hympi::ReduceChannel;
+using hympi::ScatterChannel;
+using minimpi::Comm;
+using minimpi::Datatype;
+using minimpi::RankCtx;
+using minimpi::VTime;
+using detail::mix64;
+using detail::pattern_byte;
+
+/// Per-rank findings. Each rank thread writes only its own entry, so the
+/// vector needs no locking; after the join the lowest failing rank wins
+/// (deterministic pick regardless of which thread hit its mismatch first).
+struct RankLog {
+    std::string err;
+    VTime last_checkpoint = 0.0;
+};
+
+void fail(RankLog& log, std::string msg) {
+    if (log.err.empty()) log.err = std::move(msg);
+}
+
+/// Virtual clocks must never run backwards across a rank's own program
+/// order — sample at every iteration boundary.
+void checkpoint(RankLog& log, RankCtx& ctx, const char* where) {
+    const VTime now = ctx.clock.now();
+    if (now < log.last_checkpoint) {
+        std::ostringstream os;
+        os << "clock regressed at " << where << ": " << now << " < "
+           << log.last_checkpoint;
+        fail(log, os.str());
+    }
+    log.last_checkpoint = now;
+}
+
+std::uint64_t salt_of(int iter, int a, int b = 0) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iter))
+            << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 20) |
+           static_cast<std::uint32_t>(b);
+}
+
+void fill_pattern(std::byte* dst, std::size_t n, std::uint64_t seed,
+                  std::uint64_t salt) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = pattern_byte(seed, salt, i);
+}
+
+/// Deterministic reduction inputs. Magnitudes stay small enough that Sum
+/// over any supported rank count cannot overflow (overflow would be UB for
+/// the signed types and would void the byte-identity claim).
+void fill_red(std::byte* dst, std::size_t count, Datatype dt,
+              std::uint64_t seed, std::uint64_t salt) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t h = mix64(seed ^ (salt * 0xA24BAED4963EE407ULL) ^ i);
+        switch (dt) {
+            case Datatype::Int32: {
+                const std::int32_t v =
+                    static_cast<std::int32_t>(h & 0xFFFF) - 0x8000;
+                std::memcpy(dst + i * 4, &v, 4);
+                break;
+            }
+            case Datatype::Int64: {
+                const std::int64_t v =
+                    static_cast<std::int64_t>(h & 0xFFFFF) - 0x80000;
+                std::memcpy(dst + i * 8, &v, 8);
+                break;
+            }
+            default: {  // UInt64
+                const std::uint64_t v = h & 0xFFFFF;
+                std::memcpy(dst + i * 8, &v, 8);
+                break;
+            }
+        }
+    }
+}
+
+/// Elementwise reference reduction computed locally (used where the flat
+/// result is not addressable on this rank, e.g. non-root ranks of the
+/// root's node).
+template <typename T>
+void apply_red(minimpi::Op op, T* inout, const T* in, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        switch (op) {
+            case minimpi::Op::Sum: inout[i] = inout[i] + in[i]; break;
+            case minimpi::Op::Min: inout[i] = std::min(inout[i], in[i]); break;
+            case minimpi::Op::Max: inout[i] = std::max(inout[i], in[i]); break;
+            case minimpi::Op::BitAnd: inout[i] = inout[i] & in[i]; break;
+            default: inout[i] = inout[i] | in[i]; break;  // BitOr
+        }
+    }
+}
+
+std::vector<std::byte> expected_reduction(const CaseSpec& spec,
+                                          std::size_t count, int nranks) {
+    const std::size_t ds = datatype_size(spec.dt);
+    std::vector<std::byte> acc(count * ds), in(count * ds);
+    if (count == 0) return acc;
+    fill_red(acc.data(), count, spec.dt, spec.seed, salt_of(0, 0));
+    for (int r = 1; r < nranks; ++r) {
+        fill_red(in.data(), count, spec.dt, spec.seed, salt_of(0, r));
+        switch (spec.dt) {
+            case Datatype::Int32:
+                apply_red(spec.red_op,
+                          reinterpret_cast<std::int32_t*>(acc.data()),
+                          reinterpret_cast<const std::int32_t*>(in.data()),
+                          count);
+                break;
+            case Datatype::Int64:
+                apply_red(spec.red_op,
+                          reinterpret_cast<std::int64_t*>(acc.data()),
+                          reinterpret_cast<const std::int64_t*>(in.data()),
+                          count);
+                break;
+            default:
+                apply_red(spec.red_op,
+                          reinterpret_cast<std::uint64_t*>(acc.data()),
+                          reinterpret_cast<const std::uint64_t*>(in.data()),
+                          count);
+                break;
+        }
+    }
+    return acc;
+}
+
+void expect_eq(RankLog& log, const std::byte* got, const std::byte* want,
+               std::size_t n, const char* what, int iter, int block) {
+    if (n == 0 || !log.err.empty()) return;
+    if (got == nullptr || want == nullptr) {
+        std::ostringstream os;
+        os << what << " iter " << iter << " block " << block
+           << ": null buffer with " << n << " bytes expected";
+        fail(log, os.str());
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (got[i] != want[i]) {
+            std::ostringstream os;
+            os << what << " iter " << iter << " block " << block << " byte "
+               << i << ": hybrid=0x" << std::hex
+               << static_cast<int>(got[i]) << " flat=0x"
+               << static_cast<int>(want[i]);
+            fail(log, os.str());
+            return;
+        }
+    }
+}
+
+// ---- per-op differential bodies ----------------------------------------
+
+void diff_allgather(const CaseSpec& spec, Comm& active, HierComm& hc,
+                    RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const std::size_t bb = spec.block_bytes;
+    AllgatherChannel ch(hc, bb);
+    std::vector<std::byte> mine(bb);
+    std::vector<std::byte> ref(bb * static_cast<std::size_t>(n));
+    for (int it = 0; it < spec.iterations; ++it) {
+        fill_pattern(mine.data(), bb, spec.seed, salt_of(it, me));
+        if (bb > 0) std::memcpy(ch.my_block(), mine.data(), bb);
+        ch.run(spec.sync, spec.bridge);
+        minimpi::allgather(active, mine.data(), bb, ref.data(),
+                           Datatype::Byte);
+        for (int r = 0; r < n; ++r) {
+            expect_eq(log, ch.block_of(r),
+                      ref.data() + static_cast<std::size_t>(r) * bb, bb,
+                      "allgather", it, r);
+        }
+        checkpoint(log, active.ctx(), "allgather");
+        ch.quiesce(spec.sync);
+    }
+}
+
+void diff_allgatherv(const CaseSpec& spec, Comm& active, HierComm& hc,
+                     RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const auto counts = spec.derive_v_bytes(n);
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+        displs[static_cast<std::size_t>(r)] = total;
+        total += counts[static_cast<std::size_t>(r)];
+    }
+    AllgatherChannel ch(hc, counts);
+    const std::size_t mb = counts[static_cast<std::size_t>(me)];
+    std::vector<std::byte> mine(mb);
+    std::vector<std::byte> ref(total);
+    for (int it = 0; it < spec.iterations; ++it) {
+        fill_pattern(mine.data(), mb, spec.seed, salt_of(it, me));
+        if (mb > 0) std::memcpy(ch.my_block(), mine.data(), mb);
+        ch.run(spec.sync, spec.bridge);
+        minimpi::allgatherv(active, mine.data(), mb, ref.data(), counts,
+                            displs, Datatype::Byte);
+        for (int r = 0; r < n; ++r) {
+            expect_eq(log, ch.block_of(r),
+                      ref.data() + displs[static_cast<std::size_t>(r)],
+                      counts[static_cast<std::size_t>(r)], "allgatherv", it,
+                      r);
+        }
+        checkpoint(log, active.ctx(), "allgatherv");
+        ch.quiesce(spec.sync);
+    }
+}
+
+void diff_bcast(const CaseSpec& spec, Comm& active, HierComm& hc,
+                RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const std::size_t bb = spec.block_bytes;
+    BcastChannel ch(hc, bb);
+    std::vector<std::byte> flat(bb);
+    for (int it = 0; it < spec.iterations; ++it) {
+        const int root = (spec.derive_root(n) + it) % n;  // rotate roots
+        if (me == root) {
+            fill_pattern(flat.data(), bb, spec.seed, salt_of(it, root, 1));
+            if (bb > 0) std::memcpy(ch.write_buffer(), flat.data(), bb);
+        }
+        ch.run(root, spec.sync);
+        minimpi::bcast(active, flat.data(), bb, Datatype::Byte, root);
+        expect_eq(log, ch.read_buffer(), flat.data(), bb, "bcast", it, root);
+        checkpoint(log, active.ctx(), "bcast");
+    }
+}
+
+void diff_allreduce(const CaseSpec& spec, Comm& active, HierComm& hc,
+                    RankLog& log) {
+    const int me = active.rank();
+    const std::size_t ds = datatype_size(spec.dt);
+    const std::size_t count = spec.block_bytes / ds;
+    AllreduceChannel ch(hc, count, spec.dt);
+    std::vector<std::byte> mine(count * ds);
+    std::vector<std::byte> ref(count * ds);
+    for (int it = 0; it < spec.iterations; ++it) {
+        // Inputs are iteration-independent (salt iter 0) so the locally
+        // computed expected_reduction can double-check every iteration.
+        fill_red(mine.data(), count, spec.dt, spec.seed, salt_of(0, me));
+        if (count > 0) std::memcpy(ch.my_input(), mine.data(), count * ds);
+        ch.run(spec.red_op, spec.sync);
+        minimpi::allreduce(active, mine.data(), ref.data(), count, spec.dt,
+                           spec.red_op);
+        expect_eq(log, ch.result(), ref.data(), count * ds, "allreduce", it,
+                  0);
+        checkpoint(log, active.ctx(), "allreduce");
+    }
+    const auto expected = expected_reduction(spec, count, active.size());
+    expect_eq(log, ref.data(), expected.data(), count * ds,
+              "allreduce-vs-local", spec.iterations - 1, 0);
+}
+
+void diff_reduce(const CaseSpec& spec, Comm& active, HierComm& hc,
+                 RankLog& log) {
+    const int me = active.rank();
+    const std::size_t ds = datatype_size(spec.dt);
+    const std::size_t count = spec.block_bytes / ds;
+    const int root = spec.derive_root(active.size());
+    ReduceChannel ch(hc, count, spec.dt, root);
+    const bool on_root_node = hc.my_node() == hc.node_of_rank(root);
+    std::vector<std::byte> mine(count * ds);
+    std::vector<std::byte> ref(count * ds);
+    const auto expected = expected_reduction(spec, count, active.size());
+    for (int it = 0; it < spec.iterations; ++it) {
+        fill_red(mine.data(), count, spec.dt, spec.seed, salt_of(0, me));
+        if (count > 0) std::memcpy(ch.my_input(), mine.data(), count * ds);
+        ch.run(spec.red_op, spec.sync);
+        minimpi::reduce(active, mine.data(), ref.data(), count, spec.dt,
+                        spec.red_op, root);
+        if (me == root) {
+            expect_eq(log, ch.result(), ref.data(), count * ds, "reduce", it,
+                      0);
+        }
+        // The hybrid result is node-shared: every rank of the root's node
+        // must see it (the flat reference exists only at the root itself).
+        if (on_root_node) {
+            expect_eq(log, ch.result(), expected.data(), count * ds,
+                      "reduce-node-visibility", it, 0);
+        }
+        checkpoint(log, active.ctx(), "reduce");
+        minimpi::barrier(active);  // root-node readers vs next writers
+    }
+}
+
+void diff_gather(const CaseSpec& spec, Comm& active, HierComm& hc,
+                 RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const std::size_t bb = spec.block_bytes;
+    const int root = spec.derive_root(n);
+    GatherChannel ch(hc, bb, root);
+    const bool on_root_node = hc.my_node() == hc.node_of_rank(root);
+    std::vector<std::byte> mine(bb);
+    std::vector<std::byte> ref(bb * static_cast<std::size_t>(n));
+    std::vector<std::byte> want(bb);
+    for (int it = 0; it < spec.iterations; ++it) {
+        fill_pattern(mine.data(), bb, spec.seed, salt_of(it, me));
+        if (bb > 0) std::memcpy(ch.my_block(), mine.data(), bb);
+        ch.run(spec.sync);
+        minimpi::gather(active, mine.data(), bb, ref.data(), Datatype::Byte,
+                        root);
+        if (me == root) {
+            for (int r = 0; r < n; ++r) {
+                expect_eq(log, ch.gathered(r),
+                          ref.data() + static_cast<std::size_t>(r) * bb, bb,
+                          "gather", it, r);
+            }
+        } else if (on_root_node) {
+            // Gathered vector exists ONCE on the root's node — check that
+            // the other node members see every contribution too.
+            for (int r = 0; r < n; ++r) {
+                fill_pattern(want.data(), bb, spec.seed, salt_of(it, r));
+                expect_eq(log, ch.gathered(r), want.data(), bb,
+                          "gather-node-visibility", it, r);
+            }
+        }
+        checkpoint(log, active.ctx(), "gather");
+        minimpi::barrier(active);  // root-node readers vs next writers
+    }
+}
+
+void diff_scatter(const CaseSpec& spec, Comm& active, HierComm& hc,
+                  RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const std::size_t bb = spec.block_bytes;
+    const int root = spec.derive_root(n);
+    ScatterChannel ch(hc, bb, root);
+    std::vector<std::byte> send(bb * static_cast<std::size_t>(n));
+    std::vector<std::byte> flat(bb);
+    for (int it = 0; it < spec.iterations; ++it) {
+        if (me == root) {
+            for (int r = 0; r < n; ++r) {
+                std::byte* blk = send.data() + static_cast<std::size_t>(r) * bb;
+                fill_pattern(blk, bb, spec.seed, salt_of(it, r, 2));
+                if (bb > 0) std::memcpy(ch.outgoing(r), blk, bb);
+            }
+        }
+        ch.run(spec.sync);
+        minimpi::scatter(active, send.data(), bb, flat.data(), Datatype::Byte,
+                         root);
+        expect_eq(log, ch.my_block(), flat.data(), bb, "scatter", it, me);
+        checkpoint(log, active.ctx(), "scatter");
+        minimpi::barrier(active);  // readers vs the root's next writes
+    }
+}
+
+void diff_alltoall(const CaseSpec& spec, Comm& active, HierComm& hc,
+                   RankLog& log) {
+    const int n = active.size();
+    const int me = active.rank();
+    const std::size_t bb = spec.block_bytes;
+    AlltoallChannel ch(hc, bb);
+    std::vector<std::byte> send(bb * static_cast<std::size_t>(n));
+    std::vector<std::byte> recv(bb * static_cast<std::size_t>(n));
+    for (int it = 0; it < spec.iterations; ++it) {
+        for (int d = 0; d < n; ++d) {
+            std::byte* blk = send.data() + static_cast<std::size_t>(d) * bb;
+            fill_pattern(blk, bb, spec.seed, salt_of(it, me, d));
+            if (bb > 0) std::memcpy(ch.send_block(d), blk, bb);
+        }
+        ch.run(spec.sync);
+        minimpi::alltoall(active, send.data(), bb, recv.data(),
+                          Datatype::Byte);
+        for (int s = 0; s < n; ++s) {
+            expect_eq(log, ch.recv_block(s),
+                      recv.data() + static_cast<std::size_t>(s) * bb, bb,
+                      "alltoall", it, s);
+        }
+        checkpoint(log, active.ctx(), "alltoall");
+        minimpi::barrier(active);  // recv-row readers vs next transpose
+    }
+}
+
+void case_body(const CaseSpec& spec, Comm& world, RankLog& log) {
+    const auto members = spec.derive_members();
+    const bool in_active =
+        std::find(members.begin(), members.end(), world.rank()) !=
+        members.end();
+    // The split is collective over world even for ranks that sit out.
+    Comm active = world.split(in_active ? 0 : minimpi::kUndefined,
+                              world.rank());
+    if (!in_active) return;
+
+    checkpoint(log, active.ctx(), "start");
+    HierComm hc(active, spec.leaders);
+    switch (spec.op) {
+        case CollOp::Allgather: diff_allgather(spec, active, hc, log); break;
+        case CollOp::Allgatherv: diff_allgatherv(spec, active, hc, log); break;
+        case CollOp::Bcast: diff_bcast(spec, active, hc, log); break;
+        case CollOp::Allreduce: diff_allreduce(spec, active, hc, log); break;
+        case CollOp::Reduce: diff_reduce(spec, active, hc, log); break;
+        case CollOp::Gather: diff_gather(spec, active, hc, log); break;
+        case CollOp::Scatter: diff_scatter(spec, active, hc, log); break;
+        case CollOp::Alltoall: diff_alltoall(spec, active, hc, log); break;
+    }
+    checkpoint(log, active.ctx(), "end");
+}
+
+}  // namespace
+
+CaseResult run_case(const CaseSpec& spec) {
+    CaseResult res;
+    minimpi::ClusterSpec cluster =
+        minimpi::ClusterSpec::irregular(spec.procs_per_node, spec.placement);
+    minimpi::Runtime rt(cluster, spec.cray_profile
+                                     ? minimpi::ModelParams::cray()
+                                     : minimpi::ModelParams::openmpi());
+    rt.set_fault_plan(spec.faults);
+    std::vector<RankLog> logs(
+        static_cast<std::size_t>(cluster.total_ranks()));
+    try {
+        res.clocks = rt.run([&](Comm& world) {
+            case_body(spec, world,
+                      logs[static_cast<std::size_t>(world.rank())]);
+        });
+    } catch (const std::exception& e) {
+        res.ok = false;
+        res.detail = std::string("exception: ") + e.what();
+        return res;
+    }
+    for (std::size_t r = 0; r < logs.size(); ++r) {
+        if (!logs[r].err.empty()) {
+            res.ok = false;
+            res.detail = "rank " + std::to_string(r) + ": " + logs[r].err;
+            break;
+        }
+    }
+    return res;
+}
+
+CaseResult run_case_checked(const CaseSpec& spec) {
+    CaseResult a = run_case(spec);
+    if (!a.ok) return a;
+    CaseResult b = run_case(spec);
+    if (!b.ok) return b;
+    for (std::size_t r = 0; r < a.clocks.size(); ++r) {
+        if (a.clocks[r] != b.clocks[r]) {
+            std::ostringstream os;
+            os.precision(17);
+            os << "nondeterministic clock at rank " << r << ": "
+               << a.clocks[r] << " vs " << b.clocks[r];
+            a.ok = false;
+            a.detail = os.str();
+            return a;
+        }
+    }
+    return a;
+}
+
+}  // namespace conformance

@@ -1,0 +1,132 @@
+#include <sstream>
+
+#include "conformance/conformance.h"
+
+namespace conformance {
+
+namespace {
+
+/// A candidate is accepted only if the mutated spec STILL fails — each
+/// probe costs one checked (double) execution against the budget.
+bool still_fails(const CaseSpec& spec, int& budget) {
+    if (budget <= 0) return false;
+    --budget;
+    return !run_case_checked(spec).ok;
+}
+
+bool same_spec(const CaseSpec& a, const CaseSpec& b) {
+    return a.describe() == b.describe();
+}
+
+}  // namespace
+
+CaseSpec shrink(const CaseSpec& failing, int max_runs) {
+    CaseSpec cur = failing;
+    int budget = max_runs;
+    bool progress = true;
+    while (progress && budget > 0) {
+        progress = false;
+        std::vector<CaseSpec> cands;
+
+        // Structural simplifications first: each removes a whole dimension
+        // from the reproducer, the biggest wins per probe.
+        {
+            CaseSpec c = cur;
+            c.faults = minimpi::FaultPlan{};
+            cands.push_back(c);
+        }
+        {
+            CaseSpec c = cur;
+            c.subcomm = false;
+            cands.push_back(c);
+        }
+        {
+            CaseSpec c = cur;
+            c.iterations = 1;
+            cands.push_back(c);
+        }
+        {
+            CaseSpec c = cur;
+            c.leaders = 1;
+            cands.push_back(c);
+        }
+        {
+            CaseSpec c = cur;
+            c.placement = minimpi::Placement::Smp;
+            cands.push_back(c);
+        }
+
+        // Topology: fewer nodes, then fewer ranks per node.
+        if (cur.procs_per_node.size() > 1) {
+            CaseSpec c = cur;
+            c.procs_per_node.resize((cur.procs_per_node.size() + 1) / 2);
+            cands.push_back(c);
+            c = cur;
+            c.procs_per_node.pop_back();
+            cands.push_back(c);
+        }
+        {
+            CaseSpec c = cur;
+            for (int& n : c.procs_per_node) n = (n + 1) / 2;
+            cands.push_back(c);
+        }
+        {
+            // Decrement the most populated node by one.
+            CaseSpec c = cur;
+            int* biggest = &c.procs_per_node.front();
+            for (int& n : c.procs_per_node) {
+                if (n > *biggest) biggest = &n;
+            }
+            if (*biggest > 1) {
+                --*biggest;
+                cands.push_back(c);
+            }
+        }
+
+        // Payload: toward zero, then one, then halves.
+        if (cur.block_bytes > 0) {
+            CaseSpec c = cur;
+            c.block_bytes = 0;
+            cands.push_back(c);
+            c.block_bytes = 1;
+            cands.push_back(c);
+            c.block_bytes = cur.block_bytes / 2;
+            cands.push_back(c);
+        }
+
+        for (const CaseSpec& cand : cands) {
+            if (same_spec(cand, cur)) continue;
+            if (still_fails(cand, budget)) {
+                cur = cand;
+                progress = true;
+                break;  // restart the candidate ladder from the new spec
+            }
+            if (budget <= 0) break;
+        }
+    }
+    return cur;
+}
+
+HarnessReport run_random_cases(std::uint64_t master_seed, int ncases,
+                               bool with_faults) {
+    HarnessReport rep;
+    for (int i = 0; i < ncases; ++i) {
+        const CaseSpec spec = generate_case(master_seed, i, with_faults);
+        ++rep.cases;
+        const CaseResult res = run_case_checked(spec);
+        if (res.ok) continue;
+        ++rep.failures;
+        const CaseSpec small = shrink(spec);
+        const CaseResult sres = run_case_checked(small);
+        std::ostringstream os;
+        os << "case " << i << " (master_seed=" << master_seed << ") failed\n"
+           << "  original:  " << spec.describe() << "\n"
+           << "  minimized: " << small.describe() << "\n"
+           << "  mismatch:  " << (sres.ok ? res.detail : sres.detail);
+        rep.first_failure = os.str();
+        break;  // one shrunk reproducer is the actionable artifact
+    }
+    return rep;
+}
+
+}  // namespace conformance

@@ -58,11 +58,19 @@ HierComm::HierComm(const Comm& comm, int leaders_per_node)
 
     my_node_ = node_index_of_[static_cast<std::size_t>(comm.rank())];
 
+    // A node smaller than the requested leader count cannot host every
+    // leader role: bridge l would skip that node entirely and the slices
+    // exchanged over it would never arrive there. Clamp to the smallest
+    // node so each bridge communicator spans every node.
+    for (int sz : node_sizes_) {
+        leaders_per_node_ = std::min(leaders_per_node_, sz);
+    }
+
     // Fig. 4 lines 2-10: the two-level splitting, expressed through the
     // public MPI facilities only.
     shm_ = comm.split_shared();
-    const int L = std::min(leaders_per_node_, shm_.size());
-    leader_index_ = (shm_.rank() < L) ? shm_.rank() : -1;
+    leader_index_ =
+        (shm_.rank() < leaders_per_node_) ? shm_.rank() : -1;
     // One bridge communicator per leader slice; ranks that lead slice l
     // join bridge color l. (With L == 1 this is exactly Fig. 4 line 8-10.)
     bridge_ = comm.split(leader_index_ >= 0 ? leader_index_ : minimpi::kUndefined,

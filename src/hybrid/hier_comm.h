@@ -30,7 +30,9 @@ public:
     /// Collective over @p comm. @p leaders_per_node > 1 enables the
     /// multi-leader extension (Kandalla et al. '09): the lowest L ranks of
     /// each node each drive a slice of the node's inter-node traffic over
-    /// their own bridge communicator.
+    /// their own bridge communicator. The count is clamped to the smallest
+    /// node's population (every bridge must span every node);
+    /// leaders_per_node() reports the effective value.
     explicit HierComm(const Comm& comm, int leaders_per_node = 1);
 
     const Comm& world() const { return world_; }

@@ -10,12 +10,11 @@ bool smp_hier_applicable(const Comm& comm) {
     const int node0 = comm.node_of(0);
     bool multi_node = false;
     bool multi_rank_node = false;
-    int prev = node0;
-    // Count node transitions cheaply: a node hosts >1 member iff two comm
-    // ranks map to it; membership per node is contiguous only under SMP
-    // placement, so do the general scan.
+    // A node hosts >1 member iff two comm ranks map to it; membership per
+    // node is contiguous only under SMP placement, so count per node in one
+    // general scan, stopping as soon as both conditions hold.
     std::vector<int> seen_count;
-    for (int i = 0; i < p; ++i) {
+    for (int i = 0; i < p && !(multi_node && multi_rank_node); ++i) {
         const int n = comm.node_of(i);
         if (n != node0) multi_node = true;
         if (static_cast<std::size_t>(n) >= seen_count.size()) {
@@ -24,9 +23,7 @@ bool smp_hier_applicable(const Comm& comm) {
         if (++seen_count[static_cast<std::size_t>(n)] > 1) {
             multi_rank_node = true;
         }
-        prev = n;
     }
-    (void)prev;
     return multi_node && multi_rank_node;
 }
 

@@ -103,6 +103,11 @@ struct RankCtx {
     /// sends to the same destination queue behind each other's wire time
     /// instead of overlapping for free.
     std::unordered_map<int, VTime> link_busy_until;
+
+    /// Per-destination message indices stamped onto outgoing messages
+    /// (InMsg::fault_seq). Program order on the owning thread, so the
+    /// FaultPlan's perturbations replay deterministically.
+    std::unordered_map<int, std::uint64_t> fault_seq;
 };
 
 }  // namespace minimpi

@@ -44,4 +44,51 @@ ModelParams ModelParams::test() {
     return p;
 }
 
+namespace {
+
+// splitmix64: the stream behind every fault decision. Self-contained so
+// plans replay identically across platforms and standard libraries.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, int src, int dst,
+                         std::uint64_t seq) {
+    std::uint64_t h = mix64(seed ^ 0xFA01D5EEDULL);
+    h = mix64(h ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                    << 32) |
+                   static_cast<std::uint32_t>(dst)));
+    return mix64(h ^ seq);
+}
+
+}  // namespace
+
+bool FaultPlan::delays(int world_rank) const {
+    for (int r : delayed_ranks) {
+        if (r == world_rank) return true;
+    }
+    return false;
+}
+
+VTime FaultPlan::jitter_us(int src, int dst, std::uint64_t seq) const {
+    if (max_jitter_us <= 0.0) return 0.0;
+    const double u =
+        static_cast<double>(fault_hash(seed, src, dst, seq) >> 11) * 0x1.0p-53;
+    return u * max_jitter_us;
+}
+
+bool FaultPlan::should_corrupt(int src, int dst, std::uint64_t seq) const {
+    if (corrupt_every == 0) return false;
+    return fault_hash(seed ^ 0xC0DEULL, src, dst, seq) % corrupt_every == 0;
+}
+
+std::size_t FaultPlan::corrupt_byte(int src, int dst, std::uint64_t seq,
+                                    std::size_t bytes) const {
+    return static_cast<std::size_t>(
+        fault_hash(seed ^ 0xB17EULL, src, dst, seq) % bytes);
+}
+
 }  // namespace minimpi

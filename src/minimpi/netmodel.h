@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "minimpi/types.h"
 
@@ -84,5 +86,51 @@ struct ModelParams {
 inline VTime wire_time(const LinkParams& link, std::size_t bytes) {
     return link.alpha_us + static_cast<VTime>(bytes) * link.beta_us_per_byte;
 }
+
+/// Deterministic fault/jitter injection for the conformance harness.
+///
+/// Every perturbation is a pure function of (seed, sender, receiver,
+/// per-pair message index), so a run under a given plan is bit-for-bit
+/// reproducible regardless of host thread scheduling — the property the
+/// differential harness's clock checks rely on. Timing faults perturb only
+/// the MODELLED arrival times (they can reorder virtual-time interleavings,
+/// e.g. a leader's bridge traffic against on-node flag rounds, but never
+/// change payloads); payload corruption exists solely so the harness can
+/// prove to itself that the differential checker and shrinker fire.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+
+    /// Uniform extra wire latency in [0, max_jitter_us) added to each
+    /// message's modelled arrival.
+    VTime max_jitter_us = 0.0;
+
+    /// Extra injection latency for every message SENT by a rank listed in
+    /// delayed_ranks — models a straggling (leader) process whose bridge
+    /// traffic lags its node's ready/release synchronization.
+    VTime rank_delay_us = 0.0;
+    std::vector<int> delayed_ranks;  ///< world ranks with delayed progress
+
+    /// When > 0, flip one payload bit of (deterministically) every
+    /// corrupt_every-th message. Harness self-tests only: it must make the
+    /// differential checker report a mismatch.
+    std::uint64_t corrupt_every = 0;
+
+    bool timing_active() const {
+        return max_jitter_us > 0.0 ||
+               (rank_delay_us > 0.0 && !delayed_ranks.empty());
+    }
+    bool active() const { return timing_active() || corrupt_every > 0; }
+
+    bool delays(int world_rank) const;
+
+    /// Jitter for the @p seq-th message from @p src to @p dst (world ranks).
+    VTime jitter_us(int src, int dst, std::uint64_t seq) const;
+
+    bool should_corrupt(int src, int dst, std::uint64_t seq) const;
+
+    /// Payload byte index to corrupt (bytes > 0).
+    std::size_t corrupt_byte(int src, int dst, std::uint64_t seq,
+                             std::size_t bytes) const;
+};
 
 }  // namespace minimpi

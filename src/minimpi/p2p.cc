@@ -74,6 +74,7 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     msg.payload = ctx.runtime->transport().make_payload(buf, bytes);
     msg.arrival = start + transfer + link.alpha_us;
     msg.recv_overhead = link.overhead_us;
+    msg.fault_seq = ctx.fault_seq[dst_world]++;
     ctx.runtime->transport().deliver(dst_world, std::move(msg));
 }
 
@@ -145,6 +146,7 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     msg.ack_to = ctx.world_rank;
     msg.ack_tag = ack_tag;
     msg.ack_alpha = link.alpha_us;
+    msg.fault_seq = ctx.fault_seq[dst_world]++;
     ctx.runtime->transport().deliver(dst_world, std::move(msg));
 
     // MPI_Ssend completes only once the matching receive has started: wait

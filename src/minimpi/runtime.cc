@@ -92,6 +92,7 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         resources_.clear();
     }
     transport_ = std::make_unique<Transport>(n, payload_);
+    transport_->set_fault_plan(fault_plan_.active() ? &fault_plan_ : nullptr);
     next_ctx_.store(1);
 
     std::vector<int> world_members(static_cast<std::size_t>(n));

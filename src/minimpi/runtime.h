@@ -75,6 +75,12 @@ public:
 
     Transport& transport() { return *transport_; }
 
+    /// Deterministic fault/jitter plan applied to every subsequent run()
+    /// (see FaultPlan). Pass {} to disable. Not thread-safe against a run
+    /// in progress.
+    void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+    const FaultPlan& fault_plan() const { return fault_plan_; }
+
     /// Abort the job on behalf of @p world_rank: poisons the transport and
     /// wakes every rank blocked in a collective rendezvous.
     void poison_from(int world_rank);
@@ -90,6 +96,7 @@ private:
     RunOptions opts_;
 
     std::unique_ptr<Transport> transport_;
+    FaultPlan fault_plan_;
     std::atomic<std::uint64_t> next_ctx_{1};
 
     std::mutex registry_mu_;

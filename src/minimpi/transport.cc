@@ -59,6 +59,23 @@ void Transport::send_ack(const AckOut& ack) {
 }
 
 void Transport::deliver(int dst_global, InMsg msg) {
+    // Fault injection happens at the delivery boundary, before matching:
+    // acks are exempt (their arrival was derived from an already-perturbed
+    // message, and kAckCtx traffic has no fault_seq stream of its own).
+    if (faults_ != nullptr && msg.ctx != kAckCtx) {
+        msg.arrival +=
+            faults_->jitter_us(msg.src_global, dst_global, msg.fault_seq);
+        if (faults_->rank_delay_us > 0.0 && faults_->delays(msg.src_global)) {
+            msg.arrival += faults_->rank_delay_us;
+        }
+        if (msg.payload && msg.bytes > 0 &&
+            faults_->should_corrupt(msg.src_global, dst_global,
+                                    msg.fault_seq)) {
+            msg.payload[faults_->corrupt_byte(msg.src_global, dst_global,
+                                              msg.fault_seq, msg.bytes)] ^=
+                std::byte{0x40};
+        }
+    }
     Mailbox& mb = box(dst_global);
     AckOut ack;
     {

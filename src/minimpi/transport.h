@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "minimpi/netmodel.h"
 #include "minimpi/types.h"
 
 namespace minimpi {
@@ -34,6 +35,11 @@ struct InMsg {
     int ack_to = -1;
     int ack_tag = 0;
     VTime ack_alpha = 0.0;
+
+    /// Index of this message within the sender's stream to this destination,
+    /// stamped by the sending rank (program order, hence deterministic).
+    /// Keys the FaultPlan's per-message perturbations.
+    std::uint64_t fault_seq = 0;
 };
 
 /// Context id reserved for synchronous-send acknowledgements (never handed
@@ -75,6 +81,11 @@ public:
     Transport& operator=(const Transport&) = delete;
 
     PayloadMode payload_mode() const { return mode_; }
+
+    /// Attach a deterministic fault plan (non-owning; may be null). Applied
+    /// to every subsequent deliver() except synchronous-send acks. Set
+    /// before rank threads start; the Runtime wires this per run().
+    void set_fault_plan(const FaultPlan* plan) { faults_ = plan; }
 
     /// Deliver a message to @p dst_global: either complete a matching posted
     /// receive (copying the payload on the sender's thread) or enqueue it as
@@ -165,6 +176,7 @@ private:
     Mailbox& box(int rank) { return *boxes_.at(static_cast<std::size_t>(rank)); }
 
     PayloadMode mode_;
+    const FaultPlan* faults_ = nullptr;
     std::vector<std::unique_ptr<Mailbox>> boxes_;
 };
 

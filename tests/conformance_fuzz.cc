@@ -1,0 +1,65 @@
+// Standalone driver for the randomized differential conformance harness.
+//
+//   conformance_fuzz --seed N [--cases M] [--no-faults] [--list]
+//
+// Reproduces exactly the case stream a failing CI run reports: same seed,
+// same cases, same order. --list prints each case spec without running it
+// (useful to eyeball what a seed covers). Exit code 0 = all cases passed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "conformance/conformance.h"
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--cases M] [--no-faults] [--list]\n",
+                 argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    int cases = 200;
+    bool with_faults = true;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
+            cases = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--no-faults") == 0) {
+            with_faults = false;
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            list_only = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (list_only) {
+        for (int i = 0; i < cases; ++i) {
+            const auto spec = conformance::generate_case(seed, i, with_faults);
+            std::printf("case %4d: %s\n", i, spec.describe().c_str());
+        }
+        return 0;
+    }
+
+    const auto report = conformance::run_random_cases(seed, cases, with_faults);
+    if (report.failures == 0) {
+        std::printf("conformance: %d/%d cases passed (seed=%llu)\n",
+                    report.cases, cases,
+                    static_cast<unsigned long long>(seed));
+        return 0;
+    }
+    std::fprintf(stderr, "conformance FAILURE after %d cases:\n%s\n",
+                 report.cases, report.first_failure.c_str());
+    return 1;
+}

@@ -174,6 +174,155 @@ TEST(HyAllgather, MatchesNaiveAllgatherData) {
     });
 }
 
+// ---- irregular Hy_Allgatherv edge cases --------------------------------
+
+// Differential check against the flat allgatherv for arbitrary counts.
+void check_allgatherv_vs_flat(ClusterSpec cluster,
+                              const std::vector<std::size_t>& counts,
+                              SyncPolicy sync) {
+    Runtime rt(std::move(cluster), ModelParams::cray());
+    rt.run([&](Comm& world) {
+        const int p = world.size();
+        ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+        std::size_t total = 0;
+        for (int r = 0; r < p; ++r) {
+            displs[static_cast<std::size_t>(r)] = total;
+            total += counts[static_cast<std::size_t>(r)];
+        }
+        const std::size_t mine = counts[static_cast<std::size_t>(world.rank())];
+        std::vector<std::byte> sendbuf(mine);
+        fill(sendbuf.data(), mine, world.rank());
+        std::vector<std::byte> flat(total);
+        allgatherv(world, sendbuf.data(), mine, flat.data(), counts, displs,
+                   Datatype::Byte);
+
+        HierComm hc(world);
+        AllgatherChannel ch(hc, counts);
+        if (mine > 0) std::memcpy(ch.my_block(), sendbuf.data(), mine);
+        ch.run(sync);
+        for (int r = 0; r < p; ++r) {
+            const std::size_t n = counts[static_cast<std::size_t>(r)];
+            if (n == 0) continue;
+            EXPECT_EQ(std::memcmp(ch.block_of(r),
+                                  flat.data() + displs[static_cast<std::size_t>(r)],
+                                  n),
+                      0)
+                << "rank " << world.rank() << " block " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(HyAllgatherv, ZeroLengthContributions) {
+    // Every other rank contributes nothing — including rank 0 (a leader)
+    // and, with node sizes {2, 3, 2}, one case where a whole node's
+    // contribution list mixes zero and non-zero members.
+    std::vector<std::size_t> counts(7);
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+        counts[r] = (r % 2 == 0) ? 0 : 32 + r;
+    }
+    for (const auto sync : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+        check_allgatherv_vs_flat(ClusterSpec::irregular({2, 3, 2}), counts,
+                                 sync);
+    }
+}
+
+TEST(HyAllgatherv, WholeNodeContributesNothing) {
+    // All ranks of the middle node pass zero counts: its leader still takes
+    // part in the bridge exchange with an empty node block.
+    std::vector<std::size_t> counts{40, 17, 0, 0, 0, 8, 23};
+    check_allgatherv_vs_flat(ClusterSpec::irregular({2, 3, 2}), counts,
+                             SyncPolicy::Flags);
+}
+
+TEST(HyAllgatherv, SingleRankNodesMixedWithFullNodes) {
+    // The paper's irregular-cluster concern: one-process nodes (leader ==
+    // whole node, no children to sync) interleaved with populated nodes.
+    std::vector<std::size_t> counts(10);
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+        counts[r] = (r * 29) % 53;
+    }
+    for (const auto sync : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+        check_allgatherv_vs_flat(ClusterSpec::irregular({1, 5, 1, 3}), counts,
+                                 sync);
+    }
+}
+
+TEST(HyAllgatherv, NonUniformCountsRoundRobinPlacement) {
+    // Highly skewed counts (one dominant contributor) under round-robin
+    // placement, where block_of() must translate through the node-sorted
+    // rank array.
+    std::vector<std::size_t> counts{3000, 0, 1, 7, 0, 64, 2, 500};
+    check_allgatherv_vs_flat(
+        ClusterSpec::irregular({3, 2, 3}, Placement::RoundRobin), counts,
+        SyncPolicy::Barrier);
+}
+
+TEST(HyAllgatherv, RepeatedIrregularRunsWithMutation) {
+    Runtime rt(ClusterSpec::irregular({1, 4, 2}), ModelParams::openmpi());
+    rt.run([](Comm& world) {
+        const int p = world.size();
+        std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            counts[static_cast<std::size_t>(r)] =
+                static_cast<std::size_t>((r % 3 == 0) ? 0 : 11 * r);
+        }
+        HierComm hc(world);
+        AllgatherChannel ch(hc, counts);
+        const std::size_t mine = counts[static_cast<std::size_t>(world.rank())];
+        for (int epoch = 0; epoch < 3; ++epoch) {
+            fill(ch.my_block(), mine, world.rank() + epoch * 1000);
+            ch.run(SyncPolicy::Flags);
+            for (int r = 0; r < p; ++r) {
+                const std::byte* b = ch.block_of(r);
+                const int seed = r + epoch * 1000;
+                for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)];
+                     ++i) {
+                    ASSERT_EQ(b[i],
+                              static_cast<std::byte>(
+                                  (seed * 167 + static_cast<int>(i) * 3) & 0xFF))
+                        << "epoch " << epoch << " block " << r;
+                }
+            }
+            ch.quiesce(SyncPolicy::Flags);
+        }
+    });
+}
+
+TEST(HyAllgather, MultiLeaderClampedOnSmallNodes) {
+    // Found by the conformance harness (shrunk to nodes=[1,2], leaders=2):
+    // a node with fewer ranks than the requested leader count used to drop
+    // out of the higher-index bridges, so their slices never reached it.
+    // The leader count is now clamped to the smallest node.
+    Runtime rt(ClusterSpec::irregular({1, 2}), ModelParams::openmpi());
+    rt.run([](Comm& world) {
+        HierComm hc(world, 2);
+        EXPECT_EQ(hc.leaders_per_node(), 1);  // clamped by the 1-rank node
+        std::vector<std::size_t> counts{1, 1, 1};
+        AllgatherChannel ch(hc, counts);
+        fill(ch.my_block(), 1, world.rank());
+        ch.run(SyncPolicy::Barrier, BridgeAlgo::Bcast);
+        EXPECT_TRUE(blocks_ok(ch, world.size(), world.rank()));
+        barrier(world);
+    });
+}
+
+TEST(HyAllgather, MultiLeaderMixedNodeSizes) {
+    // Clamping must still allow 2 leaders when every node has >= 2 ranks.
+    Runtime rt(ClusterSpec::irregular({2, 5, 3}), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world, 2);
+        EXPECT_EQ(hc.leaders_per_node(), 2);
+        const std::size_t bb = 48;
+        AllgatherChannel ch(hc, bb);
+        fill(ch.my_block(), bb, world.rank());
+        ch.run(SyncPolicy::Flags, BridgeAlgo::Allgatherv);
+        EXPECT_TRUE(blocks_ok(ch, world.size(), world.rank()));
+        barrier(world);
+    });
+}
+
 TEST(HyAllgather, ChannelRejectsWrongArity) {
     Runtime rt(ClusterSpec::regular(1, 3), ModelParams::test());
     EXPECT_THROW(rt.run([](Comm& world) {

@@ -1,0 +1,221 @@
+// SyncPolicy::Flags is the paper's cheap alternative to a full on-node
+// barrier. It must be a pure performance knob: for EVERY hybrid collective,
+// the bytes every rank observes — and the order it observes them in — must
+// be identical under Flags and under Barrier.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+constexpr int kIters = 3;
+constexpr std::size_t kBB = 72;
+
+ClusterSpec shape() { return ClusterSpec::irregular({3, 1, 4, 2}); }
+constexpr int kRanks = 10;
+
+void fill(std::byte* p, std::size_t n, int rank, int iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = static_cast<std::byte>(
+            (rank * 131 + iter * 29 + static_cast<int>(i) * 7) & 0xFF);
+    }
+}
+
+/// Everything a rank observed, in observation order. One string per world
+/// rank; each rank thread appends only to its own slot.
+using Capture = std::vector<std::string>;
+
+void append(Capture& cap, int rank, const std::byte* p, std::size_t n) {
+    if (n > 0) {
+        cap[static_cast<std::size_t>(rank)].append(
+            reinterpret_cast<const char*>(p), n);
+    }
+}
+
+/// Run @p body under the given sync policy and return the capture.
+template <typename Body>
+Capture run_capture(SyncPolicy sync, Body body) {
+    Runtime rt(shape(), ModelParams::cray());
+    Capture cap(kRanks);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        body(world, hc, sync, cap);
+    });
+    return cap;
+}
+
+template <typename Body>
+void expect_policies_equivalent(const char* what, Body body) {
+    const Capture bar = run_capture(SyncPolicy::Barrier, body);
+    const Capture flg = run_capture(SyncPolicy::Flags, body);
+    for (int r = 0; r < kRanks; ++r) {
+        EXPECT_EQ(bar[static_cast<std::size_t>(r)],
+                  flg[static_cast<std::size_t>(r)])
+            << what << ": rank " << r
+            << " observed different bytes under Flags";
+    }
+}
+
+TEST(SyncEquivalence, Allgather) {
+    expect_policies_equivalent(
+        "allgather", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                        Capture& cap) {
+            AllgatherChannel ch(hc, kBB);
+            for (int it = 0; it < kIters; ++it) {
+                fill(ch.my_block(), kBB, world.rank(), it);
+                ch.run(sync);
+                for (int r = 0; r < world.size(); ++r) {
+                    append(cap, world.rank(), ch.block_of(r), kBB);
+                }
+                ch.quiesce(sync);
+            }
+        });
+}
+
+TEST(SyncEquivalence, Allgatherv) {
+    expect_policies_equivalent(
+        "allgatherv", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                         Capture& cap) {
+            std::vector<std::size_t> counts(
+                static_cast<std::size_t>(world.size()));
+            for (int r = 0; r < world.size(); ++r) {
+                counts[static_cast<std::size_t>(r)] =
+                    static_cast<std::size_t>((r * 17) % 41);
+            }
+            AllgatherChannel ch(hc, counts);
+            for (int it = 0; it < kIters; ++it) {
+                fill(ch.my_block(), counts[static_cast<std::size_t>(world.rank())],
+                     world.rank(), it);
+                ch.run(sync);
+                for (int r = 0; r < world.size(); ++r) {
+                    append(cap, world.rank(), ch.block_of(r),
+                           counts[static_cast<std::size_t>(r)]);
+                }
+                ch.quiesce(sync);
+            }
+        });
+}
+
+TEST(SyncEquivalence, Bcast) {
+    expect_policies_equivalent(
+        "bcast", [](Comm& world, HierComm& hc, SyncPolicy sync, Capture& cap) {
+            BcastChannel ch(hc, kBB);
+            for (int it = 0; it < kIters; ++it) {
+                const int root = (it * 3) % world.size();
+                if (world.rank() == root) {
+                    fill(ch.write_buffer(), kBB, root, it);
+                }
+                ch.run(root, sync);
+                append(cap, world.rank(), ch.read_buffer(), kBB);
+            }
+        });
+}
+
+TEST(SyncEquivalence, Allreduce) {
+    expect_policies_equivalent(
+        "allreduce", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                        Capture& cap) {
+            const std::size_t count = 19;
+            AllreduceChannel ch(hc, count, Datatype::Int64);
+            for (int it = 0; it < kIters; ++it) {
+                auto* in = reinterpret_cast<std::int64_t*>(ch.my_input());
+                for (std::size_t i = 0; i < count; ++i) {
+                    in[i] = world.rank() * 1000 + it * 10 +
+                            static_cast<std::int64_t>(i);
+                }
+                ch.run(Op::Sum, sync);
+                append(cap, world.rank(), ch.result(),
+                       count * sizeof(std::int64_t));
+            }
+        });
+}
+
+TEST(SyncEquivalence, Reduce) {
+    expect_policies_equivalent(
+        "reduce", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                     Capture& cap) {
+            const std::size_t count = 13;
+            const int root = 5;
+            ReduceChannel ch(hc, count, Datatype::Int64, root);
+            for (int it = 0; it < kIters; ++it) {
+                auto* in = reinterpret_cast<std::int64_t*>(ch.my_input());
+                for (std::size_t i = 0; i < count; ++i) {
+                    in[i] = world.rank() * 100 + it -
+                            static_cast<std::int64_t>(i);
+                }
+                ch.run(Op::Max, sync);
+                if (hc.my_node() == hc.node_of_rank(root)) {
+                    append(cap, world.rank(), ch.result(),
+                           count * sizeof(std::int64_t));
+                }
+                barrier(world);  // result readers vs next iteration's inputs
+            }
+        });
+}
+
+TEST(SyncEquivalence, Gather) {
+    expect_policies_equivalent(
+        "gather", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                     Capture& cap) {
+            const int root = 4;
+            GatherChannel ch(hc, kBB, root);
+            for (int it = 0; it < kIters; ++it) {
+                fill(ch.my_block(), kBB, world.rank(), it);
+                ch.run(sync);
+                if (hc.my_node() == hc.node_of_rank(root)) {
+                    for (int r = 0; r < world.size(); ++r) {
+                        append(cap, world.rank(), ch.gathered(r), kBB);
+                    }
+                }
+                barrier(world);  // root-node readers vs next writers
+            }
+        });
+}
+
+TEST(SyncEquivalence, Scatter) {
+    expect_policies_equivalent(
+        "scatter", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                      Capture& cap) {
+            const int root = 7;
+            ScatterChannel ch(hc, kBB, root);
+            for (int it = 0; it < kIters; ++it) {
+                if (world.rank() == root) {
+                    for (int r = 0; r < world.size(); ++r) {
+                        fill(ch.outgoing(r), kBB, r + 50, it);
+                    }
+                }
+                ch.run(sync);
+                append(cap, world.rank(), ch.my_block(), kBB);
+                barrier(world);  // readers vs the root's next writes
+            }
+        });
+}
+
+TEST(SyncEquivalence, Alltoall) {
+    expect_policies_equivalent(
+        "alltoall", [](Comm& world, HierComm& hc, SyncPolicy sync,
+                       Capture& cap) {
+            AlltoallChannel ch(hc, kBB);
+            for (int it = 0; it < kIters; ++it) {
+                for (int d = 0; d < world.size(); ++d) {
+                    fill(ch.send_block(d), kBB,
+                         world.rank() * world.size() + d, it);
+                }
+                ch.run(sync);
+                for (int s = 0; s < world.size(); ++s) {
+                    append(cap, world.rank(), ch.recv_block(s), kBB);
+                }
+                barrier(world);  // recv readers vs next transpose
+            }
+        });
+}
+
+}  // namespace
