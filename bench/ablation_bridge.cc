@@ -20,22 +20,26 @@ int main() {
     constexpr int kNodes = 16;
     constexpr int kPpn = 24;
 
-    benchu::Table table("#elements", {"Allgatherv(us)", "Bcast-based(us)",
-                                      "Pipelined(us)"});
+    benchu::Table table("#elements",
+                        {"Allgatherv(us)", "Bcast-based(us)", "Pipelined(us)",
+                         "BruckV(us)", "NeighborExch(us)", "Auto(us)"});
     for (std::size_t elements : benchu::pow2_series(4, 17)) {
         const std::size_t bytes = elements * sizeof(double);
         Runtime rt(ClusterSpec::regular(kNodes, kPpn), ModelParams::cray(),
                    PayloadMode::SizeOnly);
         std::vector<double> row;
-        for (BridgeAlgo algo : {BridgeAlgo::Allgatherv, BridgeAlgo::Bcast,
-                                BridgeAlgo::Pipelined}) {
+        for (BridgeAlgo algo :
+             {BridgeAlgo::Allgatherv, BridgeAlgo::Bcast, BridgeAlgo::Pipelined,
+              BridgeAlgo::BruckV, BridgeAlgo::NeighborExchange,
+              BridgeAlgo::Auto}) {
             row.push_back(benchu::osu_latency(
                 rt, kWarmup, kIters,
                 benchcm::hy_allgather_setup(bytes, SyncPolicy::Barrier, algo)));
         }
         table.add_row(static_cast<double>(elements), row);
     }
-    table.print(
+    benchcm::emit(
+        table, "ablation_bridge", "cray",
         "Bridge ablation — 16 nodes x 24 ppn (Cray profile); per-rank block "
         "= #elements doubles");
     return 0;

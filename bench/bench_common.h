@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "bench_util/latency.h"
 #include "bench_util/table.h"
@@ -17,7 +20,7 @@ namespace benchcm {
 inline std::function<std::function<void()>(minimpi::Comm&)> hy_allgather_setup(
     std::size_t block_bytes,
     hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier,
-    hympi::BridgeAlgo algo = hympi::BridgeAlgo::Allgatherv,
+    hympi::BridgeAlgo algo = hympi::BridgeAlgo::Auto,
     int leaders_per_node = 1) {
     return [=](minimpi::Comm& world) -> std::function<void()> {
         auto hc = std::make_shared<hympi::HierComm>(world, leaders_per_node);
@@ -41,5 +44,18 @@ naive_allgather_setup(std::size_t count_doubles) {
 }
 
 inline const char* kElementsLabel = "#elements";
+
+/// Print the table AND drop a machine-readable copy for CI artifacts:
+/// BENCH_<fig>_<tag>.json in $BENCH_JSON_DIR (default: current directory).
+inline void emit(const benchu::Table& table, const std::string& fig,
+                 const std::string& tag, const std::string& title) {
+    table.print(title);
+    const char* dir = std::getenv("BENCH_JSON_DIR");
+    const std::string path = std::string(dir != nullptr ? dir : ".") +
+                             "/BENCH_" + fig + "_" + tag + ".json";
+    if (!table.write_json(path, title)) {
+        std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+}
 
 }  // namespace benchcm

@@ -39,6 +39,7 @@ int main() {
         table.add_row(static_cast<double>(elements),
                       {row[0], row[1], row[2], row[3]});
     }
-    table.print("Fig. 7 — latency (us, virtual time), 1 node x 24 ppn");
+    benchcm::emit(table, "fig07", "all",
+                  "Fig. 7 — latency (us, virtual time), 1 node x 24 ppn");
     return 0;
 }

@@ -37,8 +37,9 @@ int main() {
             }
             table.add_row(static_cast<double>(elements), row);
         }
-        table.print("Fig. 8 (" + profile.name +
-                    ") — latency (us, virtual time), 1 process per node");
+        benchcm::emit(table, "fig08", profile.name,
+                      "Fig. 8 (" + profile.name +
+                          ") — latency (us, virtual time), 1 process per node");
     }
     return 0;
 }

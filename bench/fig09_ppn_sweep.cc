@@ -39,8 +39,9 @@ int main() {
             }
             table.add_row(ppn, row);
         }
-        table.print("Fig. 9 — latency (us, virtual time), 64 nodes, " +
-                    std::to_string(elements) + " elements");
+        benchcm::emit(table, "fig09", std::to_string(elements),
+                      "Fig. 9 — latency (us, virtual time), 64 nodes, " +
+                          std::to_string(elements) + " elements");
     }
     return 0;
 }

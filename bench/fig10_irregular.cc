@@ -39,7 +39,8 @@ int main() {
         }
         table.add_row(static_cast<double>(elements), row);
     }
-    table.print(
+    benchcm::emit(
+        table, "fig10", "all",
         "Fig. 10 — latency (us, virtual time), 1024 cores, irregular nodes");
     return 0;
 }

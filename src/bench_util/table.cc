@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 namespace benchu {
@@ -37,6 +38,71 @@ void Table::print(const std::string& title) const {
         std::printf("\n");
     }
     std::fflush(stdout);
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void write_escaped(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+    if (std::isnan(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os << buf;
+}
+
+}  // namespace
+
+bool Table::write_json(const std::string& path,
+                       const std::string& title) const {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    os << "{\n  \"title\": ";
+    write_escaped(os, title);
+    os << ",\n  \"x_label\": ";
+    write_escaped(os, x_label_);
+    os << ",\n  \"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        if (i) os << ", ";
+        write_escaped(os, series_[i]);
+    }
+    os << "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << "    {\"x\": ";
+        write_number(os, rows_[r].first);
+        os << ", \"values\": [";
+        const auto& vals = rows_[r].second;
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (i) os << ", ";
+            write_number(os, vals[i]);
+        }
+        os << "]}" << (r + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.good();
 }
 
 }  // namespace benchu

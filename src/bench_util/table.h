@@ -19,6 +19,13 @@ public:
     /// Convenience for ratio columns computed from two existing series.
     void print(const std::string& title) const;
 
+    /// Machine-readable form for CI artifacts:
+    ///   {"title": ..., "x_label": ..., "series": [...],
+    ///    "rows": [{"x": v, "values": [...]}, ...]}
+    /// NaN ("not measured") serializes as null. Returns false when the
+    /// file cannot be written.
+    bool write_json(const std::string& path, const std::string& title) const;
+
 private:
     std::string x_label_;
     std::vector<std::string> series_;

@@ -116,10 +116,18 @@ std::string CaseSpec::describe() const {
        << " leaders=" << leaders << " iters=" << iterations
        << " block=" << block_bytes;
     if (op == CollOp::Allgather || op == CollOp::Allgatherv) {
-        os << " bridge="
-           << (bridge == hympi::BridgeAlgo::Allgatherv
-                   ? "allgatherv"
-                   : (bridge == hympi::BridgeAlgo::Bcast ? "bcast" : "pipe"));
+        const char* bridge_name = "auto";
+        switch (bridge) {
+            case hympi::BridgeAlgo::Allgatherv: bridge_name = "allgatherv"; break;
+            case hympi::BridgeAlgo::Bcast: bridge_name = "bcast"; break;
+            case hympi::BridgeAlgo::Pipelined: bridge_name = "pipe"; break;
+            case hympi::BridgeAlgo::BruckV: bridge_name = "bruckv"; break;
+            case hympi::BridgeAlgo::NeighborExchange:
+                bridge_name = "nbrex";
+                break;
+            case hympi::BridgeAlgo::Auto: break;
+        }
+        os << " bridge=" << bridge_name;
     }
     if (op == CollOp::Allreduce || op == CollOp::Reduce) {
         os << " dt=" << static_cast<int>(dt)
@@ -180,10 +188,13 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
     spec.op = static_cast<CollOp>(s.below(kNumOps));
     spec.sync = s.chance(50) ? hympi::SyncPolicy::Barrier
                              : hympi::SyncPolicy::Flags;
-    switch (s.below(3)) {
+    switch (s.below(6)) {
         case 0: spec.bridge = hympi::BridgeAlgo::Allgatherv; break;
         case 1: spec.bridge = hympi::BridgeAlgo::Bcast; break;
-        default: spec.bridge = hympi::BridgeAlgo::Pipelined; break;
+        case 2: spec.bridge = hympi::BridgeAlgo::Pipelined; break;
+        case 3: spec.bridge = hympi::BridgeAlgo::BruckV; break;
+        case 4: spec.bridge = hympi::BridgeAlgo::NeighborExchange; break;
+        default: spec.bridge = hympi::BridgeAlgo::Auto; break;
     }
     // Multi-leader is an allgather-channel extension only.
     if ((spec.op == CollOp::Allgather || spec.op == CollOp::Allgatherv) &&

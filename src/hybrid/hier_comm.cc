@@ -77,4 +77,11 @@ HierComm::HierComm(const Comm& comm, int leaders_per_node)
                          comm.rank());
 }
 
+std::pair<int, int> HierComm::leader_slice(int n, int l) const {
+    const int size = node_size(n);
+    const int leaders = std::min(leaders_per_node_, size);
+    if (l < 0 || l >= leaders) return {0, 0};
+    return {size * l / leaders, size * (l + 1) / leaders};
+}
+
 }  // namespace hympi

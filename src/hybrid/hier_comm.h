@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "minimpi/minimpi.h"
@@ -45,6 +46,16 @@ public:
     /// Which of the node's leaders this rank is (0-based), or -1.
     int leader_index() const { return leader_index_; }
     int leaders_per_node() const { return leaders_per_node_; }
+    /// The node's first leader — the single rank per node that drives
+    /// whole-node bridge operations in channels that do not slice.
+    bool is_primary_leader() const { return leader_index_ == 0; }
+
+    /// Members-per-node slice of node @p n driven by leader @p l:
+    /// [first, last) member indices within the node. The constructor clamps
+    /// the leader count to the smallest node, so every node hosts all
+    /// leaders_per_node() leaders and every slice is non-empty; an
+    /// out-of-range @p l yields the empty slice {0, 0}.
+    std::pair<int, int> leader_slice(int n, int l) const;
 
     int num_nodes() const { return static_cast<int>(node_sizes_.size()); }
     /// Index of my node in node-major order (nodes ordered by their lowest

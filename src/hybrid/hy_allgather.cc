@@ -3,22 +3,9 @@
 #include <numeric>
 
 #include "minimpi/coll_internal.h"
+#include "tuning/decision.h"
 
 namespace hympi {
-
-namespace {
-
-/// Members-per-node slice handled by leader @p l of a node with @p size
-/// members when @p L leaders are requested: [first, last) indices within
-/// the node.
-std::pair<int, int> slice_range(int size, int L, int l) {
-    const int leaders = std::min(L, size);
-    const int first = size * l / leaders;
-    const int last = size * (l + 1) / leaders;
-    return {first, last};
-}
-
-}  // namespace
 
 AllgatherChannel::AllgatherChannel(const HierComm& hc, std::size_t block_bytes)
     : hc_(&hc), sync_(hc) {
@@ -71,11 +58,9 @@ void AllgatherChannel::init_layout(
     // One-off bridge parameters for my leader role.
     if (hc_->is_leader() && hc_->num_nodes() > 1) {
         const int l = hc_->leader_index();
-        const int L = hc_->leaders_per_node();
         for (int n = 0; n < hc_->num_nodes(); ++n) {
-            const int sz = hc_->node_size(n);
-            if (sz <= l) continue;  // node has no leader l (irregular)
-            const auto [first, last] = slice_range(sz, L, l);
+            const auto [first, last] = hc_->leader_slice(n, l);
+            if (first == last) continue;  // node has no leader l
             const int s0 = hc_->node_offset(n) + first;
             const int s1 = hc_->node_offset(n) + last;
             bridge_displs_.push_back(slot_offset_[static_cast<std::size_t>(s0)]);
@@ -87,6 +72,13 @@ void AllgatherChannel::init_layout(
             throw minimpi::CommError(
                 "bridge layout disagrees with bridge communicator size");
         }
+        for (std::size_t i = 0; i < bridge_counts_.size(); ++i) {
+            max_bridge_count_ = std::max(max_bridge_count_, bridge_counts_[i]);
+            if (i > 0 && bridge_displs_[i] !=
+                             bridge_displs_[i - 1] + bridge_counts_[i - 1]) {
+                bridge_contiguous_ = false;
+            }
+        }
     }
 }
 
@@ -94,13 +86,54 @@ void AllgatherChannel::repack_rank_order(void* dst) const {
     rank_order_layout_.pack(hc_->world().ctx(), buf_.data(), dst);
 }
 
+BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
+    const tuning::DecisionTable* table = hc_->world().ctx().tuned;
+    if (table != nullptr) {
+        const auto c =
+            table->lookup(tuning::Op::BridgeExchange, tuning::Shape::Net,
+                          hc_->bridge().size(), max_bridge_count_);
+        if (c.has_value()) {
+            switch (c->algo) {
+                case tuning::algo::kBrBcast:
+                    return BridgeAlgo::Bcast;
+                case tuning::algo::kBrPipelined:
+                    if (seg == 0) seg = c->segment_bytes;
+                    return BridgeAlgo::Pipelined;
+                case tuning::algo::kBrBruckV:
+                    return BridgeAlgo::BruckV;
+                case tuning::algo::kBrNeighborExchange:
+                    return BridgeAlgo::NeighborExchange;
+                case tuning::algo::kBrVendorAllgatherv:
+                default:
+                    return BridgeAlgo::Allgatherv;
+            }
+        }
+    }
+    return BridgeAlgo::Allgatherv;  // the paper's default
+}
+
 void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
     const Comm& bridge = hc_->bridge();
     const int bp = bridge.size();
     const int br = bridge.rank();
     if (bp <= 1) return;
+    minimpi::RankCtx& ctx = bridge.ctx();
+
+    std::size_t seg = pipeline_segment_;
+    if (algo == BridgeAlgo::Auto) algo = tuned_bridge_algo(seg);
+    // Neighbor exchange pairs up adjacent blocks: it needs an even bridge
+    // and abutting slices (one leader per node). The fallback is the
+    // status-quo vendor allgatherv — a tuned table row from a nearby even
+    // size may name NeighborExchange at an odd size, and any other
+    // substitute could be slower than what the legacy path would have run.
+    if (algo == BridgeAlgo::NeighborExchange &&
+        (bp % 2 != 0 || !bridge_contiguous_)) {
+        algo = BridgeAlgo::Allgatherv;
+    }
 
     switch (algo) {
+        case BridgeAlgo::Auto:  // resolved above; unreachable
+            return;
         case BridgeAlgo::Allgatherv: {
             // Fig. 4 line 26: MPI_Allgatherv(s_buf, ..., r_buf, bridgeComm);
             // every leader's slice is already in place in the shared buffer.
@@ -125,11 +158,11 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
             // Segmented ring (Traeff et al. '08): forward the previously
             // received block segment by segment while the next block
             // arrives, hiding the per-hop start-up cost of large blocks.
-            std::size_t max_blk = 0;
-            for (std::size_t c : bridge_counts_) max_blk = std::max(max_blk, c);
-            // Bounded pipeline depth, as in bcast_pipelined_chain.
-            const std::size_t seg =
-                std::max(kPipelineSegmentBytes, (max_blk + 63) / 64);
+            // Tuned/explicit segment sizes still honor the bounded
+            // pipeline depth, as in bcast_pipelined_chain.
+            const std::size_t depth_floor = (max_bridge_count_ + 63) / 64;
+            if (seg == 0) seg = kPipelineSegmentBytes;
+            seg = std::max(seg, depth_floor);
             auto nsegs = [&](int blk) {
                 return (bridge_counts_[static_cast<std::size_t>(blk)] + seg - 1) /
                        seg;
@@ -164,6 +197,121 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
                             std::min(seg, recv_len - o), left, tag, true);
                     }
                 }
+            }
+            return;
+        }
+        case BridgeAlgo::BruckV: {
+            // Bruck allgatherv on bridge point-to-point traffic: ceil(log2
+            // bp) rounds of doubling aggregated sends through a rotated
+            // scratch, then one unrotation pass into the shared buffer.
+            // Unlike BridgeAlgo::Allgatherv this never enters the vendor
+            // MPI_Allgatherv, so it skips the vector-collective tuning
+            // penalty — the small-message winner the tables pick for the
+            // Fig. 8 regime.
+            std::vector<std::size_t> slot_off(static_cast<std::size_t>(bp) + 1,
+                                              0);
+            for (int i = 0; i < bp; ++i) {
+                slot_off[static_cast<std::size_t>(i) + 1] =
+                    slot_off[static_cast<std::size_t>(i)] +
+                    bridge_counts_[static_cast<std::size_t>((br + i) % bp)];
+            }
+            minimpi::detail::Scratch tmp_s(ctx,
+                                           slot_off[static_cast<std::size_t>(bp)]);
+            std::byte* tmp = tmp_s.data();
+            ctx.copy_bytes(tmp,
+                           buf_.at(bridge_displs_[static_cast<std::size_t>(br)]),
+                           bridge_counts_[static_cast<std::size_t>(br)]);
+            constexpr int tag = minimpi::detail::kTagHier + 0x30;
+            int round = 0;
+            for (int mask = 1; mask < bp; mask <<= 1, ++round) {
+                const int cnt = std::min(mask, bp - mask);
+                const int dst = (br - mask + bp) % bp;
+                const int src = (br + mask) % bp;
+                const std::size_t send_len =
+                    slot_off[static_cast<std::size_t>(cnt)];
+                const std::size_t recv_off =
+                    slot_off[static_cast<std::size_t>(mask)];
+                const std::size_t recv_len =
+                    slot_off[static_cast<std::size_t>(std::min(mask + cnt, bp))] -
+                    recv_off;
+                minimpi::Request rr = minimpi::detail::irecv_bytes(
+                    bridge, minimpi::detail::at(tmp, recv_off), recv_len, src,
+                    tag + round, true);
+                minimpi::detail::send_bytes(bridge, tmp, send_len, dst,
+                                            tag + round, true);
+                rr.wait();
+            }
+            // Un-rotate into the shared buffer; our own slice (i == 0) is
+            // already in place.
+            for (int i = 1; i < bp; ++i) {
+                const int owner = (br + i) % bp;
+                ctx.copy_bytes(
+                    buf_.at(bridge_displs_[static_cast<std::size_t>(owner)]),
+                    minimpi::detail::at(tmp,
+                                        slot_off[static_cast<std::size_t>(i)]),
+                    bridge_counts_[static_cast<std::size_t>(owner)]);
+            }
+            return;
+        }
+        case BridgeAlgo::NeighborExchange: {
+            // Neighbor exchange (Chen et al. '05, Open MPI's medium-size
+            // allgather): round 0 pairs adjacent ranks; each later round
+            // forwards the pair of blocks received in the previous round to
+            // the alternating neighbor. bp/2 rounds in total — half the
+            // start-ups of the ring at the same traffic volume, and no
+            // scratch copies at all.
+            constexpr int tag = minimpi::detail::kTagHier + 0x40;
+            const bool even = (br % 2 == 0);
+            int neighbor[2], offset[2], recv_from[2];
+            if (even) {
+                neighbor[0] = (br + 1) % bp;
+                neighbor[1] = (br - 1 + bp) % bp;
+                offset[0] = 2;
+                offset[1] = bp - 2;
+                recv_from[0] = recv_from[1] = br;
+            } else {
+                neighbor[0] = (br - 1 + bp) % bp;
+                neighbor[1] = (br + 1) % bp;
+                offset[0] = bp - 2;
+                offset[1] = 2;
+                recv_from[0] = recv_from[1] = neighbor[0];
+            }
+            {
+                minimpi::Request rr = minimpi::detail::irecv_bytes(
+                    bridge,
+                    buf_.at(bridge_displs_[static_cast<std::size_t>(
+                        neighbor[0])]),
+                    bridge_counts_[static_cast<std::size_t>(neighbor[0])],
+                    neighbor[0], tag, true);
+                minimpi::detail::send_bytes(
+                    bridge,
+                    buf_.at(bridge_displs_[static_cast<std::size_t>(br)]),
+                    bridge_counts_[static_cast<std::size_t>(br)], neighbor[0],
+                    tag, true);
+                rr.wait();
+            }
+            // Pairs are named by their (even) first block; slices abut, so
+            // a pair is one contiguous span of the shared buffer.
+            auto pair_len = [&](int b) {
+                return bridge_counts_[static_cast<std::size_t>(b)] +
+                       bridge_counts_[static_cast<std::size_t>(b + 1)];
+            };
+            int send_pair = even ? br : neighbor[0];
+            for (int i = 1; i < bp / 2; ++i) {
+                const int j = i % 2;
+                recv_from[j] = (recv_from[j] + offset[j]) % bp;
+                const int rp = recv_from[j];
+                minimpi::Request rr = minimpi::detail::irecv_bytes(
+                    bridge,
+                    buf_.at(bridge_displs_[static_cast<std::size_t>(rp)]),
+                    pair_len(rp), neighbor[j], tag + i, true);
+                minimpi::detail::send_bytes(
+                    bridge,
+                    buf_.at(bridge_displs_[static_cast<std::size_t>(
+                        send_pair)]),
+                    pair_len(send_pair), neighbor[j], tag + i, true);
+                rr.wait();
+                send_pair = rp;
             }
             return;
         }

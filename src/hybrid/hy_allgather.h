@@ -11,10 +11,22 @@ namespace hympi {
 /// irregular allgather variant is employed... can also be replaced by other
 /// regular operations (e.g., broadcast)"; the pipelined variant is the
 /// large-message method of Traeff et al. '08 that the conclusion points to).
+///
+/// Allgatherv delegates to the vendor library's MPI_Allgatherv and pays its
+/// under-tuning penalty (the Fig. 8 gap). BruckV, NeighborExchange and
+/// Pipelined are hybrid-layer implementations built directly on bridge
+/// point-to-point traffic — the directions of "A Locality-Aware Bruck
+/// Allgather" (arXiv:2206.03564) — which is exactly what lets the tuned
+/// tables close that gap.
 enum class BridgeAlgo {
+    Auto,        ///< consult the profile's decision table (default;
+                 ///< falls back to Allgatherv when the profile has none)
     Allgatherv,  ///< MPI_Allgatherv over the bridge (the paper's default)
     Bcast,       ///< one rooted broadcast per node block
     Pipelined,   ///< segmented, pipelined ring for large node blocks
+    BruckV,      ///< log-round Bruck allgatherv on bridge point-to-point
+    NeighborExchange,  ///< pairwise neighbor exchange (even bridge size,
+                       ///< contiguous slices; falls back to Allgatherv)
 };
 
 /// Hy_Allgather / Hy_Allgatherv (paper Fig. 3b and Fig. 4): a reusable
@@ -71,7 +83,7 @@ public:
     /// on-node sync (Fig. 4 lines 23-39). Single-node communicators take
     /// the one-barrier fast path (lines 29-30).
     void run(SyncPolicy sync = SyncPolicy::Barrier,
-             BridgeAlgo algo = BridgeAlgo::Allgatherv);
+             BridgeAlgo algo = BridgeAlgo::Auto);
 
     /// Separate a read phase from the next write phase: callers that READ
     /// other ranks' blocks after run() and then REWRITE their own partition
@@ -90,14 +102,25 @@ public:
     /// OWN partition (children genuinely overlap the leaders' transfers);
     /// finish() runs the release sync, after which all blocks are readable.
     void begin(SyncPolicy sync = SyncPolicy::Barrier,
-               BridgeAlgo algo = BridgeAlgo::Allgatherv);
+               BridgeAlgo algo = BridgeAlgo::Auto);
     void finish(SyncPolicy sync = SyncPolicy::Barrier);
+
+    /// Override the segment size of BridgeAlgo::Pipelined (0 = use the
+    /// tuned/default heuristic). For the tuner's segment sweep and for
+    /// experiments.
+    void set_pipeline_segment(std::size_t bytes) {
+        pipeline_segment_ = bytes;
+    }
 
     const HierComm& hier() const { return *hc_; }
 
 private:
     void init_layout(std::span<const std::size_t> bytes_per_rank);
     void bridge_exchange(BridgeAlgo algo);
+    /// Resolve BridgeAlgo::Auto via the profile's decision table, keyed by
+    /// (bridge size, largest node-block byte count). May set @p seg when
+    /// the table tuned a pipeline segment size.
+    BridgeAlgo tuned_bridge_algo(std::size_t& seg) const;
 
     const HierComm* hc_ = nullptr;
     NodeSharedBuffer buf_;
@@ -110,12 +133,18 @@ private:
     /// computation of ... received count and displacement ... is a one-off").
     std::vector<std::size_t> bridge_counts_;  ///< per bridge rank, bytes
     std::vector<std::size_t> bridge_displs_;  ///< per bridge rank, bytes
+    std::size_t max_bridge_count_ = 0;        ///< largest bridge slice
+    /// Bridge slices abut in the shared buffer (true with one leader per
+    /// node: node-major order); NeighborExchange requires it.
+    bool bridge_contiguous_ = true;
+    std::size_t pipeline_segment_ = 0;  ///< 0 = tuned/default heuristic
 
     /// Derived datatype mapping slot-major storage to rank order (one-off).
     minimpi::Layout rank_order_layout_;
 };
 
-/// Segment size for BridgeAlgo::Pipelined.
+/// Default segment size for BridgeAlgo::Pipelined, used when neither the
+/// decision table nor set_pipeline_segment supplies one.
 inline constexpr std::size_t kPipelineSegmentBytes = 32 * 1024;
 
 }  // namespace hympi

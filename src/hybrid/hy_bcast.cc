@@ -47,7 +47,7 @@ void BcastChannel::run(int root, SyncPolicy sync) {
 
     // Fig. 6 line 6: broadcast across nodes over the bridge (leader 0 only
     // — a broadcast has no slices to hand to extra leaders).
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         minimpi::bcast(hc_->bridge(), slot, bytes_, minimpi::Datatype::Byte,
                        root_node);
     }

@@ -68,7 +68,7 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
 
     // Node sum complete -> leader ships it.
     sync_.ready_phase(sync);
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
                            dt_, op);
     }
@@ -108,7 +108,7 @@ void GatherChannel::run(SyncPolicy sync) {
         return;
     }
     sync_.ready_phase(sync);
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         const Comm& bridge = hc_->bridge();
         const int nn = hc_->num_nodes();
         std::vector<std::size_t> counts(static_cast<std::size_t>(nn));
@@ -166,7 +166,7 @@ void ScatterChannel::run(SyncPolicy sync) {
     }
     // The root's stores must complete before its leader ships the slices.
     sync_.ready_phase(sync);
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         const Comm& bridge = hc_->bridge();
         const int nn = hc_->num_nodes();
         std::vector<std::size_t> counts(static_cast<std::size_t>(nn));
@@ -238,7 +238,7 @@ void ReduceChannel::run(Op op, SyncPolicy sync) {
     }
 
     sync_.ready_phase(sync);
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         if (hc_->my_node() == root_node_) {
             minimpi::reduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
                             dt_, op, root_node_);
@@ -289,7 +289,7 @@ void AlltoallChannel::run(SyncPolicy sync) {
 
     sync_.ready_phase(sync);
 
-    if (hc_->leader_index() == 0) {
+    if (hc_->is_primary_leader()) {
         auto send_row = [&](std::size_t m) { return buf_.at(m * row); };
         auto recv_row = [&](std::size_t m) { return buf_.at((ppn + m) * row); };
         const std::size_t my_off =

@@ -156,13 +156,16 @@ void bcast_binomial(const Comm& comm, void* buf, std::size_t bytes, int root) {
 }
 
 void bcast_pipelined_chain(const Comm& comm, void* buf, std::size_t bytes,
-                           int root) {
-    // 8 KiB segments, but never more than 64 of them: past that depth the
-    // pipeline is saturated and extra segments only add per-message cost.
+                           int root, std::size_t segment_bytes) {
+    // Default: 8 KiB segments, but never more than 64 of them: past that
+    // depth the pipeline is saturated and extra segments only add
+    // per-message cost. A tuned segment size still honors the depth cap.
     constexpr std::size_t kSegmentMin = 8 * 1024;
     constexpr std::size_t kMaxSegments = 64;
+    const std::size_t depth_floor = (bytes + kMaxSegments - 1) / kMaxSegments;
     const std::size_t kSegment =
-        std::max(kSegmentMin, (bytes + kMaxSegments - 1) / kMaxSegments);
+        segment_bytes > 0 ? std::max(segment_bytes, depth_floor)
+                          : std::max(kSegmentMin, depth_floor);
     const int p = comm.size();
     if (p == 1) return;
     const int vrank = (comm.rank() - root + p) % p;
@@ -352,13 +355,13 @@ void barrier(const Comm& comm) {
         return;
     }
     if (!(ctx.model->smp_aware && detail::smp_hier_applicable(comm))) {
-        detail::barrier_dissemination(comm);
+        detail::barrier_auto(comm);
         return;
     }
     const detail::HierHandles* h = &detail::hier(comm);
     // On-node check-in, leaders synchronize across nodes, on-node release.
     detail::barrier_shm_tuned(h->shm);
-    if (h->is_leader) detail::barrier_dissemination(h->bridge);
+    if (h->is_leader) detail::barrier_auto(h->bridge);
     detail::barrier_shm_tuned(h->shm);
 }
 
@@ -460,11 +463,7 @@ void bcast(const Comm& comm, void* buf, std::size_t count, Datatype dt,
     }
 
     if (h == nullptr) {
-        if (bytes <= ctx.model->bcast_long_threshold) {
-            detail::bcast_binomial(comm, buf, bytes, root);
-        } else {
-            detail::bcast_pipelined_chain(comm, buf, bytes, root);
-        }
+        detail::bcast_auto(comm, buf, bytes, root);
         return;
     }
 
@@ -481,18 +480,9 @@ void bcast(const Comm& comm, void* buf, std::size_t count, Datatype dt,
         }
     }
     if (h->is_leader) {
-        const Comm& b = h->bridge;
-        if (bytes <= ctx.model->bcast_long_threshold) {
-            detail::bcast_binomial(b, buf, bytes, root_node);
-        } else {
-            detail::bcast_pipelined_chain(b, buf, bytes, root_node);
-        }
+        detail::bcast_auto(h->bridge, buf, bytes, root_node);
     }
-    if (bytes <= ctx.model->bcast_long_threshold) {
-        detail::bcast_binomial(h->shm, buf, bytes, 0);
-    } else {
-        detail::bcast_pipelined_chain(h->shm, buf, bytes, 0);
-    }
+    detail::bcast_auto(h->shm, buf, bytes, 0);
 }
 
 }  // namespace minimpi

@@ -93,12 +93,25 @@ void apply_op(RankCtx& ctx, Op op, Datatype dt, void* inout, const void* in,
 /// Flat (single-level) algorithm entry points, exposed for tests and for
 /// ablation benchmarks that want to bypass the SMP-aware dispatch.
 void barrier_dissemination(const Comm& comm);
+/// Tree barrier (binomial zero-byte gather + binomial release): a second
+/// candidate for the decision tables. Half the messages of dissemination
+/// at twice the depth — the tuner decides whether that ever pays off.
+void barrier_tree(const Comm& comm);
+/// Message-passing barrier with profile-driven selection (decision table,
+/// else dissemination).
+void barrier_auto(const Comm& comm);
 /// Tuned single-node barrier (shared counters, no messages) — what vendor
 /// MPI libraries actually run for on-node communicators.
 void barrier_shm_tuned(const Comm& comm);
 void bcast_binomial(const Comm& comm, void* buf, std::size_t bytes, int root);
+/// @p segment_bytes == 0 applies the built-in heuristic (8 KiB segments,
+/// at most 64 of them); a tuned table supplies an explicit segment size.
 void bcast_pipelined_chain(const Comm& comm, void* buf, std::size_t bytes,
-                           int root);
+                           int root, std::size_t segment_bytes = 0);
+/// Bcast with profile-driven algorithm selection (decision table, else the
+/// bcast_long_threshold) — the single selection point used by the flat
+/// path and by every hierarchical phase that broadcasts.
+void bcast_auto(const Comm& comm, void* buf, std::size_t bytes, int root);
 void allgather_recursive_doubling(const Comm& comm, const void* sendbuf,
                                   void* recvbuf, std::size_t block_bytes);
 void allgather_bruck(const Comm& comm, const void* sendbuf, void* recvbuf,

@@ -206,23 +206,51 @@ void allgatherv_auto(const Comm& comm, const void* sendbuf,
                      std::span<const std::size_t> displs_bytes) {
     std::size_t total = 0;
     for (std::size_t c : counts_bytes) total += c;
-    if (total <= comm.ctx().model->allgather_long_threshold) {
-        allgatherv_bruck(comm, sendbuf, send_bytes_n, recvbuf, counts_bytes,
-                         displs_bytes);
-    } else {
+    // Same selection path as allgather: the profile's decision table keyed
+    // by total volume, falling back to the allgather threshold.
+    bool ring = total > comm.ctx().model->allgather_long_threshold;
+    if (auto c = tuned_choice(comm, tuning::Op::Allgatherv, total)) {
+        ring = (c->algo == tuning::algo::kAgvRing);
+    }
+    if (ring) {
         allgatherv_ring(comm, sendbuf, send_bytes_n, recvbuf, counts_bytes,
                         displs_bytes);
+    } else {
+        allgatherv_bruck(comm, sendbuf, send_bytes_n, recvbuf, counts_bytes,
+                         displs_bytes);
     }
 }
 
 namespace {
 
-/// Flat allgather with the vendor profile's algorithm selection.
+/// Flat allgather with the vendor profile's algorithm selection (decision
+/// table, else the allgather_long_threshold).
 void allgather_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
                     std::size_t bb) {
     const int p = comm.size();
     RankCtx& ctx = comm.ctx();
     const std::size_t total = static_cast<std::size_t>(p) * bb;
+    if (auto c = tuned_choice(comm, tuning::Op::Allgather, total)) {
+        switch (c->algo) {
+            case tuning::algo::kAgRing:
+                allgather_ring(comm, sendbuf, recvbuf, bb);
+                return;
+            case tuning::algo::kAgBruck:
+                allgather_bruck(comm, sendbuf, recvbuf, bb);
+                return;
+            case tuning::algo::kAgRecDoubling:
+            default:
+                // Tables are swept at power-of-two and non-power-of-two
+                // sizes, but lookup clamps between grid points: guard the
+                // pow2-only algorithm with its nearest equivalent.
+                if (is_pow2(p)) {
+                    allgather_recursive_doubling(comm, sendbuf, recvbuf, bb);
+                } else {
+                    allgather_bruck(comm, sendbuf, recvbuf, bb);
+                }
+                return;
+        }
+    }
     if (total <= ctx.model->allgather_long_threshold) {
         if (is_pow2(p)) {
             allgather_recursive_doubling(comm, sendbuf, recvbuf, bb);
@@ -307,11 +335,7 @@ void allgather(const Comm& comm, const void* sendbuf, std::size_t count,
 
     // Phase 3: leader broadcasts the complete vector within the node.
     const std::size_t total = static_cast<std::size_t>(p) * bb;
-    if (total <= ctx.model->bcast_long_threshold) {
-        detail::bcast_binomial(h.shm, full, total, 0);
-    } else {
-        detail::bcast_pipelined_chain(h.shm, full, total, 0);
-    }
+    detail::bcast_auto(h.shm, full, total, 0);
 
     // Phase 4: permute node-major blocks into rank order if needed.
     if (!h.identity_perm) {
@@ -438,11 +462,7 @@ void allgatherv(const Comm& comm, const void* sendbuf, std::size_t sendcount,
     }
 
     // Phase 3: leader broadcasts the complete vector within the node.
-    if (total <= ctx.model->bcast_long_threshold) {
-        detail::bcast_binomial(h.shm, full, total, 0);
-    } else {
-        detail::bcast_pipelined_chain(h.shm, full, total, 0);
-    }
+    detail::bcast_auto(h.shm, full, total, 0);
 
     // Phase 4: place blocks at the user's displacements if they differ.
     if (!direct) {

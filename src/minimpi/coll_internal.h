@@ -4,6 +4,7 @@
 
 #include "minimpi/coll.h"
 #include "minimpi/p2p.h"
+#include "tuning/decision.h"
 
 namespace minimpi::detail {
 
@@ -52,5 +53,17 @@ inline const std::byte* at(const void* p, std::size_t off) {
 inline const void* resolve_in_place(const void* sendbuf, const void* in_place_loc) {
     return sendbuf == kInPlace ? in_place_loc : sendbuf;
 }
+
+/// Link class of @p comm for decision-table lookup: Shm when every member
+/// shares a node, Net otherwise. Collective call sites are link-pure (the
+/// SMP-aware dispatch routes mixed communicators through hierarchical
+/// sub-operations), so this is the table's whole topology axis.
+tuning::Shape comm_shape(const Comm& comm);
+
+/// Tuned choice for @p op at this communicator's size/shape and @p bytes
+/// (per-op key semantics documented on tuning::Op), or nullopt when the
+/// profile has no table — callers then apply the legacy thresholds.
+std::optional<tuning::Choice> tuned_choice(const Comm& comm, tuning::Op op,
+                                           std::uint64_t bytes);
 
 }  // namespace minimpi::detail

@@ -165,11 +165,14 @@ void allreduce_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
     const std::size_t bytes = count * datatype_size(dt);
     // Ring reduce-scatter+allgather needs at least one element per rank to
     // pay off; recursive doubling handles the rest.
-    if (bytes <= ctx.model->allreduce_long_threshold ||
-        count < static_cast<std::size_t>(comm.size())) {
-        allreduce_recursive_doubling(comm, sendbuf, recvbuf, count, dt, op);
-    } else {
+    bool ring = bytes > ctx.model->allreduce_long_threshold;
+    if (auto c = tuned_choice(comm, tuning::Op::Allreduce, bytes)) {
+        ring = (c->algo == tuning::algo::kArRing);
+    }
+    if (ring && count >= static_cast<std::size_t>(comm.size())) {
         allreduce_ring(comm, sendbuf, recvbuf, count, dt, op);
+    } else {
+        allreduce_recursive_doubling(comm, sendbuf, recvbuf, count, dt, op);
     }
 }
 
@@ -242,11 +245,7 @@ void allreduce(const Comm& comm, const void* sendbuf, void* recvbuf,
         detail::reduce_binomial(h.shm, sendbuf, recvbuf, count, dt, op, 0);
     }
     const std::size_t bytes = count * datatype_size(dt);
-    if (bytes <= ctx.model->bcast_long_threshold) {
-        detail::bcast_binomial(h.shm, recvbuf, bytes, 0);
-    } else {
-        detail::bcast_pipelined_chain(h.shm, recvbuf, bytes, 0);
-    }
+    detail::bcast_auto(h.shm, recvbuf, bytes, 0);
 }
 
 void alltoall(const Comm& comm, const void* sendbuf, std::size_t count,

@@ -1,0 +1,82 @@
+#include "minimpi/coll.h"
+#include "minimpi/coll_internal.h"
+#include "minimpi/runtime.h"
+
+/// Profile-driven algorithm selection: the bridge between the collectives
+/// and the tuned decision tables (src/tuning). Every selection helper
+/// falls back to the legacy hardcoded thresholds when the profile has no
+/// table, so profiles like "test" behave exactly as before tuning.
+namespace minimpi::detail {
+
+tuning::Shape comm_shape(const Comm& comm) {
+    const int node0 = comm.node_of(0);
+    for (int r = 1; r < comm.size(); ++r) {
+        if (comm.node_of(r) != node0) return tuning::Shape::Net;
+    }
+    return tuning::Shape::Shm;
+}
+
+std::optional<tuning::Choice> tuned_choice(const Comm& comm, tuning::Op op,
+                                           std::uint64_t bytes) {
+    const tuning::DecisionTable* table = comm.ctx().tuned;
+    if (table == nullptr) return std::nullopt;
+    return table->lookup(op, comm_shape(comm), comm.size(), bytes);
+}
+
+void bcast_auto(const Comm& comm, void* buf, std::size_t bytes, int root) {
+    if (comm.size() == 1) return;
+    if (auto c = tuned_choice(comm, tuning::Op::Bcast, bytes)) {
+        if (c->algo == tuning::algo::kBcPipelined) {
+            bcast_pipelined_chain(comm, buf, bytes, root, c->segment_bytes);
+        } else {
+            bcast_binomial(comm, buf, bytes, root);
+        }
+        return;
+    }
+    if (bytes <= comm.ctx().model->bcast_long_threshold) {
+        bcast_binomial(comm, buf, bytes, root);
+    } else {
+        bcast_pipelined_chain(comm, buf, bytes, root);
+    }
+}
+
+void barrier_tree(const Comm& comm) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    // Check-in: binomial gather of zero-byte tokens towards rank 0.
+    int mask = 1;
+    while (mask < p) {
+        if (r & mask) {
+            send_bytes(comm, nullptr, 0, r - mask, kTagBarrier + 0x100, true);
+            break;
+        }
+        if (r + mask < p) {
+            recv_bytes(comm, nullptr, 0, r + mask, kTagBarrier + 0x100, true);
+        }
+        mask <<= 1;
+    }
+    // Release: binomial broadcast of zero-byte tokens from rank 0.
+    if (r != 0) {
+        while (!(r & mask)) mask <<= 1;  // resume at the parent link
+        recv_bytes(comm, nullptr, 0, r - mask, kTagBarrier + 0x101, true);
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (r + mask < p && !(r & mask)) {
+            send_bytes(comm, nullptr, 0, r + mask, kTagBarrier + 0x101, true);
+        }
+        mask >>= 1;
+    }
+}
+
+void barrier_auto(const Comm& comm) {
+    if (auto c = tuned_choice(comm, tuning::Op::Barrier, 0)) {
+        if (c->algo == tuning::algo::kBarTree) {
+            barrier_tree(comm);
+            return;
+        }
+    }
+    barrier_dissemination(comm);
+}
+
+}  // namespace minimpi::detail

@@ -9,6 +9,10 @@
 #include "minimpi/trace.h"
 #include "minimpi/types.h"
 
+namespace tuning {
+class DecisionTable;
+}
+
 namespace minimpi {
 
 class Runtime;
@@ -54,6 +58,12 @@ struct RankCtx {
     const ClusterSpec* cluster = nullptr;
     const ModelParams* model = nullptr;
     PayloadMode payload_mode = PayloadMode::Real;
+
+    /// Tuned collective-selection table for the vendor profile, resolved
+    /// once per Runtime::run from ModelParams::name (null when the profile
+    /// has none — e.g. "test" — which keeps the legacy threshold
+    /// selection). Collectives consult it through detail::tuned_choice.
+    const tuning::DecisionTable* tuned = nullptr;
 
     int node() const { return cluster->node_of(world_rank); }
 

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "minimpi/error.h"
+#include "tuning/decision.h"
 
 namespace minimpi {
 
@@ -106,6 +107,10 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
     std::vector<Tracer> tracers(
         opts_.trace ? static_cast<std::size_t>(n) : 0);
 
+    // Tuned algorithm selection for this vendor profile (null when the
+    // profile has no table). Resolved once, before the rank threads spawn.
+    const tuning::DecisionTable* tuned = tuning::find_table(model_.name);
+
     for (int i = 0; i < n; ++i) {
         auto& ctx = ctxs[static_cast<std::size_t>(i)];
         ctx.world_rank = i;
@@ -113,6 +118,7 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         ctx.cluster = &cluster_;
         ctx.model = &model_;
         ctx.payload_mode = payload_;
+        ctx.tuned = tuned;
         if (opts_.trace) ctx.tracer = &tracers[static_cast<std::size_t>(i)];
         args[static_cast<std::size_t>(i)] =
             RankThreadArgs{this, &ctx, world_state, &rank_main,

@@ -1,0 +1,313 @@
+#include "tuning/autotuner.h"
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "bench_util/latency.h"
+#include "hybrid/hympi.h"
+#include "minimpi/coll.h"
+#include "minimpi/runtime.h"
+
+namespace tuning {
+
+namespace {
+
+namespace mm = ::minimpi;
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+mm::ClusterSpec cluster_for(Shape shape, int comm_size) {
+    // Link-pure topologies: every flat-algorithm call site runs over either
+    // all-network or all-shared-memory links (see coll_select.cc), so one
+    // node per rank / one node total reproduces the runtime cost exactly.
+    return shape == Shape::Net ? mm::ClusterSpec::regular(comm_size, 1)
+                               : mm::ClusterSpec::regular(1, comm_size);
+}
+
+hympi::BridgeAlgo bridge_algo_of(std::uint8_t id) {
+    switch (id) {
+        case algo::kBrBcast:
+            return hympi::BridgeAlgo::Bcast;
+        case algo::kBrPipelined:
+            return hympi::BridgeAlgo::Pipelined;
+        case algo::kBrBruckV:
+            return hympi::BridgeAlgo::BruckV;
+        case algo::kBrNeighborExchange:
+            return hympi::BridgeAlgo::NeighborExchange;
+        default:
+            return hympi::BridgeAlgo::Allgatherv;
+    }
+}
+
+/// The repeated operation for one minimpi candidate at one grid point
+/// (direct detail:: entry points — selection must not re-enter the tables
+/// being built). SizeOnly mode: null buffers carry the modelled sizes.
+std::function<void()> make_op(mm::Comm& comm, Op op, std::size_t bytes,
+                              const Choice& choice) {
+    const auto p = static_cast<std::size_t>(comm.size());
+    switch (op) {
+        case Op::Allgather: {
+            const std::size_t block = bytes / p;
+            switch (choice.algo) {
+                case algo::kAgRing:
+                    return [&comm, block] {
+                        mm::detail::allgather_ring(comm, nullptr, nullptr,
+                                                   block);
+                    };
+                case algo::kAgBruck:
+                    return [&comm, block] {
+                        mm::detail::allgather_bruck(comm, nullptr, nullptr,
+                                                    block);
+                    };
+                default:
+                    return [&comm, block] {
+                        mm::detail::allgather_recursive_doubling(
+                            comm, nullptr, nullptr, block);
+                    };
+            }
+        }
+        case Op::Allgatherv: {
+            const std::size_t block = bytes / p;
+            auto counts = std::make_shared<std::vector<std::size_t>>(p, block);
+            auto displs = std::make_shared<std::vector<std::size_t>>(p);
+            for (std::size_t i = 0; i < p; ++i) (*displs)[i] = i * block;
+            if (choice.algo == algo::kAgvRing) {
+                return [&comm, block, counts, displs] {
+                    mm::detail::allgatherv_ring(comm, nullptr, block, nullptr,
+                                                *counts, *displs);
+                };
+            }
+            return [&comm, block, counts, displs] {
+                mm::detail::allgatherv_bruck(comm, nullptr, block, nullptr,
+                                             *counts, *displs);
+            };
+        }
+        case Op::Bcast:
+            if (choice.algo == algo::kBcPipelined) {
+                const std::size_t seg = choice.segment_bytes;
+                return [&comm, bytes, seg] {
+                    mm::detail::bcast_pipelined_chain(comm, nullptr, bytes, 0,
+                                                      seg);
+                };
+            }
+            return [&comm, bytes] {
+                mm::detail::bcast_binomial(comm, nullptr, bytes, 0);
+            };
+        case Op::Allreduce:
+            // Byte elements: count == bytes.
+            if (choice.algo == algo::kArRing) {
+                return [&comm, bytes] {
+                    mm::detail::allreduce_ring(comm, nullptr, nullptr, bytes,
+                                               mm::Datatype::Byte,
+                                               mm::Op::Max);
+                };
+            }
+            return [&comm, bytes] {
+                mm::detail::allreduce_recursive_doubling(
+                    comm, nullptr, nullptr, bytes, mm::Datatype::Byte,
+                    mm::Op::Max);
+            };
+        case Op::Barrier:
+        default:
+            if (choice.algo == algo::kBarTree) {
+                return [&comm] { mm::detail::barrier_tree(comm); };
+            }
+            return [&comm] { mm::detail::barrier_dissemination(comm); };
+    }
+}
+
+/// Argmin over candidates; strict improvement required to displace an
+/// earlier (lower-id) candidate, so ties keep the pre-table default.
+Choice best_choice(const mm::ModelParams& profile, Op op, Shape shape,
+                   int comm_size, std::size_t bytes, const TuneConfig& cfg) {
+    double best_t = std::numeric_limits<double>::infinity();
+    Choice best{};
+    for (const Choice& c : candidates(op, comm_size, cfg)) {
+        const double t = measure(profile, op, shape, comm_size, bytes, c, cfg);
+        if (t + 1e-9 < best_t) {
+            best_t = t;
+            best = c;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+TuneConfig TuneConfig::quick() {
+    TuneConfig cfg;
+    cfg.net_sizes = {2, 4, 8, 16};
+    cfg.shm_sizes = {2, 4, 8};
+    cfg.bridge_sizes = {2, 4, 8};
+    cfg.block_bytes = {128, 8192};
+    cfg.message_bytes = {1024, 262144};
+    cfg.bridge_block_bytes = {1024, 262144};
+    cfg.segment_bytes = {8192, 65536};
+    cfg.warmup = 1;
+    cfg.iters = 1;
+    return cfg;
+}
+
+std::vector<Choice> candidates(Op op, int comm_size, const TuneConfig& cfg) {
+    std::vector<Choice> out;
+    auto add = [&out](std::uint8_t a, std::uint32_t seg = 0) {
+        out.push_back(Choice{a, seg});
+    };
+    switch (op) {
+        case Op::Allgather:
+            if (is_pow2(comm_size)) add(algo::kAgRecDoubling);
+            add(algo::kAgBruck);
+            add(algo::kAgRing);
+            break;
+        case Op::Allgatherv:
+            add(algo::kAgvBruck);
+            add(algo::kAgvRing);
+            break;
+        case Op::Bcast:
+            add(algo::kBcBinomial);
+            add(algo::kBcPipelined);  // segment 0 = built-in heuristic
+            for (std::uint32_t s : cfg.segment_bytes) {
+                add(algo::kBcPipelined, s);
+            }
+            break;
+        case Op::Allreduce:
+            add(algo::kArRecDoubling);
+            add(algo::kArRing);
+            break;
+        case Op::Barrier:
+            add(algo::kBarDissemination);
+            add(algo::kBarTree);
+            break;
+        case Op::BridgeExchange:
+            add(algo::kBrVendorAllgatherv);
+            add(algo::kBrBcast);
+            add(algo::kBrPipelined);  // segment 0 = built-in heuristic
+            for (std::uint32_t s : cfg.segment_bytes) {
+                add(algo::kBrPipelined, s);
+            }
+            add(algo::kBrBruckV);
+            // Requires an even bridge size (and contiguous slices, which one
+            // leader per node guarantees).
+            if (comm_size % 2 == 0) add(algo::kBrNeighborExchange);
+            break;
+    }
+    return out;
+}
+
+Choice legacy_choice(const mm::ModelParams& profile, Op op, int comm_size,
+                     std::size_t bytes) {
+    switch (op) {
+        case Op::Allgather:
+            if (bytes > profile.allgather_long_threshold) {
+                return Choice{algo::kAgRing, 0};
+            }
+            return Choice{
+                is_pow2(comm_size) ? algo::kAgRecDoubling : algo::kAgBruck, 0};
+        case Op::Allgatherv:
+            return Choice{bytes > profile.allgather_long_threshold
+                              ? algo::kAgvRing
+                              : algo::kAgvBruck,
+                          0};
+        case Op::Bcast:
+            return Choice{bytes > profile.bcast_long_threshold
+                              ? algo::kBcPipelined
+                              : algo::kBcBinomial,
+                          0};
+        case Op::Allreduce:
+            return Choice{bytes > profile.allreduce_long_threshold
+                              ? algo::kArRing
+                              : algo::kArRecDoubling,
+                          0};
+        case Op::Barrier:
+            return Choice{algo::kBarDissemination, 0};
+        case Op::BridgeExchange:
+        default:
+            return Choice{algo::kBrVendorAllgatherv, 0};
+    }
+}
+
+double measure(const mm::ModelParams& profile, Op op, Shape shape,
+               int comm_size, std::size_t bytes, const Choice& choice,
+               const TuneConfig& cfg) {
+    // Ring allreduce needs one element per rank; below that the runtime
+    // dispatch falls back to recursive doubling regardless of the table, so
+    // the candidate is meaningless at this grid point.
+    if (op == Op::Allreduce && choice.algo == algo::kArRing &&
+        bytes < static_cast<std::size_t>(comm_size)) {
+        return std::numeric_limits<double>::infinity();
+    }
+    mm::Runtime rt(cluster_for(shape, comm_size), profile,
+                   mm::PayloadMode::SizeOnly);
+    if (op == Op::BridgeExchange) {
+        // The Fig. 8 scenario: comm_size nodes at 1 process per node; each
+        // node block is `bytes`. Candidates that delegate to minimpi
+        // collectives (vendor allgatherv, bcast) run under whatever table
+        // is currently registered for the profile.
+        const hympi::BridgeAlgo a = bridge_algo_of(choice.algo);
+        const std::size_t seg = choice.segment_bytes;
+        return benchu::osu_latency(
+            rt, cfg.warmup, cfg.iters,
+            [bytes, a, seg](mm::Comm& world) -> std::function<void()> {
+                auto hc = std::make_shared<hympi::HierComm>(world, 1);
+                auto ch =
+                    std::make_shared<hympi::AllgatherChannel>(*hc, bytes);
+                ch->set_pipeline_segment(seg);
+                return [hc, ch, a] { ch->run(hympi::SyncPolicy::Barrier, a); };
+            });
+    }
+    return benchu::osu_latency(
+        rt, cfg.warmup, cfg.iters,
+        [op, bytes, choice](mm::Comm& world) -> std::function<void()> {
+            return make_op(world, op, bytes, choice);
+        });
+}
+
+DecisionTable tune_profile(const mm::ModelParams& profile,
+                           const TuneConfig& cfg, std::ostream* log) {
+    DecisionTable table(profile.name, cfg.seed);
+    auto sweep = [&](Op op, Shape shape, const std::vector<int>& sizes,
+                     const std::vector<std::size_t>& bytes_list,
+                     bool per_rank) {
+        for (int s : sizes) {
+            for (std::size_t b : bytes_list) {
+                // Table keys are aggregate volumes for the gather ops.
+                const std::size_t key =
+                    per_rank ? b * static_cast<std::size_t>(s) : b;
+                table.set(op, shape, s, key,
+                          best_choice(profile, op, shape, s, key, cfg));
+            }
+        }
+        if (log) {
+            *log << "  " << profile.name << ": " << op_name(op) << "/"
+                 << shape_name(shape) << " swept " << sizes.size() << " x "
+                 << bytes_list.size() << " points\n";
+        }
+    };
+
+    if (log) *log << "tuning profile '" << profile.name << "'\n";
+    sweep(Op::Allgather, Shape::Net, cfg.net_sizes, cfg.block_bytes, true);
+    sweep(Op::Allgather, Shape::Shm, cfg.shm_sizes, cfg.block_bytes, true);
+    sweep(Op::Allgatherv, Shape::Net, cfg.net_sizes, cfg.block_bytes, true);
+    sweep(Op::Allgatherv, Shape::Shm, cfg.shm_sizes, cfg.block_bytes, true);
+    sweep(Op::Bcast, Shape::Net, cfg.net_sizes, cfg.message_bytes, false);
+    sweep(Op::Bcast, Shape::Shm, cfg.shm_sizes, cfg.message_bytes, false);
+    sweep(Op::Allreduce, Shape::Net, cfg.net_sizes, cfg.message_bytes, false);
+    sweep(Op::Allreduce, Shape::Shm, cfg.shm_sizes, cfg.message_bytes, false);
+    // On-node barriers always use the shared-counter implementation, so
+    // only the network shape is tuned; the byte axis is degenerate.
+    sweep(Op::Barrier, Shape::Net, cfg.net_sizes, {0}, false);
+
+    // Bridge exchange last, with the partial table registered so the
+    // vendor-allgatherv and bcast candidates run with tuned inner selection
+    // (an override shadows any baked table of the same profile).
+    register_table(table);
+    sweep(Op::BridgeExchange, Shape::Net, cfg.bridge_sizes,
+          cfg.bridge_block_bytes, false);
+    unregister_table(profile.name);
+    return table;
+}
+
+}  // namespace tuning

@@ -1,0 +1,15 @@
+#pragma once
+
+/// Internal bridge between the registry (decision.cc) and the checked-in
+/// tables (tables_baked.cc). Not part of the public tuning API.
+namespace tuning::baked {
+
+struct BakedTable {
+    const char* name;  ///< profile name the text claims (sanity-checked)
+    const char* text;  ///< serialized DecisionTable
+};
+
+/// Pointer to the baked table array; *count receives its length.
+const BakedTable* tables(int* count);
+
+}  // namespace tuning::baked

@@ -1,0 +1,32 @@
+#include "tuning/baked.h"
+
+/// Checked-in decision tables, regenerated with:
+///   ./build/src/tuning/tune_tables --format inc --out-dir src/tuning/tables
+/// (see TESTING.md "Autotuner"). Each .inc file is a raw string literal
+/// holding one serialized DecisionTable; the header records the seed the
+/// tuner ran with so the tables are reproducible.
+namespace tuning::baked {
+
+namespace {
+
+const char kCrayTable[] =
+#include "tuning/tables/cray.inc"
+    ;  // NOLINT
+
+const char kOpenmpiTable[] =
+#include "tuning/tables/openmpi.inc"
+    ;  // NOLINT
+
+const BakedTable kTables[] = {
+    {"cray", kCrayTable},
+    {"openmpi", kOpenmpiTable},
+};
+
+}  // namespace
+
+const BakedTable* tables(int* count) {
+    *count = static_cast<int>(sizeof(kTables) / sizeof(kTables[0]));
+    return kTables;
+}
+
+}  // namespace tuning::baked

@@ -100,8 +100,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Range(0, static_cast<int>(std::size(kShapes))),
         ::testing::Values(SyncPolicy::Barrier, SyncPolicy::Flags),
-        ::testing::Values(BridgeAlgo::Allgatherv, BridgeAlgo::Bcast,
-                          BridgeAlgo::Pipelined),
+        ::testing::Values(BridgeAlgo::Auto, BridgeAlgo::Allgatherv,
+                          BridgeAlgo::Bcast, BridgeAlgo::Pipelined,
+                          BridgeAlgo::BruckV, BridgeAlgo::NeighborExchange),
         ::testing::Values(1, 2)),
     [](const auto& info) {
         const int shape = std::get<0>(info.param);
@@ -110,9 +111,14 @@ INSTANTIATE_TEST_SUITE_P(
         const int leaders = std::get<3>(info.param);
         std::string s = kShapes[shape].name;
         s += sync == SyncPolicy::Barrier ? "_bar" : "_flag";
-        s += algo == BridgeAlgo::Allgatherv
-                 ? "_agv"
-                 : (algo == BridgeAlgo::Bcast ? "_bc" : "_pipe");
+        switch (algo) {
+            case BridgeAlgo::Auto: s += "_auto"; break;
+            case BridgeAlgo::Allgatherv: s += "_agv"; break;
+            case BridgeAlgo::Bcast: s += "_bc"; break;
+            case BridgeAlgo::Pipelined: s += "_pipe"; break;
+            case BridgeAlgo::BruckV: s += "_bruckv"; break;
+            case BridgeAlgo::NeighborExchange: s += "_nbrex"; break;
+        }
         s += "_L" + std::to_string(leaders);
         return s;
     });
