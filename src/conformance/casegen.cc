@@ -154,6 +154,17 @@ std::string CaseSpec::describe() const {
     if (faults.corrupt_every > 0) {
         os << " corrupt_every=" << faults.corrupt_every;
     }
+    if (faults.drop_every > 0) os << " drop_every=" << faults.drop_every;
+    if (faults.dup_every > 0) os << " dup_every=" << faults.dup_every;
+    if (faults.shm_fail_every > 0) {
+        os << " shm_fail_every=" << faults.shm_fail_every;
+    }
+    if (faults.payload_active() || faults.shm_fail_every > 0) {
+        os << " scope="
+           << (faults.scope == minimpi::FaultScope::AllTraffic ? "all"
+                                                               : "robust");
+    }
+    if (robust) os << " robust=1";
     return os.str();
 }
 
@@ -229,6 +240,28 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
             const int extra = static_cast<int>(
                 s.below(static_cast<std::uint64_t>(spec.total_ranks())));
             if (extra != 0) spec.faults.delayed_ranks.push_back(extra);
+        }
+    }
+
+    // Resilience sweep: ~1 in 4 faulted cases also enable the robust layer
+    // and inject payload faults scoped to its retransmittable frames. Rates
+    // are moderate (every 3rd/5th/9th message) so the default retry budget
+    // always recovers — the case must still match flat MPI byte for byte.
+    if (with_faults && s.chance(25)) {
+        spec.robust = true;
+        if (spec.faults.seed == 0) spec.faults.seed = s.next() | 1;
+        spec.faults.scope = minimpi::FaultScope::RobustFrames;
+        constexpr std::uint64_t kRates[] = {3, 5, 9};
+        if (s.chance(60)) spec.faults.drop_every = kRates[s.below(3)];
+        if (s.chance(40)) spec.faults.corrupt_every = kRates[s.below(3)];
+        if (s.chance(40)) spec.faults.dup_every = kRates[s.below(3)];
+        if (!spec.faults.payload_active()) spec.faults.drop_every = 3;
+        // SHM allocation failure exercises the hybrid->flat rung, which only
+        // the allgather/bcast channels have (the extras throw instead).
+        if ((spec.op == CollOp::Allgather || spec.op == CollOp::Allgatherv ||
+             spec.op == CollOp::Bcast) &&
+            s.chance(15)) {
+            spec.faults.shm_fail_every = 3;
         }
     }
     return spec;

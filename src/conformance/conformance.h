@@ -67,6 +67,11 @@ struct CaseSpec {
     minimpi::Op red_op = minimpi::Op::Sum;           ///< reductions only
 
     minimpi::FaultPlan faults;
+    /// Run with the resilience layer enabled (a pinned, env-independent
+    /// RobustConfig): injected drop/corruption/duplication is scoped to the
+    /// robust frames and must be recovered transparently — the hybrid
+    /// result still has to match the flat reference byte for byte.
+    bool robust = false;
 
     int total_ranks() const;
     /// One-line reproducer, stable across runs.
@@ -83,6 +88,10 @@ struct CaseResult {
     bool ok = true;
     std::string detail;                  ///< first mismatch; empty when ok
     std::vector<minimpi::VTime> clocks;  ///< final per-rank virtual clocks
+    /// Per-rank resilience counters (all zero unless spec.robust): the
+    /// determinism check requires them to be run-repeatable, and the fault
+    /// sweep asserts recoveries actually happened.
+    std::vector<hympi::RobustStats> robust_stats;
 };
 
 /// Draw the @p index-th case of the stream anchored at @p master_seed.

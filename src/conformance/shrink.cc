@@ -33,6 +33,28 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
         {
             CaseSpec c = cur;
             c.faults = minimpi::FaultPlan{};
+            c.robust = false;
+            cands.push_back(c);
+        }
+        if (cur.faults.payload_active() || cur.faults.shm_fail_every > 0) {
+            // Keep timing faults, zero the payload/allocation ones.
+            CaseSpec c = cur;
+            c.faults.drop_every = 0;
+            c.faults.dup_every = 0;
+            c.faults.corrupt_every = 0;
+            c.faults.shm_fail_every = 0;
+            cands.push_back(c);
+        }
+        if (cur.robust) {
+            // Disabling the robust layer only makes sense with the payload
+            // faults gone too — RobustFrames-scoped faults have nothing to
+            // hit once no robust frames are sent.
+            CaseSpec c = cur;
+            c.robust = false;
+            c.faults.drop_every = 0;
+            c.faults.dup_every = 0;
+            c.faults.corrupt_every = 0;
+            c.faults.shm_fail_every = 0;
             cands.push_back(c);
         }
         {

@@ -80,10 +80,27 @@ void AllgatherChannel::init_layout(
             }
         }
     }
+
+    // Resilience one-offs (robust mode only — the fast path pays nothing).
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    if (cfg != nullptr && cfg->enabled) {
+        chan_uid_ = robust::alloc_channel_uid(hc_->world());
+        fail_shared_ = boot_fail_word(*hc_);
+        // SHM allocation failure (pillar 4, second trigger): agree across
+        // the whole job and degrade together, so no rank is left holding a
+        // null partition while others use the window. Gated on an active
+        // injection plan — fault-free runs send no agreement traffic.
+        if (ctx.runtime->fault_plan().shm_fail_every > 0) {
+            const bool agreed_fail = robust::agree_failure(
+                hc_->world(), buf_.alloc_failed(), gen64(), *cfg, stats_);
+            if (agreed_fail) downgrade_to_flat(/*refill=*/false);
+        }
+    }
 }
 
 void AllgatherChannel::repack_rank_order(void* dst) const {
-    rank_order_layout_.pack(hc_->world().ctx(), buf_.data(), dst);
+    rank_order_layout_.pack(hc_->world().ctx(), data(), dst);
 }
 
 BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
@@ -318,7 +335,82 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
     }
 }
 
+bool AllgatherChannel::robust_bridge_exchange() {
+    const Comm& bridge = hc_->bridge();
+    const int bp = bridge.size();
+    const int br = bridge.rank();
+    if (bp <= 1) return true;
+    const RobustConfig& cfg = *bridge.ctx().robust_cfg;
+    const std::uint64_t gen = gen64();
+    bool ok = true;
+    // Pairwise ring: round k sends my slice to (br+k) while receiving
+    // (br-k)'s slice — each round is one full-duplex reliable transfer, so
+    // dropped/corrupted frames are retried instead of hanging the ring.
+    // On exhaustion we keep serving later rounds (the engine always
+    // terminates) and let agree_failure publish the verdict.
+    for (int k = 1; k < bp; ++k) {
+        const int dst = (br + k) % bp;
+        const int src = (br - k + bp) % bp;
+        const auto sb = static_cast<std::size_t>(br);
+        const auto rb = static_cast<std::size_t>(src);
+        if (!robust::reliable_xfer(
+                bridge, buf_.at(bridge_displs_[sb]), bridge_counts_[sb], dst,
+                buf_.at(bridge_displs_[rb]), bridge_counts_[rb], src,
+                robust::kOpAllgather + ((k - 1) & 0xFF), gen, cfg, stats_)) {
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+void AllgatherChannel::downgrade_to_flat(bool refill) {
+    const Comm& world = hc_->world();
+    minimpi::RankCtx& ctx = world.ctx();
+    degraded_flat_ = true;
+    stats_.flat_downgrades += 1;
+    ctx.robust_stats.flat_downgrades += 1;
+    // Counts by world rank, displacements preserving the slot-major layout
+    // so block_of()/data() keep the exact same offsets.
+    flat_counts_ = block_bytes_;
+    flat_displs_.resize(block_bytes_.size());
+    for (std::size_t r = 0; r < block_bytes_.size(); ++r) {
+        flat_displs_[r] = slot_offset_[static_cast<std::size_t>(
+            hc_->slot_of(static_cast<int>(r)))];
+    }
+    if (ctx.payload_mode == minimpi::PayloadMode::Real) {
+        flat_buf_.assign(total_bytes_, std::byte{0});
+    }
+    if (refill) {
+        // Mid-run downgrade: this generation's contributions were already
+        // written into the (still valid) shared segment; salvage our own
+        // block and redo the whole exchange flat so the result stays
+        // byte-identical to pure MPI.
+        const auto me = static_cast<std::size_t>(world.rank());
+        ctx.copy_bytes(flat_at(flat_displs_[me]), buf_.at(flat_displs_[me]),
+                       block_bytes_[me]);
+        run_flat();
+    }
+}
+
+void AllgatherChannel::run_flat() {
+    const Comm& world = hc_->world();
+    minimpi::allgatherv(
+        world, minimpi::kInPlace,
+        block_bytes_[static_cast<std::size_t>(world.rank())], flat_at(0),
+        flat_counts_, flat_displs_, minimpi::Datatype::Byte);
+}
+
 void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    const bool robust = cfg != nullptr && cfg->enabled;
+    ++generation_;
+    if (degraded_flat_) {
+        // Rung 2 reached earlier: callers already write through my_block()
+        // into the private buffer; one flat allgatherv completes the round.
+        run_flat();
+        return;
+    }
     if (hc_->num_nodes() == 1) {
         // Fig. 4 lines 29-30/37-38: single node — one on-node sync makes
         // every partition visible; there is no inter-node traffic at all.
@@ -328,14 +420,40 @@ void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
     // Fig. 4 line 25/34: leaders wait until all partitions on their node
     // are initialized.
     sync_.ready_phase(sync);
-    if (hc_->is_leader()) {
-        bridge_exchange(algo);
+    if (!robust) {
+        if (hc_->is_leader()) {
+            bridge_exchange(algo);
+        }
+        // Fig. 4 line 27/35: children wait until the exchange finished.
+        sync_.release_phase(sync);
+        return;
     }
-    // Fig. 4 line 27/35: children wait until the exchange has finished.
+    if (hc_->is_leader()) {
+        const bool ok = robust_bridge_exchange();
+        // Every bridge spans every node (leaders_per_node is clamped to the
+        // smallest node), so a per-bridge agreement reaches every node via
+        // its member leader; the failure word makes it node-visible.
+        if (robust::agree_failure(hc_->bridge(), !ok, gen64(), *cfg, stats_)) {
+            fail_shared_->fail_gen.store(gen64());
+        }
+    }
     sync_.release_phase(sync);
+    if (fail_shared_->fail_gen.load() == gen64()) {
+        downgrade_to_flat(/*refill=*/true);
+    }
 }
 
 void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    const bool robust = cfg != nullptr && cfg->enabled;
+    ++generation_;
+    if (degraded_flat_) {
+        // Flat path: the exchange is deferred to finish() so callers still
+        // get a compute window on their own partition in between.
+        began_flat_ = true;
+        return;
+    }
     if (hc_->num_nodes() == 1) {
         sync_.ready_phase(sync);
         return;
@@ -345,12 +463,31 @@ void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
         // CAUTION: the leader's compute window only opens after its
         // transfers; children's opens immediately — that asymmetry is the
         // paper's "idle cores" discussion and exactly what overlap buys.
-        bridge_exchange(algo);
+        if (!robust) {
+            bridge_exchange(algo);
+        } else {
+            const bool ok = robust_bridge_exchange();
+            if (robust::agree_failure(hc_->bridge(), !ok, gen64(), *cfg,
+                                      stats_)) {
+                fail_shared_->fail_gen.store(gen64());
+            }
+        }
     }
 }
 
 void AllgatherChannel::finish(SyncPolicy sync) {
+    if (began_flat_) {
+        began_flat_ = false;
+        run_flat();
+        return;
+    }
     sync_.release_phase(sync);
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    if (cfg != nullptr && cfg->enabled && hc_->num_nodes() > 1 &&
+        fail_shared_ != nullptr && fail_shared_->fail_gen.load() == gen64()) {
+        downgrade_to_flat(/*refill=*/true);
+    }
 }
 
 }  // namespace hympi

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <span>
 
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "robust/robust.h"
 
 namespace hympi {
 
@@ -58,17 +60,23 @@ public:
     /// the node-shared buffer — Fig. 4 line 21).
     std::byte* my_block() const { return block_of(hc_->world().rank()); }
 
-    /// Where rank @p comm_rank's gathered data lives after run().
+    /// Where rank @p comm_rank's gathered data lives after run(). After a
+    /// hybrid->flat downgrade this transparently redirects into the rank's
+    /// private buffer (same slot-major offsets), so readers never notice.
     std::byte* block_of(int comm_rank) const {
-        return buf_.at(
-            slot_offset_[static_cast<std::size_t>(hc_->slot_of(comm_rank))]);
+        const std::size_t off =
+            slot_offset_[static_cast<std::size_t>(hc_->slot_of(comm_rank))];
+        return degraded_flat_ ? flat_at(off) : buf_.at(off);
     }
     std::size_t block_size(int comm_rank) const {
         return block_bytes_[static_cast<std::size_t>(comm_rank)];
     }
 
-    /// Whole node-shared result buffer (node-major slot order).
-    std::byte* data() const { return buf_.data(); }
+    /// Whole result buffer (node-major slot order): the node-shared segment,
+    /// or the private flat copy after a downgrade.
+    std::byte* data() const {
+        return degraded_flat_ ? flat_at(0) : buf_.data();
+    }
     std::size_t total_bytes() const { return total_bytes_; }
 
     /// Paper Sect. 6's datatype alternative for non-SMP placements:
@@ -90,9 +98,20 @@ public:
     /// before the next run() must quiesce in between, or a fast writer
     /// races slow on-node readers (the result buffer is genuinely shared —
     /// the hazard the pure-MPI version's private copies never see).
+    /// After a hybrid->flat downgrade every rank owns a private copy, so
+    /// there is nothing to quiesce.
     void quiesce(SyncPolicy sync = SyncPolicy::Barrier) {
-        sync_.full_sync(sync);
+        if (!degraded_flat_) sync_.full_sync(sync);
     }
+
+    /// Resilience counters of this channel (robust mode only; all zero on
+    /// the fault-free fast path).
+    const RobustStats& robust_stats() const { return stats_; }
+
+    /// Rung 2 of the degradation ladder: the channel has fallen back to a
+    /// flat MPI_Allgatherv over the full communicator (exhausted bridge
+    /// retries or SHM allocation failure). Sticky for the channel lifetime.
+    bool degraded_flat() const { return degraded_flat_; }
 
     /// Split-phase variant implementing the overlap the paper's conclusion
     /// describes: "it is straightforward to let the on-node MPI processes
@@ -122,6 +141,29 @@ private:
     /// the table tuned a pipeline segment size.
     BridgeAlgo tuned_bridge_algo(std::size_t& seg) const;
 
+    /// Robust-mode leader exchange: pairwise ring of reliable (ARQ)
+    /// transfers over the bridge. Returns false when any transfer exhausted
+    /// its retry budget (the rank keeps serving peers regardless, so
+    /// everyone terminates).
+    bool robust_bridge_exchange();
+    /// Rung 2: collective over world. Marks the channel flat, builds the
+    /// private slot-major buffer, and — when @p refill — re-runs this
+    /// generation's exchange as a flat allgatherv so the result is still
+    /// byte-identical to pure MPI.
+    void downgrade_to_flat(bool refill);
+    /// Flat MPI_Allgatherv over world into the private buffer (counts per
+    /// world rank, displacements preserving the slot-major layout).
+    void run_flat();
+    /// Channel-unique generation stamp: (channel uid << 32) | round.
+    std::uint64_t gen64() const {
+        return (chan_uid_ << 32) | (generation_ & 0xFFFFFFFFULL);
+    }
+    std::byte* flat_at(std::size_t off) const {
+        return flat_buf_.empty()
+                   ? nullptr
+                   : const_cast<std::byte*>(flat_buf_.data()) + off;
+    }
+
     const HierComm* hc_ = nullptr;
     NodeSharedBuffer buf_;
     NodeSync sync_;
@@ -141,6 +183,17 @@ private:
 
     /// Derived datatype mapping slot-major storage to rank order (one-off).
     minimpi::Layout rank_order_layout_;
+
+    // --- resilience state (robust mode only; inert on the fast path) ---
+    std::uint64_t chan_uid_ = 0;    ///< program-order channel id
+    std::uint64_t generation_ = 0;  ///< run()/begin() round counter
+    bool degraded_flat_ = false;    ///< sticky hybrid->flat downgrade
+    bool began_flat_ = false;       ///< begin() ran on the flat path
+    std::vector<std::byte> flat_buf_;          ///< private slot-major copy
+    std::vector<std::size_t> flat_counts_;     ///< per world rank, bytes
+    std::vector<std::size_t> flat_displs_;     ///< per world rank, bytes
+    std::shared_ptr<NodeFailWord> fail_shared_;  ///< per node
+    RobustStats stats_;
 };
 
 /// Default segment size for BridgeAlgo::Pipelined, used when neither the

@@ -11,12 +11,59 @@ BcastChannel::BcastChannel(const HierComm& hc, std::size_t bytes)
       buf_(hc, 2 * pad64(bytes)),
       sync_(hc),
       bytes_(bytes),
-      bytes_padded_(pad64(bytes)) {}
+      bytes_padded_(pad64(bytes)) {
+    // Resilience one-offs (robust mode only — the fast path pays nothing).
+    minimpi::RankCtx& ctx = hc.world().ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    if (cfg != nullptr && cfg->enabled) {
+        chan_uid_ = robust::alloc_channel_uid(hc.world());
+        fail_shared_ = boot_fail_word(hc);
+        if (ctx.runtime->fault_plan().shm_fail_every > 0) {
+            const bool agreed_fail = robust::agree_failure(
+                hc.world(), buf_.alloc_failed(), gen64(), *cfg, stats_);
+            if (agreed_fail) downgrade_to_flat(0, /*refill=*/false);
+        }
+    }
+}
+
+void BcastChannel::downgrade_to_flat(int root, bool refill) {
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    degraded_flat_ = true;
+    stats_.flat_downgrades += 1;
+    ctx.robust_stats.flat_downgrades += 1;
+    if (ctx.payload_mode == minimpi::PayloadMode::Real) {
+        flat_buf_.assign(2 * bytes_padded_, std::byte{0});
+    }
+    if (refill) {
+        // Mid-run downgrade: the root's payload sits in its node's (still
+        // valid) shared write slot; salvage it into the private slot, then
+        // rebroadcast flat so the round's result matches pure MPI.
+        if (hc_->world().rank() == root) {
+            const std::size_t off = (epoch_ % 2) * bytes_padded_;
+            ctx.copy_bytes(flat_at(off), buf_.at(off), bytes_);
+        }
+        run_flat(root);
+    }
+}
+
+void BcastChannel::run_flat(int root) {
+    minimpi::bcast(hc_->world(), flat_at((epoch_ % 2) * bytes_padded_),
+                   bytes_, minimpi::Datatype::Byte, root);
+}
 
 void BcastChannel::run(int root, SyncPolicy sync) {
     const Comm& world = hc_->world();
     if (root < 0 || root >= world.size()) {
         throw minimpi::ArgumentError("Hy_Bcast root out of range");
+    }
+    minimpi::RankCtx& ctx = world.ctx();
+    const RobustConfig* cfg = ctx.robust_cfg;
+    const bool robust = cfg != nullptr && cfg->enabled;
+    ++generation_;
+    if (degraded_flat_) {
+        run_flat(root);
+        ++epoch_;
+        return;
     }
     std::byte* slot = write_buffer();
 
@@ -48,12 +95,41 @@ void BcastChannel::run(int root, SyncPolicy sync) {
     // Fig. 6 line 6: broadcast across nodes over the bridge (leader 0 only
     // — a broadcast has no slices to hand to extra leaders).
     if (hc_->is_primary_leader()) {
-        minimpi::bcast(hc_->bridge(), slot, bytes_, minimpi::Datatype::Byte,
-                       root_node);
+        if (!robust) {
+            minimpi::bcast(hc_->bridge(), slot, bytes_,
+                           minimpi::Datatype::Byte, root_node);
+        } else {
+            // Reliable linear broadcast: the root node's leader ships the
+            // slot to every other node's leader with bounded retransmit
+            // recovery (bridge rank == node index on the primary bridge).
+            const Comm& bridge = hc_->bridge();
+            bool ok = true;
+            if (bridge.rank() == root_node) {
+                for (int n = 0; n < bridge.size(); ++n) {
+                    if (n == root_node) continue;
+                    if (!robust::reliable_send(bridge, slot, bytes_, n,
+                                               robust::kOpBcast, gen64(),
+                                               *cfg, stats_)) {
+                        ok = false;
+                    }
+                }
+            } else {
+                ok = robust::reliable_recv(bridge, slot, bytes_, root_node,
+                                           robust::kOpBcast, gen64(), *cfg,
+                                           stats_);
+            }
+            if (robust::agree_failure(bridge, !ok, gen64(), *cfg, stats_)) {
+                fail_shared_->fail_gen.store(gen64());
+            }
+        }
     }
 
     // Fig. 6 lines 7/13: everyone waits until the broadcast data is ready.
     sync_.release_phase(sync);
+    if (robust && fail_shared_ != nullptr &&
+        fail_shared_->fail_gen.load() == gen64()) {
+        downgrade_to_flat(root, /*refill=*/true);
+    }
     ++epoch_;
 }
 

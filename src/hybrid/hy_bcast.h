@@ -2,6 +2,7 @@
 
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "robust/robust.h"
 
 namespace hympi {
 
@@ -31,12 +32,16 @@ public:
     BcastChannel(const HierComm& hc, std::size_t bytes);
 
     /// Staging slot for the NEXT run(); only the root's writes matter.
+    /// After a hybrid->flat downgrade this redirects into the rank's
+    /// private double buffer.
     std::byte* write_buffer() const {
-        return buf_.at((epoch_ % 2) * bytes_padded_);
+        return degraded_flat_ ? flat_at((epoch_ % 2) * bytes_padded_)
+                              : buf_.at((epoch_ % 2) * bytes_padded_);
     }
     /// Slot broadcast by the most recent run().
     std::byte* read_buffer() const {
-        return buf_.at(((epoch_ + 1) % 2) * bytes_padded_);
+        return degraded_flat_ ? flat_at(((epoch_ + 1) % 2) * bytes_padded_)
+                              : buf_.at(((epoch_ + 1) % 2) * bytes_padded_);
     }
     std::size_t size() const { return bytes_; }
 
@@ -44,15 +49,44 @@ public:
     /// root's buffer contents are significant on entry.
     void run(int root, SyncPolicy sync = SyncPolicy::Barrier);
 
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return stats_; }
+    /// The channel has fallen back to a flat MPI_Bcast over the full
+    /// communicator. Sticky for the channel lifetime.
+    bool degraded_flat() const { return degraded_flat_; }
+
     const HierComm& hier() const { return *hc_; }
 
 private:
+    /// Rung 2: mark flat, build the private double buffer, optionally redo
+    /// this generation's broadcast flat (salvaging the root's payload from
+    /// the still-valid shared slot).
+    void downgrade_to_flat(int root, bool refill);
+    /// Flat MPI_Bcast over world out of the private write slot.
+    void run_flat(int root);
+    std::uint64_t gen64() const {
+        return (chan_uid_ << 32) | (generation_ & 0xFFFFFFFFULL);
+    }
+    std::byte* flat_at(std::size_t off) const {
+        return flat_buf_.empty()
+                   ? nullptr
+                   : const_cast<std::byte*>(flat_buf_.data()) + off;
+    }
+
     const HierComm* hc_ = nullptr;
     NodeSharedBuffer buf_;
     NodeSync sync_;
     std::size_t bytes_ = 0;
     std::size_t bytes_padded_ = 0;  ///< slot stride (cache-line aligned)
     std::uint64_t epoch_ = 0;       ///< completed run() count (rank-local)
+
+    // --- resilience state (robust mode only; inert on the fast path) ---
+    std::uint64_t chan_uid_ = 0;
+    std::uint64_t generation_ = 0;
+    bool degraded_flat_ = false;
+    std::vector<std::byte> flat_buf_;  ///< private double buffer
+    std::shared_ptr<NodeFailWord> fail_shared_;
+    RobustStats stats_;
 };
 
 }  // namespace hympi

@@ -17,7 +17,29 @@ std::pair<std::size_t, std::size_t> stripe(std::size_t count, int n, int idx) {
                 static_cast<std::size_t>(n)};
 }
 
+/// Active robust config, or null on the legacy fast path.
+const RobustConfig* robust_on(const minimpi::RankCtx& ctx) {
+    const RobustConfig* cfg = ctx.robust_cfg;
+    return (cfg != nullptr && cfg->enabled) ? cfg : nullptr;
+}
+
+/// The extra channels have no flat fallback: a failed node-shared
+/// allocation in robust mode surfaces as a typed error instead of null
+/// partition pointers (legacy mode already threw inside NodeSharedBuffer).
+void require_alloc(const NodeSharedBuffer& buf, const char* what) {
+    if (buf.alloc_failed()) {
+        throw RobustError(StatusCode::AllocFailed,
+                          std::string(what) + ": " + buf.status().detail);
+    }
+}
+
 }  // namespace
+
+void RobustChannelState::init(const minimpi::Comm& world) {
+    if (robust_on(world.ctx()) != nullptr) {
+        uid = robust::alloc_channel_uid(world);
+    }
+}
 
 // ---- AllreduceChannel ----
 
@@ -29,7 +51,10 @@ AllreduceChannel::AllreduceChannel(const HierComm& hc, std::size_t count,
       sync_(hc),
       count_(count),
       dt_(dt),
-      vec_bytes_(count * datatype_size(dt)) {}
+      vec_bytes_(count * datatype_size(dt)) {
+    rs_.init(hc.world());
+    require_alloc(buf_, "Hy_Allreduce");
+}
 
 std::byte* AllreduceChannel::my_input() const {
     return buf_.at(static_cast<std::size_t>(hc_->shm().rank()) * vec_bytes_);
@@ -44,6 +69,7 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     minimpi::RankCtx& ctx = shm.ctx();
     const int ppn = shm.size();
     const std::size_t ds = datatype_size(dt_);
+    ++rs_.generation;
 
     // Inputs written -> visible to all on-node ranks.
     sync_.full_sync(sync);
@@ -69,8 +95,49 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     // Node sum complete -> leader ships it.
     sync_.ready_phase(sync);
     if (hc_->is_primary_leader()) {
-        minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
-                           dt_, op);
+        const RobustConfig* cfg = robust_on(ctx);
+        if (cfg == nullptr) {
+            minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(),
+                               count_, dt_, op);
+        } else {
+            // Reliable ring allgather of the node partials, then a local
+            // reduction in ascending node order — identical on every
+            // leader, so the shared result vectors agree bitwise.
+            const Comm& bridge = hc_->bridge();
+            const int bp = bridge.size();
+            const int br = bridge.rank();
+            Scratch parts_s(ctx, static_cast<std::size_t>(bp) * vec_bytes_);
+            std::byte* parts = parts_s.data();
+            ctx.copy_bytes(
+                minimpi::detail::at(parts,
+                                    static_cast<std::size_t>(br) * vec_bytes_),
+                result(), vec_bytes_);
+            bool ok = true;
+            for (int k = 1; k < bp; ++k) {
+                const int dst = (br + k) % bp;
+                const int src = (br - k + bp) % bp;
+                if (!robust::reliable_xfer(
+                        bridge, result(), vec_bytes_, dst,
+                        minimpi::detail::at(
+                            parts, static_cast<std::size_t>(src) * vec_bytes_),
+                        vec_bytes_, src,
+                        robust::kOpAllreduce + ((k - 1) & 0xFF), rs_.gen(),
+                        *cfg, rs_.stats)) {
+                    ok = false;
+                }
+            }
+            if (!ok) {
+                throw RobustError(StatusCode::RetriesExhausted,
+                                  "Hy_Allreduce bridge exchange");
+            }
+            ctx.copy_bytes(result(), parts, vec_bytes_);
+            for (int n = 1; n < bp; ++n) {
+                apply_op(ctx, op, dt_, result(),
+                         minimpi::detail::at(
+                             parts, static_cast<std::size_t>(n) * vec_bytes_),
+                         count_);
+            }
+        }
     }
     sync_.release_phase(sync);
 }
@@ -87,7 +154,10 @@ GatherChannel::GatherChannel(const HierComm& hc, std::size_t block_bytes,
       sync_(hc),
       bb_(block_bytes),
       root_(root),
-      root_node_(hc.node_of_rank(root)) {}
+      root_node_(hc.node_of_rank(root)) {
+    rs_.init(hc.world());
+    require_alloc(buf_, "Hy_Gather");
+}
 
 std::byte* GatherChannel::my_block() const {
     const int me = hc_->world().rank();
@@ -103,6 +173,7 @@ std::byte* GatherChannel::gathered(int comm_rank) const {
 }
 
 void GatherChannel::run(SyncPolicy sync) {
+    ++rs_.generation;
     if (hc_->num_nodes() == 1) {
         sync_.full_sync(sync);
         return;
@@ -121,7 +192,32 @@ void GatherChannel::run(SyncPolicy sync) {
         }
         const std::size_t my_count =
             counts[static_cast<std::size_t>(hc_->my_node())];
-        if (hc_->my_node() == root_node_) {
+        const RobustConfig* cfg = robust_on(bridge.ctx());
+        if (cfg != nullptr) {
+            // Reliable linear gather: the root's leader drains node blocks
+            // in ascending node order (bridge rank == node index).
+            bool ok = true;
+            if (hc_->my_node() == root_node_) {
+                for (int n = 0; n < nn; ++n) {
+                    if (n == root_node_) continue;
+                    if (!robust::reliable_recv(
+                            bridge,
+                            buf_.at(displs[static_cast<std::size_t>(n)]),
+                            counts[static_cast<std::size_t>(n)], n,
+                            robust::kOpGather, rs_.gen(), *cfg, rs_.stats)) {
+                        ok = false;
+                    }
+                }
+            } else {
+                ok = robust::reliable_send(bridge, buf_.data(), my_count,
+                                           root_node_, robust::kOpGather,
+                                           rs_.gen(), *cfg, rs_.stats);
+            }
+            if (!ok) {
+                throw RobustError(StatusCode::RetriesExhausted,
+                                  "Hy_Gather bridge exchange");
+            }
+        } else if (hc_->my_node() == root_node_) {
             minimpi::gatherv(bridge, minimpi::kInPlace, my_count, buf_.data(),
                              counts, displs, Datatype::Byte, root_node_);
         } else {
@@ -144,7 +240,10 @@ ScatterChannel::ScatterChannel(const HierComm& hc, std::size_t block_bytes,
       sync_(hc),
       bb_(block_bytes),
       root_(root),
-      root_node_(hc.node_of_rank(root)) {}
+      root_node_(hc.node_of_rank(root)) {
+    rs_.init(hc.world());
+    require_alloc(buf_, "Hy_Scatter");
+}
 
 std::byte* ScatterChannel::outgoing(int comm_rank) const {
     return buf_.at(static_cast<std::size_t>(hc_->slot_of(comm_rank)) * bb_);
@@ -160,6 +259,7 @@ std::byte* ScatterChannel::my_block() const {
 }
 
 void ScatterChannel::run(SyncPolicy sync) {
+    ++rs_.generation;
     if (hc_->num_nodes() == 1) {
         sync_.full_sync(sync);
         return;
@@ -179,7 +279,32 @@ void ScatterChannel::run(SyncPolicy sync) {
         }
         const std::size_t my_count =
             counts[static_cast<std::size_t>(hc_->my_node())];
-        if (hc_->my_node() == root_node_) {
+        const RobustConfig* cfg = robust_on(bridge.ctx());
+        if (cfg != nullptr) {
+            // Reliable linear scatter: the root's leader ships node slices
+            // in ascending node order.
+            bool ok = true;
+            if (hc_->my_node() == root_node_) {
+                for (int n = 0; n < nn; ++n) {
+                    if (n == root_node_) continue;
+                    if (!robust::reliable_send(
+                            bridge,
+                            buf_.at(displs[static_cast<std::size_t>(n)]),
+                            counts[static_cast<std::size_t>(n)], n,
+                            robust::kOpScatter, rs_.gen(), *cfg, rs_.stats)) {
+                        ok = false;
+                    }
+                }
+            } else {
+                ok = robust::reliable_recv(bridge, buf_.data(), my_count,
+                                           root_node_, robust::kOpScatter,
+                                           rs_.gen(), *cfg, rs_.stats);
+            }
+            if (!ok) {
+                throw RobustError(StatusCode::RetriesExhausted,
+                                  "Hy_Scatter bridge exchange");
+            }
+        } else if (hc_->my_node() == root_node_) {
             // Own slice is already in place inside the full buffer.
             minimpi::scatterv(
                 bridge, buf_.data(), counts, displs,
@@ -205,7 +330,10 @@ ReduceChannel::ReduceChannel(const HierComm& hc, std::size_t count,
       dt_(dt),
       vec_bytes_(count * datatype_size(dt)),
       root_(root),
-      root_node_(hc.node_of_rank(root)) {}
+      root_node_(hc.node_of_rank(root)) {
+    rs_.init(hc.world());
+    require_alloc(buf_, "Hy_Reduce");
+}
 
 std::byte* ReduceChannel::my_input() const {
     return buf_.at(static_cast<std::size_t>(hc_->shm().rank()) * vec_bytes_);
@@ -220,6 +348,7 @@ void ReduceChannel::run(Op op, SyncPolicy sync) {
     minimpi::RankCtx& ctx = shm.ctx();
     const int ppn = shm.size();
     const std::size_t ds = datatype_size(dt_);
+    ++rs_.generation;
 
     sync_.full_sync(sync);
     const auto [lo, hi] = stripe(count_, ppn, shm.rank());
@@ -239,7 +368,36 @@ void ReduceChannel::run(Op op, SyncPolicy sync) {
 
     sync_.ready_phase(sync);
     if (hc_->is_primary_leader()) {
-        if (hc_->my_node() == root_node_) {
+        const RobustConfig* cfg = robust_on(ctx);
+        if (cfg != nullptr) {
+            // Reliable linear reduce: the root's leader drains node partials
+            // in ascending node order and folds them in that same order —
+            // deterministic regardless of arrival interleaving.
+            const Comm& bridge = hc_->bridge();
+            bool ok = true;
+            if (hc_->my_node() == root_node_) {
+                Scratch part_s(ctx, vec_bytes_);
+                for (int n = 0; n < bridge.size(); ++n) {
+                    if (n == root_node_) continue;
+                    if (!robust::reliable_recv(bridge, part_s.data(),
+                                               vec_bytes_, n,
+                                               robust::kOpReduce, rs_.gen(),
+                                               *cfg, rs_.stats)) {
+                        ok = false;
+                        continue;
+                    }
+                    apply_op(ctx, op, dt_, result(), part_s.data(), count_);
+                }
+            } else {
+                ok = robust::reliable_send(bridge, result(), vec_bytes_,
+                                           root_node_, robust::kOpReduce,
+                                           rs_.gen(), *cfg, rs_.stats);
+            }
+            if (!ok) {
+                throw RobustError(StatusCode::RetriesExhausted,
+                                  "Hy_Reduce bridge exchange");
+            }
+        } else if (hc_->my_node() == root_node_) {
             minimpi::reduce(hc_->bridge(), minimpi::kInPlace, result(), count_,
                             dt_, op, root_node_);
         } else {
@@ -257,7 +415,10 @@ AlltoallChannel::AlltoallChannel(const HierComm& hc, std::size_t block_bytes)
       buf_(hc, 2 * static_cast<std::size_t>(hc.node_size(hc.my_node())) *
                    static_cast<std::size_t>(hc.world().size()) * block_bytes),
       sync_(hc),
-      bb_(block_bytes) {}
+      bb_(block_bytes) {
+    rs_.init(hc.world());
+    require_alloc(buf_, "Hy_Alltoall");
+}
 
 std::size_t AlltoallChannel::row_bytes() const {
     return static_cast<std::size_t>(hc_->world().size()) * bb_;
@@ -286,6 +447,7 @@ void AlltoallChannel::run(SyncPolicy sync) {
     const int my_node = hc_->my_node();
     const std::size_t ppn = static_cast<std::size_t>(hc_->node_size(my_node));
     const std::size_t row = row_bytes();
+    ++rs_.generation;
 
     sync_.ready_phase(sync);
 
@@ -334,13 +496,27 @@ void AlltoallChannel::run(SyncPolicy sync) {
                         send_row(m) ? send_row(m) + to_off : nullptr,
                         to_sz * bb_);
                 }
-                minimpi::Request rr = minimpi::detail::irecv_bytes(
-                    hc_->bridge(), in_s.data(), from_sz * ppn * bb_, from_node,
-                    tag + k, true);
-                minimpi::detail::send_bytes(hc_->bridge(), out_s.data(),
-                                            ppn * to_sz * bb_, to_node,
-                                            tag + k, true);
-                rr.wait();
+                const RobustConfig* cfg = robust_on(ctx);
+                if (cfg != nullptr) {
+                    // Same pairwise schedule, reliable transport.
+                    if (!robust::reliable_xfer(
+                            hc_->bridge(), out_s.data(), ppn * to_sz * bb_,
+                            to_node, in_s.data(), from_sz * ppn * bb_,
+                            from_node,
+                            robust::kOpAlltoall + ((k - 1) & 0xFF), rs_.gen(),
+                            *cfg, rs_.stats)) {
+                        throw RobustError(StatusCode::RetriesExhausted,
+                                          "Hy_Alltoall bridge exchange");
+                    }
+                } else {
+                    minimpi::Request rr = minimpi::detail::irecv_bytes(
+                        hc_->bridge(), in_s.data(), from_sz * ppn * bb_,
+                        from_node, tag + k, true);
+                    minimpi::detail::send_bytes(hc_->bridge(), out_s.data(),
+                                                ppn * to_sz * bb_, to_node,
+                                                tag + k, true);
+                    rr.wait();
+                }
 
                 // Unpack: sender member m2's block for local member c lands
                 // in c's receive row at the sender's slot.

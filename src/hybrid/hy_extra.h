@@ -2,11 +2,30 @@
 
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "robust/robust.h"
 
 namespace hympi {
 
 using minimpi::Datatype;
 using minimpi::Op;
+
+/// Robust identity shared by the extra channels: generation stamps for the
+/// reliable (ARQ) bridge legs plus the channel's resilience counters. The
+/// extra channels have no hybrid->flat rung — their reliable legs retry
+/// within the budget and throw a typed RobustError on exhaustion (never a
+/// silent hang).
+struct RobustChannelState {
+    std::uint64_t uid = 0;
+    std::uint64_t generation = 0;
+    RobustStats stats;
+
+    /// One-off, collective over @p world: claim a program-order uid when
+    /// robustness is enabled (no-op otherwise).
+    void init(const minimpi::Comm& world);
+    std::uint64_t gen() const {
+        return (uid << 32) | (generation & 0xFFFFFFFFULL);
+    }
+};
 
 /// Extensions beyond the paper's two worked examples (its conclusion calls
 /// for "more experiences" in the hybrid MPI+MPI style). Each follows the
@@ -30,6 +49,10 @@ public:
 
     void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
 
+
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return rs_.stats; }
+
 private:
     const HierComm* hc_;
     NodeSharedBuffer buf_;
@@ -37,6 +60,7 @@ private:
     std::size_t count_;
     Datatype dt_;
     std::size_t vec_bytes_;
+    RobustChannelState rs_;
 };
 
 /// Hybrid gather to a fixed root: children write their partitions into the
@@ -53,6 +77,10 @@ public:
 
     void run(SyncPolicy sync = SyncPolicy::Barrier);
 
+
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return rs_.stats; }
+
 private:
     const HierComm* hc_;
     NodeSharedBuffer buf_;
@@ -60,6 +88,7 @@ private:
     std::size_t bb_;
     int root_;
     int root_node_;
+    RobustChannelState rs_;
 };
 
 /// Hybrid scatter from a fixed root: the root writes all blocks into its
@@ -76,6 +105,10 @@ public:
 
     void run(SyncPolicy sync = SyncPolicy::Barrier);
 
+
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return rs_.stats; }
+
 private:
     const HierComm* hc_;
     NodeSharedBuffer buf_;
@@ -83,6 +116,7 @@ private:
     std::size_t bb_;
     int root_;
     int root_node_;
+    RobustChannelState rs_;
 };
 
 /// Hybrid reduce to a fixed root: on-node striped reduction into the node
@@ -98,6 +132,10 @@ public:
 
     void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
 
+
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return rs_.stats; }
+
 private:
     const HierComm* hc_;
     NodeSharedBuffer buf_;
@@ -107,6 +145,7 @@ private:
     std::size_t vec_bytes_;
     int root_;
     int root_node_;
+    RobustChannelState rs_;
 };
 
 /// Hybrid all-to-all: each node keeps ONE send matrix and ONE receive
@@ -124,6 +163,10 @@ public:
 
     void run(SyncPolicy sync = SyncPolicy::Barrier);
 
+
+    /// Resilience counters of this channel (robust mode only).
+    const RobustStats& robust_stats() const { return rs_.stats; }
+
 private:
     std::size_t row_bytes() const;
 
@@ -131,6 +174,7 @@ private:
     NodeSharedBuffer buf_;
     NodeSync sync_;
     std::size_t bb_;
+    RobustChannelState rs_;
 };
 
 }  // namespace hympi

@@ -1,5 +1,7 @@
 #include "hybrid/shared_buffer.h"
 
+#include "minimpi/error.h"
+
 namespace hympi {
 
 NodeSharedBuffer::NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes)
@@ -8,6 +10,27 @@ NodeSharedBuffer::NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes)
     // Fig. 4 line 13: msgSize = (sharedmemRank==leader) ? msg*nprocs : 0.
     const bool allocator = (shm.rank() == 0);
     win_ = minimpi::win_allocate_shared(shm, allocator ? total_bytes : 0);
+    if (win_.alloc_failed()) {
+        status_ = Status::make(
+            StatusCode::AllocFailed,
+            "node-shared window allocation failed on node " +
+                std::to_string(hc.my_node()));
+        minimpi::RankCtx& ctx = shm.ctx();
+        if (allocator) ctx.robust_stats.alloc_failures += 1;
+        if (ctx.robust_cfg == nullptr || !ctx.robust_cfg->enabled) {
+            // Legacy mode: a diagnostic instead of handing out null
+            // partition pointers that crash later and far away.
+            throw minimpi::WinError(status_.detail +
+                                    " (set HYMPI_ROBUST=1 to degrade to "
+                                    "flat MPI instead)");
+        }
+        return;
+    }
+    if (total_bytes == 0) {
+        status_ = Status::make(StatusCode::EmptyBuffer,
+                               "zero-byte node-shared buffer");
+        return;
+    }
     // Fig. 4 lines 17-20: children query the leader's base pointer.
     base_ = win_.shared_query(0).first;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "hybrid/hier_comm.h"
+#include "robust/status.h"
 
 namespace hympi {
 
@@ -16,12 +17,25 @@ class NodeSharedBuffer {
 public:
     NodeSharedBuffer() = default;
 
-    /// Collective over hc.shm().
+    /// Collective over hc.shm(). A zero-byte request or a failed window
+    /// allocation no longer leaves base_ null WITHOUT a signal: consult
+    /// status() before dereferencing partitions. With robustness disabled,
+    /// an allocation failure throws minimpi::WinError (legacy diagnostic);
+    /// with HYMPI_ROBUST=1 it is reported through status() so the channel
+    /// can degrade to flat MPI instead of aborting.
     NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes);
 
-    /// Base of the node's shared segment (null in SizeOnly payload mode).
+    /// Base of the node's shared segment (null in SizeOnly payload mode,
+    /// for zero-byte buffers, and after an allocation failure).
     std::byte* data() const { return base_; }
     std::size_t size() const { return bytes_; }
+
+    /// Construction outcome: Ok, EmptyBuffer (total_bytes == 0), or
+    /// AllocFailed (injected/real window-allocation failure).
+    const Status& status() const { return status_; }
+    bool alloc_failed() const {
+        return status_.code == StatusCode::AllocFailed;
+    }
 
     /// Convenience: pointer at byte offset @p off (null-safe).
     std::byte* at(std::size_t off) const {
@@ -32,6 +46,7 @@ private:
     minimpi::Win win_;
     std::byte* base_ = nullptr;
     std::size_t bytes_ = 0;
+    Status status_;
 };
 
 }  // namespace hympi

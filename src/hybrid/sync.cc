@@ -1,6 +1,24 @@
 #include "hybrid/sync.h"
 
+#include <chrono>
+
+#include "minimpi/runtime.h"
+#include "minimpi/transport.h"
+
 namespace hympi {
+
+std::shared_ptr<NodeFailWord> boot_fail_word(const HierComm& hc) {
+    const Comm& shm = hc.shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    struct Boot {
+        std::shared_ptr<NodeFailWord> word;
+    };
+    auto boot = minimpi::detail::rendezvous<Boot>(
+        shm.state(), ctx, shm.rank(),
+        ctx.runtime->one_off_sync_cost(shm.size()), [](Boot&) {},
+        [&](Boot& b) { b.word = std::make_shared<NodeFailWord>(); });
+    return boot->word;
+}
 
 NodeSync::NodeSync(const HierComm& hc) : hc_(&hc) {
     const Comm& shm = hc.shm();
@@ -31,10 +49,35 @@ void NodeSync::signal(Cell& c, minimpi::RankCtx& ctx) {
 }
 
 void NodeSync::wait_for(const Cell& c, std::uint64_t target,
-                        minimpi::RankCtx& ctx) {
+                        minimpi::RankCtx& ctx, bool count_trips) {
+    const VTime wait_begin = ctx.clock.now();
     std::unique_lock<std::mutex> lock(shared_->mu);
-    shared_->cv.wait(lock, [&] { return c.seq >= target; });
+    // Poison-aware wait: a peer that threw (e.g. an exhausted robust retry
+    // budget on a path with no degradation rung) poisons the transport but
+    // has no way to signal this condition variable — poll so an aborted job
+    // unblocks flag waiters instead of hanging them. The timeout is wall
+    // clock only; virtual time is untouched by spurious wakeups.
+    minimpi::Transport& tp = ctx.runtime->transport();
+    while (!shared_->cv.wait_for(lock, std::chrono::milliseconds(2),
+                                 [&] { return c.seq >= target; })) {
+        if (tp.poisoned()) {
+            lock.unlock();
+            tp.check_poison();
+        }
+    }
     const VTime signal_time = c.vtime;
+    // Progress watchdog: a flag that was published later than the virtual-
+    // time deadline counts as a divergence trip (a straggling rank whose
+    // flag rounds lag the node). Trips feed the Flags -> Barrier ladder.
+    // Only waits whose recording provably happens-before the primary
+    // leader's next downgrade decision may count (count_trips), keeping the
+    // trip total it reads deterministic.
+    const hympi::RobustConfig* cfg = ctx.robust_cfg;
+    if (count_trips && cfg != nullptr && cfg->enabled &&
+        cfg->watchdog_us > 0.0 && signal_time > wait_begin + cfg->watchdog_us) {
+        shared_->trips += 1;
+        ctx.robust_stats.sync_trips += 1;
+    }
     lock.unlock();
     ctx.clock.sync_to(signal_time);
     ctx.clock.advance(ctx.model->flag_poll_us);
@@ -42,7 +85,7 @@ void NodeSync::wait_for(const Cell& c, std::uint64_t target,
 
 void NodeSync::ready_phase(SyncPolicy p) {
     const Comm& shm = hc_->shm();
-    if (p == SyncPolicy::Barrier) {
+    if (effective(p) == SyncPolicy::Barrier) {
         minimpi::barrier(shm);
         return;
     }
@@ -52,21 +95,35 @@ void NodeSync::ready_phase(SyncPolicy p) {
     if (hc_->is_leader()) {
         for (int r = 0; r < shm.size(); ++r) {
             wait_for(shared_->ready[static_cast<std::size_t>(r)],
-                     my_ready_epoch_, ctx);
+                     my_ready_epoch_, ctx, hc_->is_primary_leader());
         }
     }
 }
 
 void NodeSync::release_phase(SyncPolicy p) {
     const Comm& shm = hc_->shm();
-    if (p == SyncPolicy::Barrier) {
+    if (effective(p) == SyncPolicy::Barrier) {
         minimpi::barrier(shm);
         return;
     }
     minimpi::RankCtx& ctx = shm.ctx();
+    const hympi::RobustConfig* cfg = ctx.robust_cfg;
+    const bool robust = cfg != nullptr && cfg->enabled;
     ++release_epoch_;
     const int nleaders = std::min(hc_->leaders_per_node(), shm.size());
     if (hc_->is_leader()) {
+        if (robust && hc_->is_primary_leader()) {
+            // Downgrade decision, published BEFORE the round-R release
+            // signal: any rank that observes seq >= R (same mutex) also
+            // observes degrade_after, so the whole node flips at the same
+            // round boundary.
+            std::lock_guard<std::mutex> lock(shared_->mu);
+            if (shared_->degrade_after == 0 &&
+                shared_->trips >=
+                    static_cast<std::uint64_t>(cfg->sync_trip_limit)) {
+                shared_->degrade_after = release_epoch_;
+            }
+        }
         signal(shared_->release[static_cast<std::size_t>(hc_->leader_index())],
                ctx);
     }
@@ -74,7 +131,15 @@ void NodeSync::release_phase(SyncPolicy p) {
     // published its slice of the exchange.
     for (int l = 0; l < nleaders; ++l) {
         wait_for(shared_->release[static_cast<std::size_t>(l)], release_epoch_,
-                 ctx);
+                 ctx, true);
+    }
+    if (robust && !degraded_) {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        if (shared_->degrade_after != 0 &&
+            release_epoch_ >= shared_->degrade_after) {
+            degraded_ = true;
+            ctx.robust_stats.sync_downgrades += 1;
+        }
     }
 }
 

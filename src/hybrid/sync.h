@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,20 @@
 #include "hybrid/hier_comm.h"
 
 namespace hympi {
+
+/// Node-shared failure word for the hybrid->flat degradation ladder: a
+/// leader whose bridge AGREED that an exchange failed stores the transfer's
+/// generation stamp here BEFORE its release signal; after the release every
+/// on-node rank compares the word against the current generation (stale
+/// stamps from earlier rounds never match), so the whole job downgrades at
+/// the same round boundary or not at all.
+struct NodeFailWord {
+    std::atomic<std::uint64_t> fail_gen{0};
+};
+
+/// Collective over hc.shm(): rendezvous-boot one NodeFailWord per node
+/// (robust mode one-off; stands in for a tiny shared window).
+std::shared_ptr<NodeFailWord> boot_fail_word(const HierComm& hc);
 
 /// The two synchronization flavors of paper Sect. 6 ("Explicit
 /// synchronization"):
@@ -49,6 +64,17 @@ public:
     /// flag round-trip).
     void full_sync(SyncPolicy p);
 
+    /// Degradation ladder, step 1 (robust mode only): once the flag-sync
+    /// watchdog has tripped sync_trip_limit times on this node, Flags
+    /// requests are served with Barrier for the rest of the job. The flip
+    /// happens at an identical round boundary on every on-node rank.
+    bool degraded() const { return degraded_; }
+
+    /// The policy actually used for @p p on this rank right now.
+    SyncPolicy effective(SyncPolicy p) const {
+        return (degraded_ && p == SyncPolicy::Flags) ? SyncPolicy::Barrier : p;
+    }
+
 private:
     struct Cell {
         alignas(64) std::uint64_t seq = 0;
@@ -61,15 +87,27 @@ private:
         std::condition_variable cv;
         std::vector<Cell> ready;    ///< one per shm rank
         std::vector<Cell> release;  ///< one per leader (first L entries used)
+
+        /// Watchdog trips observed on this node (flag signals arriving
+        /// later than watchdog_us of virtual time after the waiter began
+        /// waiting). Guarded by mu; ordering with respect to the primary
+        /// leader's downgrade decision follows from the flag seq protocol.
+        std::uint64_t trips = 0;
+        /// Release round R after which Flags is abandoned (0 = never).
+        /// Written once by the node's primary leader BEFORE its round-R
+        /// release signal, so every rank that completes round R observes it.
+        std::uint64_t degrade_after = 0;
     };
 
     void signal(Cell& c, minimpi::RankCtx& ctx);
-    void wait_for(const Cell& c, std::uint64_t target, minimpi::RankCtx& ctx);
+    void wait_for(const Cell& c, std::uint64_t target, minimpi::RankCtx& ctx,
+                  bool count_trips);
 
     const HierComm* hc_;
     std::shared_ptr<Shared> shared_;
     std::uint64_t my_ready_epoch_ = 0;
     std::uint64_t release_epoch_ = 0;
+    bool degraded_ = false;
 };
 
 }  // namespace hympi

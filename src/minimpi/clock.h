@@ -36,6 +36,13 @@ public:
         now_us_ += flops / m.flops_per_us;
     }
 
+    /// Simulation-internal: overwrite the clock, possibly moving it
+    /// BACKWARDS. Used by the robust full-duplex loop to track its two
+    /// transfer directions on independent sub-clocks (merged with max() at
+    /// the end) so the physical service order cannot leak into virtual
+    /// time. Not for modelling code — use advance()/sync_to() there.
+    void set(VTime t) { now_us_ = t; }
+
     void reset() { now_us_ = 0.0; }
 
 private:

@@ -8,6 +8,8 @@
 #include "minimpi/netmodel.h"
 #include "minimpi/trace.h"
 #include "minimpi/types.h"
+#include "robust/config.h"
+#include "robust/stats.h"
 
 namespace tuning {
 class DecisionTable;
@@ -118,6 +120,21 @@ struct RankCtx {
     /// (InMsg::fault_seq). Program order on the owning thread, so the
     /// FaultPlan's perturbations replay deterministically.
     std::unordered_map<int, std::uint64_t> fault_seq;
+
+    /// Resilience configuration resolved once per Runtime::run (never null
+    /// while a rank main executes). Checked only on recovery paths — when
+    /// !robust_cfg->enabled the fault-free fast path is byte-identical to
+    /// the legacy behaviour.
+    const hympi::RobustConfig* robust_cfg = nullptr;
+
+    /// Rank-wide aggregate of every robust channel's recovery counters,
+    /// collected by Runtime::run into last_robust_stats().
+    hympi::RobustStats robust_stats;
+
+    /// Program-order uid source for robust channels (hympi collectives).
+    /// Collective channel construction assigns matching uids on every
+    /// member rank, making generation stamps run-to-run deterministic.
+    std::uint64_t robust_chan_seq = 0;
 };
 
 }  // namespace minimpi

@@ -31,6 +31,18 @@ public:
                    std::to_string(buf_bytes) + " bytes") {}
 };
 
+/// A receive matched a message that was lost in transit (FaultPlan drop
+/// tombstone): the watchdog semantics of the simulated network — instead of
+/// hanging forever, the receiver observes a typed timeout. Robust receives
+/// (src/robust) catch the loss at the frame level and retry instead.
+class TimeoutError : public MpiError {
+public:
+    TimeoutError(int src, int tag)
+        : MpiError("watchdog timeout: message from world rank " +
+                   std::to_string(src) + " (tag " + std::to_string(tag) +
+                   ") lost in transit (dropped)") {}
+};
+
 /// Misuse of a communicator: wrong group, rank not a member, operation on
 /// MPI_COMM_NULL, ...
 class CommError : public MpiError {

@@ -91,4 +91,21 @@ std::size_t FaultPlan::corrupt_byte(int src, int dst, std::uint64_t seq,
         fault_hash(seed ^ 0xB17EULL, src, dst, seq) % bytes);
 }
 
+bool FaultPlan::should_drop(int src, int dst, std::uint64_t seq) const {
+    if (drop_every == 0) return false;
+    return fault_hash(seed ^ 0xD20BULL, src, dst, seq) % drop_every == 0;
+}
+
+bool FaultPlan::should_dup(int src, int dst, std::uint64_t seq) const {
+    if (dup_every == 0) return false;
+    return fault_hash(seed ^ 0xD0B1EULL, src, dst, seq) % dup_every == 0;
+}
+
+bool FaultPlan::should_fail_shm(int node, std::uint64_t alloc_idx) const {
+    if (shm_fail_every == 0) return false;
+    return fault_hash(seed ^ 0x54F41ULL, node, node, alloc_idx) %
+               shm_fail_every ==
+           0;
+}
+
 }  // namespace minimpi

@@ -87,6 +87,20 @@ inline VTime wire_time(const LinkParams& link, std::size_t bytes) {
     return link.alpha_us + static_cast<VTime>(bytes) * link.beta_us_per_byte;
 }
 
+/// Which messages the payload/delivery faults (corruption, drops,
+/// duplication) may hit. Timing faults (jitter, rank delay) are always
+/// global — they only move modelled arrivals and never change data.
+enum class FaultScope : std::uint8_t {
+    /// Every non-reserved message. Corruption in this scope is a harness
+    /// self-test: it MUST make the differential checker fire.
+    AllTraffic,
+    /// Only messages flagged InMsg::robust_frame — the framed transfers of
+    /// the resilience layer (src/robust). The flat reference path of the
+    /// differential harness stays byte-clean, so a robust case must still
+    /// match it exactly after recovery.
+    RobustFrames,
+};
+
 /// Deterministic fault/jitter injection for the conformance harness.
 ///
 /// Every perturbation is a pure function of (seed, sender, receiver,
@@ -95,8 +109,9 @@ inline VTime wire_time(const LinkParams& link, std::size_t bytes) {
 /// differential harness's clock checks rely on. Timing faults perturb only
 /// the MODELLED arrival times (they can reorder virtual-time interleavings,
 /// e.g. a leader's bridge traffic against on-node flag rounds, but never
-/// change payloads); payload corruption exists solely so the harness can
-/// prove to itself that the differential checker and shrinker fire.
+/// change payloads). Payload faults (corruption, drops, duplication) give
+/// the resilience layer real triggers; under scope == AllTraffic they also
+/// let the harness prove to itself that the checker and shrinker fire.
 struct FaultPlan {
     std::uint64_t seed = 0;
 
@@ -111,15 +126,39 @@ struct FaultPlan {
     std::vector<int> delayed_ranks;  ///< world ranks with delayed progress
 
     /// When > 0, flip one payload bit of (deterministically) every
-    /// corrupt_every-th message. Harness self-tests only: it must make the
-    /// differential checker report a mismatch.
+    /// corrupt_every-th message.
     std::uint64_t corrupt_every = 0;
+
+    /// When > 0, drop (deterministically) every drop_every-th message: the
+    /// envelope is still delivered as a tombstone (payload cleared,
+    /// InMsg::dropped set) so blocked receivers wake — a plain receive then
+    /// raises TimeoutError (watchdog semantics), a tolerant robust receive
+    /// observes the loss and retries.
+    std::uint64_t drop_every = 0;
+
+    /// When > 0, deliver every dup_every-th message twice; the duplicate
+    /// trails the original by dup_delay_us of modelled wire time. Dropped
+    /// messages are never duplicated.
+    std::uint64_t dup_every = 0;
+    VTime dup_delay_us = 0.5;
+
+    /// When > 0, fail (deterministically) every shm_fail_every-th shared
+    /// window allocation of each node — the SHM-allocation-failure trigger
+    /// of the hybrid→flat degradation ladder.
+    std::uint64_t shm_fail_every = 0;
+
+    FaultScope scope = FaultScope::AllTraffic;
 
     bool timing_active() const {
         return max_jitter_us > 0.0 ||
                (rank_delay_us > 0.0 && !delayed_ranks.empty());
     }
-    bool active() const { return timing_active() || corrupt_every > 0; }
+    bool payload_active() const {
+        return corrupt_every > 0 || drop_every > 0 || dup_every > 0;
+    }
+    bool active() const {
+        return timing_active() || payload_active() || shm_fail_every > 0;
+    }
 
     bool delays(int world_rank) const;
 
@@ -131,6 +170,12 @@ struct FaultPlan {
     /// Payload byte index to corrupt (bytes > 0).
     std::size_t corrupt_byte(int src, int dst, std::uint64_t seq,
                              std::size_t bytes) const;
+
+    bool should_drop(int src, int dst, std::uint64_t seq) const;
+    bool should_dup(int src, int dst, std::uint64_t seq) const;
+
+    /// Whether the @p alloc_idx-th shared window allocation on @p node fails.
+    bool should_fail_shm(int node, std::uint64_t alloc_idx) const;
 };
 
 }  // namespace minimpi

@@ -105,6 +105,94 @@ Request isend_bytes(const Comm& comm, const void* buf, std::size_t bytes,
     return Request::make_send(comm);
 }
 
+void send_frame(const Comm& comm, const void* buf, std::size_t bytes, int dest,
+                int tag, std::uint64_t ctx_id, bool robust_frame) {
+    if (dest == kProcNull) return;
+    RankCtx& ctx = comm.ctx();
+    const int dst_world = comm.to_world(dest);
+    const LinkParams& link = ctx.link_to(dst_world);
+
+    const VTime t_send0 = ctx.clock.now();
+    ctx.clock.advance(link.overhead_us);
+    if (ctx.tracer) {
+        ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.clock.now(),
+                           dst_world, bytes);
+    }
+    ctx.stats.msgs_sent += 1;
+    ctx.stats.bytes_sent += bytes;
+    if (ctx.cluster->same_node(ctx.world_rank, dst_world)) {
+        ctx.stats.intra_node_msgs += 1;
+    } else {
+        ctx.stats.inter_node_msgs += 1;
+    }
+
+    const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
+    // Reserved contexts model a dedicated control side band: they neither
+    // queue behind nor occupy the data link. Sharing link_busy_until with
+    // data frames would couple the two directions of the robust serve loop
+    // through a wall-clock-ordered max, breaking clock determinism when a
+    // transfer's ctrl peer and data peer are the same rank.
+    VTime start = ctx.clock.now();
+    if (ctx_id >= kFirstUserCtx) {
+        VTime& busy = ctx.link_busy_until[dst_world];
+        start = std::max(start, busy);
+        busy = start + transfer;
+    }
+
+    InMsg msg;
+    msg.ctx = ctx_id;
+    msg.src_global = ctx.world_rank;
+    msg.tag = tag;
+    msg.bytes = bytes;
+    msg.payload = ctx.runtime->transport().make_payload(buf, bytes);
+    msg.arrival = start + transfer + link.alpha_us;
+    msg.recv_overhead = link.overhead_us;
+    // Reserved contexts (the robust ctrl side band) are fault-exempt and
+    // must not consume from the per-destination faultable stream either:
+    // ctrl frames are emitted from the full-duplex serve loop, whose order
+    // relative to data retransmissions to the SAME peer is a wall-clock
+    // race. Letting them advance the counter would make the data frames'
+    // fault_seq — and so the injected fault pattern — nondeterministic.
+    msg.fault_seq =
+        ctx_id >= kFirstUserCtx ? ctx.fault_seq[dst_world]++ : 0;
+    msg.robust_frame = robust_frame;
+    ctx.runtime->transport().deliver(dst_world, std::move(msg));
+}
+
+void post_frame_recv(const Comm& comm, PostedRecv* pr, void* buf,
+                     std::size_t bytes, int source, int tag,
+                     std::uint64_t ctx_id) {
+    RankCtx& ctx = comm.ctx();
+    *pr = PostedRecv{};
+    pr->ctx = ctx_id;
+    pr->src_global =
+        (source == kAnySource) ? kAnySource : comm.to_world(source);
+    pr->tag = tag;
+    pr->buf = buf;
+    pr->capacity = bytes;
+    pr->post_vtime = ctx.clock.now();
+    ctx.runtime->transport().post_recv(ctx.world_rank, pr);
+}
+
+FrameRecvResult finish_frame_recv(const Comm& comm, PostedRecv& pr) {
+    RankCtx& ctx = comm.ctx();
+    const VTime t_recv0 = ctx.clock.now();
+    ctx.clock.sync_to(pr.arrival);
+    ctx.clock.advance(pr.recv_overhead);
+    if (ctx.tracer) {
+        ctx.tracer->record(TraceEvent::Kind::Recv, t_recv0, ctx.clock.now(),
+                           pr.matched_src, pr.msg_bytes);
+    }
+    ctx.stats.msgs_received += 1;
+    ctx.stats.bytes_received += pr.msg_bytes;
+    FrameRecvResult res;
+    res.bytes = pr.msg_bytes;
+    res.src = comm.from_world(pr.matched_src);
+    res.tag = pr.matched_tag;
+    res.dropped = pr.dropped;
+    return res;
+}
+
 }  // namespace detail
 
 void send(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
@@ -283,6 +371,15 @@ Status Request::finish_recv() {
         const auto cap = pr.capacity;
         release();
         throw TruncationError(msg_bytes, cap);
+    }
+    if (pr.dropped) {
+        // The matched message was lost in transit (FaultPlan tombstone).
+        // Plain receives surface the loss as a typed timeout; the robust
+        // frame path (detail::finish_frame_recv) tolerates it and retries.
+        const int src = state_->from_world(pr.matched_src);
+        const int tag = pr.matched_tag;
+        release();
+        throw TimeoutError(src, tag);
     }
     Status st;
     st.source = state_->from_world(pr.matched_src);

@@ -73,6 +73,37 @@ Request isend_bytes(const Comm& comm, const void* buf, std::size_t bytes,
 Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
                     int tag, bool coll_ctx);
 
+/// Frame primitives for the resilience layer (src/robust). They bypass the
+/// Request machinery so the caller can tolerate tombstoned (dropped)
+/// deliveries instead of receiving a thrown TimeoutError.
+///
+/// send_frame: like send_bytes but on an explicit matching context.
+/// `robust_frame` marks the message as a robust DATA frame — the only
+/// traffic payload faults may hit under FaultScope::RobustFrames; control
+/// frames go on kRobustCtrlCtx with robust_frame == false and are exempt
+/// from fault injection entirely.
+void send_frame(const Comm& comm, const void* buf, std::size_t bytes, int dest,
+                int tag, std::uint64_t ctx_id, bool robust_frame);
+
+/// Post a frame receive on an explicit matching context. @p pr must outlive
+/// the match (stack- or member-owned by the robust protocol state).
+void post_frame_recv(const Comm& comm, PostedRecv* pr, void* buf,
+                     std::size_t bytes, int source, int tag,
+                     std::uint64_t ctx_id);
+
+/// Delivery state of a completed frame receive.
+struct FrameRecvResult {
+    std::size_t bytes = 0;  ///< envelope size of the matched message
+    int src = -1;           ///< comm-local source rank
+    int tag = 0;
+    bool dropped = false;  ///< payload was lost in transit (tombstone)
+};
+
+/// Charge the receiver's clock and stats for a completed frame receive and
+/// report its delivery state. Unlike Request::finish_recv this never throws
+/// on drops — the robust protocol observes the loss and retries.
+FrameRecvResult finish_frame_recv(const Comm& comm, PostedRecv& pr);
+
 }  // namespace detail
 
 }  // namespace minimpi

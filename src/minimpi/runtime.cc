@@ -3,6 +3,7 @@
 #include <pthread.h>
 
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
 #include "minimpi/error.h"
@@ -91,10 +92,12 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         std::lock_guard<std::mutex> lock(registry_mu_);
         comms_.clear();
         resources_.clear();
+        shm_alloc_seq_.assign(static_cast<std::size_t>(cluster_.num_nodes()),
+                              0);
     }
     transport_ = std::make_unique<Transport>(n, payload_);
     transport_->set_fault_plan(fault_plan_.active() ? &fault_plan_ : nullptr);
-    next_ctx_.store(1);
+    next_ctx_.store(kFirstUserCtx);
 
     std::vector<int> world_members(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) world_members[static_cast<std::size_t>(i)] = i;
@@ -119,6 +122,7 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         ctx.model = &model_;
         ctx.payload_mode = payload_;
         ctx.tuned = tuned;
+        ctx.robust_cfg = &robust_cfg_;
         if (opts_.trace) ctx.tracer = &tracers[static_cast<std::size_t>(i)];
         args[static_cast<std::size_t>(i)] =
             RankThreadArgs{this, &ctx, world_state, &rank_main,
@@ -167,16 +171,39 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
 
     std::vector<VTime> clocks(static_cast<std::size_t>(n));
     last_stats_.resize(static_cast<std::size_t>(n));
+    last_robust_stats_.resize(static_cast<std::size_t>(n));
     last_traces_.clear();
     for (int i = 0; i < n; ++i) {
         clocks[static_cast<std::size_t>(i)] =
             ctxs[static_cast<std::size_t>(i)].clock.now();
         last_stats_[static_cast<std::size_t>(i)] =
             ctxs[static_cast<std::size_t>(i)].stats;
+        last_robust_stats_[static_cast<std::size_t>(i)] =
+            ctxs[static_cast<std::size_t>(i)].robust_stats;
     }
     if (opts_.trace) {
         last_traces_.reserve(tracers.size());
         for (auto& t : tracers) last_traces_.push_back(t.events());
+    }
+    if (robust_cfg_.dump_at_finalize) {
+        const hympi::RobustStats total = total_robust_stats();
+        if (total.any()) {
+            std::fprintf(
+                stderr,
+                "[hympi robust] retries=%llu timeouts=%llu checksum_failures="
+                "%llu stale_discards=%llu recoveries=%llu sync_trips=%llu "
+                "sync_downgrades=%llu flat_downgrades=%llu alloc_failures="
+                "%llu\n",
+                static_cast<unsigned long long>(total.retries),
+                static_cast<unsigned long long>(total.timeouts),
+                static_cast<unsigned long long>(total.checksum_failures),
+                static_cast<unsigned long long>(total.stale_discards),
+                static_cast<unsigned long long>(total.recoveries),
+                static_cast<unsigned long long>(total.sync_trips),
+                static_cast<unsigned long long>(total.sync_downgrades),
+                static_cast<unsigned long long>(total.flat_downgrades),
+                static_cast<unsigned long long>(total.alloc_failures));
+        }
     }
     return clocks;
 }
@@ -185,6 +212,18 @@ CommStats Runtime::total_stats() const {
     CommStats total;
     for (const auto& s : last_stats_) total += s;
     return total;
+}
+
+hympi::RobustStats Runtime::total_robust_stats() const {
+    hympi::RobustStats total;
+    for (const auto& s : last_robust_stats_) total += s;
+    return total;
+}
+
+std::uint64_t Runtime::next_shm_alloc_idx(int node) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto& seq = shm_alloc_seq_.at(static_cast<std::size_t>(node));
+    return seq++;
 }
 
 }  // namespace minimpi

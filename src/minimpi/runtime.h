@@ -52,6 +52,15 @@ public:
     /// Sum of last_stats() over ranks.
     CommStats total_stats() const;
 
+    /// Per-rank resilience counters of the most recent run() (all zero
+    /// unless robustness was enabled and faults were recovered).
+    const std::vector<hympi::RobustStats>& last_robust_stats() const {
+        return last_robust_stats_;
+    }
+
+    /// Sum of last_robust_stats() over ranks.
+    hympi::RobustStats total_robust_stats() const;
+
     /// Per-rank event timelines of the most recent run() (empty unless
     /// RunOptions::trace was set).
     const std::vector<std::vector<TraceEvent>>& last_traces() const {
@@ -81,6 +90,18 @@ public:
     void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
     const FaultPlan& fault_plan() const { return fault_plan_; }
 
+    /// Resilience configuration for subsequent run()s. Defaults to
+    /// RobustConfig::from_env() (HYMPI_ROBUST & friends); tests pin an
+    /// explicit config for environment independence. Not thread-safe
+    /// against a run in progress.
+    void set_robust_config(hympi::RobustConfig cfg) { robust_cfg_ = cfg; }
+    const hympi::RobustConfig& robust_config() const { return robust_cfg_; }
+
+    /// Next shared-window allocation index on @p node (keys the fault
+    /// plan's deterministic SHM allocation failures). Called from the
+    /// window-allocation rendezvous finalizer.
+    std::uint64_t next_shm_alloc_idx(int node);
+
     /// Abort the job on behalf of @p world_rank: poisons the transport and
     /// wakes every rank blocked in a collective rendezvous.
     void poison_from(int world_rank);
@@ -97,13 +118,16 @@ private:
 
     std::unique_ptr<Transport> transport_;
     FaultPlan fault_plan_;
-    std::atomic<std::uint64_t> next_ctx_{1};
+    hympi::RobustConfig robust_cfg_ = hympi::RobustConfig::from_env();
+    std::atomic<std::uint64_t> next_ctx_{kFirstUserCtx};
 
     std::mutex registry_mu_;
     std::vector<std::unique_ptr<CommState>> comms_;
     std::vector<std::shared_ptr<void>> resources_;
     std::vector<CommStats> last_stats_;
+    std::vector<hympi::RobustStats> last_robust_stats_;
     std::vector<std::vector<TraceEvent>> last_traces_;
+    std::vector<std::uint64_t> shm_alloc_seq_;  ///< per-node, guarded by registry_mu_
 };
 
 }  // namespace minimpi

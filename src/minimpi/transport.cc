@@ -29,6 +29,7 @@ Transport::AckOut Transport::complete(PostedRecv* r, InMsg& m, int receiver) {
     r->matched_tag = m.tag;
     r->arrival = m.arrival;
     r->recv_overhead = m.recv_overhead;
+    r->dropped = m.dropped;
     if (m.bytes > r->capacity) {
         r->truncated = true;
     } else if (m.payload && r->buf) {
@@ -59,23 +60,63 @@ void Transport::send_ack(const AckOut& ack) {
 }
 
 void Transport::deliver(int dst_global, InMsg msg) {
-    // Fault injection happens at the delivery boundary, before matching:
-    // acks are exempt (their arrival was derived from an already-perturbed
-    // message, and kAckCtx traffic has no fault_seq stream of its own).
-    if (faults_ != nullptr && msg.ctx != kAckCtx) {
+    // Fault injection happens at the delivery boundary, before matching.
+    // Reserved contexts are exempt: acks derive their arrival from an
+    // already-perturbed message, and the robust control channel models a
+    // reliable side band (see kRobustCtrlCtx).
+    InMsg dup;
+    bool have_dup = false;
+    if (faults_ != nullptr && msg.ctx >= kFirstUserCtx) {
         msg.arrival +=
             faults_->jitter_us(msg.src_global, dst_global, msg.fault_seq);
         if (faults_->rank_delay_us > 0.0 && faults_->delays(msg.src_global)) {
             msg.arrival += faults_->rank_delay_us;
         }
-        if (msg.payload && msg.bytes > 0 &&
-            faults_->should_corrupt(msg.src_global, dst_global,
-                                    msg.fault_seq)) {
-            msg.payload[faults_->corrupt_byte(msg.src_global, dst_global,
-                                              msg.fault_seq, msg.bytes)] ^=
-                std::byte{0x40};
+        const bool payload_target =
+            faults_->scope == FaultScope::AllTraffic || msg.robust_frame;
+        if (payload_target) {
+            if (faults_->should_drop(msg.src_global, dst_global,
+                                     msg.fault_seq)) {
+                // Tombstone: the envelope still arrives so a blocked
+                // receiver wakes and observes the loss instead of hanging.
+                msg.dropped = true;
+                msg.payload.reset();
+            } else {
+                if (msg.payload && msg.bytes > 0 &&
+                    faults_->should_corrupt(msg.src_global, dst_global,
+                                            msg.fault_seq)) {
+                    msg.payload[faults_->corrupt_byte(
+                        msg.src_global, dst_global, msg.fault_seq,
+                        msg.bytes)] ^= std::byte{0x40};
+                }
+                if (faults_->should_dup(msg.src_global, dst_global,
+                                        msg.fault_seq)) {
+                    dup.ctx = msg.ctx;
+                    dup.src_global = msg.src_global;
+                    dup.tag = msg.tag;
+                    dup.bytes = msg.bytes;
+                    if (msg.payload) {
+                        dup.payload =
+                            std::make_unique<std::byte[]>(msg.bytes);
+                        std::memcpy(dup.payload.get(), msg.payload.get(),
+                                    msg.bytes);
+                    }
+                    dup.arrival = msg.arrival + faults_->dup_delay_us;
+                    dup.recv_overhead = msg.recv_overhead;
+                    // Never re-ack: an ssend must see exactly one ack.
+                    dup.ack_to = -1;
+                    dup.fault_seq = msg.fault_seq;
+                    dup.robust_frame = msg.robust_frame;
+                    have_dup = true;
+                }
+            }
         }
     }
+    deliver_matched(dst_global, std::move(msg));
+    if (have_dup) deliver_matched(dst_global, std::move(dup));
+}
+
+void Transport::deliver_matched(int dst_global, InMsg msg) {
     Mailbox& mb = box(dst_global);
     AckOut ack;
     {

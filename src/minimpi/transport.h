@@ -40,11 +40,30 @@ struct InMsg {
     /// stamped by the sending rank (program order, hence deterministic).
     /// Keys the FaultPlan's per-message perturbations.
     std::uint64_t fault_seq = 0;
+
+    /// The message was dropped in transit (FaultPlan::drop_every): only the
+    /// envelope arrives — payload cleared — so receivers wake and detect
+    /// the loss instead of hanging.
+    bool dropped = false;
+
+    /// Framed transfer of the resilience layer (src/robust): the only
+    /// traffic payload faults may hit under FaultScope::RobustFrames.
+    bool robust_frame = false;
 };
 
 /// Context id reserved for synchronous-send acknowledgements (never handed
-/// to a communicator; Runtime::alloc_ctx starts at 1).
+/// to a communicator).
 inline constexpr std::uint64_t kAckCtx = 0;
+
+/// Context id reserved for the resilience layer's ACK/NACK control frames
+/// (src/robust). Like kAckCtx it is exempt from fault injection: a lost
+/// acknowledgement would reintroduce the two-generals problem the bounded
+/// retry protocol is built to avoid, so control frames model a reliable
+/// side channel while DATA frames ride the faulty transport.
+inline constexpr std::uint64_t kRobustCtrlCtx = 1;
+
+/// First context id Runtime::alloc_ctx hands to communicators.
+inline constexpr std::uint64_t kFirstUserCtx = 2;
 
 /// A receive posted by the destination rank, owned by a Request (or stack
 /// frame for blocking receives). The mailbox keeps only a raw pointer while
@@ -58,6 +77,7 @@ struct PostedRecv {
 
     bool completed = false;
     bool truncated = false;   ///< matched message exceeded `capacity`
+    bool dropped = false;     ///< matched a tombstone (message lost in transit)
     std::size_t msg_bytes = 0;  ///< actual size of the matched message
     int matched_src = -1;       ///< WORLD rank of the matched sender
     int matched_tag = 0;
@@ -172,6 +192,11 @@ private:
     /// Emit a synchronous-send acknowledgement (no-op when ack.to < 0).
     /// Must be called WITHOUT holding any mailbox lock.
     void send_ack(const AckOut& ack);
+
+    /// Post-fault delivery: match against posted receives or enqueue as
+    /// unexpected. Split from deliver() so an injected duplicate is not
+    /// re-perturbed by the fault plan.
+    void deliver_matched(int dst_global, InMsg msg);
 
     Mailbox& box(int rank) { return *boxes_.at(static_cast<std::size_t>(rank)); }
 

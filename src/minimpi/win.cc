@@ -23,6 +23,8 @@ std::size_t Win::my_size() const {
 
 std::size_t Win::total_size() const { return state_->total; }
 
+bool Win::alloc_failed() const { return valid() && state_->alloc_failed; }
+
 std::pair<std::byte*, std::size_t> Win::shared_query(int rank) const {
     if (!valid()) throw WinError("query on an invalid window");
     if (rank < 0 || rank >= comm_.size()) {
@@ -71,7 +73,14 @@ Win win_allocate_shared(const Comm& comm, std::size_t my_bytes) {
                 off += align_up(ws->sizes[i]);
             }
             ws->total = off;
-            if (rt->payload_mode() == PayloadMode::Real && off > 0) {
+            // Deterministic allocation-failure injection: the finalizer runs
+            // once per window, so the per-node allocation index is collective
+            // program order and every member observes the same verdict.
+            const std::uint64_t alloc_idx = rt->next_shm_alloc_idx(node0);
+            ws->alloc_failed =
+                rt->fault_plan().should_fail_shm(node0, alloc_idx);
+            if (!ws->alloc_failed &&
+                rt->payload_mode() == PayloadMode::Real && off > 0) {
                 // Over-allocate so every rank segment is cache-line aligned.
                 ws->block = std::make_unique<std::byte[]>(off + kCacheLine);
                 void* p = ws->block.get();

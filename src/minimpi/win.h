@@ -34,6 +34,12 @@ public:
     /// Total bytes in the window (sum over ranks).
     std::size_t total_size() const;
 
+    /// Whether the backing allocation failed (deterministically injected
+    /// via FaultPlan::shm_fail_every). A failed window is still valid() —
+    /// the collective completed and every rank agrees on the failure — but
+    /// all segment base pointers are null.
+    bool alloc_failed() const;
+
     /// The communicator the window was allocated on.
     const Comm& comm() const { return comm_; }
 
@@ -46,6 +52,7 @@ private:
         std::size_t total = 0;
         std::unique_ptr<std::byte[]> block;  ///< null in SizeOnly mode
         std::byte* aligned = nullptr;  ///< cache-line-aligned base in block
+        bool alloc_failed = false;     ///< injected allocation failure
     };
 
     std::shared_ptr<WinState> state_;

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hympi::robust {
+
+/// FNV-1a 64-bit over a byte range. Self-contained and platform-stable so
+/// frame checksums replay identically everywhere (same property the fault
+/// plan's splitmix64 stream relies on).
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// Frame checksum: the payload sum bound to the header's gen and length
+/// fields. Binding the header means a corrupted gen/bytes byte fails
+/// verification (and is NACKed) instead of masquerading as a stale frame —
+/// a stale classification is only trusted when the whole frame proves
+/// self-consistent. The attempt counter is deliberately excluded so
+/// retransmissions need not re-checksum.
+inline std::uint64_t frame_checksum(const void* payload, std::size_t n,
+                                    std::uint64_t gen, std::uint64_t bytes) {
+    std::uint64_t h = fnv1a64(payload, n);
+    h = (h ^ gen) * 0x100000001b3ULL;
+    h = (h ^ bytes) * 0x100000001b3ULL;
+    return h;
+}
+
+/// splitmix64 — deterministic jitter stream for retry backoff.
+inline std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace hympi::robust

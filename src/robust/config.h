@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdlib>
+
+namespace hympi {
+
+/// Configuration of the resilience layer. Resolved once per Runtime::run
+/// and wired read-only into every rank context; never consulted when
+/// `enabled` is false, so the fault-free fast path is untouched.
+struct RobustConfig {
+    /// Master switch (HYMPI_ROBUST=1). Off: the legacy behaviour — faults
+    /// abort or corrupt, exactly as before this layer existed.
+    bool enabled = false;
+
+    /// Bounded retry budget per frame transfer (HYMPI_RETRY_MAX). A
+    /// receiver NACKs a bad/dropped frame at most this many times before
+    /// declaring the transfer failed and triggering the degradation ladder.
+    int retry_max = 8;
+
+    /// Virtual-time cost charged when the watchdog detects a lost frame or
+    /// a divergent flag round (HYMPI_WATCHDOG_US). Also the deadline used
+    /// by NodeSync to classify a flag signal as "late".
+    double watchdog_us = 50.0;
+
+    /// Base of the exponential backoff charged (in virtual time) before a
+    /// retransmission: backoff = base * 2^(attempt-1) * jitter, with
+    /// deterministic jitter in [0.5, 1.5).
+    double backoff_base_us = 2.0;
+
+    /// Verify a per-partition FNV-1a checksum on every DATA frame. The
+    /// checksum scan cost is charged in both payload modes so Real and
+    /// SizeOnly timings agree under drop/dup plans.
+    bool checksums = true;
+
+    /// Consecutive late flag rounds tolerated before NodeSync downgrades
+    /// Flags -> Barrier for the rest of the job.
+    int sync_trip_limit = 3;
+
+    /// Print the per-rank RobustStats aggregate to stderr when a run
+    /// finishes with any counter nonzero.
+    bool dump_at_finalize = false;
+
+    /// Resolve from the environment: HYMPI_ROBUST, HYMPI_RETRY_MAX,
+    /// HYMPI_WATCHDOG_US (dump_at_finalize defaults to `enabled`, so an
+    /// operator who switched robustness on also gets the finalize report).
+    static RobustConfig from_env() {
+        RobustConfig c;
+        if (const char* v = std::getenv("HYMPI_ROBUST")) {
+            c.enabled = v[0] != '\0' && v[0] != '0';
+        }
+        if (const char* v = std::getenv("HYMPI_RETRY_MAX")) {
+            const int n = std::atoi(v);
+            if (n >= 0) c.retry_max = n;
+        }
+        if (const char* v = std::getenv("HYMPI_WATCHDOG_US")) {
+            const double d = std::atof(v);
+            if (d >= 0.0) c.watchdog_us = d;
+        }
+        c.dump_at_finalize = c.enabled;
+        return c;
+    }
+};
+
+}  // namespace hympi

@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header of the resilience layer: integrity-guarded, watchdogged,
+/// bounded-retry frame transfers plus the error/statistics surface used by
+/// the hybrid collectives' graceful-degradation ladder. See README
+/// "Resilience model".
+
+#include "robust/checksum.h"   // IWYU pragma: export
+#include "robust/config.h"     // IWYU pragma: export
+#include "robust/reliable.h"   // IWYU pragma: export
+#include "robust/stats.h"      // IWYU pragma: export
+#include "robust/status.h"     // IWYU pragma: export

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hympi {
+
+/// Per-communicator (and per-rank aggregate) resilience counters. Every
+/// recovery action the robust layer takes is counted here, so tests can
+/// assert that injected faults were actually detected and survived — not
+/// silently absorbed — and operators can see what a job had to work around.
+///
+/// All perturbations behind these counters are deterministic functions of
+/// the fault plan, so identical (seed, plan, config) runs produce identical
+/// counter values; test_determinism relies on this.
+struct RobustStats {
+    std::uint64_t retries = 0;             ///< DATA frames retransmitted
+    std::uint64_t timeouts = 0;            ///< watchdog-detected drops/stalls
+    std::uint64_t checksum_failures = 0;   ///< frames failing verification
+    std::uint64_t stale_discards = 0;      ///< duplicate/stale frames ignored
+    std::uint64_t recoveries = 0;          ///< transfers that succeeded after retry
+    std::uint64_t sync_trips = 0;          ///< flag-sync watchdog trips
+    std::uint64_t sync_downgrades = 0;     ///< Flags -> Barrier downgrades
+    std::uint64_t flat_downgrades = 0;     ///< hybrid -> flat MPI downgrades
+    std::uint64_t alloc_failures = 0;      ///< shared-window allocation failures
+
+    RobustStats& operator+=(const RobustStats& o) {
+        retries += o.retries;
+        timeouts += o.timeouts;
+        checksum_failures += o.checksum_failures;
+        stale_discards += o.stale_discards;
+        recoveries += o.recoveries;
+        sync_trips += o.sync_trips;
+        sync_downgrades += o.sync_downgrades;
+        flat_downgrades += o.flat_downgrades;
+        alloc_failures += o.alloc_failures;
+        return *this;
+    }
+
+    bool any() const {
+        return retries || timeouts || checksum_failures || stale_discards ||
+               recoveries || sync_trips || sync_downgrades ||
+               flat_downgrades || alloc_failures;
+    }
+
+    bool operator==(const RobustStats&) const = default;
+};
+
+}  // namespace hympi

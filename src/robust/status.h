@@ -1,0 +1,75 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hympi {
+
+/// Error taxonomy of the resilience layer. Recoverable conditions flow
+/// through Status values instead of exceptions/abort when robustness is
+/// enabled (HYMPI_ROBUST=1): the caller can retry, degrade, or surface the
+/// condition; only genuinely unrecoverable misuse still throws.
+enum class StatusCode {
+    Ok = 0,
+    /// A frame (or its acknowledgement window) timed out: the watchdog
+    /// observed a dropped message or a peer that stopped progressing.
+    Timeout,
+    /// A received frame failed integrity verification (bad magic, wrong
+    /// generation stamp, size mismatch, or per-partition checksum mismatch).
+    ChecksumMismatch,
+    /// The bounded-retry budget (HYMPI_RETRY_MAX) was exhausted without a
+    /// clean transfer.
+    RetriesExhausted,
+    /// Shared-memory window allocation failed; the communicator cannot host
+    /// a node-shared segment.
+    AllocFailed,
+    /// A node-shared buffer was constructed with zero bytes: no segment
+    /// exists and every partition pointer is null. Not an error, but it is
+    /// now signalled instead of silently handing out null pointers.
+    EmptyBuffer,
+    /// The operation completed, but only after degrading to a slower mode
+    /// (Flags -> Barrier, or hybrid -> flat MPI).
+    Degraded,
+};
+
+/// Lightweight status object returned by robust entry points.
+struct Status {
+    StatusCode code = StatusCode::Ok;
+    std::string detail;
+
+    bool ok() const { return code == StatusCode::Ok; }
+    explicit operator bool() const { return ok(); }
+
+    static Status okay() { return {}; }
+    static Status make(StatusCode c, std::string d) {
+        return Status{c, std::move(d)};
+    }
+};
+
+inline const char* to_string(StatusCode c) {
+    switch (c) {
+        case StatusCode::Ok: return "ok";
+        case StatusCode::Timeout: return "timeout";
+        case StatusCode::ChecksumMismatch: return "checksum-mismatch";
+        case StatusCode::RetriesExhausted: return "retries-exhausted";
+        case StatusCode::AllocFailed: return "alloc-failed";
+        case StatusCode::EmptyBuffer: return "empty-buffer";
+        case StatusCode::Degraded: return "degraded";
+    }
+    return "unknown";
+}
+
+/// Thrown on UNRECOVERABLE robust-mode conditions — an exhausted retry
+/// budget on a path with no degradation rung left (the extra channels have
+/// no flat fallback). Recoverable conditions never throw; they flow through
+/// Status and the counters instead.
+class RobustError : public std::runtime_error {
+public:
+    RobustError(StatusCode c, const std::string& detail)
+        : std::runtime_error(std::string("robust: ") + to_string(c) + ": " +
+                             detail),
+          code(c) {}
+    StatusCode code;
+};
+
+}  // namespace hympi

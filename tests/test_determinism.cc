@@ -97,6 +97,41 @@ TEST(Determinism, BpmfFullPipeline) {
                            });
 }
 
+TEST(Determinism, RobustRecoveryRepeatsExactly) {
+    // Recovery actions (retransmissions, backoff charges, watchdog trips)
+    // are deterministic functions of (seed, plan, config): repeated runs
+    // must produce bit-identical clocks AND identical resilience counters.
+    FaultPlan fp;
+    fp.seed = 404;
+    fp.drop_every = 3;
+    fp.dup_every = 5;
+    fp.scope = FaultScope::RobustFrames;
+    RobustConfig cfg;
+    cfg.enabled = true;
+    auto body = [](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ag(hc, 384);
+        for (int i = 0; i < 3; ++i) {
+            ag.run();
+            ag.quiesce();
+        }
+    };
+    Runtime rt1(ClusterSpec::irregular({3, 5, 2}), ModelParams::cray());
+    Runtime rt2(ClusterSpec::irregular({3, 5, 2}), ModelParams::cray());
+    rt1.set_fault_plan(fp);
+    rt2.set_fault_plan(fp);
+    rt1.set_robust_config(cfg);
+    rt2.set_robust_config(cfg);
+    const auto a = rt1.run(body);
+    const auto b = rt2.run(body);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "rank " << i;
+    }
+    EXPECT_TRUE(rt1.last_robust_stats() == rt2.last_robust_stats());
+    EXPECT_GT(rt1.total_robust_stats().retries, 0u);
+}
+
 TEST(Determinism, SizeOnlyBenchesMatchRealExecution) {
     // The exact scenario of the figure benches: SizeOnly virtual times must
     // equal the Real ones for the hybrid allgather channel.

@@ -1,0 +1,461 @@
+// The resilience subsystem end to end: fault injection primitives (drop,
+// duplication, SHM allocation failure), the reliable (ARQ) bridge exchange,
+// the graceful-degradation ladder (Flags -> Barrier, hybrid -> flat MPI),
+// determinism under recovery, and the zero fast-path guarantee when
+// robustness is disabled. Registered under `ctest -L robust`.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "conformance/conformance.h"
+#include "hybrid/hympi.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+/// Pinned robust configuration, independent of HYMPI_* in the environment.
+RobustConfig robust_on() {
+    RobustConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+RobustConfig robust_off() {
+    RobustConfig cfg;
+    cfg.enabled = false;
+    return cfg;
+}
+
+std::byte pattern(int rank, std::size_t i) {
+    return static_cast<std::byte>((rank * 37 + static_cast<int>(i) * 11) & 0xFF);
+}
+
+void fill_pattern(std::byte* p, int rank, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) p[i] = pattern(rank, i);
+}
+
+void expect_pattern(const std::byte* p, int rank, std::size_t n,
+                    const char* what) {
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(p[i], pattern(rank, i))
+            << what << ": rank " << rank << " byte " << i;
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fault-injection primitives (satellite: drop / duplication in Transport)
+// ---------------------------------------------------------------------------
+
+TEST(Robust, DroppedMessageRaisesTimeoutOnPlainRecv) {
+    // A dropped message is delivered as a tombstone so the receiver wakes;
+    // a plain (non-robust) receive then surfaces the loss as TimeoutError
+    // instead of hanging forever — watchdog semantics.
+    Runtime rt(ClusterSpec::regular(2, 1), ModelParams::cray());
+    FaultPlan fp;
+    fp.seed = 11;
+    fp.drop_every = 1;  // drop everything
+    rt.set_fault_plan(fp);
+    int timeouts = 0;
+    rt.run([&](Comm& world) {
+        std::byte buf[16] = {};
+        if (world.rank() == 0) {
+            send(world, buf, sizeof(buf), Datatype::Byte, 1, 7);
+        } else {
+            try {
+                recv(world, buf, sizeof(buf), Datatype::Byte, 0, 7);
+            } catch (const TimeoutError&) {
+                ++timeouts;
+            }
+        }
+    });
+    EXPECT_EQ(timeouts, 1);
+}
+
+TEST(Robust, DuplicatedMessageIsDeliveredTwice) {
+    Runtime rt(ClusterSpec::regular(2, 1), ModelParams::cray());
+    FaultPlan fp;
+    fp.seed = 12;
+    fp.dup_every = 1;  // duplicate everything
+    rt.set_fault_plan(fp);
+    rt.run([](Comm& world) {
+        std::byte buf[32];
+        if (world.rank() == 0) {
+            fill_pattern(buf, 0, sizeof(buf));
+            send(world, buf, sizeof(buf), Datatype::Byte, 1, 3);
+        } else {
+            // The original and its trailing duplicate both match: two
+            // receives of one logical send, byte-identical payloads.
+            std::memset(buf, 0, sizeof(buf));
+            recv(world, buf, sizeof(buf), Datatype::Byte, 0, 3);
+            expect_pattern(buf, 0, sizeof(buf), "original");
+            std::memset(buf, 0, sizeof(buf));
+            recv(world, buf, sizeof(buf), Datatype::Byte, 0, 3);
+            expect_pattern(buf, 0, sizeof(buf), "duplicate");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// NodeSharedBuffer status reporting (satellite: the silent-null bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(Robust, ZeroByteBufferReportsEmptyStatus) {
+    // A zero-byte node-shared buffer used to hand out null pointers with no
+    // signal at all; now the condition is explicit in status().
+    Runtime rt(ClusterSpec::regular(1, 3), ModelParams::cray());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        NodeSharedBuffer buf(hc, 0);
+        EXPECT_EQ(buf.status().code, StatusCode::EmptyBuffer);
+        EXPECT_EQ(buf.data(), nullptr);
+        EXPECT_EQ(buf.at(0), nullptr);
+        EXPECT_FALSE(buf.alloc_failed());
+    });
+}
+
+TEST(Robust, LegacyAllocFailureThrowsDiagnosedWinError) {
+    // With robustness disabled an injected window-allocation failure keeps
+    // the legacy throwing behaviour, but the diagnostic now points at the
+    // degradation path.
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.set_robust_config(robust_off());
+    FaultPlan fp;
+    fp.seed = 13;
+    fp.shm_fail_every = 1;  // every window allocation fails
+    rt.set_fault_plan(fp);
+    std::vector<int> threw(4, 0);
+    rt.run([&](Comm& world) {
+        try {
+            HierComm hc(world);
+            AllgatherChannel ch(hc, 64);
+        } catch (const WinError& e) {
+            EXPECT_NE(std::string(e.what()).find("HYMPI_ROBUST=1"),
+                      std::string::npos);
+            threw[static_cast<std::size_t>(world.rank())] = 1;
+        }
+    });
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(threw[r], 1) << "rank " << r;
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder, rung 2: hybrid -> flat MPI
+// ---------------------------------------------------------------------------
+
+TEST(Robust, AllocFailureDegradesAllgatherToFlat) {
+    constexpr std::size_t kBlock = 96;
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.set_robust_config(robust_on());
+    FaultPlan fp;
+    fp.seed = 14;
+    fp.shm_fail_every = 1;
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, kBlock);
+        EXPECT_TRUE(ch.degraded_flat());
+        fill_pattern(ch.my_block(), world.rank(), kBlock);
+        ch.run();
+        for (int r = 0; r < world.size(); ++r) {
+            expect_pattern(ch.block_of(r), r, kBlock, "flat allgather");
+        }
+    });
+    const RobustStats total = rt.total_robust_stats();
+    EXPECT_GE(total.flat_downgrades, 4u);  // every rank flips its channel
+    EXPECT_GE(total.alloc_failures, 1u);
+}
+
+TEST(Robust, AllocFailureDegradesBcastToFlat) {
+    constexpr std::size_t kBytes = 128;
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::openmpi());
+    rt.set_robust_config(robust_on());
+    FaultPlan fp;
+    fp.seed = 15;
+    fp.shm_fail_every = 1;
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        BcastChannel ch(hc, kBytes);
+        EXPECT_TRUE(ch.degraded_flat());
+        const int root = 1;
+        if (world.rank() == root) {
+            fill_pattern(ch.write_buffer(), root, kBytes);
+        }
+        ch.run(root);
+        expect_pattern(ch.read_buffer(), root, kBytes, "flat bcast");
+    });
+    EXPECT_GE(rt.total_robust_stats().flat_downgrades, 4u);
+}
+
+TEST(Robust, ExhaustedRetriesDowngradeToFlatWithCorrectData) {
+    // retry_max = 0 and a drop-everything plan scoped to robust frames: the
+    // very first bridge transfer fails, the bridge agrees, and the round is
+    // transparently replayed flat — the failing round is still byte-
+    // identical to pure MPI because the flat path's traffic is not a robust
+    // frame and passes untouched.
+    constexpr std::size_t kBlock = 64;
+    Runtime rt(ClusterSpec::irregular({2, 3}), ModelParams::cray());
+    RobustConfig cfg = robust_on();
+    cfg.retry_max = 0;
+    rt.set_robust_config(cfg);
+    FaultPlan fp;
+    fp.seed = 16;
+    fp.drop_every = 1;
+    fp.scope = FaultScope::RobustFrames;
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, kBlock);
+        EXPECT_FALSE(ch.degraded_flat());
+        fill_pattern(ch.my_block(), world.rank(), kBlock);
+        ch.run();
+        EXPECT_TRUE(ch.degraded_flat());
+        for (int r = 0; r < world.size(); ++r) {
+            expect_pattern(ch.block_of(r), r, kBlock, "downgraded round");
+        }
+        // The downgrade is sticky: later rounds run flat and stay correct.
+        ch.quiesce();
+        fill_pattern(ch.my_block(), world.rank() + 1, kBlock);
+        ch.run();
+        for (int r = 0; r < world.size(); ++r) {
+            expect_pattern(ch.block_of(r), r + 1, kBlock, "post-downgrade");
+        }
+    });
+    const RobustStats total = rt.total_robust_stats();
+    EXPECT_GE(total.flat_downgrades, 5u);
+    EXPECT_GT(total.timeouts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable bridge exchange: recovery under drop/corrupt/dup
+// ---------------------------------------------------------------------------
+
+TEST(Robust, AllgatherRecoversFromDropCorruptDup) {
+    constexpr std::size_t kBlock = 256;
+    Runtime rt(ClusterSpec::irregular({3, 2}), ModelParams::cray());
+    rt.set_robust_config(robust_on());
+    FaultPlan fp;
+    fp.seed = 17;
+    fp.drop_every = 3;
+    fp.corrupt_every = 5;
+    fp.dup_every = 4;
+    fp.scope = FaultScope::RobustFrames;
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, kBlock);
+        for (int iter = 0; iter < 3; ++iter) {
+            fill_pattern(ch.my_block(), world.rank() + iter, kBlock);
+            ch.run();
+            for (int r = 0; r < world.size(); ++r) {
+                expect_pattern(ch.block_of(r), r + iter, kBlock, "recovered");
+            }
+            ch.quiesce();
+        }
+        EXPECT_FALSE(ch.degraded_flat());
+    });
+    const RobustStats total = rt.total_robust_stats();
+    EXPECT_GT(total.retries, 0u);
+    EXPECT_GT(total.recoveries, 0u);
+    EXPECT_EQ(total.flat_downgrades, 0u);
+}
+
+TEST(Robust, ZeroByteContributionsSurviveTheReliablePath) {
+    // Regression: a zero-byte contribution has a null base pointer; the
+    // frame checksum must be computed over the (empty) frame payload so
+    // sender and receiver agree — this used to NACK forever.
+    Runtime rt(ClusterSpec::regular(2, 1), ModelParams::cray());
+    rt.set_robust_config(robust_on());
+    rt.run([](Comm& world) {
+        HierComm hc(world);
+        GatherChannel g(hc, 0, /*root=*/0);
+        g.run();
+        AllgatherChannel ag(hc, 0);
+        ag.run();
+        EXPECT_FALSE(ag.degraded_flat());
+    });
+    EXPECT_EQ(rt.total_robust_stats().flat_downgrades, 0u);
+}
+
+TEST(Robust, ExtraChannelsRecoverOverTheBridge) {
+    constexpr std::size_t kCount = 32;
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.set_robust_config(robust_on());
+    FaultPlan fp;
+    fp.seed = 18;
+    fp.drop_every = 3;
+    fp.scope = FaultScope::RobustFrames;
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllreduceChannel ar(hc, kCount, Datatype::Int32);
+        std::vector<std::int32_t> in(kCount);
+        for (std::size_t i = 0; i < kCount; ++i) {
+            in[i] = world.rank() * 100 + static_cast<int>(i);
+        }
+        // Several rounds: the drop decision is a hash of (seed, src, dst,
+        // message sequence), so enough bridge frames must flow for the plan
+        // to hit one.
+        for (int iter = 0; iter < 4; ++iter) {
+            std::memcpy(ar.my_input(), in.data(),
+                        kCount * sizeof(std::int32_t));
+            ar.run(Op::Sum);
+            const auto* out =
+                reinterpret_cast<const std::int32_t*>(ar.result());
+            for (std::size_t i = 0; i < kCount; ++i) {
+                std::int32_t want = 0;
+                for (int r = 0; r < world.size(); ++r) {
+                    want += r * 100 + static_cast<int>(i);
+                }
+                ASSERT_EQ(out[i], want) << "iter " << iter << " elem " << i;
+            }
+        }
+    });
+    EXPECT_GT(rt.total_robust_stats().recoveries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder, rung 1: Flags -> Barrier
+// ---------------------------------------------------------------------------
+
+TEST(Robust, RepeatedFlagDivergenceDowngradesToBarrier) {
+    // Rank 0 (a node leader) gets 80us of injected send delay while the
+    // watchdog deadline is 0.5us: every flag release round on the remote
+    // node arrives late, trips the watchdog, and after sync_trip_limit
+    // consecutive trips the node flips Flags -> Barrier for good.
+    constexpr std::size_t kBlock = 32;
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    RobustConfig cfg = robust_on();
+    cfg.watchdog_us = 0.5;
+    rt.set_robust_config(cfg);
+    FaultPlan fp;
+    fp.seed = 19;
+    fp.rank_delay_us = 80.0;
+    fp.delayed_ranks = {0};
+    rt.set_fault_plan(fp);
+    rt.run([&](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, kBlock);
+        for (int iter = 0; iter < 6; ++iter) {
+            fill_pattern(ch.my_block(), world.rank() + iter, kBlock);
+            ch.run(SyncPolicy::Flags);
+            for (int r = 0; r < world.size(); ++r) {
+                expect_pattern(ch.block_of(r), r + iter, kBlock, "flag sync");
+            }
+            ch.quiesce(SyncPolicy::Flags);
+        }
+    });
+    const RobustStats total = rt.total_robust_stats();
+    EXPECT_GE(total.sync_trips, 3u);
+    EXPECT_GE(total.sync_downgrades, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under recovery + the zero fast-path guarantee
+// ---------------------------------------------------------------------------
+
+TEST(Robust, RecoveryIsDeterministic) {
+    // Same seed, same plan, same config: retry counts, downgrade decisions
+    // and virtual clocks must repeat bit for bit.
+    auto run_once = [](std::vector<VTime>* clocks,
+                       std::vector<RobustStats>* stats) {
+        Runtime rt(ClusterSpec::irregular({3, 2, 2}), ModelParams::cray());
+        rt.set_robust_config(robust_on());
+        FaultPlan fp;
+        fp.seed = 20;
+        fp.drop_every = 3;
+        fp.corrupt_every = 7;
+        fp.dup_every = 5;
+        fp.max_jitter_us = 1.7;
+        fp.scope = FaultScope::RobustFrames;
+        rt.set_fault_plan(fp);
+        *clocks = rt.run([](Comm& world) {
+            HierComm hc(world);
+            AllgatherChannel ag(hc, 512);
+            BcastChannel bc(hc, 256);
+            for (int i = 0; i < 3; ++i) {
+                ag.run();
+                ag.quiesce();
+                bc.run(i % world.size());
+            }
+        });
+        *stats = rt.last_robust_stats();
+    };
+    std::vector<VTime> c1, c2;
+    std::vector<RobustStats> s1, s2;
+    run_once(&c1, &s1);
+    run_once(&c2, &s2);
+    ASSERT_EQ(c1.size(), c2.size());
+    for (std::size_t r = 0; r < c1.size(); ++r) {
+        EXPECT_EQ(c1[r], c2[r]) << "clock, rank " << r;
+        EXPECT_EQ(s1[r], s2[r]) << "robust stats, rank " << r;
+    }
+    // And the faults were actually exercised, not absent.
+    RobustStats agg;
+    for (const RobustStats& s : s1) agg += s;
+    EXPECT_GT(agg.retries, 0u);
+}
+
+TEST(Robust, DisabledRobustnessLeavesFastPathUntouched) {
+    // With robustness off, a fault plan scoped to robust frames has nothing
+    // to hit: virtual clocks are bit-identical to a fault-free run and no
+    // counter moves — the zero fast-path regression guarantee.
+    auto body = [](Comm& world) {
+        HierComm hc(world);
+        AllgatherChannel ch(hc, 2048);
+        for (int i = 0; i < 3; ++i) {
+            ch.run();
+            ch.quiesce();
+        }
+    };
+    Runtime plain(ClusterSpec::regular(3, 3), ModelParams::cray());
+    plain.set_robust_config(robust_off());
+    const auto base = plain.run(body);
+
+    Runtime faulted(ClusterSpec::regular(3, 3), ModelParams::cray());
+    faulted.set_robust_config(robust_off());
+    FaultPlan fp;
+    fp.seed = 21;
+    fp.drop_every = 1;
+    fp.corrupt_every = 1;
+    fp.dup_every = 1;
+    fp.scope = FaultScope::RobustFrames;
+    faulted.set_fault_plan(fp);
+    const auto clocks = faulted.run(body);
+
+    ASSERT_EQ(base.size(), clocks.size());
+    for (std::size_t r = 0; r < base.size(); ++r) {
+        EXPECT_DOUBLE_EQ(base[r], clocks[r]) << "rank " << r;
+    }
+    EXPECT_FALSE(faulted.total_robust_stats().any());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected conformance sweep (satellite: byte-identity under faults)
+// ---------------------------------------------------------------------------
+
+TEST(Robust, ConformanceSweepRecoversAndStaysByteIdentical) {
+    // Every generated robust case runs hybrid vs flat under injected
+    // drop/corrupt/dup (and occasional SHM allocation failure), twice, and
+    // must match the flat reference byte for byte with repeatable stats.
+    const std::uint64_t seed = 0x0B05717ULL;
+    hympi::RobustStats agg;
+    int robust_cases = 0;
+    for (int i = 0; i < 200 && robust_cases < 24; ++i) {
+        const conformance::CaseSpec spec = conformance::generate_case(seed, i);
+        if (!spec.robust) continue;
+        ++robust_cases;
+        const conformance::CaseResult res = conformance::run_case_checked(spec);
+        ASSERT_TRUE(res.ok) << spec.describe() << "\n  " << res.detail;
+        for (const hympi::RobustStats& s : res.robust_stats) agg += s;
+    }
+    EXPECT_GE(robust_cases, 10);
+    // The sweep must have actually recovered injected faults somewhere.
+    EXPECT_GT(agg.recoveries, 0u);
+    EXPECT_GT(agg.retries + agg.timeouts + agg.checksum_failures, 0u);
+}

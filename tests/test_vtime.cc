@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "hybrid/hympi.h"
 #include "minimpi/minimpi.h"
 
 using namespace minimpi;
@@ -139,6 +140,42 @@ TEST(VTime, SizeOnlyMatchesRealTiming) {
                                 PayloadMode::Real);
     const auto sized = clocks_of(ClusterSpec::regular(2, 4), m, body,
                                  PayloadMode::SizeOnly);
+    ASSERT_EQ(real.size(), sized.size());
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        EXPECT_DOUBLE_EQ(real[i], sized[i]) << "rank " << i;
+    }
+}
+
+TEST(VTime, SizeOnlyMatchesRealTimingUnderRobustRecovery) {
+    // Frame drops are detected from the envelope (tombstones) and checksum
+    // scan costs are charged in both payload modes, so a drop/dup plan on
+    // the robust path yields identical clocks in Real and SizeOnly runs.
+    // (Corruption plans legitimately differ: payload verification needs
+    // payload bytes.)
+    ModelParams m = ModelParams::cray();
+    FaultPlan fp;
+    fp.seed = 73;
+    fp.drop_every = 3;
+    fp.dup_every = 4;
+    fp.scope = FaultScope::RobustFrames;
+    hympi::RobustConfig cfg;
+    cfg.enabled = true;
+    auto body = [](Comm& world) {
+        hympi::HierComm hc(world);
+        hympi::AllgatherChannel ch(hc, 1024);
+        for (int i = 0; i < 3; ++i) {
+            ch.run();
+            ch.quiesce();
+        }
+    };
+    auto run_mode = [&](PayloadMode mode) {
+        Runtime rt(ClusterSpec::regular(3, 2), m, mode);
+        rt.set_fault_plan(fp);
+        rt.set_robust_config(cfg);
+        return rt.run(body);
+    };
+    const auto real = run_mode(PayloadMode::Real);
+    const auto sized = run_mode(PayloadMode::SizeOnly);
     ASSERT_EQ(real.size(), sized.size());
     for (std::size_t i = 0; i < real.size(); ++i) {
         EXPECT_DOUBLE_EQ(real[i], sized[i]) << "rank " << i;
