@@ -47,9 +47,13 @@ inline const char* kElementsLabel = "#elements";
 
 /// Print the table AND drop a machine-readable copy for CI artifacts:
 /// BENCH_<fig>_<tag>.json in $BENCH_JSON_DIR (default: current directory).
-inline void emit(const benchu::Table& table, const std::string& fig,
-                 const std::string& tag, const std::string& title) {
+/// @p profile names the vendor profile(s) measured; it lands in the JSON
+/// "meta" header next to the build's git description.
+inline void emit(benchu::Table& table, const std::string& fig,
+                 const std::string& tag, const std::string& title,
+                 const std::string& profile = "") {
     table.print(title);
+    if (!profile.empty()) table.set_meta("profile", profile);
     const char* dir = std::getenv("BENCH_JSON_DIR");
     const std::string path = std::string(dir != nullptr ? dir : ".") +
                              "/BENCH_" + fig + "_" + tag + ".json";

@@ -40,6 +40,7 @@ int main() {
                       {row[0], row[1], row[2], row[3]});
     }
     benchcm::emit(table, "fig07", "all",
-                  "Fig. 7 — latency (us, virtual time), 1 node x 24 ppn");
+                  "Fig. 7 — latency (us, virtual time), 1 node x 24 ppn",
+                  "openmpi+cray");
     return 0;
 }

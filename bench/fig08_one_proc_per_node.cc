@@ -39,7 +39,8 @@ int main() {
         }
         benchcm::emit(table, "fig08", profile.name,
                       "Fig. 8 (" + profile.name +
-                          ") — latency (us, virtual time), 1 process per node");
+                          ") — latency (us, virtual time), 1 process per node",
+                      profile.name);
     }
     return 0;
 }

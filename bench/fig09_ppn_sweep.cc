@@ -41,7 +41,8 @@ int main() {
         }
         benchcm::emit(table, "fig09", std::to_string(elements),
                       "Fig. 9 — latency (us, virtual time), 64 nodes, " +
-                          std::to_string(elements) + " elements");
+                          std::to_string(elements) + " elements",
+                      "openmpi+cray");
     }
     return 0;
 }

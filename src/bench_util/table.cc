@@ -76,13 +76,35 @@ void write_number(std::ostream& os, double v) {
 
 }  // namespace
 
+void Table::set_meta(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : meta_) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    meta_.emplace_back(key, value);
+}
+
 bool Table::write_json(const std::string& path,
                        const std::string& title) const {
     std::ofstream os(path, std::ios::trunc);
     if (!os) return false;
     os << "{\n  \"title\": ";
     write_escaped(os, title);
-    os << ",\n  \"x_label\": ";
+    os << ",\n  \"meta\": {\"git\": ";
+#ifdef HYMPI_GIT_DESCRIBE
+    write_escaped(os, HYMPI_GIT_DESCRIBE);
+#else
+    write_escaped(os, "unknown");
+#endif
+    for (const auto& [k, v] : meta_) {
+        os << ", ";
+        write_escaped(os, k);
+        os << ": ";
+        write_escaped(os, v);
+    }
+    os << "},\n  \"x_label\": ";
     write_escaped(os, x_label_);
     os << ",\n  \"series\": [";
     for (std::size_t i = 0; i < series_.size(); ++i) {

@@ -19,17 +19,24 @@ public:
     /// Convenience for ratio columns computed from two existing series.
     void print(const std::string& title) const;
 
+    /// Attach a provenance key to the JSON header (profile name, cluster
+    /// shape, ...). Last write per key wins.
+    void set_meta(const std::string& key, const std::string& value);
+
     /// Machine-readable form for CI artifacts:
-    ///   {"title": ..., "x_label": ..., "series": [...],
-    ///    "rows": [{"x": v, "values": [...]}, ...]}
-    /// NaN ("not measured") serializes as null. Returns false when the
-    /// file cannot be written.
+    ///   {"title": ..., "meta": {"git": ..., ...}, "x_label": ...,
+    ///    "series": [...], "rows": [{"x": v, "values": [...]}, ...]}
+    /// "meta" always carries the build's git describe string plus any
+    /// set_meta entries; regression diffs compare rows only, so adding
+    /// meta keys never invalidates old baselines. NaN ("not measured")
+    /// serializes as null. Returns false when the file cannot be written.
     bool write_json(const std::string& path, const std::string& title) const;
 
 private:
     std::string x_label_;
     std::vector<std::string> series_;
     std::vector<std::pair<double, std::vector<double>>> rows_;
+    std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 }  // namespace benchu

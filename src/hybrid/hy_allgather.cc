@@ -2,10 +2,27 @@
 
 #include <numeric>
 
+#include "hybrid/hy_trace.h"
 #include "minimpi/coll_internal.h"
 #include "tuning/decision.h"
 
 namespace hympi {
+
+namespace {
+
+const char* bridge_algo_name(BridgeAlgo a) {
+    switch (a) {
+        case BridgeAlgo::Auto: return "auto";
+        case BridgeAlgo::Allgatherv: return "vendor_allgatherv";
+        case BridgeAlgo::Bcast: return "bcast";
+        case BridgeAlgo::Pipelined: return "pipelined_ring";
+        case BridgeAlgo::BruckV: return "bruck_v";
+        case BridgeAlgo::NeighborExchange: return "neighbor_exchange";
+    }
+    return "?";
+}
+
+}  // namespace
 
 AllgatherChannel::AllgatherChannel(const HierComm& hc, std::size_t block_bytes)
     : hc_(&hc), sync_(hc) {
@@ -100,7 +117,10 @@ void AllgatherChannel::init_layout(
 }
 
 void AllgatherChannel::repack_rank_order(void* dst) const {
-    rank_order_layout_.pack(hc_->world().ctx(), data(), dst);
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    TraceSpan span(ctx, hytrace::Phase::Copy, "repack_rank_order");
+    ShmBytesScope bytes_scope(ctx, span);
+    rank_order_layout_.pack(ctx, data(), dst);
 }
 
 BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
@@ -147,6 +167,11 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
         (bp % 2 != 0 || !bridge_contiguous_)) {
         algo = BridgeAlgo::Allgatherv;
     }
+
+    TraceSpan span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+    span.set_algo(bridge_algo_name(algo));
+    span.set_comm(bp, br);
+    BridgeBytesScope bytes_scope(ctx, span);
 
     switch (algo) {
         case BridgeAlgo::Auto:  // resolved above; unreachable
@@ -340,7 +365,12 @@ bool AllgatherChannel::robust_bridge_exchange() {
     const int bp = bridge.size();
     const int br = bridge.rank();
     if (bp <= 1) return true;
-    const RobustConfig& cfg = *bridge.ctx().robust_cfg;
+    minimpi::RankCtx& ctx = bridge.ctx();
+    TraceSpan span(ctx, hytrace::Phase::Bridge, "robust_bridge_exchange");
+    span.set_algo("pairwise_reliable");
+    span.set_comm(bp, br);
+    BridgeBytesScope bytes_scope(ctx, span);
+    const RobustConfig& cfg = *ctx.robust_cfg;
     const std::uint64_t gen = gen64();
     bool ok = true;
     // Pairwise ring: round k sends my slice to (br+k) while receiving
@@ -369,6 +399,8 @@ void AllgatherChannel::downgrade_to_flat(bool refill) {
     degraded_flat_ = true;
     stats_.flat_downgrades += 1;
     ctx.robust_stats.flat_downgrades += 1;
+    minimpi::trace_instant(ctx, hytrace::Phase::Robust, "flat_downgrade");
+    HYTRACE_COUNTER(ctx, degradations, 1);
     // Counts by world rank, displacements preserving the slot-major layout
     // so block_of()/data() keep the exact same offsets.
     flat_counts_ = block_bytes_;
@@ -402,6 +434,10 @@ void AllgatherChannel::run_flat() {
 
 void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
     minimpi::RankCtx& ctx = hc_->world().ctx();
+    TraceSpan root(ctx, hytrace::Phase::Coll, "hy_allgather");
+    root.set_coll("Hy_Allgather");
+    root.set_bytes(total_bytes_);
+    root.set_comm(hc_->world().size(), hc_->world().rank());
     const RobustConfig* cfg = ctx.robust_cfg;
     const bool robust = cfg != nullptr && cfg->enabled;
     ++generation_;
@@ -445,6 +481,10 @@ void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
 
 void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
     minimpi::RankCtx& ctx = hc_->world().ctx();
+    TraceSpan root(ctx, hytrace::Phase::Coll, "hy_allgather_begin");
+    root.set_coll("Hy_Allgather_begin");
+    root.set_bytes(total_bytes_);
+    root.set_comm(hc_->world().size(), hc_->world().rank());
     const RobustConfig* cfg = ctx.robust_cfg;
     const bool robust = cfg != nullptr && cfg->enabled;
     ++generation_;
@@ -476,6 +516,10 @@ void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
 }
 
 void AllgatherChannel::finish(SyncPolicy sync) {
+    minimpi::RankCtx& fctx = hc_->world().ctx();
+    TraceSpan root(fctx, hytrace::Phase::Coll, "hy_allgather_finish");
+    root.set_coll("Hy_Allgather_finish");
+    root.set_comm(hc_->world().size(), hc_->world().rank());
     if (began_flat_) {
         began_flat_ = false;
         run_flat();

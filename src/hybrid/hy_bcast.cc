@@ -1,5 +1,7 @@
 #include "hybrid/hy_bcast.h"
 
+#include "hybrid/hy_trace.h"
+
 namespace hympi {
 
 namespace {
@@ -31,6 +33,8 @@ void BcastChannel::downgrade_to_flat(int root, bool refill) {
     degraded_flat_ = true;
     stats_.flat_downgrades += 1;
     ctx.robust_stats.flat_downgrades += 1;
+    minimpi::trace_instant(ctx, hytrace::Phase::Robust, "flat_downgrade");
+    HYTRACE_COUNTER(ctx, degradations, 1);
     if (ctx.payload_mode == minimpi::PayloadMode::Real) {
         flat_buf_.assign(2 * bytes_padded_, std::byte{0});
     }
@@ -57,6 +61,10 @@ void BcastChannel::run(int root, SyncPolicy sync) {
         throw minimpi::ArgumentError("Hy_Bcast root out of range");
     }
     minimpi::RankCtx& ctx = world.ctx();
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_bcast");
+    root_span.set_coll("Hy_Bcast");
+    root_span.set_bytes(bytes_);
+    root_span.set_comm(world.size(), world.rank());
     const RobustConfig* cfg = ctx.robust_cfg;
     const bool robust = cfg != nullptr && cfg->enabled;
     ++generation_;
@@ -95,6 +103,10 @@ void BcastChannel::run(int root, SyncPolicy sync) {
     // Fig. 6 line 6: broadcast across nodes over the bridge (leader 0 only
     // — a broadcast has no slices to hand to extra leaders).
     if (hc_->is_primary_leader()) {
+        TraceSpan span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+        span.set_algo(robust ? "reliable_linear" : "bcast");
+        span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+        BridgeBytesScope bytes_scope(ctx, span);
         if (!robust) {
             minimpi::bcast(hc_->bridge(), slot, bytes_,
                            minimpi::Datatype::Byte, root_node);

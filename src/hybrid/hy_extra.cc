@@ -1,5 +1,6 @@
 #include "hybrid/hy_extra.h"
 
+#include "hybrid/hy_trace.h"
 #include "minimpi/coll_internal.h"
 
 namespace hympi {
@@ -69,6 +70,10 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     minimpi::RankCtx& ctx = shm.ctx();
     const int ppn = shm.size();
     const std::size_t ds = datatype_size(dt_);
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_allreduce");
+    root_span.set_coll("Hy_Allreduce");
+    root_span.set_bytes(vec_bytes_);
+    root_span.set_comm(hc_->world().size(), hc_->world().rank());
     ++rs_.generation;
 
     // Inputs written -> visible to all on-node ranks.
@@ -80,11 +85,15 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     const auto [lo, hi] = stripe(count_, ppn, shm.rank());
     const std::size_t sb = (hi - lo) * ds;
     std::byte* res = buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
-    ctx.copy_bytes(res, buf_.at(lo * ds), sb);
-    for (int k = 1; k < ppn; ++k) {
-        apply_op(ctx, op, dt_, res,
-                 buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
-                 hi - lo);
+    {
+        TraceSpan reduce_span(ctx, hytrace::Phase::Compute, "node_reduce");
+        reduce_span.set_bytes(sb);
+        ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+        for (int k = 1; k < ppn; ++k) {
+            apply_op(ctx, op, dt_, res,
+                     buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
+                     hi - lo);
+        }
     }
 
     if (hc_->num_nodes() == 1) {
@@ -96,6 +105,10 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     sync_.ready_phase(sync);
     if (hc_->is_primary_leader()) {
         const RobustConfig* cfg = robust_on(ctx);
+        TraceSpan bridge_span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+        bridge_span.set_algo(cfg == nullptr ? "allreduce" : "reliable_ring");
+        bridge_span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+        BridgeBytesScope bytes_scope(ctx, bridge_span);
         if (cfg == nullptr) {
             minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(),
                                count_, dt_, op);
@@ -173,6 +186,11 @@ std::byte* GatherChannel::gathered(int comm_rank) const {
 }
 
 void GatherChannel::run(SyncPolicy sync) {
+    minimpi::RankCtx& gctx = hc_->world().ctx();
+    TraceSpan root_span(gctx, hytrace::Phase::Coll, "hy_gather");
+    root_span.set_coll("Hy_Gather");
+    root_span.set_bytes(static_cast<std::size_t>(hc_->world().size()) * bb_);
+    root_span.set_comm(hc_->world().size(), hc_->world().rank());
     ++rs_.generation;
     if (hc_->num_nodes() == 1) {
         sync_.full_sync(sync);
@@ -193,6 +211,11 @@ void GatherChannel::run(SyncPolicy sync) {
         const std::size_t my_count =
             counts[static_cast<std::size_t>(hc_->my_node())];
         const RobustConfig* cfg = robust_on(bridge.ctx());
+        TraceSpan bridge_span(bridge.ctx(), hytrace::Phase::Bridge,
+                              "bridge_exchange");
+        bridge_span.set_algo(cfg == nullptr ? "gatherv" : "reliable_linear");
+        bridge_span.set_comm(bridge.size(), bridge.rank());
+        BridgeBytesScope bytes_scope(bridge.ctx(), bridge_span);
         if (cfg != nullptr) {
             // Reliable linear gather: the root's leader drains node blocks
             // in ascending node order (bridge rank == node index).
@@ -259,6 +282,11 @@ std::byte* ScatterChannel::my_block() const {
 }
 
 void ScatterChannel::run(SyncPolicy sync) {
+    minimpi::RankCtx& sctx = hc_->world().ctx();
+    TraceSpan root_span(sctx, hytrace::Phase::Coll, "hy_scatter");
+    root_span.set_coll("Hy_Scatter");
+    root_span.set_bytes(static_cast<std::size_t>(hc_->world().size()) * bb_);
+    root_span.set_comm(hc_->world().size(), hc_->world().rank());
     ++rs_.generation;
     if (hc_->num_nodes() == 1) {
         sync_.full_sync(sync);
@@ -280,6 +308,11 @@ void ScatterChannel::run(SyncPolicy sync) {
         const std::size_t my_count =
             counts[static_cast<std::size_t>(hc_->my_node())];
         const RobustConfig* cfg = robust_on(bridge.ctx());
+        TraceSpan bridge_span(bridge.ctx(), hytrace::Phase::Bridge,
+                              "bridge_exchange");
+        bridge_span.set_algo(cfg == nullptr ? "scatterv" : "reliable_linear");
+        bridge_span.set_comm(bridge.size(), bridge.rank());
+        BridgeBytesScope bytes_scope(bridge.ctx(), bridge_span);
         if (cfg != nullptr) {
             // Reliable linear scatter: the root's leader ships node slices
             // in ascending node order.
@@ -348,17 +381,25 @@ void ReduceChannel::run(Op op, SyncPolicy sync) {
     minimpi::RankCtx& ctx = shm.ctx();
     const int ppn = shm.size();
     const std::size_t ds = datatype_size(dt_);
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_reduce");
+    root_span.set_coll("Hy_Reduce");
+    root_span.set_bytes(vec_bytes_);
+    root_span.set_comm(hc_->world().size(), hc_->world().rank());
     ++rs_.generation;
 
     sync_.full_sync(sync);
     const auto [lo, hi] = stripe(count_, ppn, shm.rank());
     const std::size_t sb = (hi - lo) * ds;
     std::byte* res = buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
-    ctx.copy_bytes(res, buf_.at(lo * ds), sb);
-    for (int k = 1; k < ppn; ++k) {
-        apply_op(ctx, op, dt_, res,
-                 buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
-                 hi - lo);
+    {
+        TraceSpan reduce_span(ctx, hytrace::Phase::Compute, "node_reduce");
+        reduce_span.set_bytes(sb);
+        ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+        for (int k = 1; k < ppn; ++k) {
+            apply_op(ctx, op, dt_, res,
+                     buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
+                     hi - lo);
+        }
     }
 
     if (hc_->num_nodes() == 1) {
@@ -369,6 +410,10 @@ void ReduceChannel::run(Op op, SyncPolicy sync) {
     sync_.ready_phase(sync);
     if (hc_->is_primary_leader()) {
         const RobustConfig* cfg = robust_on(ctx);
+        TraceSpan bridge_span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+        bridge_span.set_algo(cfg == nullptr ? "reduce" : "reliable_linear");
+        bridge_span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+        BridgeBytesScope bytes_scope(ctx, bridge_span);
         if (cfg != nullptr) {
             // Reliable linear reduce: the root's leader drains node partials
             // in ascending node order and folds them in that same order —
@@ -447,6 +492,10 @@ void AlltoallChannel::run(SyncPolicy sync) {
     const int my_node = hc_->my_node();
     const std::size_t ppn = static_cast<std::size_t>(hc_->node_size(my_node));
     const std::size_t row = row_bytes();
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_alltoall");
+    root_span.set_coll("Hy_Alltoall");
+    root_span.set_bytes(row);
+    root_span.set_comm(hc_->world().size(), hc_->world().rank());
     ++rs_.generation;
 
     sync_.ready_phase(sync);
@@ -459,17 +508,29 @@ void AlltoallChannel::run(SyncPolicy sync) {
 
         // Intra-node transpose: member m's block for member c moves from
         // m's send row to c's receive row — pure load/store.
-        for (std::size_t m = 0; m < ppn; ++m) {
-            for (std::size_t c = 0; c < ppn; ++c) {
-                ctx.copy_bytes(recv_row(c) ? recv_row(c) + my_off + m * bb_
-                                           : nullptr,
-                               send_row(m) ? send_row(m) + my_off + c * bb_
-                                           : nullptr,
-                               bb_);
+        {
+            TraceSpan copy_span(ctx, hytrace::Phase::Copy,
+                                "intra_node_transpose");
+            ShmBytesScope shm_scope(ctx, copy_span);
+            for (std::size_t m = 0; m < ppn; ++m) {
+                for (std::size_t c = 0; c < ppn; ++c) {
+                    ctx.copy_bytes(recv_row(c) ? recv_row(c) + my_off + m * bb_
+                                               : nullptr,
+                                   send_row(m) ? send_row(m) + my_off + c * bb_
+                                               : nullptr,
+                                   bb_);
+                }
             }
         }
 
         if (nn > 1) {
+            TraceSpan bridge_span(ctx, hytrace::Phase::Bridge,
+                                  "bridge_exchange");
+            bridge_span.set_algo(robust_on(ctx) == nullptr
+                                     ? "pairwise"
+                                     : "reliable_pairwise");
+            bridge_span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+            BridgeBytesScope bytes_scope(ctx, bridge_span);
             std::size_t max_sz = 0;
             for (int n = 0; n < nn; ++n) {
                 max_sz = std::max(max_sz,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "hybrid/hy_trace.h"
 #include "minimpi/runtime.h"
 #include "minimpi/transport.h"
 
@@ -81,14 +82,23 @@ void NodeSync::wait_for(const Cell& c, std::uint64_t target,
     lock.unlock();
     ctx.clock.sync_to(signal_time);
     ctx.clock.advance(ctx.model->flag_poll_us);
+    // The wait portion is the virtual time this rank idled until the flag
+    // was published (0 when the signal predates the wait); the flag_poll
+    // advance is active cost, not waiting.
+    if (signal_time > wait_begin) {
+        HYTRACE_COUNTER(ctx, sync_wait_us, signal_time - wait_begin);
+    }
 }
 
 void NodeSync::ready_phase(SyncPolicy p) {
     const Comm& shm = hc_->shm();
+    TraceSpan span(shm.ctx(), hytrace::Phase::Sync, "ready_sync");
     if (effective(p) == SyncPolicy::Barrier) {
+        span.set_algo("barrier");
         minimpi::barrier(shm);
         return;
     }
+    span.set_algo("flags");
     minimpi::RankCtx& ctx = shm.ctx();
     ++my_ready_epoch_;
     signal(shared_->ready[static_cast<std::size_t>(shm.rank())], ctx);
@@ -102,10 +112,13 @@ void NodeSync::ready_phase(SyncPolicy p) {
 
 void NodeSync::release_phase(SyncPolicy p) {
     const Comm& shm = hc_->shm();
+    TraceSpan span(shm.ctx(), hytrace::Phase::Sync, "release_sync");
     if (effective(p) == SyncPolicy::Barrier) {
+        span.set_algo("barrier");
         minimpi::barrier(shm);
         return;
     }
+    span.set_algo("flags");
     minimpi::RankCtx& ctx = shm.ctx();
     const hympi::RobustConfig* cfg = ctx.robust_cfg;
     const bool robust = cfg != nullptr && cfg->enabled;
@@ -139,12 +152,17 @@ void NodeSync::release_phase(SyncPolicy p) {
             release_epoch_ >= shared_->degrade_after) {
             degraded_ = true;
             ctx.robust_stats.sync_downgrades += 1;
+            minimpi::trace_instant(ctx, hytrace::Phase::Robust,
+                                   "sync_downgrade");
+            HYTRACE_COUNTER(ctx, degradations, 1);
         }
     }
 }
 
 void NodeSync::full_sync(SyncPolicy p) {
     if (p == SyncPolicy::Barrier) {
+        TraceSpan span(hc_->shm().ctx(), hytrace::Phase::Sync, "full_sync");
+        span.set_algo("barrier");
         minimpi::barrier(hc_->shm());
         return;
     }

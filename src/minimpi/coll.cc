@@ -5,6 +5,7 @@
 #include "minimpi/coll_internal.h"
 #include "minimpi/error.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 
 namespace minimpi {
 
@@ -114,6 +115,10 @@ void barrier_dissemination(const Comm& comm) {
 void barrier_shm_tuned(const Comm& comm) {
     const int p = comm.size();
     RankCtx& ctx = comm.ctx();
+    TraceSpan span(ctx, hytrace::Phase::Sync, "barrier");
+    span.set_coll("Barrier");
+    span.set_algo("shm_counter");
+    span.set_comm(p, comm.rank());
     if (p == 1) {
         ctx.clock.advance(ctx.model->shm_barrier_base_us);
         return;

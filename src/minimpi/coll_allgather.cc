@@ -2,6 +2,7 @@
 #include "minimpi/coll_internal.h"
 #include "minimpi/error.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 
 namespace minimpi {
 
@@ -212,6 +213,11 @@ void allgatherv_auto(const Comm& comm, const void* sendbuf,
     if (auto c = tuned_choice(comm, tuning::Op::Allgatherv, total)) {
         ring = (c->algo == tuning::algo::kAgvRing);
     }
+    TraceSpan span(comm.ctx(), hytrace::Phase::Coll, "allgatherv");
+    span.set_coll("Allgatherv");
+    span.set_algo(ring ? "ring" : "bruck");
+    span.set_bytes(total);
+    span.set_comm(comm.size(), comm.rank());
     if (ring) {
         allgatherv_ring(comm, sendbuf, send_bytes_n, recvbuf, counts_bytes,
                         displs_bytes);
@@ -230,12 +236,18 @@ void allgather_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
     const int p = comm.size();
     RankCtx& ctx = comm.ctx();
     const std::size_t total = static_cast<std::size_t>(p) * bb;
+    TraceSpan span(ctx, hytrace::Phase::Coll, "allgather_flat");
+    span.set_coll("Allgather");
+    span.set_bytes(total);
+    span.set_comm(comm.size(), comm.rank());
     if (auto c = tuned_choice(comm, tuning::Op::Allgather, total)) {
         switch (c->algo) {
             case tuning::algo::kAgRing:
+                span.set_algo("ring");
                 allgather_ring(comm, sendbuf, recvbuf, bb);
                 return;
             case tuning::algo::kAgBruck:
+                span.set_algo("bruck");
                 allgather_bruck(comm, sendbuf, recvbuf, bb);
                 return;
             case tuning::algo::kAgRecDoubling:
@@ -244,8 +256,10 @@ void allgather_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
                 // sizes, but lookup clamps between grid points: guard the
                 // pow2-only algorithm with its nearest equivalent.
                 if (is_pow2(p)) {
+                    span.set_algo("recursive_doubling");
                     allgather_recursive_doubling(comm, sendbuf, recvbuf, bb);
                 } else {
+                    span.set_algo("bruck");
                     allgather_bruck(comm, sendbuf, recvbuf, bb);
                 }
                 return;
@@ -253,11 +267,14 @@ void allgather_flat(const Comm& comm, const void* sendbuf, void* recvbuf,
     }
     if (total <= ctx.model->allgather_long_threshold) {
         if (is_pow2(p)) {
+            span.set_algo("recursive_doubling");
             allgather_recursive_doubling(comm, sendbuf, recvbuf, bb);
         } else {
+            span.set_algo("bruck");
             allgather_bruck(comm, sendbuf, recvbuf, bb);
         }
     } else {
+        span.set_algo("ring");
         allgather_ring(comm, sendbuf, recvbuf, bb);
     }
 }
@@ -289,6 +306,11 @@ void allgather(const Comm& comm, const void* sendbuf, std::size_t count,
     // equals comm-rank order only for "node-contiguous" communicators; the
     // general case ends with a local permutation pass (the datatype
     // pack/unpack cost of paper Sect. 6).
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "allgather");
+    root_span.set_coll("Allgather");
+    root_span.set_algo("smp_hierarchical");
+    root_span.set_bytes(static_cast<std::uint64_t>(p) * bb);
+    root_span.set_comm(p, r);
     const detail::HierHandles& h = detail::hier(comm);
 
     detail::Scratch full_s(
@@ -306,19 +328,23 @@ void allgather(const Comm& comm, const void* sendbuf, std::size_t count,
     if (sendbuf == kInPlace) {
         contrib = detail::at(recvbuf, static_cast<std::size_t>(r) * bb);
     }
-    // The gather lands node-local blocks at full + node_off (leader only).
-    if (h.is_leader) {
-        // In-place trick: our own block must end up at shm-rank offset
-        // within the node block.
-        detail::gather_binomial(h.shm, contrib, detail::at(full, node_off), bb,
-                                0);
-    } else {
-        detail::gather_binomial(h.shm, contrib, nullptr, bb, 0);
+    {
+        TraceSpan s(ctx, hytrace::Phase::Coll, "node_gather");
+        // The gather lands node-local blocks at full + node_off (leader only).
+        if (h.is_leader) {
+            // In-place trick: our own block must end up at shm-rank offset
+            // within the node block.
+            detail::gather_binomial(h.shm, contrib, detail::at(full, node_off),
+                                    bb, 0);
+        } else {
+            detail::gather_binomial(h.shm, contrib, nullptr, bb, 0);
+        }
     }
 
     // Phase 2: leaders exchange node blocks (irregular: nodes may host
     // different member counts).
     if (h.is_leader) {
+        TraceSpan s(ctx, hytrace::Phase::Bridge, "bridge_exchange");
         const int nnodes = static_cast<int>(h.node_sizes.size());
         std::vector<std::size_t> counts_b(static_cast<std::size_t>(nnodes));
         std::vector<std::size_t> displs_b(static_cast<std::size_t>(nnodes));
@@ -339,6 +365,8 @@ void allgather(const Comm& comm, const void* sendbuf, std::size_t count,
 
     // Phase 4: permute node-major blocks into rank order if needed.
     if (!h.identity_perm) {
+        TraceSpan s(ctx, hytrace::Phase::Copy, "repack_rank_order");
+        s.set_bytes(static_cast<std::uint64_t>(p) * bb);
         for (int i = 0; i < p; ++i) {
             ctx.copy_bytes(
                 detail::at(recvbuf,
@@ -386,6 +414,10 @@ void allgatherv(const Comm& comm, const void* sendbuf, std::size_t sendcount,
     // SMP-aware hierarchical allgatherv (gatherv at the node leader, bridge
     // allgatherv of node blocks, on-node broadcast), still paying the
     // vector penalty on the bridge exchange.
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "allgatherv");
+    root_span.set_coll("Allgatherv");
+    root_span.set_algo("smp_hierarchical");
+    root_span.set_comm(p, comm.rank());
     const detail::HierHandles& h = detail::hier(comm);
     const int nnodes = static_cast<int>(h.node_sizes.size());
 
@@ -397,6 +429,7 @@ void allgatherv(const Comm& comm, const void* sendbuf, std::size_t sendcount,
             counts_b[static_cast<std::size_t>(h.perm[static_cast<std::size_t>(s)])];
     }
     const std::size_t total = slot_off[static_cast<std::size_t>(p)];
+    root_span.set_bytes(total);
 
     // Fast path: the user's displacements already equal the node-major
     // layout (the common prefix-sum displs under SMP placement).

@@ -1,6 +1,7 @@
 #include "minimpi/coll.h"
 #include "minimpi/coll_internal.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 
 /// Profile-driven algorithm selection: the bridge between the collectives
 /// and the tuned decision tables (src/tuning). Every selection helper
@@ -25,17 +26,25 @@ std::optional<tuning::Choice> tuned_choice(const Comm& comm, tuning::Op op,
 
 void bcast_auto(const Comm& comm, void* buf, std::size_t bytes, int root) {
     if (comm.size() == 1) return;
+    TraceSpan span(comm.ctx(), hytrace::Phase::Coll, "bcast");
+    span.set_coll("Bcast");
+    span.set_bytes(bytes);
+    span.set_comm(comm.size(), comm.rank());
     if (auto c = tuned_choice(comm, tuning::Op::Bcast, bytes)) {
         if (c->algo == tuning::algo::kBcPipelined) {
+            span.set_algo("pipelined_chain");
             bcast_pipelined_chain(comm, buf, bytes, root, c->segment_bytes);
         } else {
+            span.set_algo("binomial");
             bcast_binomial(comm, buf, bytes, root);
         }
         return;
     }
     if (bytes <= comm.ctx().model->bcast_long_threshold) {
+        span.set_algo("binomial");
         bcast_binomial(comm, buf, bytes, root);
     } else {
+        span.set_algo("pipelined_chain");
         bcast_pipelined_chain(comm, buf, bytes, root);
     }
 }
@@ -70,12 +79,17 @@ void barrier_tree(const Comm& comm) {
 }
 
 void barrier_auto(const Comm& comm) {
+    TraceSpan span(comm.ctx(), hytrace::Phase::Sync, "barrier");
+    span.set_coll("Barrier");
+    span.set_comm(comm.size(), comm.rank());
     if (auto c = tuned_choice(comm, tuning::Op::Barrier, 0)) {
         if (c->algo == tuning::algo::kBarTree) {
+            span.set_algo("tree");
             barrier_tree(comm);
             return;
         }
     }
+    span.set_algo("dissemination");
     barrier_dissemination(comm);
 }
 

@@ -15,6 +15,10 @@ namespace tuning {
 class DecisionTable;
 }
 
+namespace hytrace {
+class Recorder;
+}
+
 namespace minimpi {
 
 class Runtime;
@@ -101,6 +105,11 @@ struct RankCtx {
 
     /// Event recorder; null unless RunOptions::trace was set.
     Tracer* tracer = nullptr;
+
+    /// Virtual-time span/counter recorder (src/trace); null unless span
+    /// tracing is on for this run (HYMPI_TRACE or RunOptions::spans).
+    /// Recording sites go through minimpi/trace_span.h, never directly.
+    hytrace::Recorder* spans = nullptr;
 
     /// Rank-private caches keyed by communicator state (hierarchy handles,
     /// hybrid channels). Only the owning rank thread touches this map.

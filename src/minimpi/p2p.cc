@@ -4,6 +4,7 @@
 
 #include "minimpi/error.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 
 namespace minimpi {
 
@@ -50,6 +51,12 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     if (ctx.tracer) {
         ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.clock.now(),
                            dst_world, bytes);
+    }
+    if (trace_p2p(ctx)) {
+        hytrace::Span* s =
+            trace_complete(ctx, hytrace::Phase::P2P, "send", t_send0);
+        s->peer = dst_world;
+        s->bytes = bytes;
     }
     ctx.stats.msgs_sent += 1;
     ctx.stats.bytes_sent += bytes;
@@ -118,6 +125,12 @@ void send_frame(const Comm& comm, const void* buf, std::size_t bytes, int dest,
         ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.clock.now(),
                            dst_world, bytes);
     }
+    if (trace_p2p(ctx)) {
+        hytrace::Span* s =
+            trace_complete(ctx, hytrace::Phase::P2P, "send_frame", t_send0);
+        s->peer = dst_world;
+        s->bytes = bytes;
+    }
     ctx.stats.msgs_sent += 1;
     ctx.stats.bytes_sent += bytes;
     if (ctx.cluster->same_node(ctx.world_rank, dst_world)) {
@@ -183,6 +196,12 @@ FrameRecvResult finish_frame_recv(const Comm& comm, PostedRecv& pr) {
         ctx.tracer->record(TraceEvent::Kind::Recv, t_recv0, ctx.clock.now(),
                            pr.matched_src, pr.msg_bytes);
     }
+    if (trace_p2p(ctx)) {
+        hytrace::Span* s =
+            trace_complete(ctx, hytrace::Phase::P2P, "recv_frame", t_recv0);
+        s->peer = pr.matched_src;
+        s->bytes = pr.msg_bytes;
+    }
     ctx.stats.msgs_received += 1;
     ctx.stats.bytes_received += pr.msg_bytes;
     FrameRecvResult res;
@@ -216,6 +235,7 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
+    const VTime t_ssend0 = ctx.clock.now();
     ctx.clock.advance(link.overhead_us);
     const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
     VTime& busy = ctx.link_busy_until[dst_world];
@@ -247,6 +267,12 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     ctx.runtime->transport().post_recv(ctx.world_rank, &ack);
     ctx.runtime->transport().wait_recv(ctx.world_rank, &ack);
     ctx.clock.sync_to(ack.arrival);
+    if (trace_p2p(ctx)) {
+        hytrace::Span* s =
+            trace_complete(ctx, hytrace::Phase::P2P, "ssend", t_ssend0);
+        s->peer = dst_world;
+        s->bytes = bytes;
+    }
 }
 
 Status recv(const Comm& comm, void* buf, std::size_t count, Datatype dt,
@@ -363,6 +389,12 @@ Status Request::finish_recv() {
     if (ctx_->tracer) {
         ctx_->tracer->record(TraceEvent::Kind::Recv, t_recv0,
                              ctx_->clock.now(), pr.matched_src, pr.msg_bytes);
+    }
+    if (trace_p2p(*ctx_)) {
+        hytrace::Span* s =
+            trace_complete(*ctx_, hytrace::Phase::P2P, "recv", t_recv0);
+        s->peer = pr.matched_src;
+        s->bytes = pr.msg_bytes;
     }
     ctx_->stats.msgs_received += 1;
     ctx_->stats.bytes_received += pr.msg_bytes;

@@ -7,6 +7,8 @@
 #include <exception>
 
 #include "minimpi/error.h"
+#include "trace/recorder.h"
+#include "trace/sink.h"
 #include "tuning/decision.h"
 
 namespace minimpi {
@@ -44,8 +46,17 @@ void Runtime::keep_alive(std::shared_ptr<void> resource) {
 
 void Runtime::poison_from(int world_rank) {
     transport_->poison(world_rank);
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    for (auto& comm : comms_) {
+    // Snapshot the registry first: rendezvous callbacks take a comm's op_mu
+    // and then registry_mu_ (create_comm, keep_alive), so notifying under
+    // registry_mu_ would invert that order. The raw pointers stay valid —
+    // comms_ is only cleared between runs, after every rank thread joined.
+    std::vector<CommState*> comms;
+    {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        comms.reserve(comms_.size());
+        for (auto& comm : comms_) comms.push_back(comm.get());
+    }
+    for (CommState* comm : comms) {
         std::lock_guard<std::mutex> op_lock(comm->op_mu);
         for (auto& [epoch, slot] : comm->ops) {
             slot->cv.notify_all();
@@ -110,6 +121,20 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
     std::vector<Tracer> tracers(
         opts_.trace ? static_cast<std::size_t>(n) : 0);
 
+    // Span recording is on when the caller asked (RunOptions::spans) or
+    // process-wide via HYMPI_TRACE; the sink only receives runs in the
+    // latter case. With HYMPI_TRACING=OFF every recording site is compiled
+    // out, so recorders would stay empty — skip them entirely.
+    hytrace::TraceSink& sink = hytrace::TraceSink::instance();
+    const bool span_trace =
+        HYMPI_TRACE_ENABLED && (opts_.spans || sink.enabled());
+    const bool span_p2p = opts_.span_p2p || sink.p2p();
+    std::vector<hytrace::Recorder> recorders;
+    if (span_trace) {
+        recorders.assign(static_cast<std::size_t>(n),
+                         hytrace::Recorder(span_p2p));
+    }
+
     // Tuned algorithm selection for this vendor profile (null when the
     // profile has no table). Resolved once, before the rank threads spawn.
     const tuning::DecisionTable* tuned = tuning::find_table(model_.name);
@@ -124,6 +149,7 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         ctx.tuned = tuned;
         ctx.robust_cfg = &robust_cfg_;
         if (opts_.trace) ctx.tracer = &tracers[static_cast<std::size_t>(i)];
+        if (span_trace) ctx.spans = &recorders[static_cast<std::size_t>(i)];
         args[static_cast<std::size_t>(i)] =
             RankThreadArgs{this, &ctx, world_state, &rank_main,
                            &errors[static_cast<std::size_t>(i)]};
@@ -185,6 +211,23 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         last_traces_.reserve(tracers.size());
         for (auto& t : tracers) last_traces_.push_back(t.events());
     }
+    last_span_traces_.clear();
+    if (span_trace) {
+        last_span_traces_.reserve(recorders.size());
+        for (int i = 0; i < n; ++i) {
+            auto& rec = recorders[static_cast<std::size_t>(i)];
+            hytrace::RankTrace rt;
+            rt.node = cluster_.node_of(i);
+            rt.spans = rec.spans();
+            rt.counters = rec.counters();
+            last_span_traces_.push_back(std::move(rt));
+        }
+        if (sink.enabled()) {
+            hytrace::RunTrace run_trace;
+            run_trace.ranks = last_span_traces_;
+            sink.add_run(std::move(run_trace));
+        }
+    }
     if (robust_cfg_.dump_at_finalize) {
         const hympi::RobustStats total = total_robust_stats();
         if (total.any()) {
@@ -217,6 +260,12 @@ CommStats Runtime::total_stats() const {
 hympi::RobustStats Runtime::total_robust_stats() const {
     hympi::RobustStats total;
     for (const auto& s : last_robust_stats_) total += s;
+    return total;
+}
+
+hytrace::Counters Runtime::total_span_counters() const {
+    hytrace::Counters total;
+    for (const auto& rt : last_span_traces_) total += rt.counters;
     return total;
 }
 

@@ -12,6 +12,7 @@
 #include "minimpi/netmodel.h"
 #include "minimpi/transport.h"
 #include "minimpi/types.h"
+#include "trace/span.h"
 
 namespace minimpi {
 
@@ -25,6 +26,17 @@ struct RunOptions {
     /// Record per-rank event timelines (see trace.h); retrieve with
     /// Runtime::last_traces after run().
     bool trace = false;
+
+    /// Record virtual-time spans and counters (see src/trace); retrieve
+    /// with Runtime::last_span_traces after run(). Span recording is also
+    /// switched on process-wide by HYMPI_TRACE=<path> (the Chrome export
+    /// path), independent of this flag.
+    bool spans = false;
+
+    /// Additionally record per-message p2p spans (HYMPI_TRACE_P2P does the
+    /// same process-wide). Off by default: they dominate trace volume and
+    /// the per-phase breakdown does not need them.
+    bool span_p2p = false;
 };
 
 /// The simulated MPI job: spawns one thread per rank of the ClusterSpec,
@@ -66,6 +78,15 @@ public:
     const std::vector<std::vector<TraceEvent>>& last_traces() const {
         return last_traces_;
     }
+
+    /// Per-rank span traces/counters of the most recent run() (empty
+    /// unless span tracing was on — RunOptions::spans or HYMPI_TRACE).
+    const std::vector<hytrace::RankTrace>& last_span_traces() const {
+        return last_span_traces_;
+    }
+
+    /// Sum of last_span_traces() counters over ranks.
+    hytrace::Counters total_span_counters() const;
 
     const ClusterSpec& cluster() const { return cluster_; }
     const ModelParams& model() const { return model_; }
@@ -127,6 +148,7 @@ private:
     std::vector<CommStats> last_stats_;
     std::vector<hympi::RobustStats> last_robust_stats_;
     std::vector<std::vector<TraceEvent>> last_traces_;
+    std::vector<hytrace::RankTrace> last_span_traces_;
     std::vector<std::uint64_t> shm_alloc_seq_;  ///< per-node, guarded by registry_mu_
 };
 

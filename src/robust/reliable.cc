@@ -6,6 +6,7 @@
 #include "minimpi/context.h"
 #include "minimpi/p2p.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 #include "minimpi/transport.h"
 #include "robust/checksum.h"
 
@@ -147,6 +148,7 @@ bool reliable_xfer(const minimpi::Comm& comm, const void* sbuf,
                 // the detection deadline is charged in virtual time.
                 st.timeouts += 1;
                 agg.timeouts += 1;
+                minimpi::trace_instant(ctx, hytrace::Phase::Robust, "timeout");
                 ctx.clock.advance(cfg.watchdog_us);
                 bad = true;
             } else {
@@ -252,9 +254,18 @@ bool reliable_xfer(const minimpi::Comm& comm, const void* sbuf,
                 } else {
                     st.retries += 1;
                     agg.retries += 1;
+                    minimpi::trace_instant(ctx, hytrace::Phase::Robust,
+                                           "retransmit");
+                    HYTRACE_COUNTER(ctx, retransmits, 1);
                     ++attempt;
+                    const VTime t_backoff0 = ctx.clock.now();
                     ctx.clock.advance(
                         backoff_us(cfg, gen, attempt, ctx.world_rank));
+                    if (hytrace::Span* bs = minimpi::trace_complete(
+                            ctx, hytrace::Phase::Robust, "backoff",
+                            t_backoff0)) {
+                        bs->peer = dest;
+                    }
                     FrameHeader h;
                     std::memcpy(&h, sframe.data(), sizeof(h));
                     h.attempt = static_cast<std::uint32_t>(attempt);

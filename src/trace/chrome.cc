@@ -1,0 +1,125 @@
+#include "trace/chrome.h"
+
+#include <cstdio>
+
+namespace hytrace {
+
+const char* phase_name(Phase p) {
+    switch (p) {
+        case Phase::P2P: return "p2p";
+        case Phase::Coll: return "coll";
+        case Phase::Bridge: return "bridge";
+        case Phase::Copy: return "copy";
+        case Phase::Sync: return "sync";
+        case Phase::Robust: return "robust";
+        case Phase::Compute: return "compute";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Span names are static literals under our control (no quotes/control
+/// chars), but escape defensively so the file stays valid JSON regardless.
+void write_escaped(std::ostream& os, const char* s) {
+    os << '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os << buf;
+        } else {
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+void write_us(std::ostream& os, VTime t) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", t);
+    os << buf;
+}
+
+}  // namespace
+
+void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first) os << ",\n";
+        first = false;
+    };
+    for (std::size_t run = 0; run < runs.size(); ++run) {
+        sep();
+        os << "{\"ph\": \"M\", \"pid\": " << run
+           << ", \"name\": \"process_name\", \"args\": {\"name\": \"run "
+           << run << "\"}}";
+        const RunTrace& rt = runs[run];
+        for (std::size_t r = 0; r < rt.ranks.size(); ++r) {
+            sep();
+            os << "{\"ph\": \"M\", \"pid\": " << run << ", \"tid\": " << r
+               << ", \"name\": \"thread_name\", \"args\": {\"name\": \"rank "
+               << r << " (node " << rt.ranks[r].node << ")\"}}";
+        }
+        for (std::size_t r = 0; r < rt.ranks.size(); ++r) {
+            for (const Span& s : rt.ranks[r].spans) {
+                sep();
+                os << "{\"ph\": \"X\", \"pid\": " << run
+                   << ", \"tid\": " << r << ", \"ts\": ";
+                write_us(os, s.t_start);
+                os << ", \"dur\": ";
+                write_us(os, s.t_end - s.t_start);
+                os << ", \"name\": ";
+                write_escaped(os, s.name);
+                os << ", \"cat\": \"" << phase_name(s.phase) << '"';
+                os << ", \"args\": {\"phase\": \"" << phase_name(s.phase)
+                   << "\", \"depth\": " << s.depth;
+                if (s.coll != nullptr) {
+                    os << ", \"coll\": ";
+                    write_escaped(os, s.coll);
+                }
+                if (s.algo != nullptr) {
+                    os << ", \"algo\": ";
+                    write_escaped(os, s.algo);
+                }
+                if (s.bytes > 0) os << ", \"bytes\": " << s.bytes;
+                if (s.peer >= 0) os << ", \"peer\": " << s.peer;
+                if (s.comm_size > 0) {
+                    os << ", \"comm_size\": " << s.comm_size
+                       << ", \"comm_rank\": " << s.comm_rank;
+                }
+                os << "}}";
+            }
+        }
+    }
+    os << "\n],\n\"otherData\": {\"counters\": [\n";
+    bool cfirst = true;
+    Counters totals;
+    for (std::size_t run = 0; run < runs.size(); ++run) {
+        const RunTrace& rt = runs[run];
+        for (std::size_t r = 0; r < rt.ranks.size(); ++r) {
+            const Counters& c = rt.ranks[r].counters;
+            totals += c;
+            if (!cfirst) os << ",\n";
+            cfirst = false;
+            os << "{\"pid\": " << run << ", \"tid\": " << r
+               << ", \"bridge_bytes\": " << c.bridge_bytes
+               << ", \"shm_bytes\": " << c.shm_bytes
+               << ", \"sync_wait_us\": ";
+            write_us(os, c.sync_wait_us);
+            os << ", \"retransmits\": " << c.retransmits
+               << ", \"degradations\": " << c.degradations << "}";
+        }
+    }
+    os << "\n], \"totals\": {\"bridge_bytes\": " << totals.bridge_bytes
+       << ", \"shm_bytes\": " << totals.shm_bytes << ", \"sync_wait_us\": ";
+    write_us(os, totals.sync_wait_us);
+    os << ", \"retransmits\": " << totals.retransmits
+       << ", \"degradations\": " << totals.degradations << "}}\n}\n";
+}
+
+}  // namespace hytrace

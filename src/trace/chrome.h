@@ -1,0 +1,20 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace hytrace {
+
+/// Serialize @p runs in the Chrome trace-event JSON format (the object
+/// form: {"traceEvents": [...], ...}), loadable in chrome://tracing and
+/// Perfetto. Mapping: pid = run index, tid = rank, ts/dur = virtual
+/// microseconds. Per-rank counters ride along under "otherData" so
+/// trace_report can print them without re-deriving.
+///
+/// Output is a deterministic function of @p runs: fixed field order,
+/// fixed "%.3f" time formatting, no wall-clock or environment content.
+void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs);
+
+}  // namespace hytrace

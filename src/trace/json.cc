@@ -1,0 +1,238 @@
+#include "trace/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hytrace::json {
+
+const Value* Value::find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+std::string Value::get_string(std::string_view key,
+                              const std::string& fallback) const {
+    const Value* v = find(key);
+    return (v != nullptr && v->is_string()) ? v->str : fallback;
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+    const Value* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value run() {
+        Value v = value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const char* what) const {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail("unexpected character");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Value value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': {
+                Value v;
+                v.type = Value::Type::String;
+                v.str = string();
+                return v;
+            }
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return make_bool(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return make_bool(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return Value{};
+            default: return number();
+        }
+    }
+
+    static Value make_bool(bool b) {
+        Value v;
+        v.type = Value::Type::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value object() {
+        expect('{');
+        Value v;
+        v.type = Value::Type::Object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v.obj.emplace_back(std::move(key), value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value array() {
+        expect('[');
+        Value v;
+        v.type = Value::Type::Array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (our own emitters only
+                    // escape control characters, so this is ample).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    Value number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        const std::string tok(text_.substr(start, pos_ - start));
+        char* endp = nullptr;
+        const double d = std::strtod(tok.c_str(), &endp);
+        if (endp == nullptr || *endp != '\0') fail("malformed number");
+        Value v;
+        v.type = Value::Type::Number;
+        v.number = d;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+Value parse_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parse(ss.str());
+}
+
+}  // namespace hytrace::json

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Minimal JSON reader for trace_report: parses the files this repo itself
+/// emits (BENCH_*.json tables, Chrome trace-event traces). Full JSON value
+/// grammar, no external dependency, strict (trailing garbage is an error).
+namespace hytrace::json {
+
+struct Value {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;  // insertion order kept
+
+    bool is_null() const { return type == Type::Null; }
+    bool is_number() const { return type == Type::Number; }
+    bool is_string() const { return type == Type::String; }
+    bool is_array() const { return type == Type::Array; }
+    bool is_object() const { return type == Type::Object; }
+
+    /// First member named @p key, or nullptr (objects only).
+    const Value* find(std::string_view key) const;
+
+    /// find(key)->str when present and a string, else @p fallback.
+    std::string get_string(std::string_view key,
+                           const std::string& fallback = "") const;
+    /// find(key)->number when present and a number, else @p fallback.
+    double get_number(std::string_view key, double fallback = 0.0) const;
+};
+
+/// Parse @p text; throws std::runtime_error with position info on error.
+Value parse(std::string_view text);
+
+/// Parse the contents of @p path; throws std::runtime_error when the file
+/// cannot be read or does not parse.
+Value parse_file(const std::string& path);
+
+}  // namespace hytrace::json

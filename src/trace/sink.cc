@@ -1,0 +1,46 @@
+#include "trace/sink.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "trace/chrome.h"
+
+namespace hytrace {
+
+TraceSink& TraceSink::instance() {
+    static TraceSink sink;
+    return sink;
+}
+
+TraceSink::TraceSink() {
+    const char* path = std::getenv("HYMPI_TRACE");
+    if (path != nullptr && path[0] != '\0') path_ = path;
+    const char* p2p = std::getenv("HYMPI_TRACE_P2P");
+    p2p_ = p2p != nullptr && p2p[0] != '\0' && p2p[0] != '0';
+}
+
+void TraceSink::configure(std::string path, bool p2p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = std::move(path);
+    p2p_ = p2p;
+    runs_.clear();
+}
+
+void TraceSink::add_run(RunTrace run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.push_back(std::move(run));
+    if (!atexit_registered_) {
+        atexit_registered_ = true;
+        std::atexit([] { TraceSink::instance().flush(); });
+    }
+}
+
+void TraceSink::flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty() || runs_.empty()) return;
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os) return;
+    write_chrome_json(os, runs_);
+}
+
+}  // namespace hytrace

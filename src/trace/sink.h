@@ -1,0 +1,48 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace hytrace {
+
+/// Process-wide trace collector behind the HYMPI_TRACE=<path> environment
+/// switch. Each Runtime::run appends one RunTrace; the Chrome trace-event
+/// file is written once at process exit (and on explicit flush()), so a
+/// bench with many runs pays one serialization, not one per run.
+///
+/// Determinism: runs are appended in execution order (Runtime::run calls
+/// are serial), ranks are stored in world order, and all content is
+/// virtual-time data — two identical processes write byte-identical files.
+class TraceSink {
+public:
+    static TraceSink& instance();
+
+    /// True when HYMPI_TRACE names an output path (resolved once).
+    bool enabled() const { return !path_.empty(); }
+    /// True when HYMPI_TRACE_P2P additionally asks for per-message spans.
+    bool p2p() const { return p2p_; }
+    const std::string& path() const { return path_; }
+
+    void add_run(RunTrace run);
+
+    /// Write the Chrome trace-event JSON to path(). Safe to call multiple
+    /// times (rewrites); registered with atexit on the first add_run.
+    void flush();
+
+    /// Test hook: override the environment-resolved configuration.
+    void configure(std::string path, bool p2p);
+
+private:
+    TraceSink();
+
+    std::mutex mu_;
+    std::string path_;
+    bool p2p_ = false;
+    bool atexit_registered_ = false;
+    std::vector<RunTrace> runs_;
+};
+
+}  // namespace hytrace

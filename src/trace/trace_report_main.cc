@@ -1,0 +1,74 @@
+// trace_report: offline analysis of the virtual-time traces and BENCH
+// tables this repo emits.
+//
+//   trace_report <trace.json>
+//       Per-collective per-phase breakdown (plus counters) of a Chrome
+//       trace-event file written via HYMPI_TRACE=<path>.
+//
+//   trace_report --diff <baseline.json> <candidate.json> [--rel-tol F]
+//       Compare two BENCH_*.json tables; exits 1 when any point is more
+//       than F (default 0.05 = 5%) slower than the baseline, or when the
+//       tables are structurally different. Metadata ("meta", "title") is
+//       ignored, so old baselines stay comparable.
+//
+// Exit codes: 0 ok, 1 regression or mismatch, 2 usage / IO / parse error.
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "trace/json.h"
+#include "trace/report.h"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage:\n"
+              << "  trace_report <trace.json>\n"
+              << "  trace_report --diff <baseline.json> <candidate.json>"
+                 " [--rel-tol F]\n";
+    return 2;
+}
+
+int run_breakdown(const std::string& path) {
+    const hytrace::json::Value trace = hytrace::json::parse_file(path);
+    const auto rows = hytrace::report::collect_breakdowns(trace);
+    hytrace::report::print_breakdowns(std::cout, rows);
+    hytrace::report::print_counters(std::cout, trace);
+    return 0;
+}
+
+int run_diff(const std::string& base_path, const std::string& cand_path,
+             double rel_tol) {
+    const hytrace::json::Value base = hytrace::json::parse_file(base_path);
+    const hytrace::json::Value cand = hytrace::json::parse_file(cand_path);
+    const auto diff = hytrace::report::diff_bench_json(base, cand, rel_tol);
+    hytrace::report::print_diff(std::cout, diff, rel_tol);
+    return diff.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+            if (argc < 4) return usage();
+            double rel_tol = 0.05;
+            for (int i = 4; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--rel-tol") == 0 && i + 1 < argc) {
+                    rel_tol = std::atof(argv[++i]);
+                } else {
+                    return usage();
+                }
+            }
+            return run_diff(argv[2], argv[3], rel_tol);
+        }
+        if (argc == 2) return run_breakdown(argv[1]);
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "trace_report: " << e.what() << '\n';
+        return 2;
+    }
+}
