@@ -1,0 +1,95 @@
+// Ablation (NUMA hierarchy): flat vs socket-staged on-node phases over the
+// socket count. With one socket per node the staging machinery is inert and
+// every variant costs the same; with 2 or 4 sockets the flat variant pays a
+// contended cross-socket (QPI/UPI) read per remote-socket rank while the
+// staged variant crosses once per socket (leader mirror + socket barrier) —
+// flat wins below the crossover, staged beyond it. Columns cover both
+// channels the socket model touches on-node: the Hy_Bcast distribute phase
+// and the Hy_Allreduce striped reduction + result read-back.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace minimpi;
+
+namespace {
+
+std::function<std::function<void()>(Comm&)> bcast_setup(
+    std::size_t bytes, hympi::SocketStaging staging) {
+    return [=](Comm& world) -> std::function<void()> {
+        auto hc = std::make_shared<hympi::HierComm>(world);
+        auto ch = std::make_shared<hympi::BcastChannel>(*hc, bytes);
+        ch->set_socket_staging(staging);
+        return [hc, ch] { ch->run(0); };
+    };
+}
+
+std::function<std::function<void()>(Comm&)> allreduce_setup(
+    std::size_t count, hympi::SocketStaging staging) {
+    return [=](Comm& world) -> std::function<void()> {
+        auto hc = std::make_shared<hympi::HierComm>(world);
+        auto ch = std::make_shared<hympi::AllreduceChannel>(
+            *hc, count, Datatype::Double);
+        ch->set_socket_staging(staging);
+        return [hc, ch] { ch->run(minimpi::Op::Sum); };
+    };
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Ablation: flat vs socket-staged on-node phases\n");
+
+    constexpr int kWarmup = 1;
+    constexpr int kIters = 3;
+    constexpr int kPpn = 16;
+
+    const std::vector<std::string> cols = {"s1",      "s2 flat", "s2 staged",
+                                           "s2 auto", "s4 flat", "s4 staged"};
+    struct Variant {
+        int sockets;
+        hympi::SocketStaging staging;
+    };
+    const std::vector<Variant> variants = {
+        {1, hympi::SocketStaging::Flat},   {2, hympi::SocketStaging::Flat},
+        {2, hympi::SocketStaging::Staged}, {2, hympi::SocketStaging::Auto},
+        {4, hympi::SocketStaging::Flat},   {4, hympi::SocketStaging::Staged},
+    };
+
+    benchu::Table bcast_table(benchcm::kElementsLabel, cols);
+    for (std::size_t elements : benchu::pow2_series(4, 18)) {
+        const std::size_t bytes = elements * sizeof(double);
+        std::vector<double> row;
+        for (const Variant& v : variants) {
+            Runtime rt(
+                ClusterSpec::regular(1, kPpn, Placement::Smp, v.sockets),
+                ModelParams::cray(), PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(rt, kWarmup, kIters,
+                                              bcast_setup(bytes, v.staging)));
+        }
+        bcast_table.add_row(static_cast<double>(elements), row);
+    }
+    benchcm::emit(bcast_table, "numa", "bcast",
+                  "NUMA ablation — Hy_Bcast, 1 node x 16 ppn (Cray profile), "
+                  "latency us",
+                  "cray");
+
+    benchu::Table ar_table(benchcm::kElementsLabel, cols);
+    for (std::size_t elements : benchu::pow2_series(4, 18)) {
+        std::vector<double> row;
+        for (const Variant& v : variants) {
+            Runtime rt(
+                ClusterSpec::regular(1, kPpn, Placement::Smp, v.sockets),
+                ModelParams::cray(), PayloadMode::SizeOnly);
+            row.push_back(benchu::osu_latency(
+                rt, kWarmup, kIters, allreduce_setup(elements, v.staging)));
+        }
+        ar_table.add_row(static_cast<double>(elements), row);
+    }
+    benchcm::emit(ar_table, "numa", "allreduce",
+                  "NUMA ablation — Hy_Allreduce, 1 node x 16 ppn (Cray "
+                  "profile), latency us",
+                  "cray");
+    return 0;
+}

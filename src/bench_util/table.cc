@@ -93,8 +93,15 @@ bool Table::write_json(const std::string& path,
     os << "{\n  \"title\": ";
     write_escaped(os, title);
     os << ",\n  \"meta\": {\"git\": ";
+    // A shallow clone or exported tree can leave `git describe` empty at
+    // configure time even when the macro is defined; archived artifacts
+    // must still carry a parseable, non-empty description.
 #ifdef HYMPI_GIT_DESCRIBE
-    write_escaped(os, HYMPI_GIT_DESCRIBE);
+    {
+        const char* desc = HYMPI_GIT_DESCRIBE;
+        write_escaped(os, (desc != nullptr && desc[0] != '\0') ? desc
+                                                               : "unknown");
+    }
 #else
     write_escaped(os, "unknown");
 #endif

@@ -110,8 +110,14 @@ std::string CaseSpec::describe() const {
         os << (i ? "," : "") << procs_per_node[i];
     }
     os << "] placement="
-       << (placement == minimpi::Placement::Smp ? "smp" : "rr")
-       << " profile=" << (cray_profile ? "cray" : "openmpi")
+       << (placement == minimpi::Placement::Smp ? "smp" : "rr");
+    if (sockets > 1) {
+        os << " sockets=" << sockets << " staging="
+           << (staging == hympi::SocketStaging::Flat     ? "flat"
+               : staging == hympi::SocketStaging::Staged ? "staged"
+                                                         : "auto");
+    }
+    os << " profile=" << (cray_profile ? "cray" : "openmpi")
        << " sync=" << (sync == hympi::SyncPolicy::Barrier ? "barrier" : "flags")
        << " leaders=" << leaders << " iters=" << iterations
        << " block=" << block_bytes;
@@ -193,6 +199,16 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
     }
     spec.placement = s.chance(25) ? minimpi::Placement::RoundRobin
                                   : minimpi::Placement::Smp;
+    // NUMA socket axis: half the cases keep flat (pre-socket) nodes; the
+    // rest model 2 or 4 sockets with a forced or table-driven staging mode.
+    if (s.chance(50)) {
+        spec.sockets = s.chance(50) ? 2 : 4;
+        switch (s.below(3)) {
+            case 0: spec.staging = hympi::SocketStaging::Flat; break;
+            case 1: spec.staging = hympi::SocketStaging::Staged; break;
+            default: spec.staging = hympi::SocketStaging::Auto; break;
+        }
+    }
     spec.cray_profile = s.chance(50);
     spec.subcomm = spec.total_ranks() >= 3 && s.chance(25);
 

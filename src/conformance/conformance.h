@@ -51,6 +51,11 @@ struct CaseSpec {
 
     std::vector<int> procs_per_node{1};
     minimpi::Placement placement = minimpi::Placement::Smp;
+    /// NUMA domains per node (>= 2 adds the socket level to the hierarchy;
+    /// ppn frequently does not divide evenly, so socket slices are uneven).
+    int sockets = 1;
+    /// On-node socket policy forced onto the channels that support it.
+    hympi::SocketStaging staging = hympi::SocketStaging::Auto;
     bool cray_profile = true;  ///< vendor profile: cray() vs openmpi()
     bool subcomm = false;      ///< run on a seeded proper sub-communicator
 

@@ -168,6 +168,7 @@ void diff_allgather(const CaseSpec& spec, Comm& active, HierComm& hc,
     const int me = active.rank();
     const std::size_t bb = spec.block_bytes;
     AllgatherChannel ch(hc, bb);
+    ch.set_socket_staging(spec.staging);
     std::vector<std::byte> mine(bb);
     std::vector<std::byte> ref(bb * static_cast<std::size_t>(n));
     for (int it = 0; it < spec.iterations; ++it) {
@@ -198,6 +199,7 @@ void diff_allgatherv(const CaseSpec& spec, Comm& active, HierComm& hc,
         total += counts[static_cast<std::size_t>(r)];
     }
     AllgatherChannel ch(hc, counts);
+    ch.set_socket_staging(spec.staging);
     const std::size_t mb = counts[static_cast<std::size_t>(me)];
     std::vector<std::byte> mine(mb);
     std::vector<std::byte> ref(total);
@@ -224,6 +226,7 @@ void diff_bcast(const CaseSpec& spec, Comm& active, HierComm& hc,
     const int me = active.rank();
     const std::size_t bb = spec.block_bytes;
     BcastChannel ch(hc, bb);
+    ch.set_socket_staging(spec.staging);
     std::vector<std::byte> flat(bb);
     for (int it = 0; it < spec.iterations; ++it) {
         const int root = (spec.derive_root(n) + it) % n;  // rotate roots
@@ -244,6 +247,7 @@ void diff_allreduce(const CaseSpec& spec, Comm& active, HierComm& hc,
     const std::size_t ds = datatype_size(spec.dt);
     const std::size_t count = spec.block_bytes / ds;
     AllreduceChannel ch(hc, count, spec.dt);
+    ch.set_socket_staging(spec.staging);
     std::vector<std::byte> mine(count * ds);
     std::vector<std::byte> ref(count * ds);
     for (int it = 0; it < spec.iterations; ++it) {
@@ -414,8 +418,8 @@ void case_body(const CaseSpec& spec, Comm& world, RankLog& log) {
 
 CaseResult run_case(const CaseSpec& spec) {
     CaseResult res;
-    minimpi::ClusterSpec cluster =
-        minimpi::ClusterSpec::irregular(spec.procs_per_node, spec.placement);
+    minimpi::ClusterSpec cluster = minimpi::ClusterSpec::irregular(
+        spec.procs_per_node, spec.placement, spec.sockets);
     minimpi::Runtime rt(cluster, spec.cray_profile
                                      ? minimpi::ModelParams::cray()
                                      : minimpi::ModelParams::openmpi());

@@ -77,6 +77,12 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
             c.placement = minimpi::Placement::Smp;
             cands.push_back(c);
         }
+        if (cur.sockets > 1) {
+            CaseSpec c = cur;
+            c.sockets = 1;
+            c.staging = hympi::SocketStaging::Auto;
+            cands.push_back(c);
+        }
 
         // Topology: fewer nodes, then fewer ranks per node.
         if (cur.procs_per_node.size() > 1) {

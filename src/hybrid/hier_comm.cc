@@ -75,6 +75,30 @@ HierComm::HierComm(const Comm& comm, int leaders_per_node)
     // join bridge color l. (With L == 1 this is exactly Fig. 4 line 8-10.)
     bridge_ = comm.split(leader_index_ >= 0 ? leader_index_ : minimpi::kUndefined,
                          comm.rank());
+
+    // Optional third level: NUMA sockets. Only materialized when the
+    // cluster models more than one socket per node — flat nodes skip the
+    // extra splits entirely, keeping the two-level construction (and every
+    // virtual clock downstream of it) bit-identical to the pre-socket code.
+    if (comm.ctx().cluster->sockets_per_node() > 1) {
+        my_socket_ = comm.socket_of(comm.rank());
+        home_socket_ = shm_.socket_of(0);
+        int max_socket = 0;
+        for (int r = 0; r < shm_.size(); ++r) {
+            max_socket = std::max(max_socket, shm_.socket_of(r));
+        }
+        sockets_on_node_ = max_socket + 1;
+        if (sockets_on_node_ > 1) {
+            socket_ = shm_.split(my_socket_, shm_.rank());
+            is_socket_leader_ = (socket_.rank() == 0);
+            socket_leaders_ = shm_.split(
+                is_socket_leader_ ? 0 : minimpi::kUndefined, shm_.rank());
+        } else {
+            is_socket_leader_ = (shm_.rank() == 0);
+        }
+    } else {
+        is_socket_leader_ = (shm_.rank() == 0);
+    }
 }
 
 std::pair<int, int> HierComm::leader_slice(int n, int l) const {

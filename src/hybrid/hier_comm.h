@@ -83,10 +83,42 @@ public:
     /// My own slot.
     int my_slot() const { return slot_of(world_.rank()); }
 
+    // --- optional third level: NUMA sockets under the node leader ---
+    // Built only when the cluster models more than one socket per node
+    // (ClusterSpec::sockets_per_node() > 1); on flat nodes the accessors
+    // below report the degenerate 1-socket view and no extra communicators
+    // exist, so the two-level hierarchy is bit-identical to before.
+
+    /// True when this node actually spans more than one populated socket.
+    bool has_socket_level() const { return sockets_on_node_ > 1; }
+    /// Populated sockets on my node (1 on flat nodes).
+    int sockets_on_node() const { return sockets_on_node_; }
+    /// My socket index within the node (0 on flat nodes).
+    int my_socket() const { return my_socket_; }
+    /// The socket hosting shm rank 0 — where the node-shared buffers are
+    /// homed (NUMA first touch by the allocating leader).
+    int home_socket() const { return home_socket_; }
+    /// Per-socket shared communicator (my socket's on-node ranks); null
+    /// unless has_socket_level().
+    const Comm& socket() const { return socket_; }
+    /// The node's socket leaders (lowest shm rank of each populated
+    /// socket) under the node leader; null unless this rank is a socket
+    /// leader on a node with a socket level.
+    const Comm& socket_leaders() const { return socket_leaders_; }
+    /// True when this rank drives its socket's staged copies (the lowest
+    /// shm rank of its socket). On flat nodes only the node leader is.
+    bool is_socket_leader() const { return is_socket_leader_; }
+
 private:
     Comm world_;
     Comm shm_;
     Comm bridge_;
+    Comm socket_;
+    Comm socket_leaders_;
+    int sockets_on_node_ = 1;
+    int my_socket_ = 0;
+    int home_socket_ = 0;
+    bool is_socket_leader_ = false;
     int leaders_per_node_ = 1;
     int leader_index_ = -1;
     int my_node_ = -1;

@@ -25,7 +25,7 @@ const char* bridge_algo_name(BridgeAlgo a) {
 }  // namespace
 
 AllgatherChannel::AllgatherChannel(const HierComm& hc, std::size_t block_bytes)
-    : hc_(&hc), sync_(hc) {
+    : hc_(&hc), sync_(hc), stager_(hc) {
     std::vector<std::size_t> per_rank(
         static_cast<std::size_t>(hc.world().size()), block_bytes);
     init_layout(per_rank);
@@ -33,7 +33,7 @@ AllgatherChannel::AllgatherChannel(const HierComm& hc, std::size_t block_bytes)
 
 AllgatherChannel::AllgatherChannel(const HierComm& hc,
                                    std::span<const std::size_t> bytes_per_rank)
-    : hc_(&hc), sync_(hc) {
+    : hc_(&hc), sync_(hc), stager_(hc) {
     if (bytes_per_rank.size() != static_cast<std::size_t>(hc.world().size())) {
         throw minimpi::ArgumentError(
             "AllgatherChannel needs one block size per comm rank");
@@ -451,6 +451,10 @@ void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
         // Fig. 4 lines 29-30/37-38: single node — one on-node sync makes
         // every partition visible; there is no inter-node traffic at all.
         sync_.full_sync(sync);
+        // On-node NUMA phase: remote-socket readers pay for pulling the
+        // gathered result across the socket boundary (or their socket
+        // leader mirrors it once when staging is selected).
+        stager_.distribute(total_bytes_, staging_);
         return;
     }
     // Fig. 4 line 25/34: leaders wait until all partitions on their node
@@ -462,6 +466,7 @@ void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
         }
         // Fig. 4 line 27/35: children wait until the exchange finished.
         sync_.release_phase(sync);
+        stager_.distribute(total_bytes_, staging_);
         return;
     }
     if (hc_->is_leader()) {
@@ -526,6 +531,10 @@ void AllgatherChannel::finish(SyncPolicy sync) {
         return;
     }
     sync_.release_phase(sync);
+    // The split-phase variant keeps the flat on-node distribution: children
+    // already overlap compute with the leaders' transfers, and a staged
+    // mirror would re-serialize them behind the socket leader.
+    stager_.distribute(total_bytes_, SocketStaging::Flat);
     minimpi::RankCtx& ctx = hc_->world().ctx();
     const RobustConfig* cfg = ctx.robust_cfg;
     if (cfg != nullptr && cfg->enabled && hc_->num_nodes() > 1 &&

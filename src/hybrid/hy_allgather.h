@@ -3,6 +3,7 @@
 #include <atomic>
 #include <span>
 
+#include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
 #include "robust/robust.h"
@@ -131,6 +132,12 @@ public:
         pipeline_segment_ = bytes;
     }
 
+    /// How the on-node phases treat the NUMA socket boundary (only
+    /// meaningful on clusters with sockets_per_node > 1; inert otherwise).
+    /// Default Auto consults the tuned SocketStaging decision table.
+    void set_socket_staging(SocketStaging s) { staging_ = s; }
+    SocketStaging socket_staging() const { return staging_; }
+
     const HierComm& hier() const { return *hc_; }
 
 private:
@@ -167,6 +174,8 @@ private:
     const HierComm* hc_ = nullptr;
     NodeSharedBuffer buf_;
     NodeSync sync_;
+    SocketStager stager_;
+    SocketStaging staging_ = SocketStaging::Auto;
     std::size_t total_bytes_ = 0;
     std::vector<std::size_t> block_bytes_;  ///< per comm rank
     std::vector<std::size_t> slot_offset_;  ///< per slot, bytes into buffer

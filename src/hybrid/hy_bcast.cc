@@ -12,6 +12,7 @@ BcastChannel::BcastChannel(const HierComm& hc, std::size_t bytes)
     : hc_(&hc),
       buf_(hc, 2 * pad64(bytes)),
       sync_(hc),
+      stager_(hc),
       bytes_(bytes),
       bytes_padded_(pad64(bytes)) {
     // Resilience one-offs (robust mode only — the fast path pays nothing).
@@ -79,6 +80,9 @@ void BcastChannel::run(int root, SyncPolicy sync) {
         // Fig. 6 lines 9-10: single node — the root's store to the shared
         // segment is the broadcast; one sync publishes it.
         sync_.full_sync(sync);
+        // On-node NUMA phase: remote-socket readers pull the payload
+        // across (or their socket leader mirrors it once when staged).
+        stager_.distribute(bytes_, staging_);
         ++epoch_;
         return;
     }
@@ -138,6 +142,8 @@ void BcastChannel::run(int root, SyncPolicy sync) {
 
     // Fig. 6 lines 7/13: everyone waits until the broadcast data is ready.
     sync_.release_phase(sync);
+    // On-node NUMA phase (inert under robust mode and on 1-socket nodes).
+    stager_.distribute(bytes_, staging_);
     if (robust && fail_shared_ != nullptr &&
         fail_shared_->fail_gen.load() == gen64()) {
         downgrade_to_flat(root, /*refill=*/true);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
 #include "robust/robust.h"
@@ -55,6 +56,11 @@ public:
     /// communicator. Sticky for the channel lifetime.
     bool degraded_flat() const { return degraded_flat_; }
 
+    /// On-node NUMA policy for the post-exchange read phase (inert on
+    /// 1-socket clusters). Default Auto consults the tuned table.
+    void set_socket_staging(SocketStaging s) { staging_ = s; }
+    SocketStaging socket_staging() const { return staging_; }
+
     const HierComm& hier() const { return *hc_; }
 
 private:
@@ -76,6 +82,8 @@ private:
     const HierComm* hc_ = nullptr;
     NodeSharedBuffer buf_;
     NodeSync sync_;
+    SocketStager stager_;
+    SocketStaging staging_ = SocketStaging::Auto;
     std::size_t bytes_ = 0;
     std::size_t bytes_padded_ = 0;  ///< slot stride (cache-line aligned)
     std::uint64_t epoch_ = 0;       ///< completed run() count (rank-local)

@@ -50,6 +50,7 @@ AllreduceChannel::AllreduceChannel(const HierComm& hc, std::size_t count,
       buf_(hc, (static_cast<std::size_t>(hc.shm().size()) + 1) * count *
                    datatype_size(dt)),
       sync_(hc),
+      stager_(hc),
       count_(count),
       dt_(dt),
       vec_bytes_(count * datatype_size(dt)) {
@@ -95,9 +96,14 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
                      hi - lo);
         }
     }
+    // NUMA cost of the striped reduction: every rank read the inputs of the
+    // OTHER socket's members (inert on 1-socket clusters).
+    stager_.reduce_gather(vec_bytes_, staging_);
 
     if (hc_->num_nodes() == 1) {
         sync_.full_sync(sync);
+        // Result read-back across the socket boundary.
+        stager_.distribute(vec_bytes_, staging_);
         return;
     }
 
@@ -153,6 +159,9 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
         }
     }
     sync_.release_phase(sync);
+    // Result read-back across the socket boundary (inert under robust mode
+    // and on 1-socket nodes).
+    stager_.distribute(vec_bytes_, staging_);
 }
 
 // ---- GatherChannel ----

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
 #include "robust/robust.h"
@@ -49,6 +50,11 @@ public:
 
     void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
 
+    /// On-node NUMA policy: how the striped node reduction and the result
+    /// read-back treat the socket boundary (inert on 1-socket clusters).
+    /// Default Auto consults the tuned SocketStaging decision table.
+    void set_socket_staging(SocketStaging s) { staging_ = s; }
+    SocketStaging socket_staging() const { return staging_; }
 
     /// Resilience counters of this channel (robust mode only).
     const RobustStats& robust_stats() const { return rs_.stats; }
@@ -57,6 +63,8 @@ private:
     const HierComm* hc_;
     NodeSharedBuffer buf_;
     NodeSync sync_;
+    SocketStager stager_;
+    SocketStaging staging_ = SocketStaging::Auto;
     std::size_t count_;
     Datatype dt_;
     std::size_t vec_bytes_;

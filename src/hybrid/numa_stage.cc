@@ -1,0 +1,90 @@
+#include "hybrid/numa_stage.h"
+
+#include "hybrid/hy_trace.h"
+#include "tuning/decision.h"
+
+namespace hympi {
+
+SocketStager::SocketStager(const HierComm& hc) : hc_(&hc) {
+    const RobustConfig* cfg = hc.world().ctx().robust_cfg;
+    // Staging regions are defined per whole node, so multi-leader slicing
+    // is out of scope; the robust path keeps its pre-socket cost structure
+    // so recovery traces stay comparable across socket counts.
+    active_ = hc.has_socket_level() && hc.leaders_per_node() == 1 &&
+              (cfg == nullptr || !cfg->enabled);
+}
+
+SocketStaging SocketStager::resolve(SocketStaging mode,
+                                    std::size_t bytes) const {
+    if (mode != SocketStaging::Auto) return mode;
+    if (!active_) return SocketStaging::Flat;
+    const tuning::DecisionTable* table = hc_->world().ctx().tuned;
+    if (table != nullptr) {
+        const auto c = table->lookup(tuning::Op::SocketStaging,
+                                     tuning::Shape::Shm, hc_->shm().size(),
+                                     bytes);
+        if (c.has_value()) {
+            return c->algo == tuning::algo::kSsStaged ? SocketStaging::Staged
+                                                      : SocketStaging::Flat;
+        }
+    }
+    // Legacy heuristic: staging pays a socket barrier and a serialized
+    // mirror copy; it wins once the contended per-reader crossing
+    // dominates those fixed costs.
+    return (bytes >= 16 * 1024 && hc_->socket().size() >= 2)
+               ? SocketStaging::Staged
+               : SocketStaging::Flat;
+}
+
+void SocketStager::distribute(std::size_t bytes, SocketStaging mode) {
+    if (!active_ || bytes == 0) return;
+    if (hc_->my_socket() == hc_->home_socket()) return;
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    mode = resolve(mode, bytes);
+    TraceSpan span(ctx, hytrace::Phase::Copy, "numa_distribute");
+    span.set_algo(mode == SocketStaging::Staged ? "staged" : "flat");
+    span.set_bytes(bytes);
+    if (mode == SocketStaging::Staged) {
+        if (hc_->is_socket_leader()) {
+            // One bulk crossing into the socket-local mirror region.
+            ctx.charge_xsocket_read(bytes, 1);
+            ctx.charge_memcpy(bytes);
+        }
+        // Socket-scoped publication: children read the mirror locally.
+        minimpi::barrier(hc_->socket());
+    } else {
+        // Every reader pulls the result across, sharing the inter-socket
+        // link with its socket's co-readers.
+        ctx.charge_xsocket_read(bytes, hc_->socket().size());
+    }
+}
+
+void SocketStager::reduce_gather(std::size_t vec_bytes, SocketStaging mode) {
+    if (!active_ || vec_bytes == 0) return;
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    mode = resolve(mode, vec_bytes);
+    const int ppn = hc_->shm().size();
+    const int mine = hc_->socket().size();
+    TraceSpan span(ctx, hytrace::Phase::Copy, "numa_reduce_gather");
+    span.set_algo(mode == SocketStaging::Staged ? "staged" : "flat");
+    span.set_bytes(vec_bytes);
+    if (mode == SocketStaging::Staged) {
+        // Two-level reduction: the socket partial is local; only the
+        // leaders cross, each pulling the other sockets' partials once.
+        if (hc_->is_socket_leader() && hc_->sockets_on_node() > 1) {
+            ctx.charge_xsocket_read(
+                vec_bytes *
+                    static_cast<std::size_t>(hc_->sockets_on_node() - 1),
+                1);
+        }
+    } else if (ppn > mine) {
+        // Striping over all on-node inputs pulls the other sockets' share
+        // of every stripe across, contended by this socket's co-workers.
+        ctx.charge_xsocket_read(
+            vec_bytes * static_cast<std::size_t>(ppn - mine) /
+                static_cast<std::size_t>(ppn),
+            mine);
+    }
+}
+
+}  // namespace hympi

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hybrid/hier_comm.h"
+
+namespace hympi {
+
+/// How a hybrid channel's on-node phases treat the NUMA socket boundary
+/// (only meaningful when the cluster models sockets_per_node > 1):
+///  * Flat   — the pre-socket behaviour: every rank touches the node-shared
+///    buffer directly, so ranks on a remote socket pay the contended
+///    cross-socket (QPI/UPI) cost for every byte they pull across;
+///  * Staged — the socket leader crosses the boundary ONCE on behalf of its
+///    socket (a bulk mirror copy into a socket-local region), then its
+///    socket's ranks read locally after one socket-scoped sync;
+///  * Auto   — consult the profile's tuned decision table (falls back to a
+///    size threshold when the profile has none).
+enum class SocketStaging : std::uint8_t {
+    Auto,
+    Flat,
+    Staged,
+};
+
+/// Per-channel driver of the socket-staged on-node phases. Construction is
+/// cheap and local; all methods are no-ops unless the hierarchy has a
+/// socket level, the channel has a single leader per node (staging slices
+/// are defined per whole node) and robust mode is off — so on every
+/// existing configuration the channel's behaviour and virtual clocks are
+/// bit-identical to the pre-socket code.
+class SocketStager {
+public:
+    SocketStager() = default;
+    explicit SocketStager(const HierComm& hc);
+
+    /// Whether the socket model applies to this channel at all.
+    bool active() const { return active_; }
+
+    /// Resolve Auto against the tuned SocketStaging table (keyed by the
+    /// on-node population and @p bytes); deterministic and uniform across
+    /// the ranks of one socket.
+    SocketStaging resolve(SocketStaging mode, std::size_t bytes) const;
+
+    /// Charge the on-node distribution of a @p bytes result that lives in
+    /// the home-socket-resident shared buffer. Flat: every remote-socket
+    /// rank pulls the result across, contended by its socket's co-readers.
+    /// Staged: the socket leader mirrors it across once, then a socket
+    /// barrier publishes the mirror. Home-socket ranks read locally (free)
+    /// either way.
+    void distribute(std::size_t bytes, SocketStaging mode);
+
+    /// Charge the input side of the cooperative on-node reduction, whose
+    /// input partitions are homed on their OWNERS' sockets (first touch).
+    /// Flat: every rank pulls the other sockets' share of the inputs
+    /// across while striping. Staged: each socket reduces locally first and
+    /// only its leader crosses, pulling the other sockets' partials once.
+    void reduce_gather(std::size_t vec_bytes, SocketStaging mode);
+
+private:
+    const HierComm* hc_ = nullptr;
+    bool active_ = false;
+};
+
+}  // namespace hympi

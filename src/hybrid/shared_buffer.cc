@@ -35,4 +35,10 @@ NodeSharedBuffer::NodeSharedBuffer(const HierComm& hc, std::size_t total_bytes)
     base_ = win_.shared_query(0).first;
 }
 
+void NodeSharedBuffer::throw_out_of_range(std::size_t off) const {
+    throw minimpi::ArgumentError(
+        "NodeSharedBuffer::at: offset " + std::to_string(off) +
+        " past end of " + std::to_string(bytes_) + "-byte shared segment");
+}
+
 }  // namespace hympi

@@ -37,12 +37,19 @@ public:
         return status_.code == StatusCode::AllocFailed;
     }
 
-    /// Convenience: pointer at byte offset @p off (null-safe).
+    /// Convenience: pointer at byte offset @p off (null-safe). Throws
+    /// minimpi::ArgumentError when @p off lies beyond the segment; the
+    /// one-past-end offset itself stays legal, since zero-size blocks at
+    /// the end of the window (irregular populations, sentinel offsets)
+    /// legitimately resolve there and are never dereferenced.
     std::byte* at(std::size_t off) const {
+        if (off > bytes_) throw_out_of_range(off);
         return base_ ? base_ + off : nullptr;
     }
 
 private:
+    [[noreturn]] void throw_out_of_range(std::size_t off) const;
+
     minimpi::Win win_;
     std::byte* base_ = nullptr;
     std::size_t bytes_ = 0;

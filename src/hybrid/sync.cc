@@ -39,10 +39,14 @@ NodeSync::NodeSync(const HierComm& hc) : hc_(&hc) {
             b.shared->release.resize(static_cast<std::size_t>(shm.size()));
         });
     shared_ = boot->shared;
+    if (ctx.cluster->sockets_per_node() > 1) {
+        xsocket_flags_ = shm.socket_of(shm.rank()) != shm.socket_of(0);
+    }
 }
 
 void NodeSync::signal(Cell& c, minimpi::RankCtx& ctx) {
     ctx.clock.advance(ctx.model->flag_signal_us);
+    if (xsocket_flags_) ctx.clock.advance(ctx.model->xsocket_flag_penalty_us);
     std::lock_guard<std::mutex> lock(shared_->mu);
     c.vtime = ctx.clock.now();
     ++c.seq;
@@ -82,6 +86,7 @@ void NodeSync::wait_for(const Cell& c, std::uint64_t target,
     lock.unlock();
     ctx.clock.sync_to(signal_time);
     ctx.clock.advance(ctx.model->flag_poll_us);
+    if (xsocket_flags_) ctx.clock.advance(ctx.model->xsocket_flag_penalty_us);
     // The wait portion is the virtual time this rank idled until the flag
     // was published (0 when the signal predates the wait); the flag_poll
     // advance is active cost, not waiting.

@@ -108,6 +108,11 @@ private:
     std::uint64_t my_ready_epoch_ = 0;
     std::uint64_t release_epoch_ = 0;
     bool degraded_ = false;
+    /// This rank's flag traffic crosses the socket boundary: the flag block
+    /// is homed on shm rank 0's socket (first touch), so ranks on the other
+    /// socket(s) pay xsocket_flag_penalty_us per store/poll. Always false on
+    /// 1-socket clusters.
+    bool xsocket_flags_ = false;
 };
 
 }  // namespace hympi

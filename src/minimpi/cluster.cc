@@ -6,16 +6,17 @@
 
 namespace minimpi {
 
-ClusterSpec ClusterSpec::regular(int nodes, int ppn, Placement placement) {
+ClusterSpec ClusterSpec::regular(int nodes, int ppn, Placement placement,
+                                 int sockets_per_node) {
     if (nodes <= 0 || ppn <= 0) {
         throw ArgumentError("cluster must have positive nodes and ppn");
     }
     return ClusterSpec(std::vector<int>(static_cast<std::size_t>(nodes), ppn),
-                       placement);
+                       placement, sockets_per_node);
 }
 
 ClusterSpec ClusterSpec::irregular(std::vector<int> procs_per_node,
-                                   Placement placement) {
+                                   Placement placement, int sockets_per_node) {
     if (procs_per_node.empty()) {
         throw ArgumentError("cluster must have at least one node");
     }
@@ -24,11 +25,17 @@ ClusterSpec ClusterSpec::irregular(std::vector<int> procs_per_node,
             throw ArgumentError("every node must host at least one process");
         }
     }
-    return ClusterSpec(std::move(procs_per_node), placement);
+    return ClusterSpec(std::move(procs_per_node), placement, sockets_per_node);
 }
 
-ClusterSpec::ClusterSpec(std::vector<int> procs_per_node, Placement placement)
-    : procs_per_node_(std::move(procs_per_node)), placement_(placement) {
+ClusterSpec::ClusterSpec(std::vector<int> procs_per_node, Placement placement,
+                         int sockets_per_node)
+    : procs_per_node_(std::move(procs_per_node)),
+      placement_(placement),
+      sockets_per_node_(sockets_per_node) {
+    if (sockets_per_node_ < 1) {
+        throw ArgumentError("sockets_per_node must be >= 1");
+    }
     total_ = std::accumulate(procs_per_node_.begin(), procs_per_node_.end(), 0);
     node_of_.resize(static_cast<std::size_t>(total_));
     rank_on_node_.resize(static_cast<std::size_t>(total_));
@@ -67,6 +74,26 @@ ClusterSpec::ClusterSpec(std::vector<int> procs_per_node, Placement placement)
         rank_on_node_[static_cast<std::size_t>(r)] =
             static_cast<int>(members.size());
         members.push_back(r);
+    }
+
+    // Sockets: each node's member list is cut into S contiguous slices
+    // [P*s/S, P*(s+1)/S) — the same flooring partition leader_slice uses —
+    // so irregular populations spread across sockets with sizes differing
+    // by at most one, possibly leaving high sockets empty when S > P.
+    socket_of_.resize(static_cast<std::size_t>(total_), 0);
+    if (sockets_per_node_ > 1) {
+        const int S = sockets_per_node_;
+        for (const auto& members : ranks_of_node_) {
+            const int P = static_cast<int>(members.size());
+            for (int s = 0; s < S; ++s) {
+                const int lo = P * s / S;
+                const int hi = P * (s + 1) / S;
+                for (int p = lo; p < hi; ++p) {
+                    socket_of_[static_cast<std::size_t>(
+                        members[static_cast<std::size_t>(p)])] = s;
+                }
+            }
+        }
     }
 
     node_sorted_ranks_.reserve(static_cast<std::size_t>(total_));

@@ -24,12 +24,16 @@ enum class Placement : std::uint8_t {
 class ClusterSpec {
 public:
     /// Regular cluster: @p nodes nodes with @p ppn processes each.
+    /// @p sockets_per_node models the NUMA domains inside each node
+    /// (default 1 = flat node, the pre-socket behaviour).
     static ClusterSpec regular(int nodes, int ppn,
-                               Placement placement = Placement::Smp);
+                               Placement placement = Placement::Smp,
+                               int sockets_per_node = 1);
 
     /// Irregular cluster: one entry per node giving its process count.
     static ClusterSpec irregular(std::vector<int> procs_per_node,
-                                 Placement placement = Placement::Smp);
+                                 Placement placement = Placement::Smp,
+                                 int sockets_per_node = 1);
 
     int num_nodes() const { return static_cast<int>(procs_per_node_.size()); }
     int total_ranks() const { return total_; }
@@ -59,14 +63,33 @@ public:
     /// class in the network model).
     bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
 
+    /// NUMA domains per node (>= 1; 1 = flat node).
+    int sockets_per_node() const { return sockets_per_node_; }
+
+    /// Socket (NUMA domain) index of @p rank *within its node*: the node's
+    /// member list is cut into sockets_per_node() contiguous slices
+    /// [P*s/S, P*(s+1)/S), mirroring how cores are numbered on real
+    /// dual-socket nodes. With one socket this is always 0.
+    int socket_of(int rank) const { return socket_of_.at(rank); }
+
+    /// True when both endpoints share a node AND a socket (chooses the
+    /// intra-socket shm link class; same-node-different-socket transfers
+    /// pay the cross-socket link instead).
+    bool same_socket(int a, int b) const {
+        return same_node(a, b) && socket_of(a) == socket_of(b);
+    }
+
 private:
-    ClusterSpec(std::vector<int> procs_per_node, Placement placement);
+    ClusterSpec(std::vector<int> procs_per_node, Placement placement,
+                int sockets_per_node);
 
     std::vector<int> procs_per_node_;
     Placement placement_;
+    int sockets_per_node_ = 1;
     int total_ = 0;
     std::vector<int> node_of_;
     std::vector<int> rank_on_node_;
+    std::vector<int> socket_of_;
     std::vector<std::vector<int>> ranks_of_node_;
     std::vector<int> node_sorted_ranks_;
 };

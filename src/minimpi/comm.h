@@ -76,6 +76,11 @@ public:
         return ctx_->cluster->node_of(to_world(local));
     }
 
+    /// NUMA socket (within its node) hosting comm rank @p local.
+    int socket_of(int local) const {
+        return ctx_->cluster->socket_of(to_world(local));
+    }
+
     RankCtx& ctx() const { return *ctx_; }
     CommState& state() const { return require(); }
 

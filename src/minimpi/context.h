@@ -37,6 +37,10 @@ struct CommStats {
     std::uint64_t msgs_received = 0;
     std::uint64_t bytes_received = 0;
     std::uint64_t memcpy_bytes = 0;  ///< local copies charged to the clock
+    /// Bytes moved across a NUMA socket boundary (messages whose endpoints
+    /// share a node but not a socket, plus copies charged with the
+    /// cross-socket premium). Always 0 on 1-socket clusters.
+    std::uint64_t xsocket_bytes = 0;
     double flops = 0.0;
 
     CommStats& operator+=(const CommStats& o) {
@@ -47,6 +51,7 @@ struct CommStats {
         msgs_received += o.msgs_received;
         bytes_received += o.bytes_received;
         memcpy_bytes += o.memcpy_bytes;
+        xsocket_bytes += o.xsocket_bytes;
         flops += o.flops;
         return *this;
     }
@@ -74,14 +79,32 @@ struct RankCtx {
     int node() const { return cluster->node_of(world_rank); }
 
     /// Link parameters for traffic between this rank and global rank @p peer.
+    /// Three-way: same socket → shm, same node but different socket → the
+    /// cross-socket (QPI/UPI) link, different node → net. On 1-socket
+    /// clusters every on-node pair shares socket 0, so shm is always chosen
+    /// and the pre-socket cost model is reproduced exactly.
     const LinkParams& link_to(int peer_global) const {
-        return cluster->same_node(world_rank, peer_global) ? model->shm
-                                                           : model->net;
+        if (!cluster->same_node(world_rank, peer_global)) return model->net;
+        return cluster->same_socket(world_rank, peer_global)
+                   ? model->shm
+                   : model->shm_xsocket;
     }
 
     /// Charge a local copy of @p bytes to this rank's clock and, when
     /// payloads are real and both pointers non-null, actually perform it.
     void copy_bytes(void* dst, const void* src, std::size_t bytes);
+
+    /// Like copy_bytes, but one side of the copy lives on a remote NUMA
+    /// domain: charges the cross-socket per-byte premium on top of the
+    /// normal memcpy cost and attributes the bytes to xsocket counters.
+    void copy_bytes_xsocket(void* dst, const void* src, std::size_t bytes);
+
+    /// Charge only the cross-socket premium for @p bytes read through the
+    /// QPI/UPI hop (used when a rank on a remote socket consumes data homed
+    /// on the leader's socket in place, without a modelled local copy).
+    /// @p concurrency scales the per-byte cost: simultaneous readers on one
+    /// socket share the inter-socket link, so each is slowed by the others.
+    void charge_xsocket_read(std::size_t bytes, int concurrency = 1);
 
     /// Charge application compute (used by reductions and the apps layer).
     void charge_flops(double flops) {

@@ -17,6 +17,11 @@ ModelParams ModelParams::cray() {
     // flag round, which is the asymmetry the hybrid collectives exploit.
     p.shm = LinkParams{0.90, 1.0 / 6000.0, 0.55};
     p.net = LinkParams{1.40, 1.0 / 9000.0, 0.50};
+    // QPI hop between the two Haswell sockets: ~+30% latency and roughly
+    // 60% of the local shm bandwidth, plus dearer remote-line flags/copies.
+    p.shm_xsocket = LinkParams{1.15, 1.0 / 3600.0, 0.60};
+    p.memcpy_xsocket_beta_us_per_byte = 1.0 / 16000.0;
+    p.xsocket_flag_penalty_us = 0.05;
     p.allgather_long_threshold = 80 * 1024;
     p.bcast_long_threshold = 12 * 1024;
     p.vector_coll_alpha_factor = 1.30;
@@ -30,6 +35,10 @@ ModelParams ModelParams::openmpi() {
     // cost, somewhat lower bandwidth, and a larger allgatherv penalty.
     p.shm = LinkParams{1.10, 1.0 / 5000.0, 0.65};
     p.net = LinkParams{1.90, 1.0 / 5500.0, 0.65};
+    // The NEC cluster's UPI-equivalent hop through a less NUMA-tuned stack.
+    p.shm_xsocket = LinkParams{1.50, 1.0 / 3000.0, 0.72};
+    p.memcpy_xsocket_beta_us_per_byte = 1.0 / 12000.0;
+    p.xsocket_flag_penalty_us = 0.07;
     p.allgather_long_threshold = 64 * 1024;
     p.bcast_long_threshold = 8 * 1024;
     p.vector_coll_alpha_factor = 1.45;
@@ -41,6 +50,9 @@ ModelParams ModelParams::test() {
     p.name = "test";
     p.shm = LinkParams{0.10, 1.0 / 10000.0, 0.05};
     p.net = LinkParams{0.50, 1.0 / 10000.0, 0.10};
+    p.shm_xsocket = LinkParams{0.15, 1.0 / 8000.0, 0.06};
+    p.memcpy_xsocket_beta_us_per_byte = 1.0 / 20000.0;
+    p.xsocket_flag_penalty_us = 0.02;
     return p;
 }
 

@@ -26,12 +26,25 @@ struct LinkParams {
 struct ModelParams {
     std::string name;  ///< profile name for reports ("cray", "openmpi", ...)
 
-    LinkParams shm;  ///< intra-node transfers (shared-memory transport)
+    LinkParams shm;  ///< intra-socket transfers (shared-memory transport)
     LinkParams net;  ///< inter-node transfers (Aries / InfiniBand)
+
+    /// Same-node, different-socket transfers: the QPI/UPI hop between NUMA
+    /// domains. Only consulted when the cluster has sockets_per_node > 1 —
+    /// flat (1-socket) nodes use `shm` for every on-node message, so the
+    /// default model is unchanged. Profiles set this slightly worse than
+    /// `shm` (higher latency, lower bandwidth), still far better than `net`.
+    LinkParams shm_xsocket;
 
     /// Local memory copy: alpha + bytes * beta charged to the copying rank.
     VTime memcpy_alpha_us = 0.05;
     VTime memcpy_beta_us_per_byte = 1.0 / 8000.0;  // ~8 GB/s
+
+    /// Extra per-byte cost of a memory copy whose source or destination
+    /// lives on a remote NUMA domain (reading a leader-socket-homed shared
+    /// buffer from the other socket). Added on top of memcpy_beta; zero
+    /// effect on 1-socket clusters because nothing ever crosses a socket.
+    VTime memcpy_xsocket_beta_us_per_byte = 1.0 / 16000.0;  // ~+50% copy cost
 
     /// Floating-point throughput used when applications charge compute.
     double flops_per_us = 2000.0;  // ~2 GFLOP/s per core
@@ -41,6 +54,12 @@ struct ModelParams {
     /// check (acquire) through the cache-coherence fabric.
     VTime flag_signal_us = 0.06;
     VTime flag_poll_us = 0.04;
+
+    /// Additional cost of a flag store/check whose cache line is homed on
+    /// the other socket (coherence traffic over QPI/UPI instead of the
+    /// on-die ring). Charged per cross-socket flag operation; irrelevant
+    /// on 1-socket nodes.
+    VTime xsocket_flag_penalty_us = 0.05;
 
     /// MPI_Barrier on a purely on-node communicator. Production libraries
     /// implement it with shared counters/flags, NOT message passing, which

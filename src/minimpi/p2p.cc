@@ -62,6 +62,10 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     ctx.stats.bytes_sent += bytes;
     if (ctx.cluster->same_node(ctx.world_rank, dst_world)) {
         ctx.stats.intra_node_msgs += 1;
+        if (!ctx.cluster->same_socket(ctx.world_rank, dst_world)) {
+            ctx.stats.xsocket_bytes += bytes;
+            HYTRACE_COUNTER(ctx, xsocket_bytes, bytes);
+        }
     } else {
         ctx.stats.inter_node_msgs += 1;
     }
@@ -135,6 +139,10 @@ void send_frame(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     ctx.stats.bytes_sent += bytes;
     if (ctx.cluster->same_node(ctx.world_rank, dst_world)) {
         ctx.stats.intra_node_msgs += 1;
+        if (!ctx.cluster->same_socket(ctx.world_rank, dst_world)) {
+            ctx.stats.xsocket_bytes += bytes;
+            HYTRACE_COUNTER(ctx, xsocket_bytes, bytes);
+        }
     } else {
         ctx.stats.inter_node_msgs += 1;
     }

@@ -109,6 +109,7 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
             os << "{\"pid\": " << run << ", \"tid\": " << r
                << ", \"bridge_bytes\": " << c.bridge_bytes
                << ", \"shm_bytes\": " << c.shm_bytes
+               << ", \"xsocket_bytes\": " << c.xsocket_bytes
                << ", \"sync_wait_us\": ";
             write_us(os, c.sync_wait_us);
             os << ", \"retransmits\": " << c.retransmits
@@ -116,7 +117,9 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
         }
     }
     os << "\n], \"totals\": {\"bridge_bytes\": " << totals.bridge_bytes
-       << ", \"shm_bytes\": " << totals.shm_bytes << ", \"sync_wait_us\": ";
+       << ", \"shm_bytes\": " << totals.shm_bytes
+       << ", \"xsocket_bytes\": " << totals.xsocket_bytes
+       << ", \"sync_wait_us\": ";
     write_us(os, totals.sync_wait_us);
     os << ", \"retransmits\": " << totals.retransmits
        << ", \"degradations\": " << totals.degradations << "}}\n}\n";

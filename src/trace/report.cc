@@ -243,12 +243,41 @@ DiffResult diff_bench_json(const json::Value& base, const json::Value& cand,
             continue;
         }
         for (std::size_t s = 0; s < bvals->arr.size(); ++s) {
+            const json::Value& bv = bvals->arr[s];
+            const json::Value& cv = cvals->arr[s];
+            // Structural cases first: a null cell (no measurement) on one
+            // side only, or a legitimate 0-valued baseline, must never feed
+            // the relative comparison — dividing by 0 would yield inf/NaN
+            // and a null read as number 0.0 would silently pass.
+            if (bv.is_null() != cv.is_null()) {
+                out.mismatches.push_back(
+                    "row " + std::to_string(r) + " (x=" + xs + ") series \"" +
+                    bseries->arr[s].str + "\": " +
+                    (bv.is_null() ? "baseline has no value but candidate does"
+                                  : "candidate has no value but baseline "
+                                    "does"));
+                continue;
+            }
+            if (bv.is_null()) continue;  // both absent: nothing to compare
             DiffEntry e;
             e.series = bseries->arr[s].str;
             e.x = xs;
-            e.base = bvals->arr[s].number;
-            e.cand = cvals->arr[s].number;
-            e.rel = e.base != 0.0 ? (e.cand - e.base) / e.base : 0.0;
+            e.base = bv.number;
+            e.cand = cv.number;
+            if (e.base == 0.0) {
+                // A zero-latency baseline cell cannot anchor a relative
+                // tolerance; any nonzero candidate is a structural change.
+                if (e.cand != 0.0) {
+                    out.mismatches.push_back(
+                        "row " + std::to_string(r) + " (x=" + xs +
+                        ") series \"" + e.series +
+                        "\": baseline is 0 but candidate is " +
+                        std::to_string(e.cand) +
+                        " (relative comparison undefined)");
+                }
+                continue;
+            }
+            e.rel = (e.cand - e.base) / e.base;
             // Values are latencies: only slower-than-baseline is a
             // regression. The absolute guard keeps --rel-tol 0 usable for
             // bit-identical runs without tripping on representation noise.

@@ -63,6 +63,7 @@ struct Span {
 struct Counters {
     std::uint64_t bridge_bytes = 0;  ///< bytes sent inside bridge-exchange spans
     std::uint64_t shm_bytes = 0;     ///< bytes moved through node-shared memory
+    std::uint64_t xsocket_bytes = 0; ///< bytes crossing a NUMA socket boundary
     VTime sync_wait_us = 0.0;        ///< vtime spent in barrier/flag sync waits
     std::uint64_t retransmits = 0;   ///< robust DATA frames retransmitted
     std::uint64_t degradations = 0;  ///< ladder downgrades (Flags->Barrier, ->flat)
@@ -70,6 +71,7 @@ struct Counters {
     Counters& operator+=(const Counters& o) {
         bridge_bytes += o.bridge_bytes;
         shm_bytes += o.shm_bytes;
+        xsocket_bytes += o.xsocket_bytes;
         sync_wait_us += o.sync_wait_us;
         retransmits += o.retransmits;
         degradations += o.degradations;

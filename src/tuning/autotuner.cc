@@ -193,6 +193,10 @@ std::vector<Choice> candidates(Op op, int comm_size, const TuneConfig& cfg) {
             // leader per node guarantees).
             if (comm_size % 2 == 0) add(algo::kBrNeighborExchange);
             break;
+        case Op::SocketStaging:
+            add(algo::kSsFlat);
+            add(algo::kSsStaged);
+            break;
     }
     return out;
 }
@@ -223,6 +227,13 @@ Choice legacy_choice(const mm::ModelParams& profile, Op op, int comm_size,
                           0};
         case Op::Barrier:
             return Choice{algo::kBarDissemination, 0};
+        case Op::SocketStaging:
+            // Mirror of SocketStager's pre-table heuristic: two sockets on a
+            // comm_size-rank node give sockets of comm_size/2 ranks.
+            return Choice{bytes >= 16 * 1024 && comm_size >= 4
+                              ? algo::kSsStaged
+                              : algo::kSsFlat,
+                          0};
         case Op::BridgeExchange:
         default:
             return Choice{algo::kBrVendorAllgatherv, 0};
@@ -238,6 +249,25 @@ double measure(const mm::ModelParams& profile, Op op, Shape shape,
     if (op == Op::Allreduce && choice.algo == algo::kArRing &&
         bytes < static_cast<std::size_t>(comm_size)) {
         return std::numeric_limits<double>::infinity();
+    }
+    if (op == Op::SocketStaging) {
+        // One dual-socket node of comm_size ranks; the channel's on-node
+        // distribution phase (forced flat or staged) is what differs between
+        // the candidates — a broadcast carries exactly `bytes` through it.
+        mm::Runtime srt(
+            mm::ClusterSpec::regular(1, comm_size, mm::Placement::Smp, 2),
+            profile, mm::PayloadMode::SizeOnly);
+        const hympi::SocketStaging s = choice.algo == algo::kSsStaged
+                                           ? hympi::SocketStaging::Staged
+                                           : hympi::SocketStaging::Flat;
+        return benchu::osu_latency(
+            srt, cfg.warmup, cfg.iters,
+            [bytes, s](mm::Comm& world) -> std::function<void()> {
+                auto hc = std::make_shared<hympi::HierComm>(world, 1);
+                auto ch = std::make_shared<hympi::BcastChannel>(*hc, bytes);
+                ch->set_socket_staging(s);
+                return [hc, ch] { ch->run(0); };
+            });
     }
     mm::Runtime rt(cluster_for(shape, comm_size), profile,
                    mm::PayloadMode::SizeOnly);
@@ -299,6 +329,11 @@ DecisionTable tune_profile(const mm::ModelParams& profile,
     // On-node barriers always use the shared-counter implementation, so
     // only the network shape is tuned; the byte axis is degenerate.
     sweep(Op::Barrier, Shape::Net, cfg.net_sizes, {0}, false);
+    // Hybrid on-node NUMA phase, measured on one dual-socket node. The
+    // candidates are forced (never Auto), so this sweep cannot re-enter the
+    // table being built.
+    sweep(Op::SocketStaging, Shape::Shm, cfg.shm_sizes, cfg.message_bytes,
+          false);
 
     // Bridge exchange last, with the partial table registered so the
     // vendor-allgatherv and bcast candidates run with tuned inner selection

@@ -15,9 +15,10 @@ namespace tuning {
 
 namespace {
 
-const char* const kOpNames[kNumOps] = {"allgather", "allgatherv", "bcast",
-                                       "allreduce", "barrier",
-                                       "bridge_exchange"};
+const char* const kOpNames[kNumOps] = {"allgather",       "allgatherv",
+                                       "bcast",           "allreduce",
+                                       "barrier",         "bridge_exchange",
+                                       "socket_staging"};
 const char* const kShapeNames[kNumShapes] = {"net", "shm"};
 
 /// Per-op algorithm name tables, indexed by the algo:: constants.
@@ -30,6 +31,7 @@ const std::vector<const char*>& algo_names(Op op) {
         {"dissemination", "tree"},                       // Barrier
         {"allgatherv", "bcast", "pipelined", "bruckv",   // BridgeExchange
          "neighbor_exchange"},
+        {"flat", "staged"},                              // SocketStaging
     };
     return names[static_cast<int>(op)];
 }

@@ -33,8 +33,10 @@ enum class Op : std::uint8_t {
     Barrier,         ///< keyed by 0 (no message size axis)
     BridgeExchange,  ///< hybrid bridge allgatherv; keyed by the largest
                      ///< node-block byte count on the bridge
+    SocketStaging,   ///< hybrid on-node NUMA phase (flat vs socket-staged);
+                     ///< Shm shape, keyed by the distributed byte count
 };
-inline constexpr int kNumOps = 6;
+inline constexpr int kNumOps = 7;
 
 /// Link class of the communicator the operation runs on. Collective call
 /// sites in minimpi are link-pure: the SMP-aware dispatch sends mixed
@@ -72,6 +74,9 @@ inline constexpr std::uint8_t kBrBcast = 1;
 inline constexpr std::uint8_t kBrPipelined = 2;
 inline constexpr std::uint8_t kBrBruckV = 3;
 inline constexpr std::uint8_t kBrNeighborExchange = 4;
+// Op::SocketStaging
+inline constexpr std::uint8_t kSsFlat = 0;
+inline constexpr std::uint8_t kSsStaged = 1;
 }  // namespace algo
 
 /// Number of algorithm ids defined for @p op.
