@@ -31,8 +31,16 @@ Summa::Summa(const Comm& world, const SummaConfig& cfg)
         const std::size_t tile_bytes = b * b * sizeof(double);
         row_hier_ = std::make_unique<hympi::HierComm>(row_comm_);
         col_hier_ = std::make_unique<hympi::HierComm>(col_comm_);
-        row_ch_ = std::make_unique<hympi::BcastChannel>(*row_hier_, tile_bytes);
-        col_ch_ = std::make_unique<hympi::BcastChannel>(*col_hier_, tile_bytes);
+        row_ch_[0] =
+            std::make_unique<hympi::BcastChannel>(*row_hier_, tile_bytes);
+        col_ch_[0] =
+            std::make_unique<hympi::BcastChannel>(*col_hier_, tile_bytes);
+        if (cfg.lookahead) {
+            row_ch_[1] =
+                std::make_unique<hympi::BcastChannel>(*row_hier_, tile_bytes);
+            col_ch_[1] =
+                std::make_unique<hympi::BcastChannel>(*col_hier_, tile_bytes);
+        }
     }
 }
 
@@ -75,10 +83,10 @@ const double* Summa::row_bcast(int k) {
     // Hybrid: the root stores its tile once into the node-shared channel
     // buffer; no per-process copies exist anywhere on the node.
     if (col_ == k) {
-        ctx.copy_bytes(row_ch_->write_buffer(), a_.data(), tile_bytes);
+        ctx.copy_bytes(row_ch_[0]->write_buffer(), a_.data(), tile_bytes);
     }
-    row_ch_->run(k, cfg_.sync);
-    return reinterpret_cast<const double*>(row_ch_->read_buffer());
+    row_ch_[0]->run(k, cfg_.sync);
+    return reinterpret_cast<const double*>(row_ch_[0]->read_buffer());
 }
 
 const double* Summa::col_bcast(int k) {
@@ -92,13 +100,59 @@ const double* Summa::col_bcast(int k) {
         return buf;
     }
     if (row_ == k) {
-        ctx.copy_bytes(col_ch_->write_buffer(), b_.data(), tile_bytes);
+        ctx.copy_bytes(col_ch_[0]->write_buffer(), b_.data(), tile_bytes);
     }
-    col_ch_->run(k, cfg_.sync);
-    return reinterpret_cast<const double*>(col_ch_->read_buffer());
+    col_ch_[0]->run(k, cfg_.sync);
+    return reinterpret_cast<const double*>(col_ch_[0]->read_buffer());
+}
+
+minimpi::CollRequest Summa::start_row(int k) {
+    // Engine-side fill: the root's tile copy rides the request's sub-clock
+    // and overlaps the GEMM below instead of serializing before the post.
+    const void* src = (col_ == k) ? static_cast<const void*>(a_.data())
+                                  : nullptr;
+    return row_ch_[k % 2]->start(k, cfg_.sync, src);
+}
+
+minimpi::CollRequest Summa::start_col(int k) {
+    const void* src = (row_ == k) ? static_cast<const void*>(b_.data())
+                                  : nullptr;
+    return col_ch_[k % 2]->start(k, cfg_.sync, src);
+}
+
+void Summa::multiply_lookahead() {
+    minimpi::RankCtx& ctx = world_.ctx();
+    const std::size_t b = cfg_.block;
+    minimpi::CollRequest ra = start_row(0);
+    minimpi::CollRequest rb = start_col(0);
+    for (int k = 0; k < cfg_.grid; ++k) {
+        ra.wait();
+        rb.wait();
+        const double* a_use =
+            reinterpret_cast<const double*>(row_ch_[k % 2]->read_buffer());
+        const double* b_use =
+            reinterpret_cast<const double*>(col_ch_[k % 2]->read_buffer());
+        if (k + 1 < cfg_.grid) {
+            // Post step k+1 on the other channel pair BEFORE the GEMM: the
+            // leaders' bridge transfers overlap the compute below. Writing
+            // the k+1 tile into the idle pair is safe — round k+1's wait-
+            // side sync is what separates it from round k-1's last readers.
+            ra = start_row(k + 1);
+            rb = start_col(k + 1);
+        }
+        ctx.charge_flops(local_flops());
+        if (ctx.payload_mode == PayloadMode::Real && a_use != nullptr &&
+            b_use != nullptr) {
+            linalg::gemm_raw(a_use, b_use, c_.data(), b, b, b);
+        }
+    }
 }
 
 void Summa::multiply() {
+    if (cfg_.backend == Backend::Hybrid && cfg_.lookahead) {
+        multiply_lookahead();
+        return;
+    }
     minimpi::RankCtx& ctx = world_.ctx();
     const std::size_t b = cfg_.block;
     for (int k = 0; k < cfg_.grid; ++k) {

@@ -28,6 +28,11 @@ struct SummaConfig {
     std::size_t block = 8;   ///< per-core tile dimension (8, 64, 128, 256...)
     Backend backend = Backend::PureMpi;
     hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
+    /// Hybrid backend only: double-buffer the broadcast channels and post
+    /// step k+1's broadcasts split-phase before the step-k GEMM, so the
+    /// tile transfers overlap the compute in virtual time (the classic
+    /// SUMMA lookahead).
+    bool lookahead = false;
 };
 
 /// One rank's view of a SUMMA computation. Construction is collective over
@@ -64,6 +69,12 @@ private:
     const double* row_bcast(int k);  ///< returns the A tile to use this step
     const double* col_bcast(int k);  ///< returns the B tile to use this step
 
+    /// Lookahead helpers: stage the root's tile and post the split-phase
+    /// broadcast of step @p k on the parity-(k%2) channel pair.
+    minimpi::CollRequest start_row(int k);
+    minimpi::CollRequest start_col(int k);
+    void multiply_lookahead();
+
     Comm world_;
     SummaConfig cfg_;
     minimpi::CartComm cart_;  ///< grid x grid process mesh
@@ -75,8 +86,10 @@ private:
     // hybrid backend eliminates).
     linalg::Matrix a_recv_, b_recv_;
     // Hybrid backend: node-shared broadcast channels on the row/col comms.
+    // Pair [1] exists only under lookahead: steps alternate channels so
+    // step k+1's transfer can be in flight while step k's tile is read.
     std::unique_ptr<hympi::HierComm> row_hier_, col_hier_;
-    std::unique_ptr<hympi::BcastChannel> row_ch_, col_ch_;
+    std::unique_ptr<hympi::BcastChannel> row_ch_[2], col_ch_[2];
 };
 
 }  // namespace apps

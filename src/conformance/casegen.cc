@@ -62,6 +62,15 @@ const char* op_name(CollOp op) {
     return "?";
 }
 
+const char* exec_name(ExecMode m) {
+    switch (m) {
+        case ExecMode::Blocking: return "blocking";
+        case ExecMode::Nonblocking: return "nonblocking";
+        case ExecMode::Persistent: return "persistent";
+    }
+    return "?";
+}
+
 std::vector<int> CaseSpec::derive_members() const {
     const int p = total_ranks();
     std::vector<int> members;
@@ -117,8 +126,11 @@ std::string CaseSpec::describe() const {
                : staging == hympi::SocketStaging::Staged ? "staged"
                                                          : "auto");
     }
-    os << " profile=" << (cray_profile ? "cray" : "openmpi")
-       << " sync=" << (sync == hympi::SyncPolicy::Barrier ? "barrier" : "flags")
+    os << " profile=" << (cray_profile ? "cray" : "openmpi");
+    // Kept out of the line for Blocking so pre-ExecMode reproducers parse
+    // unchanged.
+    if (exec != ExecMode::Blocking) os << " exec=" << exec_name(exec);
+    os << " sync=" << (sync == hympi::SyncPolicy::Barrier ? "barrier" : "flags")
        << " leaders=" << leaders << " iters=" << iterations
        << " block=" << block_bytes;
     if (op == CollOp::Allgather || op == CollOp::Allgatherv) {
@@ -213,6 +225,16 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
     spec.subcomm = spec.total_ranks() >= 3 && s.chance(25);
 
     spec.op = static_cast<CollOp>(s.below(kNumOps));
+    // Split-phase execution modes exist for the four channels with a
+    // start()/wait() pair; the rest always run blocking.
+    if (spec.op == CollOp::Allgather || spec.op == CollOp::Allgatherv ||
+        spec.op == CollOp::Bcast || spec.op == CollOp::Allreduce) {
+        switch (s.below(3)) {
+            case 0: spec.exec = ExecMode::Nonblocking; break;
+            case 1: spec.exec = ExecMode::Persistent; break;
+            default: break;  // Blocking
+        }
+    }
     spec.sync = s.chance(50) ? hympi::SyncPolicy::Barrier
                              : hympi::SyncPolicy::Flags;
     switch (s.below(6)) {

@@ -41,6 +41,19 @@ inline constexpr int kNumOps = 8;
 
 const char* op_name(CollOp op);
 
+/// How each collective round is issued. Blocking calls the channel's run()
+/// and the flat reference directly; Nonblocking drives the round through
+/// the split-phase start()/wait() pair and the flat i* collectives;
+/// Persistent additionally reuses a cached request (the channel's engine
+/// task, minimpi's *_init) across iterations and polls the zero-cost
+/// test() before waiting. Only ops with a split-phase channel (allgather,
+/// allgatherv, bcast, allreduce) sample the non-blocking modes. With no
+/// compute between start and wait, every mode must land on byte-identical
+/// buffers — and, on 1-socket cases, bit-identical virtual clocks.
+enum class ExecMode : std::uint8_t { Blocking, Nonblocking, Persistent };
+
+const char* exec_name(ExecMode m);
+
 /// One fully-specified randomized case. Quantities that depend on the
 /// active communicator's size (sub-communicator membership, per-rank
 /// allgatherv counts, the root of rooted ops) are pure functions of `seed`
@@ -60,6 +73,7 @@ struct CaseSpec {
     bool subcomm = false;      ///< run on a seeded proper sub-communicator
 
     CollOp op = CollOp::Allgather;
+    ExecMode exec = ExecMode::Blocking;
     hympi::SyncPolicy sync = hympi::SyncPolicy::Barrier;
     hympi::BridgeAlgo bridge = hympi::BridgeAlgo::Allgatherv;  ///< allgather*
     int leaders = 1;

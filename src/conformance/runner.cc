@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "conformance/conformance.h"
+#include "minimpi/coll.h"
 
 namespace conformance {
 
@@ -18,6 +19,7 @@ using hympi::ReduceChannel;
 using hympi::ScatterChannel;
 using minimpi::Comm;
 using minimpi::Datatype;
+using minimpi::PersistentColl;
 using minimpi::RankCtx;
 using minimpi::VTime;
 using detail::mix64;
@@ -46,6 +48,17 @@ void checkpoint(RankLog& log, RankCtx& ctx, const char* where) {
         fail(log, os.str());
     }
     log.last_checkpoint = now;
+}
+
+/// Complete one hybrid split-phase round issued via start(). Persistent
+/// additionally spins on the zero-cost test() poll first, exercising the
+/// progress path; the poll must not move any virtual clock.
+void drive_split(const CaseSpec& spec, minimpi::CollRequest rq) {
+    if (spec.exec == ExecMode::Persistent) {
+        while (!rq.test()) {
+        }
+    }
+    rq.wait();
 }
 
 std::uint64_t salt_of(int iter, int a, int b = 0) {
@@ -171,12 +184,29 @@ void diff_allgather(const CaseSpec& spec, Comm& active, HierComm& hc,
     ch.set_socket_staging(spec.staging);
     std::vector<std::byte> mine(bb);
     std::vector<std::byte> ref(bb * static_cast<std::size_t>(n));
+    PersistentColl pc;
+    if (spec.exec == ExecMode::Persistent) {
+        pc = PersistentColl::allgather_init(active, mine.data(), bb,
+                                            ref.data(), Datatype::Byte);
+    }
     for (int it = 0; it < spec.iterations; ++it) {
         fill_pattern(mine.data(), bb, spec.seed, salt_of(it, me));
         if (bb > 0) std::memcpy(ch.my_block(), mine.data(), bb);
-        ch.run(spec.sync, spec.bridge);
-        minimpi::allgather(active, mine.data(), bb, ref.data(),
-                           Datatype::Byte);
+        if (spec.exec == ExecMode::Blocking) {
+            ch.run(spec.sync, spec.bridge);
+            minimpi::allgather(active, mine.data(), bb, ref.data(),
+                               Datatype::Byte);
+        } else {
+            drive_split(spec, ch.start(spec.sync, spec.bridge));
+            if (spec.exec == ExecMode::Nonblocking) {
+                minimpi::iallgather(active, mine.data(), bb, ref.data(),
+                                    Datatype::Byte)
+                    .wait();
+            } else {
+                pc.start();
+                pc.wait();
+            }
+        }
         for (int r = 0; r < n; ++r) {
             expect_eq(log, ch.block_of(r),
                       ref.data() + static_cast<std::size_t>(r) * bb, bb,
@@ -203,12 +233,30 @@ void diff_allgatherv(const CaseSpec& spec, Comm& active, HierComm& hc,
     const std::size_t mb = counts[static_cast<std::size_t>(me)];
     std::vector<std::byte> mine(mb);
     std::vector<std::byte> ref(total);
+    PersistentColl pc;
+    if (spec.exec == ExecMode::Persistent) {
+        pc = PersistentColl::allgatherv_init(active, mine.data(), mb,
+                                             ref.data(), counts, displs,
+                                             Datatype::Byte);
+    }
     for (int it = 0; it < spec.iterations; ++it) {
         fill_pattern(mine.data(), mb, spec.seed, salt_of(it, me));
         if (mb > 0) std::memcpy(ch.my_block(), mine.data(), mb);
-        ch.run(spec.sync, spec.bridge);
-        minimpi::allgatherv(active, mine.data(), mb, ref.data(), counts,
-                            displs, Datatype::Byte);
+        if (spec.exec == ExecMode::Blocking) {
+            ch.run(spec.sync, spec.bridge);
+            minimpi::allgatherv(active, mine.data(), mb, ref.data(), counts,
+                                displs, Datatype::Byte);
+        } else {
+            drive_split(spec, ch.start(spec.sync, spec.bridge));
+            if (spec.exec == ExecMode::Nonblocking) {
+                minimpi::iallgatherv(active, mine.data(), mb, ref.data(),
+                                     counts, displs, Datatype::Byte)
+                    .wait();
+            } else {
+                pc.start();
+                pc.wait();
+            }
+        }
         for (int r = 0; r < n; ++r) {
             expect_eq(log, ch.block_of(r),
                       ref.data() + displs[static_cast<std::size_t>(r)],
@@ -234,8 +282,24 @@ void diff_bcast(const CaseSpec& spec, Comm& active, HierComm& hc,
             fill_pattern(flat.data(), bb, spec.seed, salt_of(it, root, 1));
             if (bb > 0) std::memcpy(ch.write_buffer(), flat.data(), bb);
         }
-        ch.run(root, spec.sync);
-        minimpi::bcast(active, flat.data(), bb, Datatype::Byte, root);
+        if (spec.exec == ExecMode::Blocking) {
+            ch.run(root, spec.sync);
+            minimpi::bcast(active, flat.data(), bb, Datatype::Byte, root);
+        } else {
+            drive_split(spec, ch.start(root, spec.sync));
+            if (spec.exec == ExecMode::Nonblocking) {
+                minimpi::ibcast(active, flat.data(), bb, Datatype::Byte, root)
+                    .wait();
+            } else {
+                // The root rotates per iteration, so the persistent request
+                // is re-initialized each round (init/start/wait/destroy is
+                // itself a lifecycle worth fuzzing).
+                PersistentColl pc = PersistentColl::bcast_init(
+                    active, flat.data(), bb, Datatype::Byte, root);
+                pc.start();
+                pc.wait();
+            }
+        }
         expect_eq(log, ch.read_buffer(), flat.data(), bb, "bcast", it, root);
         checkpoint(log, active.ctx(), "bcast");
     }
@@ -250,14 +314,31 @@ void diff_allreduce(const CaseSpec& spec, Comm& active, HierComm& hc,
     ch.set_socket_staging(spec.staging);
     std::vector<std::byte> mine(count * ds);
     std::vector<std::byte> ref(count * ds);
+    PersistentColl pc;
+    if (spec.exec == ExecMode::Persistent) {
+        pc = PersistentColl::allreduce_init(active, mine.data(), ref.data(),
+                                            count, spec.dt, spec.red_op);
+    }
     for (int it = 0; it < spec.iterations; ++it) {
         // Inputs are iteration-independent (salt iter 0) so the locally
         // computed expected_reduction can double-check every iteration.
         fill_red(mine.data(), count, spec.dt, spec.seed, salt_of(0, me));
         if (count > 0) std::memcpy(ch.my_input(), mine.data(), count * ds);
-        ch.run(spec.red_op, spec.sync);
-        minimpi::allreduce(active, mine.data(), ref.data(), count, spec.dt,
-                           spec.red_op);
+        if (spec.exec == ExecMode::Blocking) {
+            ch.run(spec.red_op, spec.sync);
+            minimpi::allreduce(active, mine.data(), ref.data(), count,
+                               spec.dt, spec.red_op);
+        } else {
+            drive_split(spec, ch.start(spec.red_op, spec.sync));
+            if (spec.exec == ExecMode::Nonblocking) {
+                minimpi::iallreduce(active, mine.data(), ref.data(), count,
+                                    spec.dt, spec.red_op)
+                    .wait();
+            } else {
+                pc.start();
+                pc.wait();
+            }
+        }
         expect_eq(log, ch.result(), ref.data(), count * ds, "allreduce", it,
                   0);
         checkpoint(log, active.ctx(), "allreduce");
@@ -400,6 +481,16 @@ void case_body(const CaseSpec& spec, Comm& world, RankLog& log) {
     if (!in_active) return;
 
     checkpoint(log, active.ctx(), "start");
+    // Warm the flat hierarchy cache at one fixed program point for every
+    // exec mode. PersistentColl *_init builds it eagerly at init time while
+    // the blocking reference builds it lazily at its first collective; the
+    // build is two synchronizing splits, and moving that charge across the
+    // hybrid round's barriers shifts slack between ranks — a legitimate
+    // charging difference between the two programs, not an engine bug.
+    // Pinning the build here keeps the blocking-twin clock identity exact.
+    if (minimpi::detail::smp_hier_applicable(active)) {
+        minimpi::detail::hier(active);
+    }
     HierComm hc(active, spec.leaders);
     switch (spec.op) {
         case CollOp::Allgather: diff_allgather(spec, active, hc, log); break;
@@ -484,6 +575,30 @@ CaseResult run_case_checked(const CaseSpec& spec) {
             a.detail = "nondeterministic robust counters at rank " +
                        std::to_string(r);
             return a;
+        }
+    }
+    // Immediate-wait identity: the harness never computes between start()
+    // and wait(), so the non-blocking modes must replay the blocking
+    // charging exactly — on 1-socket cases the clocks have to match a
+    // Blocking twin bit for bit. (Multi-socket cases legitimately differ:
+    // the split-phase wait always distributes flat, a blocking round may
+    // stage through the socket leaders.)
+    if (spec.exec != ExecMode::Blocking && spec.sockets == 1) {
+        CaseSpec twin = spec;
+        twin.exec = ExecMode::Blocking;
+        const CaseResult blk = run_case(twin);
+        if (!blk.ok) return blk;
+        for (std::size_t r = 0; r < a.clocks.size(); ++r) {
+            if (a.clocks[r] != blk.clocks[r]) {
+                std::ostringstream os;
+                os.precision(17);
+                os << exec_name(spec.exec)
+                   << " clock diverges from the blocking twin at rank " << r
+                   << ": " << a.clocks[r] << " vs " << blk.clocks[r];
+                a.ok = false;
+                a.detail = os.str();
+                return a;
+            }
         }
     }
     return a;

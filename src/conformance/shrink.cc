@@ -29,7 +29,15 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
         std::vector<CaseSpec> cands;
 
         // Structural simplifications first: each removes a whole dimension
-        // from the reproducer, the biggest wins per probe.
+        // from the reproducer, the biggest wins per probe. The execution
+        // mode goes before everything else: a failure that survives in
+        // Blocking form is a data bug, not an engine bug, and the blocking
+        // reproducer is far easier to step through.
+        if (cur.exec != ExecMode::Blocking) {
+            CaseSpec c = cur;
+            c.exec = ExecMode::Blocking;
+            cands.push_back(c);
+        }
         {
             CaseSpec c = cur;
             c.faults = minimpi::FaultPlan{};

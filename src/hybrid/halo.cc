@@ -162,4 +162,56 @@ void HaloExchange1D::publish_and_exchange(SyncPolicy sync) {
     sync_.full_sync(sync);
 }
 
+minimpi::CollRequest HaloExchange1D::start_exchange(SyncPolicy sync) {
+    if (backend_ != HaloBackend::Hybrid) {
+        throw minimpi::ArgumentError(
+            "split-phase halo exchange requires the hybrid backend (pure "
+            "MPI has no engine phase to overlap)");
+    }
+    const minimpi::Comm& world = hc_->world();
+    const std::size_t hb = halo_ * sizeof(double);
+    ++epoch_;
+    const int s = pub_slab();
+    const int local = hc_->shm().rank();
+    const int ppn = hc_->shm().size();
+    auto on_wait = [this, sync] { sync_.full_sync(sync); };
+
+    if (local != 0 && local != ppn - 1) {
+        // Interior ranks carry no network traffic; only the publishing
+        // sync remains, and that runs owner-side at wait().
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_halo", std::move(on_wait)));
+    }
+    // Only the node-edge ranks post engine tasks, so the per-comm posting
+    // counter cannot be used for matching — the halo's own epoch counter
+    // is the explicit sequence instead (identical on every rank, and
+    // monotonic so in-flight epochs cannot cross-match).
+    double* base = slab_base(s);
+    double* my = slab_cells(s, local);
+    return minimpi::CollRequest(minimpi::detail::post_icoll(
+        world, "hy_halo",
+        [this, world, base, my, hb, local, ppn] {
+            minimpi::Request r_right, r_left;
+            if (local == ppn - 1) {
+                r_right = irecv_bytes(
+                    world, base ? base + (slab_doubles_ - halo_) : nullptr,
+                    hb, right_rank_, kTagLeftward, true);
+            }
+            if (local == 0) {
+                r_left = irecv_bytes(world, base, hb, left_rank_,
+                                     kTagRightward, true);
+            }
+            if (local == ppn - 1) {
+                send_bytes(world, my ? my + (cells_ - halo_) : nullptr, hb,
+                           right_rank_, kTagRightward, true);
+            }
+            if (local == 0) {
+                send_bytes(world, my, hb, left_rank_, kTagLeftward, true);
+            }
+            r_right.wait();
+            r_left.wait();
+        },
+        std::move(on_wait), epoch_));
+}
+
 }  // namespace hympi

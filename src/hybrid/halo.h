@@ -2,6 +2,7 @@
 
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "minimpi/icoll.h"
 
 namespace hympi {
 
@@ -59,6 +60,15 @@ public:
     /// the hybrid backend only (pure MPI synchronizes through its halo
     /// messages).
     void publish_and_exchange(SyncPolicy sync = SyncPolicy::Flags);
+
+    /// Split-phase publish (hybrid backend only): posts the node-edge
+    /// network transfers on the progress engine and returns immediately;
+    /// compute charged between start and wait() overlaps them in virtual
+    /// time (interior ranks have no traffic and complete at once). wait()
+    /// runs the on-node sync that publishes the slab, so no aliased ghost
+    /// may be read before it. One exchange may be outstanding at a time;
+    /// do not mix with the blocking form while one is in flight.
+    minimpi::CollRequest start_exchange(SyncPolicy sync = SyncPolicy::Flags);
 
 private:
     const HierComm* hc_;

@@ -149,14 +149,30 @@ BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
     return BridgeAlgo::Allgatherv;  // the paper's default
 }
 
-void AllgatherChannel::bridge_exchange(BridgeAlgo algo) {
+std::size_t AllgatherChannel::tuned_split_segment() const {
+    const tuning::DecisionTable* table = hc_->world().ctx().tuned;
+    if (table == nullptr) return 0;
+    const auto c =
+        table->lookup(tuning::Op::SplitSegment, tuning::Shape::Net,
+                      hc_->bridge().size(), max_bridge_count_);
+    if (c.has_value() && c->algo == tuning::algo::kSpSegmented) {
+        return c->segment_bytes;
+    }
+    return 0;
+}
+
+void AllgatherChannel::bridge_exchange(BridgeAlgo algo,
+                                       std::size_t seg_override) {
     const Comm& bridge = hc_->bridge();
     const int bp = bridge.size();
     const int br = bridge.rank();
     if (bp <= 1) return;
     minimpi::RankCtx& ctx = bridge.ctx();
 
-    std::size_t seg = pipeline_segment_;
+    // An explicit set_pipeline_segment() wins; then the split-phase tuned
+    // chunk; then the tuned/heuristic resolution below.
+    std::size_t seg =
+        pipeline_segment_ != 0 ? pipeline_segment_ : seg_override;
     if (algo == BridgeAlgo::Auto) algo = tuned_bridge_algo(seg);
     // Neighbor exchange pairs up adjacent blocks: it needs an even bridge
     // and abutting slices (one leader per node). The fallback is the
@@ -518,6 +534,88 @@ void AllgatherChannel::begin(SyncPolicy sync, BridgeAlgo algo) {
             }
         }
     }
+}
+
+minimpi::CollRequest AllgatherChannel::start(SyncPolicy sync,
+                                             BridgeAlgo algo) {
+    const Comm& world = hc_->world();
+    minimpi::RankCtx& ctx = world.ctx();
+    if (round_active_) {
+        throw minimpi::RequestError(
+            "Hy_Allgather split-phase round already in flight on this "
+            "channel; wait() on it before the next start()");
+    }
+    const RobustConfig* cfg = ctx.robust_cfg;
+    if (cfg != nullptr && cfg->enabled && !degraded_flat_) {
+        // The reliable (ARQ) frame paths are main-clock by design: complete
+        // the whole round at post and hand back a finished request.
+        run(sync, algo);
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallgather", {}));
+    }
+    TraceSpan root(ctx, hytrace::Phase::Coll, "hy_allgather_start");
+    root.set_coll("Hy_Allgather_start");
+    root.set_bytes(total_bytes_);
+    root.set_comm(world.size(), world.rank());
+    ++generation_;
+    round_active_ = true;
+    if (degraded_flat_) {
+        // Flat path: defer the exchange to wait() so callers still get a
+        // compute window on their own partition in between.
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallgather", [this] {
+                round_active_ = false;
+                run_flat();
+            }));
+    }
+    started_sync_ = sync;
+    auto on_wait = [this] {
+        round_active_ = false;
+        minimpi::RankCtx& wctx = hc_->world().ctx();
+        TraceSpan fin(wctx, hytrace::Phase::Coll, "hy_allgather_finish");
+        fin.set_coll("Hy_Allgather_finish");
+        fin.set_comm(hc_->world().size(), hc_->world().rank());
+        sync_.release_phase(started_sync_);
+        // Same rationale as finish(): children already overlapped, so a
+        // staged mirror would re-serialize them behind the socket leader.
+        stager_.distribute(total_bytes_, SocketStaging::Flat);
+    };
+    if (hc_->num_nodes() == 1) {
+        // Single node: there is no bridge traffic to overlap — defer the
+        // WHOLE publishing sync to wait(). Same one-barrier shape as run()
+        // (exact vtime identity on 1-socket nodes) and the widest compute
+        // window.
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallgather", [this] {
+                round_active_ = false;
+                minimpi::RankCtx& wctx = hc_->world().ctx();
+                TraceSpan fin(wctx, hytrace::Phase::Coll,
+                              "hy_allgather_finish");
+                fin.set_coll("Hy_Allgather_finish");
+                fin.set_comm(hc_->world().size(), hc_->world().rank());
+                sync_.full_sync(started_sync_);
+                stager_.distribute(total_bytes_, SocketStaging::Flat);
+            }));
+    }
+    sync_.ready_phase(sync);
+    if (!hc_->is_leader()) {
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallgather", std::move(on_wait)));
+    }
+    started_algo_ = algo;
+    started_seg_ = tuned_split_segment();
+    if (task_ == nullptr) {
+        // One-off: the engine worker and private matching context persist
+        // across rounds (the lazy creation is collective over the bridge —
+        // every leader's first start() happens in the same round).
+        task_ = minimpi::detail::create_icoll(
+            hc_->bridge(), "hy_iallgather",
+            [this] { bridge_exchange(started_algo_, started_seg_); },
+            std::move(on_wait));
+    }
+    minimpi::detail::arm_icoll(*task_);
+    minimpi::detail::drive_icoll(*task_);
+    return minimpi::CollRequest(task_);
 }
 
 void AllgatherChannel::finish(SyncPolicy sync) {

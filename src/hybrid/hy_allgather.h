@@ -6,6 +6,7 @@
 #include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "minimpi/icoll.h"
 #include "robust/robust.h"
 
 namespace hympi {
@@ -125,6 +126,20 @@ public:
                BridgeAlgo algo = BridgeAlgo::Auto);
     void finish(SyncPolicy sync = SyncPolicy::Barrier);
 
+    /// Nonblocking split-phase round on the progress engine: runs the ready
+    /// sync, posts the leaders' bridge exchange as an engine task (charged
+    /// to the request's sub-clock, so it overlaps caller compute on ANY
+    /// rank — unlike begin(), which blocks the leader until its transfers
+    /// are done), and defers the release sync + on-node NUMA copy to the
+    /// returned request's wait(). The channel is the persistent descriptor:
+    /// the HierComm, SHM window, SocketStager, bridge layout and the
+    /// leader's engine worker are all cached across start() calls — only
+    /// one round may be in flight per channel at a time (RequestError
+    /// otherwise). Robust mode completes synchronously at post (the
+    /// reliable frame paths are main-clock by design).
+    minimpi::CollRequest start(SyncPolicy sync = SyncPolicy::Barrier,
+                               BridgeAlgo algo = BridgeAlgo::Auto);
+
     /// Override the segment size of BridgeAlgo::Pipelined (0 = use the
     /// tuned/default heuristic). For the tuner's segment sweep and for
     /// experiments.
@@ -142,11 +157,18 @@ public:
 
 private:
     void init_layout(std::span<const std::size_t> bytes_per_rank);
-    void bridge_exchange(BridgeAlgo algo);
+    /// @p seg_override: a split-phase segment choice (tuning::Op::
+    /// SplitSegment) applied when set_pipeline_segment() has not pinned one.
+    void bridge_exchange(BridgeAlgo algo, std::size_t seg_override = 0);
     /// Resolve BridgeAlgo::Auto via the profile's decision table, keyed by
     /// (bridge size, largest node-block byte count). May set @p seg when
     /// the table tuned a pipeline segment size.
     BridgeAlgo tuned_bridge_algo(std::size_t& seg) const;
+    /// Tuned chunk size of the split-phase (engine-driven) bridge exchange
+    /// (tuning::Op::SplitSegment); 0 = no tuned entry / "whole" = keep the
+    /// per-algorithm heuristic. Tables without split_segment rows — all
+    /// currently baked ones — leave the split phase identical to run().
+    std::size_t tuned_split_segment() const;
 
     /// Robust-mode leader exchange: pairwise ring of reliable (ARQ)
     /// transfers over the bridge. Returns false when any transfer exhausted
@@ -189,6 +211,16 @@ private:
     /// node: node-major order); NeighborExchange requires it.
     bool bridge_contiguous_ = true;
     std::size_t pipeline_segment_ = 0;  ///< 0 = tuned/default heuristic
+
+    /// Persistent engine task of the leader's split-phase bridge exchange
+    /// (lazily created at the first start(); re-armed on every later one).
+    std::shared_ptr<minimpi::detail::IcollState> task_;
+    BridgeAlgo started_algo_ = BridgeAlgo::Auto;  ///< algo of the armed round
+    SyncPolicy started_sync_ = SyncPolicy::Barrier;
+    std::size_t started_seg_ = 0;  ///< tuned split-segment of the armed round
+    /// A split-phase round is in flight on THIS rank (children have no
+    /// engine task, so the guard cannot live on task_ alone).
+    bool round_active_ = false;
 
     /// Derived datatype mapping slot-major storage to rank order (one-off).
     minimpi::Layout rank_order_layout_;

@@ -1,11 +1,17 @@
 #include "hybrid/hy_bcast.h"
 
 #include "hybrid/hy_trace.h"
+#include "minimpi/p2p.h"
 
 namespace hympi {
 
 namespace {
 std::size_t pad64(std::size_t x) { return (x + 63) & ~std::size_t{63}; }
+
+/// Tag of the engine-fill completion token (root -> node leader). Carried
+/// on the fill task's private explicit-sequence context, so it can never
+/// collide with collective-tag traffic regardless of the value.
+constexpr int kTagFill = 0xC000;
 }  // namespace
 
 BcastChannel::BcastChannel(const HierComm& hc, std::size_t bytes)
@@ -149,6 +155,199 @@ void BcastChannel::run(int root, SyncPolicy sync) {
         downgrade_to_flat(root, /*refill=*/true);
     }
     ++epoch_;
+}
+
+minimpi::CollRequest BcastChannel::start(int root, SyncPolicy sync,
+                                         std::optional<const void*> fill) {
+    const Comm& world = hc_->world();
+    if (root < 0 || root >= world.size()) {
+        throw minimpi::ArgumentError("Hy_Bcast root out of range");
+    }
+    minimpi::RankCtx& ctx = world.ctx();
+    if (round_active_) {
+        throw minimpi::RequestError(
+            "Hy_Bcast split-phase round already in flight on this channel; "
+            "wait() on it before the next start()");
+    }
+    const bool fill_round = fill.has_value();
+    const bool i_fill = fill_round && world.rank() == root;
+    const RobustConfig* cfg = ctx.robust_cfg;
+    if (cfg != nullptr && cfg->enabled && !degraded_flat_) {
+        if (i_fill) ctx.copy_bytes(write_buffer(), *fill, bytes_);
+        run(root, sync);
+        return minimpi::CollRequest(
+            minimpi::detail::make_complete_icoll(world, "hy_ibcast", {}));
+    }
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_bcast_start");
+    root_span.set_coll("Hy_Bcast_start");
+    root_span.set_bytes(bytes_);
+    root_span.set_comm(world.size(), world.rank());
+    ++generation_;
+    round_active_ = true;
+    started_sync_ = sync;
+    started_root_ = root;
+    started_fill_ = fill_round;
+    started_fill_src_ = fill_round ? *fill : nullptr;
+    if (fill_round) {
+        // The fill task's rendezvous context (explicit-sequence namespace,
+        // keyed by the generation) — the token's matching context on both
+        // the root's send and the leader's receive. Must track the formula
+        // in create_icoll; the cached task's gate is updated every round.
+        started_fill_ctx_ = (std::uint64_t{1} << 63) |
+                            (std::uint64_t{1} << 62) |
+                            (world.state().ctx_coll << 20) |
+                            (generation_ & 0xFFFFFu);
+    }
+    if (degraded_flat_) {
+        if (i_fill) ctx.copy_bytes(write_buffer(), *fill, bytes_);
+        // Flat path: the broadcast itself is deferred to wait(), preserving
+        // the compute window the split phase promises.
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_ibcast", [this, root] {
+                round_active_ = false;
+                run_flat(root);
+                ++epoch_;
+            }));
+    }
+    auto on_wait = [this] {
+        round_active_ = false;
+        minimpi::RankCtx& wctx = hc_->world().ctx();
+        TraceSpan fin(wctx, hytrace::Phase::Coll, "hy_bcast_finish");
+        fin.set_coll("Hy_Bcast_finish");
+        fin.set_comm(hc_->world().size(), hc_->world().rank());
+        sync_.release_phase(started_sync_);
+        // Flat on-node copy, as in the allgather split phase: a staged
+        // mirror would re-serialize the already-overlapped children.
+        stager_.distribute(bytes_, SocketStaging::Flat);
+        ++epoch_;
+    };
+    if (hc_->num_nodes() == 1) {
+        // Single node: the root's store IS the broadcast — defer the WHOLE
+        // publishing sync to wait(). Same one-barrier shape as run() (exact
+        // vtime identity on 1-socket nodes) and the widest compute window.
+        auto on_wait_local = [this] {
+            round_active_ = false;
+            minimpi::RankCtx& wctx = hc_->world().ctx();
+            TraceSpan fin(wctx, hytrace::Phase::Coll, "hy_bcast_finish");
+            fin.set_coll("Hy_Bcast_finish");
+            fin.set_comm(hc_->world().size(), hc_->world().rank());
+            sync_.full_sync(started_sync_);
+            stager_.distribute(bytes_, SocketStaging::Flat);
+            ++epoch_;
+        };
+        if (i_fill) {
+            // The root's staging copy rides an engine sub-clock here too.
+            // No completion token is needed: the deferred full sync above
+            // is what publishes the slot, every reader runs it inside its
+            // wait(), and the root's own wait() joins this task before it
+            // participates — so in wall and virtual time alike no reader
+            // can pass the sync until the copy has landed. Left on the
+            // main clock instead, the copy's cost skews the root and the
+            // full sync's clock merge spreads that skew to the whole node
+            // every round.
+            if (fill_task_ == nullptr) {
+                fill_task_ = minimpi::detail::create_icoll(
+                    world, "hy_ibcast_fill",
+                    [this] {
+                        hc_->world().ctx().copy_bytes(
+                            started_slot_, started_fill_src_, bytes_);
+                    },
+                    on_wait_local, /*match_seq=*/generation_);
+            } else {
+                fill_task_->gate.rdv_ctx = started_fill_ctx_;
+            }
+            started_slot_ = write_buffer();
+            minimpi::detail::arm_icoll(*fill_task_);
+            minimpi::detail::drive_icoll(*fill_task_);
+            return minimpi::CollRequest(fill_task_);
+        }
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_ibcast", std::move(on_wait_local)));
+    }
+    started_root_node_ = hc_->node_of_rank(root);
+    started_slot_ = write_buffer();
+    // Same pre-exchange ordering edges as run(): with flags every node runs
+    // the ready round; with barriers only a child root's node needs it. A
+    // fill round widens this to every node under BOTH policies, and the
+    // root collects: the engine-side slot writes this round posts (the
+    // root's fill copy, the leaders' bridge receives) happen-after every
+    // on-node rank's reads of the slot's previous contents exactly because
+    // each collector observes all ready flags before arming its task.
+    const bool root_is_child =
+        hc_->rank_at(hc_->node_offset(started_root_node_)) != root;
+    if (fill_round) {
+        sync_.ready_phase(sync, /*collector=*/i_fill);
+    } else if (sync == SyncPolicy::Flags) {
+        sync_.ready_phase(sync);
+    } else if (hc_->my_node() == started_root_node_ && root_is_child) {
+        sync_.ready_phase(sync);
+    }
+    if (!hc_->is_primary_leader()) {
+        if (i_fill) {
+            // Non-leader root: the staging copy runs as its own engine
+            // task, then hands the node leader a zero-byte token on the
+            // task's private context — the leader's bridge body consumes
+            // it before shipping the slot, so the copy's cost rides the
+            // sub-clock (hidden behind caller compute) while the bridge
+            // still observes its completion in both wall and virtual time.
+            if (fill_task_ == nullptr) {
+                fill_task_ = minimpi::detail::create_icoll(
+                    hc_->world(), "hy_ibcast_fill",
+                    [this] {
+                        minimpi::RankCtx& fctx = hc_->world().ctx();
+                        fctx.copy_bytes(started_slot_, started_fill_src_,
+                                        bytes_);
+                        minimpi::detail::send_bytes(
+                            hc_->world(), nullptr, 0,
+                            hc_->rank_at(hc_->node_offset(started_root_node_)),
+                            kTagFill, /*coll_ctx=*/true);
+                    },
+                    on_wait, /*match_seq=*/generation_);
+            } else {
+                fill_task_->gate.rdv_ctx = started_fill_ctx_;
+            }
+            minimpi::detail::arm_icoll(*fill_task_);
+            minimpi::detail::drive_icoll(*fill_task_);
+            return minimpi::CollRequest(fill_task_);
+        }
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_ibcast", std::move(on_wait)));
+    }
+    if (task_ == nullptr) {
+        task_ = minimpi::detail::create_icoll(
+            hc_->bridge(), "hy_ibcast",
+            [this] {
+                minimpi::RankCtx& bctx = hc_->bridge().ctx();
+                if (started_fill_ && hc_->my_node() == started_root_node_) {
+                    if (hc_->world().rank() == started_root_) {
+                        // Leader root: fill the slot right here, ahead of
+                        // the bridge send — same sub-clock, no token.
+                        bctx.copy_bytes(started_slot_, started_fill_src_,
+                                        bytes_);
+                    } else {
+                        // The round's root is another rank of this node:
+                        // absorb its completion token before shipping the
+                        // slot (the arrival stamp carries the copy's end
+                        // time into this task's sub-clock).
+                        minimpi::detail::irecv_bytes_ctx(
+                            hc_->world(), nullptr, 0, started_root_,
+                            kTagFill, started_fill_ctx_)
+                            .wait();
+                    }
+                }
+                TraceSpan span(bctx, hytrace::Phase::Bridge,
+                               "bridge_exchange");
+                span.set_algo("bcast");
+                span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+                BridgeBytesScope bytes_scope(bctx, span);
+                minimpi::bcast(hc_->bridge(), started_slot_, bytes_,
+                               minimpi::Datatype::Byte, started_root_node_);
+            },
+            std::move(on_wait));
+    }
+    minimpi::detail::arm_icoll(*task_);
+    minimpi::detail::drive_icoll(*task_);
+    return minimpi::CollRequest(task_);
 }
 
 }  // namespace hympi

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <optional>
+
 #include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "minimpi/icoll.h"
 #include "robust/robust.h"
 
 namespace hympi {
@@ -50,6 +53,32 @@ public:
     /// root's buffer contents are significant on entry.
     void run(int root, SyncPolicy sync = SyncPolicy::Barrier);
 
+    /// Nonblocking split-phase round: posts the primary leaders' bridge
+    /// broadcast as an engine task and defers the release sync + on-node
+    /// NUMA copy (and the epoch flip — read_buffer() switches slots only at
+    /// completion) to the returned request's wait(). One round in flight per
+    /// channel; robust mode completes synchronously at post. The channel is
+    /// the persistent descriptor — shared slots, sync flags and the leader's
+    /// engine worker are reused across start() calls.
+    ///
+    /// @p fill delegates the root's staging copy (fill -> write_buffer())
+    /// to the progress engine so it overlaps the caller's compute instead
+    /// of serializing on the main clock before the post. Engaging it is a
+    /// COLLECTIVE property of the round: every rank passes an engaged
+    /// optional (only the root's pointer is non-null; *fill must stay valid
+    /// until wait()), because it widens the pre-post ready sync to all
+    /// nodes — the edge that orders the engine-side slot writes after the
+    /// previous round's on-node readers. The root hands the node leader a
+    /// zero-byte completion token so the bridge never ships a stale slot;
+    /// on one node no token is needed (the deferred full sync at wait()
+    /// is what publishes the slot, and the root joins its fill task
+    /// before participating). Disengaged (the default) is the classic
+    /// contract: the root
+    /// staged its payload into write_buffer() before the call, and nothing
+    /// in the sync shape changes.
+    minimpi::CollRequest start(int root, SyncPolicy sync = SyncPolicy::Barrier,
+                               std::optional<const void*> fill = std::nullopt);
+
     /// Resilience counters of this channel (robust mode only).
     const RobustStats& robust_stats() const { return stats_; }
     /// The channel has fallen back to a flat MPI_Bcast over the full
@@ -87,6 +116,27 @@ private:
     std::size_t bytes_ = 0;
     std::size_t bytes_padded_ = 0;  ///< slot stride (cache-line aligned)
     std::uint64_t epoch_ = 0;       ///< completed run() count (rank-local)
+
+    /// Persistent engine task of the primary leader's bridge broadcast
+    /// (lazily created at the first start(); re-armed on later ones).
+    std::shared_ptr<minimpi::detail::IcollState> task_;
+    /// Persistent engine task of a fill round's staging copy when it does
+    /// not ride task_ — a non-leader root on a multi-node channel, or any
+    /// root on a single-node one (lazily created on first use).
+    std::shared_ptr<minimpi::detail::IcollState> fill_task_;
+    int started_root_ = 0;        ///< root rank of the armed round
+    int started_root_node_ = 0;   ///< root node of the armed round
+    std::byte* started_slot_ = nullptr;  ///< write slot of the armed round
+    SyncPolicy started_sync_ = SyncPolicy::Barrier;
+    bool started_fill_ = false;   ///< the armed round is an engine-fill one
+    const void* started_fill_src_ = nullptr;  ///< root only; else nullptr
+    /// Matching context of the fill completion token: the fill task's
+    /// explicit-sequence rendezvous context, recomputed per round (both the
+    /// root's send and the leader's receive derive the same value).
+    std::uint64_t started_fill_ctx_ = 0;
+    /// A split-phase round is in flight on THIS rank (children have no
+    /// engine task, so the guard cannot live on task_ alone).
+    bool round_active_ = false;
 
     // --- resilience state (robust mode only; inert on the fast path) ---
     std::uint64_t chan_uid_ = 0;

@@ -164,6 +164,95 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     stager_.distribute(vec_bytes_, staging_);
 }
 
+minimpi::CollRequest AllreduceChannel::start(Op op, SyncPolicy sync) {
+    const Comm& world = hc_->world();
+    const Comm& shm = hc_->shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    if (round_active_) {
+        throw minimpi::RequestError(
+            "Hy_Allreduce split-phase round already in flight on this "
+            "channel; wait() on it before the next start()");
+    }
+    if (robust_on(ctx) != nullptr) {
+        // The reliable ring is main-clock by design: complete at post.
+        run(op, sync);
+        return minimpi::CollRequest(
+            minimpi::detail::make_complete_icoll(world, "hy_iallreduce", {}));
+    }
+    const int ppn = shm.size();
+    const std::size_t ds = datatype_size(dt_);
+    TraceSpan root_span(ctx, hytrace::Phase::Coll, "hy_allreduce_start");
+    root_span.set_coll("Hy_Allreduce_start");
+    root_span.set_bytes(vec_bytes_);
+    root_span.set_comm(world.size(), world.rank());
+    ++rs_.generation;
+    round_active_ = true;
+    started_sync_ = sync;
+
+    // The striped on-node reduction is the callers' own compute: it stays
+    // at post, on the main clock, exactly as in run().
+    sync_.full_sync(sync);
+    const auto [lo, hi] = stripe(count_, ppn, shm.rank());
+    const std::size_t sb = (hi - lo) * ds;
+    std::byte* res =
+        buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
+    {
+        TraceSpan reduce_span(ctx, hytrace::Phase::Compute, "node_reduce");
+        reduce_span.set_bytes(sb);
+        ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+        for (int k = 1; k < ppn; ++k) {
+            apply_op(ctx, op, dt_, res,
+                     buf_.at(static_cast<std::size_t>(k) * vec_bytes_ + lo * ds),
+                     hi - lo);
+        }
+    }
+    stager_.reduce_gather(vec_bytes_, staging_);
+
+    auto on_wait = [this] {
+        round_active_ = false;
+        minimpi::RankCtx& wctx = hc_->world().ctx();
+        TraceSpan fin(wctx, hytrace::Phase::Coll, "hy_allreduce_finish");
+        fin.set_coll("Hy_Allreduce_finish");
+        fin.set_comm(hc_->world().size(), hc_->world().rank());
+        if (hc_->num_nodes() == 1) {
+            sync_.full_sync(started_sync_);
+        } else {
+            sync_.release_phase(started_sync_);
+        }
+        // Flat read-back, as in the other split phases: a staged mirror
+        // would re-serialize the already-overlapped children.
+        stager_.distribute(vec_bytes_, SocketStaging::Flat);
+    };
+    if (hc_->num_nodes() == 1) {
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallreduce", std::move(on_wait)));
+    }
+    sync_.ready_phase(sync);
+    if (!hc_->is_primary_leader()) {
+        return minimpi::CollRequest(minimpi::detail::make_complete_icoll(
+            world, "hy_iallreduce", std::move(on_wait)));
+    }
+    started_op_ = op;
+    if (task_ == nullptr) {
+        task_ = minimpi::detail::create_icoll(
+            hc_->bridge(), "hy_iallreduce",
+            [this] {
+                minimpi::RankCtx& bctx = hc_->bridge().ctx();
+                TraceSpan span(bctx, hytrace::Phase::Bridge,
+                               "bridge_exchange");
+                span.set_algo("allreduce");
+                span.set_comm(hc_->bridge().size(), hc_->bridge().rank());
+                BridgeBytesScope bytes_scope(bctx, span);
+                minimpi::allreduce(hc_->bridge(), minimpi::kInPlace, result(),
+                                   count_, dt_, started_op_);
+            },
+            std::move(on_wait));
+    }
+    minimpi::detail::arm_icoll(*task_);
+    minimpi::detail::drive_icoll(*task_);
+    return minimpi::CollRequest(task_);
+}
+
 // ---- GatherChannel ----
 
 GatherChannel::GatherChannel(const HierComm& hc, std::size_t block_bytes,

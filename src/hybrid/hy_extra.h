@@ -3,6 +3,7 @@
 #include "hybrid/numa_stage.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"
+#include "minimpi/icoll.h"
 #include "robust/robust.h"
 
 namespace hympi {
@@ -50,6 +51,13 @@ public:
 
     void run(Op op, SyncPolicy sync = SyncPolicy::Barrier);
 
+    /// Nonblocking split-phase round: the cooperative on-node reduction
+    /// runs at post (it is the callers' own compute), the primary leaders'
+    /// bridge allreduce is posted as an engine task, and the release sync +
+    /// result read-back happen at the returned request's wait(). One round
+    /// in flight per channel; robust mode completes synchronously at post.
+    minimpi::CollRequest start(Op op, SyncPolicy sync = SyncPolicy::Barrier);
+
     /// On-node NUMA policy: how the striped node reduction and the result
     /// read-back treat the socket boundary (inert on 1-socket clusters).
     /// Default Auto consults the tuned SocketStaging decision table.
@@ -69,6 +77,15 @@ private:
     Datatype dt_;
     std::size_t vec_bytes_;
     RobustChannelState rs_;
+
+    /// Persistent engine task of the primary leader's bridge allreduce
+    /// (lazily created at the first start(); re-armed on later ones).
+    std::shared_ptr<minimpi::detail::IcollState> task_;
+    Op started_op_ = Op::Sum;  ///< op of the armed round
+    SyncPolicy started_sync_ = SyncPolicy::Barrier;
+    /// A split-phase round is in flight on THIS rank (children have no
+    /// engine task, so the guard cannot live on task_ alone).
+    bool round_active_ = false;
 };
 
 /// Hybrid gather to a fixed root: children write their partitions into the

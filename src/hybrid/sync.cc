@@ -95,7 +95,7 @@ void NodeSync::wait_for(const Cell& c, std::uint64_t target,
     }
 }
 
-void NodeSync::ready_phase(SyncPolicy p) {
+void NodeSync::ready_phase(SyncPolicy p, bool collector) {
     const Comm& shm = hc_->shm();
     TraceSpan span(shm.ctx(), hytrace::Phase::Sync, "ready_sync");
     if (effective(p) == SyncPolicy::Barrier) {
@@ -107,7 +107,7 @@ void NodeSync::ready_phase(SyncPolicy p) {
     minimpi::RankCtx& ctx = shm.ctx();
     ++my_ready_epoch_;
     signal(shared_->ready[static_cast<std::size_t>(shm.rank())], ctx);
-    if (hc_->is_leader()) {
+    if (hc_->is_leader() || collector) {
         for (int r = 0; r < shm.size(); ++r) {
             wait_for(shared_->ready[static_cast<std::size_t>(r)],
                      my_ready_epoch_, ctx, hc_->is_primary_leader());

@@ -51,8 +51,13 @@ public:
 
     /// Phase A of Hy_Allgather (Fig. 4 line 25/34): every rank announces
     /// "my partition is initialized"; the leader returns once all on-node
-    /// ranks have announced. Children return immediately after signalling.
-    void ready_phase(SyncPolicy p);
+    /// ranks have announced. Children return immediately after signalling,
+    /// unless they pass @p collector — then they run the leader's collect
+    /// loop too. A split-phase rank about to hand a shared slot to the
+    /// progress engine collects so its engine-side write happens-after
+    /// every on-node reader's previous-round reads (Barrier mode collects
+    /// everyone by construction; @p collector only matters under Flags).
+    void ready_phase(SyncPolicy p, bool collector = false);
 
     /// Phase B (Fig. 4 line 27/35): the leader announces "exchange done";
     /// children return once they observe it. Call on every rank; leaders

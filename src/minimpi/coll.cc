@@ -120,19 +120,19 @@ void barrier_shm_tuned(const Comm& comm) {
     span.set_algo("shm_counter");
     span.set_comm(p, comm.rank());
     if (p == 1) {
-        ctx.clock.advance(ctx.model->shm_barrier_base_us);
+        ctx.vck().advance(ctx.model->shm_barrier_base_us);
         return;
     }
     const VTime cost =
         ctx.model->shm_barrier_base_us +
         ctx.model->shm_barrier_hop_us * std::log2(static_cast<double>(p));
     // A counter barrier is a clock-max rendezvous plus the flag round cost.
-    const VTime t0 = ctx.clock.now();
+    const VTime t0 = ctx.vck().now();
     struct Empty {};
     rendezvous<Empty>(comm.state(), ctx, comm.rank(), cost, [](Empty&) {},
                       [](Empty&) {});
     if (ctx.tracer) {
-        ctx.tracer->record(TraceEvent::Kind::Sync, t0, ctx.clock.now());
+        ctx.tracer->record(TraceEvent::Kind::Sync, t0, ctx.vck().now());
     }
 }
 

@@ -126,7 +126,7 @@ void allgatherv_ring(const Comm& comm, const void* sendbuf,
     for (int k = 0; k < p - 1; ++k) {
         const int send_idx = (r - k + p) % p;
         const int recv_idx = (r - k - 1 + p) % p;
-        ctx.clock.advance(vec_penalty);
+        ctx.vck().advance(vec_penalty);
         Request rr = irecv_bytes(
             comm, at(recvbuf, displs_bytes[static_cast<std::size_t>(recv_idx)]),
             counts_bytes[static_cast<std::size_t>(recv_idx)], left,
@@ -184,7 +184,7 @@ void allgatherv_bruck(const Comm& comm, const void* sendbuf,
         const std::size_t recv_len =
             slot_off[static_cast<std::size_t>(std::min(mask + cnt, p))] -
             recv_off;
-        ctx.clock.advance(vec_penalty);
+        ctx.vck().advance(vec_penalty);
         Request rr = irecv_bytes(comm, at(tmp, recv_off), recv_len, src,
                                  kTagAllgatherv + round, true);
         send_bytes(comm, tmp, send_len, dst, kTagAllgatherv + round, true);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "minimpi/context.h"
+#include "minimpi/icoll_gate.h"
 #include "minimpi/types.h"
 
 namespace minimpi {
@@ -132,9 +133,17 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
                                  VTime sync_cost, Contribute&& contribute,
                                  Finalize&& finalize) {
     std::unique_lock<std::mutex> lock(st.op_mu);
-    const std::uint64_t epoch =
-        st.member_epoch.at(static_cast<std::size_t>(my_rank))++;
-    auto& slot_ref = st.ops[epoch];
+    // Under an engine gate the slot is keyed in the request's private
+    // namespace instead of the member epoch: outstanding collectives may be
+    // driven in any order relative to each other and to later blocking
+    // collectives, so position in the epoch stream would not identify the
+    // operation. Every member executes the op under a gate with the same
+    // rdv_ctx/rdv_seq, so they still meet at one slot.
+    const std::uint64_t key =
+        ctx.gate != nullptr
+            ? ctx.gate->next_rdv_key()
+            : st.member_epoch.at(static_cast<std::size_t>(my_rank))++;
+    auto& slot_ref = st.ops[key];
     if (!slot_ref) {
         slot_ref = std::make_shared<CommState::OpSlot>();
         slot_ref->data = std::make_shared<Data>();
@@ -143,11 +152,24 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
     auto data = std::static_pointer_cast<Data>(slot->data);
 
     contribute(*data);
-    slot->max_clock = std::max(slot->max_clock, ctx.clock.now());
+    slot->max_clock = std::max(slot->max_clock, ctx.vck().now());
     if (++slot->arrived == st.size()) {
         finalize(*data);
         slot->done = true;
         slot->cv.notify_all();
+    } else if (ctx.gate != nullptr) {
+        // Task context: poll-and-yield instead of blocking the OS thread,
+        // so the owner's Test() returns and its Wait() can drive the other
+        // outstanding requests meanwhile.
+        while (!slot->done && !job_poisoned(st)) {
+            lock.unlock();
+            ctx.gate->yield();
+            lock.lock();
+        }
+        if (!slot->done) {
+            lock.unlock();
+            throw_if_poisoned(st);
+        }
     } else {
         slot->cv.wait(lock, [&] { return slot->done || job_poisoned(st); });
         if (!slot->done) {
@@ -156,11 +178,11 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
         }
     }
 
-    ctx.clock.sync_to(slot->max_clock);
-    ctx.clock.advance(sync_cost);
+    ctx.vck().sync_to(slot->max_clock);
+    ctx.vck().advance(sync_cost);
 
     if (++slot->left == st.size()) {
-        st.ops.erase(epoch);
+        st.ops.erase(key);
     }
     return data;
 }

@@ -8,11 +8,11 @@ namespace minimpi {
 
 void RankCtx::copy_bytes(void* dst, const void* src, std::size_t bytes) {
     if (bytes == 0) return;
-    const VTime t0 = clock.now();
-    clock.charge_memcpy(*model, bytes);
+    const VTime t0 = vck().now();
+    vck().charge_memcpy(*model, bytes);
     stats.memcpy_bytes += bytes;
     if (tracer) {
-        tracer->record(TraceEvent::Kind::Copy, t0, clock.now(), -1, bytes);
+        tracer->record(TraceEvent::Kind::Copy, t0, vck().now(), -1, bytes);
     }
     if (payload_mode == PayloadMode::Real && dst != nullptr && src != nullptr &&
         dst != src) {
@@ -25,7 +25,7 @@ void RankCtx::copy_bytes_xsocket(void* dst, const void* src,
     if (bytes == 0) return;
     copy_bytes(dst, src, bytes);
     // Premium over the local copy already charged by copy_bytes.
-    clock.advance(static_cast<VTime>(bytes) *
+    vck().advance(static_cast<VTime>(bytes) *
                   model->memcpy_xsocket_beta_us_per_byte);
     stats.xsocket_bytes += bytes;
     HYTRACE_COUNTER(*this, xsocket_bytes, bytes);
@@ -34,14 +34,14 @@ void RankCtx::copy_bytes_xsocket(void* dst, const void* src,
 void RankCtx::charge_xsocket_read(std::size_t bytes, int concurrency) {
     if (bytes == 0) return;
     if (concurrency < 1) concurrency = 1;
-    const VTime t0 = clock.now();
-    clock.advance(static_cast<VTime>(bytes) *
+    const VTime t0 = vck().now();
+    vck().advance(static_cast<VTime>(bytes) *
                   model->memcpy_xsocket_beta_us_per_byte *
                   static_cast<VTime>(concurrency));
     stats.xsocket_bytes += bytes;
     HYTRACE_COUNTER(*this, xsocket_bytes, bytes);
     if (tracer) {
-        tracer->record(TraceEvent::Kind::Copy, t0, clock.now(), -1, bytes);
+        tracer->record(TraceEvent::Kind::Copy, t0, vck().now(), -1, bytes);
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "minimpi/clock.h"
 #include "minimpi/cluster.h"
@@ -23,6 +24,11 @@ namespace minimpi {
 
 class Runtime;
 class Transport;
+
+namespace detail {
+struct IcollGate;
+struct IcollState;
+}  // namespace detail
 
 /// Per-rank communication counters, maintained by the transport and cost
 /// layers. The paper's central argument is about message/copy COUNTS
@@ -108,19 +114,19 @@ struct RankCtx {
 
     /// Charge application compute (used by reductions and the apps layer).
     void charge_flops(double flops) {
-        const VTime t0 = clock.now();
-        clock.charge_flops(*model, flops);
+        const VTime t0 = vck().now();
+        vck().charge_flops(*model, flops);
         stats.flops += flops;
         if (tracer && flops > 0.0) {
-            tracer->record(TraceEvent::Kind::Compute, t0, clock.now());
+            tracer->record(TraceEvent::Kind::Compute, t0, vck().now());
         }
     }
     void charge_memcpy(std::size_t bytes) {
-        const VTime t0 = clock.now();
-        clock.charge_memcpy(*model, bytes);
+        const VTime t0 = vck().now();
+        vck().charge_memcpy(*model, bytes);
         stats.memcpy_bytes += bytes;
         if (tracer && bytes > 0) {
-            tracer->record(TraceEvent::Kind::Copy, t0, clock.now(), -1, bytes);
+            tracer->record(TraceEvent::Kind::Copy, t0, vck().now(), -1, bytes);
         }
     }
 
@@ -167,6 +173,67 @@ struct RankCtx {
     /// Collective channel construction assigns matching uids on every
     /// member rank, making generation stamps run-to-run deterministic.
     std::uint64_t robust_chan_seq = 0;
+
+    // ---- nonblocking-collective progress engine (icoll.h) --------------
+
+    /// The clock cost-model code charges against. Normally the rank's own
+    /// clock; while the progress engine advances an outstanding collective,
+    /// it points at that request's sub-clock so comm time accrues there and
+    /// is merged back with max() at completion (the ARQ sub-clock
+    /// discipline). All modelling code must charge through vck(), never
+    /// `clock` directly.
+    VClock* cur_clock = &clock;
+    VClock& vck() { return *cur_clock; }
+    const VClock& vck() const { return *cur_clock; }
+
+    /// Link-occupancy map sends consult. Points at link_busy_until except
+    /// while an engine task runs, when it points at the request's private
+    /// snapshot (merged back per destination with max() at completion) so
+    /// the wall-clock order in which outstanding collectives are driven
+    /// cannot leak into virtual time.
+    std::unordered_map<int, VTime>* cur_busy = &link_busy_until;
+
+    /// When non-zero, collective-context traffic (send/recv with
+    /// coll_ctx == true) is stamped with this matching context instead of
+    /// the communicator's ctx_coll. Each outstanding nonblocking collective
+    /// owns a private context derived from its posting order, so its
+    /// in-flight messages can never FIFO-cross-match a later (blocking or
+    /// nonblocking) collective on the same communicator.
+    std::uint64_t coll_ctx_override = 0;
+
+    /// Cooperative-scheduling gate of the engine task currently holding
+    /// this rank's turn; null while the rank's own program runs. Blocking
+    /// points (transport waits, collective rendezvous) yield through it
+    /// instead of blocking the OS thread.
+    detail::IcollGate* gate = nullptr;
+
+    /// Outstanding engine-backed requests of this rank, in posting order.
+    /// wait() drives all of them (the MPI progress rule: a blocked wait
+    /// must still progress every other pending operation).
+    std::vector<detail::IcollState*> active_icolls;
+
+    /// Per-communicator posting counters for nonblocking collectives,
+    /// keyed by CommState address. MPI requires every member to post the
+    /// same collectives in the same order, so the counter agrees across
+    /// ranks and seeds the request's private matching context.
+    std::unordered_map<const void*, std::uint64_t> icoll_seq;
 };
+
+namespace detail {
+
+/// Drive every outstanding nonblocking collective of @p ctx once, without
+/// blocking (defined in icoll.cc). Blocking waits in owner context call
+/// this in their poll loop — the MPI progress rule: a rank blocked in any
+/// MPI call must keep its outstanding nonblocking operations advancing, or
+/// two ranks blocking on operations the other's engine still has in flight
+/// would deadlock. No-op when nothing is outstanding or inside the engine.
+void icoll_progress(RankCtx& ctx);
+
+/// Real-time backoff between progress sweeps: cheap CPU yields first, then
+/// short sleeps, so a genuinely stalled peer does not burn a core. Never
+/// touches virtual time.
+void icoll_backoff(int spins);
+
+}  // namespace detail
 
 }  // namespace minimpi

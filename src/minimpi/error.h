@@ -60,6 +60,16 @@ public:
         : MpiError("job aborted by world rank " + std::to_string(by_rank)) {}
 };
 
+/// Misuse of a nonblocking-collective request handle: destroying a request
+/// whose operation is still in flight (complete it with wait() — silently
+/// cancelling would leak half-executed protocol state into the transport),
+/// or starting an already-active persistent collective.
+class RequestError : public MpiError {
+public:
+    explicit RequestError(const std::string& what)
+        : MpiError("request error: " + what) {}
+};
+
 /// Misuse of a shared-memory window (e.g. querying a rank on another node).
 class WinError : public MpiError {
 public:

@@ -1,0 +1,523 @@
+#include "minimpi/icoll.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "minimpi/error.h"
+#include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
+
+namespace minimpi {
+
+namespace detail {
+
+namespace {
+
+/// Worker loop of one request. Sleeps until the owner arms a body and hands
+/// over the turn, runs it (the body yields the turn back at every would-
+/// block point), publishes completion, and parks again — persistent
+/// requests re-arm the same worker. Exits on shutdown; a shutdown arriving
+/// mid-body surfaces as IcollCancelled inside yield() and unwinds the
+/// body's stack first.
+void worker_main(IcollState* st) {
+    IcollGate& g = st->gate;
+    std::unique_lock<std::mutex> lk(g.mu);
+    for (;;) {
+        g.cv.wait(lk, [&] { return (g.armed && g.task_turn) || g.shutdown; });
+        if (g.shutdown) return;
+        lk.unlock();
+        try {
+            st->body();
+        } catch (const IcollCancelled&) {
+            // Teardown mid-flight: the stack has unwound; just exit below.
+        } catch (...) {
+            g.err = std::current_exception();
+        }
+        lk.lock();
+        g.armed = false;
+        g.done = true;
+        g.task_turn = false;
+        g.cv.notify_all();
+        if (g.shutdown) return;
+    }
+}
+
+void deregister(IcollState& st) {
+    if (!st.registered || st.ctx == nullptr) return;
+    auto& v = st.ctx->active_icolls;
+    v.erase(std::remove(v.begin(), v.end(), &st), v.end());
+    st.registered = false;
+}
+
+}  // namespace
+
+IcollState::~IcollState() {
+    if (worker.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(gate.mu);
+            gate.shutdown = true;
+        }
+        gate.cv.notify_all();
+        worker.join();
+    }
+    deregister(*this);
+}
+
+void icoll_backoff(int spins) {
+    if (spins < 256) {
+        std::this_thread::yield();
+    } else if (spins < 4096) {
+        std::this_thread::sleep_for(std::chrono::microseconds(2));
+    } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+void icoll_progress(RankCtx& ctx) {
+    if (ctx.gate != nullptr) return;  // task context: the engine is us
+    // Snapshot: drive_icoll never mutates the list (only post/merge on this
+    // same thread do, and neither runs inside a drive).
+    for (IcollState* st : ctx.active_icolls) drive_icoll(*st);
+}
+
+bool drive_icoll(IcollState& st) {
+    IcollGate& g = st.gate;
+    {
+        std::lock_guard<std::mutex> lk(g.mu);
+        if (g.done || g.err != nullptr) return true;
+    }
+    RankCtx& ctx = *st.ctx;
+    // Swap the cost-model hooks for the task's turn. The owner thread is
+    // about to sleep and the gate guarantees the task is the only code
+    // touching ctx until the turn comes back.
+    ctx.cur_clock = &st.sub;
+    ctx.cur_busy = &st.busy;
+    ctx.coll_ctx_override = g.rdv_ctx;
+    ctx.gate = &g;
+    bool done_now;
+    {
+        std::unique_lock<std::mutex> lk(g.mu);
+        g.task_turn = true;
+        g.cv.notify_all();
+        g.cv.wait(lk, [&] { return !g.task_turn; });
+        done_now = g.done || g.err != nullptr;
+    }
+    ctx.cur_clock = &ctx.clock;
+    ctx.cur_busy = &ctx.link_busy_until;
+    ctx.coll_ctx_override = 0;
+    ctx.gate = nullptr;
+    return done_now;
+}
+
+void merge_icoll(IcollState& st) {
+    RankCtx& ctx = *st.ctx;
+    st.merged = true;
+    deregister(st);
+    ctx.clock.sync_to(st.sub.now());
+    for (const auto& [dst, t] : st.busy) {
+        VTime& cur = ctx.link_busy_until[dst];
+        if (t > cur) cur = t;
+    }
+    trace_instant(ctx, hytrace::Phase::Engine, "icoll_complete");
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(st.gate.mu);
+        err = st.gate.err;
+        st.gate.err = nullptr;
+    }
+    if (err != nullptr) {
+        // A failed body forfeits its finish hook and its persistent cycle.
+        st.waited = true;
+        st.cycle_active = false;
+        std::rethrow_exception(err);
+    }
+}
+
+void wait_icoll_done(IcollState& target) {
+    RankCtx& ctx = *target.ctx;
+    int spins = 0;
+    while (!drive_icoll(target)) {
+        // The MPI progress rule: while blocked here, every other
+        // outstanding request keeps advancing — two ranks waiting on
+        // different operations in opposite orders must not deadlock.
+        for (IcollState* other : ctx.active_icolls) {
+            if (other != &target) drive_icoll(*other);
+        }
+        icoll_backoff(spins++);
+    }
+}
+
+void arm_icoll(IcollState& st) {
+    RankCtx& ctx = *st.ctx;
+    // The sub-clock starts where the program is now: with zero interleaved
+    // compute the request's charging replays the blocking call exactly.
+    st.sub.set(ctx.clock.now());
+    st.busy = ctx.link_busy_until;
+    st.merged = false;
+    st.waited = false;
+    st.cycle_active = true;
+    {
+        std::lock_guard<std::mutex> lk(st.gate.mu);
+        st.gate.done = false;
+        st.gate.err = nullptr;
+        // rdv_seq is NOT reset: a member of round N+1 may reach a rendezvous
+        // while a round-N straggler is still parked in the old slot (arrived
+        // but not yet left), so reusing round-N keys could join a stale slot.
+        // Every member performs the same rendezvous count per round, so the
+        // monotonic counter still agrees across ranks.
+        st.gate.armed = true;
+    }
+    if (!st.registered) {
+        ctx.active_icolls.push_back(&st);
+        st.registered = true;
+    }
+    trace_instant(ctx, hytrace::Phase::Engine, "icoll_post");
+}
+
+std::shared_ptr<IcollState> create_icoll(const Comm& comm, const char* kind,
+                                         std::function<void()> body,
+                                         std::function<void()> on_wait,
+                                         std::optional<std::uint64_t> match_seq) {
+    if (!comm.valid()) {
+        throw CommError("nonblocking collective on a null communicator");
+    }
+    RankCtx& ctx = comm.ctx();
+    if (ctx.gate != nullptr) {
+        throw ArgumentError(
+            "nonblocking collectives cannot be posted from inside the "
+            "progress engine");
+    }
+    // Warm the hierarchy cache now — a collective build over epoch-keyed
+    // rendezvous — so the task never constructs communicators under the
+    // gate. Charged to the main clock exactly like a first blocking call.
+    // Skipped for explicit-sequence requests: those mark NON-collective
+    // posting patterns (not every rank posts), so a collective build here
+    // would hang the ranks that did post against the ones that never call
+    // create_icoll. Such bodies do raw p2p and never need the hierarchy.
+    if (!match_seq && smp_hier_applicable(comm)) hier(comm);
+
+    auto st = std::make_shared<IcollState>();
+    st->ctx = &ctx;
+    st->kind = kind;
+    st->body = std::move(body);
+    st->on_wait = std::move(on_wait);
+    // Private matching context: bit 63 namespaces it away from real context
+    // ids; ctx_coll identifies the communicator; the per-comm posting
+    // counter identifies the operation (MPI requires identical posting
+    // order, so every member derives the same value). Explicit sequences
+    // live under bit 62 so non-collective posters (see the header) can
+    // never cross-match a counter-derived context.
+    const std::uint64_t seq =
+        match_seq ? *match_seq : ctx.icoll_seq[&comm.state()]++;
+    st->gate.rdv_ctx = (std::uint64_t{1} << 63) |
+                       (match_seq ? (std::uint64_t{1} << 62) : 0) |
+                       (comm.state().ctx_coll << 20) | (seq & 0xFFFFFu);
+    st->worker = std::thread(worker_main, st.get());
+    return st;
+}
+
+std::shared_ptr<IcollState> post_icoll(const Comm& comm, const char* kind,
+                                       std::function<void()> body,
+                                       std::function<void()> on_wait,
+                                       std::optional<std::uint64_t> match_seq) {
+    auto st = create_icoll(comm, kind, std::move(body), std::move(on_wait),
+                           match_seq);
+    arm_icoll(*st);
+    // One initial drive flushes the body's first sends (eager transport),
+    // so peers can match them while this rank computes.
+    drive_icoll(*st);
+    return st;
+}
+
+std::shared_ptr<IcollState> make_complete_icoll(const Comm& comm,
+                                                const char* kind,
+                                                std::function<void()> on_wait) {
+    auto st = std::make_shared<IcollState>();
+    st->ctx = &comm.ctx();
+    st->kind = kind;
+    st->on_wait = std::move(on_wait);
+    st->gate.done = true;
+    st->merged = true;  // nothing was in flight; only the hook remains
+    return st;
+}
+
+}  // namespace detail
+
+// ---- CollRequest ----
+
+CollRequest& CollRequest::operator=(CollRequest&& other) {
+    if (this != &other) {
+        destroy();
+        st_ = std::move(other.st_);
+    }
+    return *this;
+}
+
+CollRequest::~CollRequest() noexcept(false) { destroy(); }
+
+void CollRequest::destroy() {
+    if (!st_) return;
+    auto st = std::move(st_);
+    const bool quiet = std::uncaught_exceptions() > 0 ||
+                       st->ctx->runtime->transport().poisoned();
+    if (!st->merged) {
+        bool body_done;
+        {
+            std::lock_guard<std::mutex> lk(st->gate.mu);
+            body_done = st->gate.done;
+        }
+        if (!body_done) {
+            // In flight: tear the worker down (unwinding its stack cancels
+            // the posted receives) and surface the misuse — unless we are
+            // already unwinding another exception or the job is aborting.
+            st.reset();
+            if (!quiet) {
+                throw RequestError(
+                    "nonblocking collective request destroyed while still "
+                    "in flight; complete it with wait()");
+            }
+            return;
+        }
+        if (quiet) return;        // aborting: drop without touching clocks
+        detail::merge_icoll(*st);  // implicit wait; rethrows a body error
+    }
+    if (!st->waited) {
+        st->waited = true;
+        st->cycle_active = false;  // channel-cached states become restartable
+        if (st->on_wait && std::uncaught_exceptions() == 0) st->on_wait();
+    }
+}
+
+bool CollRequest::test() {
+    if (!st_) return true;
+    detail::IcollState& st = *st_;
+    if (st.ctx->gate != nullptr) {
+        throw ArgumentError("CollRequest::test from inside the progress engine");
+    }
+    if (!st.merged) {
+        const bool done = detail::drive_icoll(st);
+        // A test is a progress call for every outstanding operation.
+        detail::icoll_progress(*st.ctx);
+        if (!done) return false;
+        detail::merge_icoll(st);
+    }
+    return true;
+}
+
+void CollRequest::wait() {
+    if (!st_) return;  // double-wait / wait-after-test: no-op
+    auto st = st_;
+    if (st->ctx->gate != nullptr) {
+        throw ArgumentError("CollRequest::wait from inside the progress engine");
+    }
+    if (!st->merged) {
+        detail::wait_icoll_done(*st);
+        detail::merge_icoll(*st);
+    }
+    if (!st->waited) {
+        st->waited = true;
+        st->cycle_active = false;
+        if (st->on_wait) st->on_wait();
+    }
+    st_.reset();
+}
+
+void wait_all(std::span<CollRequest> reqs) {
+    for (CollRequest& r : reqs) r.wait();
+}
+
+// ---- nonblocking collectives ----
+
+CollRequest ibarrier(const Comm& comm) {
+    return CollRequest(
+        detail::post_icoll(comm, "ibarrier", [comm] { barrier(comm); }));
+}
+
+CollRequest ibcast(const Comm& comm, void* buf, std::size_t count, Datatype dt,
+                   int root) {
+    return CollRequest(detail::post_icoll(
+        comm, "ibcast",
+        [comm, buf, count, dt, root] { bcast(comm, buf, count, dt, root); }));
+}
+
+CollRequest iallgather(const Comm& comm, const void* sendbuf,
+                       std::size_t count, void* recvbuf, Datatype dt) {
+    return CollRequest(
+        detail::post_icoll(comm, "iallgather", [comm, sendbuf, count, recvbuf,
+                                                dt] {
+            allgather(comm, sendbuf, count, recvbuf, dt);
+        }));
+}
+
+CollRequest iallgatherv(const Comm& comm, const void* sendbuf,
+                        std::size_t sendcount, void* recvbuf,
+                        std::span<const std::size_t> counts,
+                        std::span<const std::size_t> displs, Datatype dt) {
+    // The spans die with the caller's statement: the body owns copies.
+    std::vector<std::size_t> c(counts.begin(), counts.end());
+    std::vector<std::size_t> d(displs.begin(), displs.end());
+    return CollRequest(detail::post_icoll(
+        comm, "iallgatherv",
+        [comm, sendbuf, sendcount, recvbuf, c = std::move(c), d = std::move(d),
+         dt] { allgatherv(comm, sendbuf, sendcount, recvbuf, c, d, dt); }));
+}
+
+CollRequest iallreduce(const Comm& comm, const void* sendbuf, void* recvbuf,
+                       std::size_t count, Datatype dt, Op op) {
+    return CollRequest(detail::post_icoll(
+        comm, "iallreduce", [comm, sendbuf, recvbuf, count, dt, op] {
+            allreduce(comm, sendbuf, recvbuf, count, dt, op);
+        }));
+}
+
+// ---- PersistentColl ----
+
+PersistentColl& PersistentColl::operator=(PersistentColl&& other) {
+    if (this != &other) {
+        destroy();
+        st_ = std::move(other.st_);
+    }
+    return *this;
+}
+
+PersistentColl::~PersistentColl() noexcept(false) { destroy(); }
+
+void PersistentColl::destroy() {
+    if (!st_) return;
+    auto st = std::move(st_);
+    const bool quiet = std::uncaught_exceptions() > 0 ||
+                       st->ctx == nullptr ||
+                       st->ctx->runtime->transport().poisoned();
+    if (st->cycle_active && !st->merged) {
+        bool body_done;
+        {
+            std::lock_guard<std::mutex> lk(st->gate.mu);
+            body_done = st->gate.done;
+        }
+        if (!body_done) {
+            st.reset();
+            if (!quiet) {
+                throw RequestError(
+                    "persistent collective destroyed while a started "
+                    "operation is still in flight; complete it with wait()");
+            }
+            return;
+        }
+        if (quiet) return;
+        detail::merge_icoll(*st);  // implicit wait; rethrows a body error
+    }
+    if (st->cycle_active && !st->waited) {
+        st->waited = true;
+        if (st->on_wait && std::uncaught_exceptions() == 0) st->on_wait();
+    }
+}
+
+void PersistentColl::start() {
+    if (!valid()) {
+        throw ArgumentError("start on an uninitialized persistent collective");
+    }
+    if (st_->cycle_active) {
+        throw RequestError("start on an already-active persistent collective");
+    }
+    if (st_->ctx->gate != nullptr) {
+        throw ArgumentError(
+            "PersistentColl::start from inside the progress engine");
+    }
+    detail::arm_icoll(*st_);
+    detail::drive_icoll(*st_);
+}
+
+bool PersistentColl::test() {
+    if (!valid()) {
+        throw ArgumentError("test on an uninitialized persistent collective");
+    }
+    detail::IcollState& st = *st_;
+    if (!st.cycle_active) return true;  // inactive request: MPI reports true
+    if (st.ctx->gate != nullptr) {
+        throw ArgumentError(
+            "PersistentColl::test from inside the progress engine");
+    }
+    if (!st.merged) {
+        const bool done = detail::drive_icoll(st);
+        detail::icoll_progress(*st.ctx);
+        if (!done) return false;
+        detail::merge_icoll(st);
+    }
+    if (!st.on_wait) {
+        // No wait-side finish work: a successful test completes the cycle
+        // (MPI semantics — the request becomes inactive and restartable).
+        st.waited = true;
+        st.cycle_active = false;
+    }
+    return true;
+}
+
+void PersistentColl::wait() {
+    if (!valid()) {
+        throw ArgumentError("wait on an uninitialized persistent collective");
+    }
+    detail::IcollState& st = *st_;
+    if (!st.cycle_active) return;  // inactive: MPI wait is a no-op
+    if (st.ctx->gate != nullptr) {
+        throw ArgumentError(
+            "PersistentColl::wait from inside the progress engine");
+    }
+    if (!st.merged) {
+        detail::wait_icoll_done(st);
+        detail::merge_icoll(st);
+    }
+    st.cycle_active = false;
+    if (!st.waited) {
+        st.waited = true;
+        if (st.on_wait) st.on_wait();
+    }
+}
+
+PersistentColl PersistentColl::barrier_init(const Comm& comm) {
+    return PersistentColl(
+        detail::create_icoll(comm, "barrier_init", [comm] { barrier(comm); }));
+}
+
+PersistentColl PersistentColl::bcast_init(const Comm& comm, void* buf,
+                                          std::size_t count, Datatype dt,
+                                          int root) {
+    return PersistentColl(detail::create_icoll(
+        comm, "bcast_init",
+        [comm, buf, count, dt, root] { bcast(comm, buf, count, dt, root); }));
+}
+
+PersistentColl PersistentColl::allgather_init(const Comm& comm,
+                                              const void* sendbuf,
+                                              std::size_t count, void* recvbuf,
+                                              Datatype dt) {
+    return PersistentColl(detail::create_icoll(
+        comm, "allgather_init", [comm, sendbuf, count, recvbuf, dt] {
+            allgather(comm, sendbuf, count, recvbuf, dt);
+        }));
+}
+
+PersistentColl PersistentColl::allgatherv_init(
+    const Comm& comm, const void* sendbuf, std::size_t sendcount,
+    void* recvbuf, std::span<const std::size_t> counts,
+    std::span<const std::size_t> displs, Datatype dt) {
+    std::vector<std::size_t> c(counts.begin(), counts.end());
+    std::vector<std::size_t> d(displs.begin(), displs.end());
+    return PersistentColl(detail::create_icoll(
+        comm, "allgatherv_init",
+        [comm, sendbuf, sendcount, recvbuf, c = std::move(c), d = std::move(d),
+         dt] { allgatherv(comm, sendbuf, sendcount, recvbuf, c, d, dt); }));
+}
+
+PersistentColl PersistentColl::allreduce_init(const Comm& comm,
+                                              const void* sendbuf,
+                                              void* recvbuf, std::size_t count,
+                                              Datatype dt, Op op) {
+    return PersistentColl(detail::create_icoll(
+        comm, "allreduce_init", [comm, sendbuf, recvbuf, count, dt, op] {
+            allreduce(comm, sendbuf, recvbuf, count, dt, op);
+        }));
+}
+
+}  // namespace minimpi

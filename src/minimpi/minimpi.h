@@ -11,6 +11,7 @@
 #include "minimpi/context.h"
 #include "minimpi/datatype.h"
 #include "minimpi/error.h"
+#include "minimpi/icoll.h"
 #include "minimpi/netmodel.h"
 #include "minimpi/p2p.h"
 #include "minimpi/request.h"

@@ -35,6 +35,35 @@ void validate_buffer(const Comm& comm, const void* buf, std::size_t bytes) {
     }
 }
 
+/// Transport wait that cooperates with the nonblocking-collective engine.
+/// Inside an engine task (gate active) it polls and yields the turn instead
+/// of blocking the OS thread — the owner's Wait() keeps driving every
+/// outstanding request meanwhile. In owner context with requests
+/// outstanding it polls and drives them (the MPI progress rule: a blocking
+/// call must keep nonblocking operations advancing, or two ranks blocked on
+/// traffic the other's engine still has in flight would deadlock). Only
+/// with nothing outstanding does it block in the transport.
+void wait_recv_yielding(RankCtx& ctx, PostedRecv* pr) {
+    Transport& tp = ctx.runtime->transport();
+    if (ctx.gate != nullptr) {
+        while (!tp.test_recv(ctx.world_rank, pr)) {
+            tp.check_poison();
+            ctx.gate->yield();
+        }
+        return;
+    }
+    if (ctx.active_icolls.empty()) {
+        tp.wait_recv(ctx.world_rank, pr);
+        return;
+    }
+    int spins = 0;
+    while (!tp.test_recv(ctx.world_rank, pr)) {
+        tp.check_poison();
+        detail::icoll_progress(ctx);
+        detail::icoll_backoff(spins++);
+    }
+}
+
 }  // namespace
 
 namespace detail {
@@ -46,10 +75,10 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
-    const VTime t_send0 = ctx.clock.now();
-    ctx.clock.advance(link.overhead_us);
+    const VTime t_send0 = ctx.vck().now();
+    ctx.vck().advance(link.overhead_us);
     if (ctx.tracer) {
-        ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.clock.now(),
+        ctx.tracer->record(TraceEvent::Kind::Send, t_send0, ctx.vck().now(),
                            dst_world, bytes);
     }
     if (trace_p2p(ctx)) {
@@ -73,12 +102,14 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     // Bandwidth serialization: this message's bytes occupy the link after
     // any still-draining earlier message to the same destination.
     const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
-    VTime& busy = ctx.link_busy_until[dst_world];
-    const VTime start = std::max(ctx.clock.now(), busy);
+    VTime& busy = (*ctx.cur_busy)[dst_world];
+    const VTime start = std::max(ctx.vck().now(), busy);
     busy = start + transfer;
 
     InMsg msg;
-    msg.ctx = coll_ctx ? comm.state().ctx_coll : comm.state().ctx_p2p;
+    msg.ctx = coll_ctx ? (ctx.coll_ctx_override != 0 ? ctx.coll_ctx_override
+                                                     : comm.state().ctx_coll)
+                       : comm.state().ctx_p2p;
     msg.src_global = ctx.world_rank;
     msg.tag = tag;
     msg.bytes = bytes;
@@ -93,13 +124,31 @@ Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
                     int tag, bool coll_ctx) {
     RankCtx& ctx = comm.ctx();
     auto posted = std::make_unique<PostedRecv>();
-    posted->ctx = coll_ctx ? comm.state().ctx_coll : comm.state().ctx_p2p;
+    posted->ctx = coll_ctx
+                      ? (ctx.coll_ctx_override != 0 ? ctx.coll_ctx_override
+                                                    : comm.state().ctx_coll)
+                      : comm.state().ctx_p2p;
     posted->src_global =
         (source == kAnySource) ? kAnySource : comm.to_world(source);
     posted->tag = tag;
     posted->buf = buf;
     posted->capacity = bytes;
-    posted->post_vtime = ctx.clock.now();
+    posted->post_vtime = ctx.vck().now();
+    ctx.runtime->transport().post_recv(ctx.world_rank, posted.get());
+    return Request::make_recv(comm, std::move(posted));
+}
+
+Request irecv_bytes_ctx(const Comm& comm, void* buf, std::size_t bytes,
+                        int source, int tag, std::uint64_t ctx_id) {
+    RankCtx& ctx = comm.ctx();
+    auto posted = std::make_unique<PostedRecv>();
+    posted->ctx = ctx_id;
+    posted->src_global =
+        (source == kAnySource) ? kAnySource : comm.to_world(source);
+    posted->tag = tag;
+    posted->buf = buf;
+    posted->capacity = bytes;
+    posted->post_vtime = ctx.vck().now();
     ctx.runtime->transport().post_recv(ctx.world_rank, posted.get());
     return Request::make_recv(comm, std::move(posted));
 }
@@ -243,11 +292,11 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
-    const VTime t_ssend0 = ctx.clock.now();
-    ctx.clock.advance(link.overhead_us);
+    const VTime t_ssend0 = ctx.vck().now();
+    ctx.vck().advance(link.overhead_us);
     const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
-    VTime& busy = ctx.link_busy_until[dst_world];
-    const VTime start = std::max(ctx.clock.now(), busy);
+    VTime& busy = (*ctx.cur_busy)[dst_world];
+    const VTime start = std::max(ctx.vck().now(), busy);
     busy = start + transfer;
 
     const int ack_tag = static_cast<int>(ctx.ssend_seq++);
@@ -271,10 +320,10 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     ack.ctx = kAckCtx;
     ack.src_global = dst_world;
     ack.tag = ack_tag;
-    ack.post_vtime = ctx.clock.now();
+    ack.post_vtime = ctx.vck().now();
     ctx.runtime->transport().post_recv(ctx.world_rank, &ack);
-    ctx.runtime->transport().wait_recv(ctx.world_rank, &ack);
-    ctx.clock.sync_to(ack.arrival);
+    wait_recv_yielding(ctx, &ack);
+    ctx.vck().sync_to(ack.arrival);
     if (trace_p2p(ctx)) {
         hytrace::Span* s =
             trace_complete(ctx, hytrace::Phase::P2P, "ssend", t_ssend0);
@@ -359,8 +408,11 @@ Request& Request::operator=(Request&& other) noexcept {
         ctx_ = other.ctx_;
         state_ = other.state_;
         recv_ = std::move(other.recv_);
+        done_ = other.done_;
+        done_status_ = other.done_status_;
         other.ctx_ = nullptr;
         other.state_ = nullptr;
+        other.done_ = false;
     }
     return *this;
 }
@@ -391,12 +443,12 @@ Request Request::make_recv(const Comm& comm, std::unique_ptr<PostedRecv> pr) {
 
 Status Request::finish_recv() {
     PostedRecv& pr = *recv_;
-    const VTime t_recv0 = ctx_->clock.now();
-    ctx_->clock.sync_to(pr.arrival);
-    ctx_->clock.advance(pr.recv_overhead);
+    const VTime t_recv0 = ctx_->vck().now();
+    ctx_->vck().sync_to(pr.arrival);
+    ctx_->vck().advance(pr.recv_overhead);
     if (ctx_->tracer) {
         ctx_->tracer->record(TraceEvent::Kind::Recv, t_recv0,
-                             ctx_->clock.now(), pr.matched_src, pr.msg_bytes);
+                             ctx_->vck().now(), pr.matched_src, pr.msg_bytes);
     }
     if (trace_p2p(*ctx_)) {
         hytrace::Span* s =
@@ -425,24 +477,37 @@ Status Request::finish_recv() {
     st.source = state_->from_world(pr.matched_src);
     st.tag = pr.matched_tag;
     st.bytes = pr.msg_bytes;
+    done_ = true;
+    done_status_ = st;
     release();
     return st;
 }
 
 Status Request::wait() {
-    if (!valid()) return Status{};
+    if (!valid()) {
+        // Double-wait / wait-after-test-success: no-op returning the
+        // status cached at completion (default Status if never completed).
+        return done_ ? done_status_ : Status{};
+    }
     if (!recv_) {  // send requests are already complete
         Status st;
+        done_ = true;
+        done_status_ = st;
         release();
         return st;
     }
-    ctx_->runtime->transport().wait_recv(ctx_->world_rank, recv_.get());
+    wait_recv_yielding(*ctx_, recv_.get());
     return finish_recv();
 }
 
 bool Request::test(Status* out) {
-    if (!valid()) return true;
+    if (!valid()) {
+        if (out != nullptr && done_) *out = done_status_;
+        return true;
+    }
     if (!recv_) {
+        done_ = true;
+        done_status_ = Status{};
         release();
         return true;
     }
@@ -483,6 +548,43 @@ int wait_any(std::span<Request> reqs, Status* out) {
         }
     }
     if (pending.empty()) return -1;
+    if (ctx->gate == nullptr && !ctx->active_icolls.empty()) {
+        // Owner context with nonblocking collectives outstanding: poll and
+        // keep them progressing instead of blocking in the transport.
+        int spins = 0;
+        for (;;) {
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (ctx->runtime->transport().test_recv(ctx->world_rank,
+                                                        pending[i])) {
+                    const std::size_t idx2 = index_of[i];
+                    Status st2;
+                    reqs[idx2].test(&st2);
+                    if (out) *out = st2;
+                    return static_cast<int>(idx2);
+                }
+            }
+            ctx->runtime->transport().check_poison();
+            detail::icoll_progress(*ctx);
+            detail::icoll_backoff(spins++);
+        }
+    }
+    if (ctx->gate != nullptr) {
+        // Task context: poll in index order and yield between sweeps.
+        for (;;) {
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (ctx->runtime->transport().test_recv(ctx->world_rank,
+                                                        pending[i])) {
+                    const std::size_t idx2 = index_of[i];
+                    Status st2;
+                    reqs[idx2].test(&st2);
+                    if (out) *out = st2;
+                    return static_cast<int>(idx2);
+                }
+            }
+            ctx->runtime->transport().check_poison();
+            ctx->gate->yield();
+        }
+    }
     const std::size_t hit =
         ctx->runtime->transport().wait_any_recv(ctx->world_rank, pending);
     const std::size_t idx = index_of[hit];

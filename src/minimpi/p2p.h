@@ -73,6 +73,14 @@ Request isend_bytes(const Comm& comm, const void* buf, std::size_t bytes,
 Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
                     int tag, bool coll_ctx);
 
+/// Like irecv_bytes but on an explicit matching context, for protocol
+/// traffic that must pair across two different engine tasks (each task's
+/// gate overrides the collective context with its own private one, so the
+/// implicit selection above cannot reach a peer task's stream). The caller
+/// guarantees both sides derive the same @p ctx_id.
+Request irecv_bytes_ctx(const Comm& comm, void* buf, std::size_t bytes,
+                        int source, int tag, std::uint64_t ctx_id);
+
 /// Frame primitives for the resilience layer (src/robust). They bypass the
 /// Request machinery so the caller can tolerate tombstoned (dropped)
 /// deliveries instead of receiving a thrown TimeoutError.

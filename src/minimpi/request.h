@@ -20,9 +20,12 @@ public:
     Request(Request&& other) noexcept
         : ctx_(other.ctx_),
           state_(other.state_),
-          recv_(std::move(other.recv_)) {
+          recv_(std::move(other.recv_)),
+          done_(other.done_),
+          done_status_(other.done_status_) {
         other.ctx_ = nullptr;
         other.state_ = nullptr;
+        other.done_ = false;
     }
     Request& operator=(Request&&) noexcept;
     Request(const Request&) = delete;
@@ -32,11 +35,14 @@ public:
     bool valid() const { return ctx_ != nullptr; }
 
     /// Block until the operation completes; returns the receive status
-    /// (sends return a default Status). Consumes the request.
+    /// (sends return a default Status). Consumes the request. Waiting
+    /// again on a consumed request — double-wait, or wait after a
+    /// successful test() — is a no-op returning the cached status.
     Status wait();
 
     /// Nonblocking completion check; on true fills @p out (if given) and
-    /// consumes the request.
+    /// consumes the request. Testing a consumed request returns true and
+    /// reports the cached status.
     bool test(Status* out = nullptr);
 
     /// @internal factories used by the p2p layer.
@@ -58,6 +64,8 @@ private:
     RankCtx* ctx_ = nullptr;
     CommState* state_ = nullptr;
     std::unique_ptr<PostedRecv> recv_;  ///< null for send requests
+    bool done_ = false;   ///< completed at least once (status cached)
+    Status done_status_;  ///< status of the completed operation
 };
 
 /// Wait on every request, in index order (deterministic virtual time).

@@ -21,10 +21,10 @@ class TraceSpan {
 public:
     TraceSpan(RankCtx& ctx, hytrace::Phase phase, const char* name)
         : ctx_(&ctx), rec_(ctx.spans) {
-        if (rec_ != nullptr) idx_ = rec_->begin(phase, name, ctx.clock.now());
+        if (rec_ != nullptr) idx_ = rec_->begin(phase, name, ctx.vck().now());
     }
     ~TraceSpan() {
-        if (rec_ != nullptr) rec_->end(idx_, ctx_->clock.now());
+        if (rec_ != nullptr) rec_->end(idx_, ctx_->vck().now());
     }
 
     TraceSpan(const TraceSpan&) = delete;
@@ -74,14 +74,14 @@ inline bool trace_p2p(const RankCtx& ctx) {
 inline hytrace::Span* trace_complete(RankCtx& ctx, hytrace::Phase phase,
                                      const char* name, VTime t0) {
     if (ctx.spans == nullptr) return nullptr;
-    return &ctx.spans->complete(phase, name, t0, ctx.clock.now());
+    return &ctx.spans->complete(phase, name, t0, ctx.vck().now());
 }
 
 /// Record a zero-duration event (retransmit, degradation) at now.
 inline hytrace::Span* trace_instant(RankCtx& ctx, hytrace::Phase phase,
                                     const char* name) {
     if (ctx.spans == nullptr) return nullptr;
-    return &ctx.spans->instant(phase, name, ctx.clock.now());
+    return &ctx.spans->instant(phase, name, ctx.vck().now());
 }
 
 /// Bump a per-rank counter field, e.g.

@@ -13,6 +13,7 @@ const char* phase_name(Phase p) {
         case Phase::Sync: return "sync";
         case Phase::Robust: return "robust";
         case Phase::Compute: return "compute";
+        case Phase::Engine: return "engine";
     }
     return "?";
 }

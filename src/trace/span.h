@@ -32,6 +32,7 @@ enum class Phase : std::uint8_t {
     Sync,     ///< barrier or flag synchronization interval
     Robust,   ///< retransmit / backoff / degradation event
     Compute,  ///< application flops
+    Engine,   ///< nonblocking-collective engine event (post/progress/complete)
 };
 
 /// Stable lowercase label of @p p (used in the Chrome JSON "cat"/"args").

@@ -18,7 +18,7 @@ namespace {
 const char* const kOpNames[kNumOps] = {"allgather",       "allgatherv",
                                        "bcast",           "allreduce",
                                        "barrier",         "bridge_exchange",
-                                       "socket_staging"};
+                                       "socket_staging",  "split_segment"};
 const char* const kShapeNames[kNumShapes] = {"net", "shm"};
 
 /// Per-op algorithm name tables, indexed by the algo:: constants.
@@ -32,6 +32,7 @@ const std::vector<const char*>& algo_names(Op op) {
         {"allgatherv", "bcast", "pipelined", "bruckv",   // BridgeExchange
          "neighbor_exchange"},
         {"flat", "staged"},                              // SocketStaging
+        {"whole", "segmented"},                          // SplitSegment
     };
     return names[static_cast<int>(op)];
 }

@@ -35,8 +35,11 @@ enum class Op : std::uint8_t {
                      ///< node-block byte count on the bridge
     SocketStaging,   ///< hybrid on-node NUMA phase (flat vs socket-staged);
                      ///< Shm shape, keyed by the distributed byte count
+    SplitSegment,    ///< split-phase (nonblocking) bridge exchange: whether
+                     ///< the engine-driven round segments its transfers, and
+                     ///< at which chunk size; keyed like BridgeExchange
 };
-inline constexpr int kNumOps = 7;
+inline constexpr int kNumOps = 8;
 
 /// Link class of the communicator the operation runs on. Collective call
 /// sites in minimpi are link-pure: the SMP-aware dispatch sends mixed
@@ -77,6 +80,9 @@ inline constexpr std::uint8_t kBrNeighborExchange = 4;
 // Op::SocketStaging
 inline constexpr std::uint8_t kSsFlat = 0;
 inline constexpr std::uint8_t kSsStaged = 1;
+// Op::SplitSegment
+inline constexpr std::uint8_t kSpWhole = 0;
+inline constexpr std::uint8_t kSpSegmented = 1;
 }  // namespace algo
 
 /// Number of algorithm ids defined for @p op.

@@ -42,12 +42,14 @@ TEST(Conformance, GeneratorCoversTheMatrix) {
     // zero payloads and fault plans — otherwise the harness silently
     // narrows.
     bool ops[kNumOps] = {};
+    bool execs[3] = {};
     bool barrier_seen = false, flags_seen = false;
     bool cray = false, ompi = false, rr = false, sub = false;
     bool zero = false, faulty = false, multi_leader = false, paper = false;
     for (int i = 0; i < 300; ++i) {
         const CaseSpec s = generate_case(kSeed, i);
         ops[static_cast<int>(s.op)] = true;
+        execs[static_cast<int>(s.exec)] = true;
         (s.sync == hympi::SyncPolicy::Barrier ? barrier_seen : flags_seen) =
             true;
         (s.cray_profile ? cray : ompi) = true;
@@ -62,6 +64,9 @@ TEST(Conformance, GeneratorCoversTheMatrix) {
     }
     for (int o = 0; o < kNumOps; ++o) {
         EXPECT_TRUE(ops[o]) << op_name(static_cast<CollOp>(o));
+    }
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_TRUE(execs[e]) << exec_name(static_cast<ExecMode>(e));
     }
     EXPECT_TRUE(barrier_seen && flags_seen);
     EXPECT_TRUE(cray && ompi);

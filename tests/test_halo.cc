@@ -144,6 +144,110 @@ TEST(Halo, StencilConvergesIdenticallyOnBothBackends) {
     }
 }
 
+TEST(Halo, SplitPhaseStencilMatchesBlockingExactly) {
+    // The same Jacobi run driven through start_exchange()/wait() must land
+    // on bit-identical cells AND bit-identical virtual clocks when nothing
+    // is computed inside the split window (immediate-wait identity).
+    auto run_steps = [](bool split) {
+        Runtime rt(ClusterSpec::irregular({3, 1, 2}), ModelParams::cray());
+        std::vector<double> snapshot;
+        std::vector<VTime> clocks;
+        std::mutex mu;
+        clocks = rt.run([&](Comm& world) {
+            HierComm hc(world);
+            const std::size_t n = 16;
+            HaloExchange1D hx(hc, n, 2, HaloBackend::Hybrid);
+            double* w = hx.write_cells();
+            for (std::size_t i = 0; i < n; ++i) {
+                w[i] = std::cos(0.2 * (world.rank() * n + i));
+            }
+            hx.publish_and_exchange();
+            for (int step = 0; step < 6; ++step) {
+                const double* c = hx.cells();
+                const double* l = hx.left_halo();
+                const double* r = hx.right_halo();
+                double* next = hx.write_cells();
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double left = (i == 0) ? l[1] : c[i - 1];
+                    const double right = (i == n - 1) ? r[0] : c[i + 1];
+                    next[i] = 0.25 * left + 0.5 * c[i] + 0.25 * right;
+                }
+                if (split) {
+                    hx.start_exchange(SyncPolicy::Flags).wait();
+                } else {
+                    hx.publish_and_exchange(SyncPolicy::Flags);
+                }
+            }
+            if (world.rank() == 4) {
+                std::lock_guard<std::mutex> lock(mu);
+                snapshot.assign(hx.cells(), hx.cells() + n);
+            }
+            barrier(world);
+        });
+        return std::make_pair(snapshot, clocks);
+    };
+    const auto [cells_b, clocks_b] = run_steps(false);
+    const auto [cells_s, clocks_s] = run_steps(true);
+    ASSERT_EQ(cells_b.size(), cells_s.size());
+    for (std::size_t i = 0; i < cells_b.size(); ++i) {
+        EXPECT_EQ(cells_b[i], cells_s[i]) << "cell " << i;
+    }
+    ASSERT_EQ(clocks_b.size(), clocks_s.size());
+    for (std::size_t r = 0; r < clocks_b.size(); ++r) {
+        EXPECT_EQ(clocks_b[r], clocks_s[r]) << "rank " << r;
+    }
+}
+
+TEST(Halo, SplitPhaseHidesComputeBehindEdgeTransfers) {
+    // Node-edge transfers posted via start_exchange() overlap compute done
+    // before wait(). Only the edge transfer is hideable — the on-node
+    // publish sync runs owner-side at wait(), after the compute — so the
+    // halo is wide enough for the transfer to dominate the exchange and the
+    // compute is sized under it. The split iteration must then cost ~the
+    // blocking exchange alone, not the sum.
+    auto measure = [](bool split, double compute_us) {
+        Runtime rt(ClusterSpec::regular(4, 6), ModelParams::cray(),
+                   PayloadMode::SizeOnly);
+        auto clocks = rt.run([&](Comm& world) {
+            HierComm hc(world);
+            HaloExchange1D hx(hc, 32768, 16384, HaloBackend::Hybrid);
+            const double flops =
+                compute_us * world.ctx().model->flops_per_us;
+            barrier(world);
+            for (int i = 0; i < 5; ++i) {
+                if (split) {
+                    auto rq = hx.start_exchange(SyncPolicy::Flags);
+                    world.ctx().charge_flops(flops);
+                    rq.wait();
+                } else {
+                    hx.publish_and_exchange(SyncPolicy::Flags);
+                    world.ctx().charge_flops(flops);
+                }
+            }
+        });
+        return *std::max_element(clocks.begin(), clocks.end());
+    };
+    const double exchange_only = measure(false, 0.0);
+    const double compute_us = 0.5 * exchange_only / 5.0;  // fits inside
+    const double serial = measure(false, compute_us);
+    const double overlapped = measure(true, compute_us);
+    EXPECT_LT(overlapped, serial);
+    // At least 80% of the (fully hideable) compute must disappear.
+    EXPECT_LT(overlapped - exchange_only, 0.2 * (serial - exchange_only))
+        << "serial=" << serial << " overlapped=" << overlapped
+        << " exchange=" << exchange_only;
+}
+
+TEST(Halo, SplitPhaseRejectsPureMpiBackend) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) {
+                     HierComm hc(world);
+                     HaloExchange1D hx(hc, 8, 2, HaloBackend::PureMpi);
+                     hx.start_exchange();
+                 }),
+                 ArgumentError);
+}
+
 TEST(Halo, HybridCheaperThanPureOnWideNodes) {
     VTime t[2] = {0, 0};
     for (HaloBackend backend : {HaloBackend::PureMpi, HaloBackend::Hybrid}) {

@@ -207,6 +207,100 @@ TEST(Request, PersistentSendRecvRounds) {
     });
 }
 
+TEST(Request, DoubleWaitReturnsCachedStatus) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 1) {
+            int v = 0;
+            Request r = irecv(world, &v, 1, Datatype::Int32, 0, 3);
+            Status st1 = r.wait();
+            EXPECT_EQ(v, 55);
+            EXPECT_FALSE(r.valid());
+            // Double-wait: a no-op returning the status cached at completion.
+            Status st2 = r.wait();
+            EXPECT_EQ(st2.source, st1.source);
+            EXPECT_EQ(st2.tag, st1.tag);
+            EXPECT_EQ(st2.bytes, st1.bytes);
+        } else {
+            send_value(world, 55, 1, 3);
+        }
+    });
+}
+
+TEST(Request, WaitAfterTestSuccessReturnsCachedStatus) {
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    rt.run([](Comm& world) {
+        if (world.rank() == 1) {
+            int v = 0;
+            Request r = irecv(world, &v, 1, Datatype::Int32, 0, 8);
+            recv(world, nullptr, 0, Datatype::Byte, 0, 9);  // message landed
+            Status st1;
+            ASSERT_TRUE(r.test(&st1));
+            EXPECT_EQ(v, 66);
+            // Wait after a successful test: no-op with the cached status.
+            Status st2 = r.wait();
+            EXPECT_EQ(st2.source, st1.source);
+            EXPECT_EQ(st2.tag, st1.tag);
+            EXPECT_EQ(st2.bytes, st1.bytes);
+            Status st3;
+            EXPECT_TRUE(r.test(&st3));
+            EXPECT_EQ(st3.tag, st1.tag);
+        } else {
+            send_value(world, 66, 1, 8);
+            send(world, nullptr, 0, Datatype::Byte, 1, 9);
+        }
+    });
+}
+
+TEST(CollRequestLifecycle, DoubleWaitAndWaitAfterTestAreNoOps) {
+    Runtime rt(ClusterSpec::regular(2, 2), ModelParams::cray());
+    rt.run([](Comm& world) {
+        std::vector<std::byte> in(64), out(64 * world.size());
+        CollRequest rq =
+            iallgather(world, in.data(), 64, out.data(), Datatype::Byte);
+        rq.wait();
+        const VTime t_after = world.ctx().clock.now();
+        rq.wait();  // double-wait: no-op
+        EXPECT_EQ(world.ctx().clock.now(), t_after);
+        EXPECT_TRUE(rq.test());
+
+        CollRequest rq2 =
+            iallgather(world, in.data(), 64, out.data(), Datatype::Byte);
+        while (!rq2.test()) {
+        }
+        const VTime t2 = world.ctx().clock.now();
+        rq2.wait();  // wait after successful test: no-op
+        EXPECT_EQ(world.ctx().clock.now(), t2);
+    });
+}
+
+TEST(CollRequestLifecycle, DestroyCompletedRequestIsQuiet) {
+    Runtime rt(ClusterSpec::regular(1, 1), ModelParams::test());
+    rt.run([](Comm& world) {
+        // Single-member communicator: the body completes at the posting
+        // drive, so dropping the handle finishes it like an implicit wait.
+        std::vector<std::byte> buf(32);
+        { CollRequest rq = ibcast(world, buf.data(), 32, Datatype::Byte, 0); }
+    });
+}
+
+TEST(CollRequestLifecycle, DestroyInFlightRequestThrowsTyped) {
+    // Destroying a request whose operation cannot have completed (its peer
+    // never participates) must raise RequestError instead of silently
+    // cancelling half-executed protocol state.
+    Runtime rt(ClusterSpec::regular(1, 2), ModelParams::test());
+    EXPECT_THROW(rt.run([](Comm& world) {
+                     if (world.rank() == 0) {
+                         std::vector<std::byte> buf(256);
+                         CollRequest rq = ibcast(world, buf.data(), 256,
+                                                 Datatype::Byte, 1);
+                         // dropped without wait(): throws RequestError
+                     }
+                     // rank 1 never posts, so rank 0 can never complete
+                 }),
+                 RequestError);
+}
+
 TEST(Request, PersistentMisuseThrows) {
     Runtime rt(ClusterSpec::regular(1, 1), ModelParams::test());
     rt.run([](Comm& world) {
