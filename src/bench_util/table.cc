@@ -15,6 +15,17 @@ void Table::add_row(double x, const std::vector<double>& values) {
         throw std::invalid_argument("Table row arity mismatch");
     }
     rows_.emplace_back(x, values);
+    chunks_.emplace_back();
+}
+
+void Table::set_row_chunks(const std::vector<double>& chunks) {
+    if (rows_.empty()) {
+        throw std::logic_error("Table::set_row_chunks before any add_row");
+    }
+    if (chunks.size() != series_.size()) {
+        throw std::invalid_argument("Table chunk-row arity mismatch");
+    }
+    chunks_.back() = chunks;
 }
 
 void Table::print(const std::string& title) const {
@@ -128,7 +139,16 @@ bool Table::write_json(const std::string& path,
             if (i) os << ", ";
             write_number(os, vals[i]);
         }
-        os << "]}" << (r + 1 < rows_.size() ? ",\n" : "\n");
+        os << ']';
+        if (!chunks_[r].empty()) {
+            os << ", \"chunks\": [";
+            for (std::size_t i = 0; i < chunks_[r].size(); ++i) {
+                if (i) os << ", ";
+                write_number(os, chunks_[r][i]);
+            }
+            os << ']';
+        }
+        os << "}" << (r + 1 < rows_.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";
     return os.good();

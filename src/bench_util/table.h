@@ -16,6 +16,14 @@ public:
     /// for "not measured").
     void add_row(double x, const std::vector<double>& values);
 
+    /// Attach per-series pipeline chunk counts to the most recently added
+    /// row (NaN = not chunked / not measured). Serialized as an optional
+    /// "chunks" array next to the row's "values"; regression diffs report
+    /// chunk-count changes as INFO, never failures, so attaching counts
+    /// cannot invalidate old baselines. Throws when no row exists or the
+    /// arity does not match the series.
+    void set_row_chunks(const std::vector<double>& chunks);
+
     /// Convenience for ratio columns computed from two existing series.
     void print(const std::string& title) const;
 
@@ -36,6 +44,8 @@ private:
     std::string x_label_;
     std::vector<std::string> series_;
     std::vector<std::pair<double, std::vector<double>>> rows_;
+    /// Parallel to rows_; an empty inner vector means "no chunk counts".
+    std::vector<std::vector<double>> chunks_;
     std::vector<std::pair<std::string, std::string>> meta_;
 };
 

@@ -122,10 +122,14 @@ std::string CaseSpec::describe() const {
        << (placement == minimpi::Placement::Smp ? "smp" : "rr");
     if (sockets > 1) {
         os << " sockets=" << sockets << " staging="
-           << (staging == hympi::SocketStaging::Flat     ? "flat"
-               : staging == hympi::SocketStaging::Staged ? "staged"
-                                                         : "auto");
+           << (staging == hympi::SocketStaging::Flat        ? "flat"
+               : staging == hympi::SocketStaging::Staged    ? "staged"
+               : staging == hympi::SocketStaging::Pipelined ? "pipelined"
+                                                            : "auto");
     }
+    // Kept out of the line for the 0 default so pre-pipeline reproducers
+    // parse unchanged.
+    if (chunk_bytes > 0) os << " chunk=" << chunk_bytes;
     os << " profile=" << (cray_profile ? "cray" : "openmpi");
     // Kept out of the line for Blocking so pre-ExecMode reproducers parse
     // unchanged.
@@ -215,11 +219,17 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
     // rest model 2 or 4 sockets with a forced or table-driven staging mode.
     if (s.chance(50)) {
         spec.sockets = s.chance(50) ? 2 : 4;
-        switch (s.below(3)) {
+        switch (s.below(4)) {
             case 0: spec.staging = hympi::SocketStaging::Flat; break;
             case 1: spec.staging = hympi::SocketStaging::Staged; break;
+            case 2: spec.staging = hympi::SocketStaging::Pipelined; break;
             default: spec.staging = hympi::SocketStaging::Auto; break;
         }
+        // Pipeline chunk geometry, sampled for every staging mode so Auto
+        // cases that reach the pipeline also see forced odd chunk sizes:
+        // 1 KiB (many flag rounds), 4 KiB, or 0 (tuned/whole message).
+        constexpr std::size_t kChunks[] = {1024, 4096, 0};
+        spec.chunk_bytes = kChunks[s.below(std::size(kChunks))];
     }
     spec.cray_profile = s.chance(50);
     spec.subcomm = spec.total_ranks() >= 3 && s.chance(25);

@@ -67,8 +67,14 @@ struct CaseSpec {
     /// NUMA domains per node (>= 2 adds the socket level to the hierarchy;
     /// ppn frequently does not divide evenly, so socket slices are uneven).
     int sockets = 1;
-    /// On-node socket policy forced onto the channels that support it.
+    /// On-node socket policy forced onto the channels that support it
+    /// (Pipelined engages the chunked single-copy engine on multi-node
+    /// rounds and degrades to Staged/Flat elsewhere).
     hympi::SocketStaging staging = hympi::SocketStaging::Auto;
+    /// Forced pipeline chunk size in bytes (0 = the tuned/whole default).
+    /// Small values force many per-chunk flag rounds — the interesting
+    /// regime for the flag-sequencing and robust-interop claims.
+    std::size_t chunk_bytes = 0;
     bool cray_profile = true;  ///< vendor profile: cray() vs openmpi()
     bool subcomm = false;      ///< run on a seeded proper sub-communicator
 

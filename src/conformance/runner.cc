@@ -182,6 +182,7 @@ void diff_allgather(const CaseSpec& spec, Comm& active, HierComm& hc,
     const std::size_t bb = spec.block_bytes;
     AllgatherChannel ch(hc, bb);
     ch.set_socket_staging(spec.staging);
+    ch.set_chunk_bytes(spec.chunk_bytes);
     std::vector<std::byte> mine(bb);
     std::vector<std::byte> ref(bb * static_cast<std::size_t>(n));
     PersistentColl pc;
@@ -230,6 +231,7 @@ void diff_allgatherv(const CaseSpec& spec, Comm& active, HierComm& hc,
     }
     AllgatherChannel ch(hc, counts);
     ch.set_socket_staging(spec.staging);
+    ch.set_chunk_bytes(spec.chunk_bytes);
     const std::size_t mb = counts[static_cast<std::size_t>(me)];
     std::vector<std::byte> mine(mb);
     std::vector<std::byte> ref(total);
@@ -275,6 +277,7 @@ void diff_bcast(const CaseSpec& spec, Comm& active, HierComm& hc,
     const std::size_t bb = spec.block_bytes;
     BcastChannel ch(hc, bb);
     ch.set_socket_staging(spec.staging);
+    ch.set_chunk_bytes(spec.chunk_bytes);
     std::vector<std::byte> flat(bb);
     for (int it = 0; it < spec.iterations; ++it) {
         const int root = (spec.derive_root(n) + it) % n;  // rotate roots
@@ -312,6 +315,7 @@ void diff_allreduce(const CaseSpec& spec, Comm& active, HierComm& hc,
     const std::size_t count = spec.block_bytes / ds;
     AllreduceChannel ch(hc, count, spec.dt);
     ch.set_socket_staging(spec.staging);
+    ch.set_chunk_bytes(spec.chunk_bytes);
     std::vector<std::byte> mine(count * ds);
     std::vector<std::byte> ref(count * ds);
     PersistentColl pc;

@@ -85,10 +85,24 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
             c.placement = minimpi::Placement::Smp;
             cands.push_back(c);
         }
+        // Pipeline dimensions before the whole socket axis: a failure that
+        // survives with the default chunk size (or without the pipelined
+        // engine at all) removes the chunk protocol from the reproducer.
+        if (cur.chunk_bytes != 0) {
+            CaseSpec c = cur;
+            c.chunk_bytes = 0;
+            cands.push_back(c);
+        }
+        if (cur.staging == hympi::SocketStaging::Pipelined) {
+            CaseSpec c = cur;
+            c.staging = hympi::SocketStaging::Staged;
+            cands.push_back(c);
+        }
         if (cur.sockets > 1) {
             CaseSpec c = cur;
             c.sockets = 1;
             c.staging = hympi::SocketStaging::Auto;
+            c.chunk_bytes = 0;
             cands.push_back(c);
         }
 

@@ -409,6 +409,94 @@ bool AllgatherChannel::robust_bridge_exchange() {
     return ok;
 }
 
+bool AllgatherChannel::run_pipelined(const PipelinePlan& plan,
+                                     const RobustConfig* cfg) {
+    const std::size_t chunk = plan.chunk_bytes;
+    const int nn = hc_->num_nodes();
+    const int p = hc_->world().size();
+    // Per-node block lengths from the slot-major layout — available on
+    // every rank (with one leader per node, required by plan(), the node
+    // block IS the leader's bridge slice).
+    std::vector<std::size_t> node_len(static_cast<std::size_t>(nn));
+    std::size_t max_len = 0;
+    for (int n = 0; n < nn; ++n) {
+        const auto s0 = static_cast<std::size_t>(hc_->node_offset(n));
+        const auto s1 = static_cast<std::size_t>(
+            n + 1 < nn ? hc_->node_offset(n + 1) : p);
+        node_len[static_cast<std::size_t>(n)] =
+            slot_offset_[s1] - slot_offset_[s0];
+        max_len = std::max(max_len, node_len[static_cast<std::size_t>(n)]);
+    }
+    const std::size_t nchunks = (max_len + chunk - 1) / chunk;
+    // Pass c ships slice [c*chunk, (c+1)*chunk) of EVERY node block at
+    // once, so the bridge stays balanced (full-duplex) and each pass lands
+    // as one node-level release flag. Pass lengths taper as short blocks
+    // run dry; every rank derives the identical vector.
+    std::vector<std::size_t> pass_len(nchunks, 0);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t off = c * chunk;
+        for (int n = 0; n < nn; ++n) {
+            const std::size_t len = node_len[static_cast<std::size_t>(n)];
+            if (off < len) pass_len[c] += std::min(chunk, len - off);
+        }
+    }
+    if (!hc_->is_leader()) {
+        stager_.consume_chunks(sync_, pass_len, plan.leaf);
+        return true;
+    }
+    const Comm& bridge = hc_->bridge();
+    const int bp = bridge.size();
+    const int br = bridge.rank();
+    minimpi::RankCtx& ctx = bridge.ctx();
+    const int node_slot = sync_.chunk_slot_node();
+    TraceSpan span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+    span.set_algo(cfg != nullptr ? "reliable_chunked" : "chunked_allgatherv");
+    span.set_comm(bp, br);
+    span.set_chunks(nchunks);
+    HYTRACE_COUNTER(ctx, chunks, nchunks);
+    BridgeBytesScope bytes_scope(ctx, span);
+    bool ok = true;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(bp));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(bp));
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t off = c * chunk;
+        for (std::size_t n = 0; n < static_cast<std::size_t>(bp); ++n) {
+            const std::size_t len = bridge_counts_[n];
+            counts[n] = off < len ? std::min(chunk, len - off) : 0;
+            displs[n] = bridge_displs_[n] + std::min(off, len);
+        }
+        if (cfg == nullptr) {
+            minimpi::allgatherv(bridge, minimpi::kInPlace,
+                                counts[static_cast<std::size_t>(br)],
+                                buf_.data(), counts, displs,
+                                minimpi::Datatype::Byte);
+        } else {
+            // Each chunk's frames live under their own generation stamp so
+            // a duplicated frame of chunk i can never be accepted as chunk
+            // j (varying the op code instead would wrap at 256 chunks).
+            const std::uint64_t gen =
+                gen64() + ((static_cast<std::uint64_t>(c) + 1) << 20);
+            for (int k = 1; k < bp; ++k) {
+                const int dst = (br + k) % bp;
+                const int src = (br - k + bp) % bp;
+                const auto sb = static_cast<std::size_t>(br);
+                const auto rb = static_cast<std::size_t>(src);
+                if (!robust::reliable_xfer(
+                        bridge, buf_.at(displs[sb]), counts[sb], dst,
+                        buf_.at(displs[rb]), counts[rb], src,
+                        robust::kOpAllgather + ((k - 1) & 0xFF), gen, *cfg,
+                        stats_)) {
+                    ok = false;
+                }
+            }
+        }
+        // Publish this pass down the node/socket tree: the consumers'
+        // leaf phase for pass c overlaps our bridge transfer of pass c+1.
+        sync_.chunk_signal(node_slot);
+    }
+    return ok;
+}
+
 void AllgatherChannel::downgrade_to_flat(bool refill) {
     const Comm& world = hc_->world();
     minimpi::RankCtx& ctx = world.ctx();
@@ -476,6 +564,25 @@ void AllgatherChannel::run(SyncPolicy sync, BridgeAlgo algo) {
     // Fig. 4 line 25/34: leaders wait until all partitions on their node
     // are initialized.
     sync_.ready_phase(sync);
+    const PipelinePlan pp =
+        stager_.plan(staging_, total_bytes_, /*multi_node=*/true, chunk_bytes_);
+    if (pp.pipelined) {
+        root.set_algo("pipelined");
+        const bool ok = run_pipelined(pp, robust ? cfg : nullptr);
+        if (robust && hc_->is_leader() &&
+            robust::agree_failure(hc_->bridge(), !ok, gen64(), *cfg, stats_)) {
+            fail_shared_->fail_gen.store(gen64());
+        }
+        // The trailing release keeps the degradation ladder and release
+        // epochs identical to the whole-message rounds (it is one fixed-cost
+        // flag wave: the per-chunk flags already published the data).
+        sync_.release_phase(sync);
+        if (robust && fail_shared_ != nullptr &&
+            fail_shared_->fail_gen.load() == gen64()) {
+            downgrade_to_flat(/*refill=*/true);
+        }
+        return;
+    }
     if (!robust) {
         if (hc_->is_leader()) {
             bridge_exchange(algo);

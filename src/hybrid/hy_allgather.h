@@ -150,8 +150,15 @@ public:
     /// How the on-node phases treat the NUMA socket boundary (only
     /// meaningful on clusters with sockets_per_node > 1; inert otherwise).
     /// Default Auto consults the tuned SocketStaging decision table.
+    /// SocketStaging::Pipelined runs the chunked single-copy engine on
+    /// multi-node rounds (single-node rounds degrade to Staged).
     void set_socket_staging(SocketStaging s) { staging_ = s; }
     SocketStaging socket_staging() const { return staging_; }
+
+    /// Explicit pipeline chunk size (0 = the tuned/default size). Only
+    /// meaningful for rounds the engine actually chunks.
+    void set_chunk_bytes(std::size_t b) { chunk_bytes_ = b; }
+    std::size_t chunk_bytes() const { return chunk_bytes_; }
 
     const HierComm& hier() const { return *hc_; }
 
@@ -175,6 +182,12 @@ private:
     /// its retry budget (the rank keeps serving peers regardless, so
     /// everyone terminates).
     bool robust_bridge_exchange();
+    /// The chunked single-copy round: the leader's exchange runs in chunk
+    /// passes (pass c ships bytes [c*chunk, (c+1)*chunk) of every node
+    /// block), each pass published down the node/socket tree by its own
+    /// release flag. Returns the robust failure verdict (always true on
+    /// the fast path).
+    bool run_pipelined(const PipelinePlan& plan, const RobustConfig* cfg);
     /// Rung 2: collective over world. Marks the channel flat, builds the
     /// private slot-major buffer, and — when @p refill — re-runs this
     /// generation's exchange as a flat allgatherv so the result is still
@@ -211,6 +224,7 @@ private:
     /// node: node-major order); NeighborExchange requires it.
     bool bridge_contiguous_ = true;
     std::size_t pipeline_segment_ = 0;  ///< 0 = tuned/default heuristic
+    std::size_t chunk_bytes_ = 0;       ///< explicit pipeline chunk override
 
     /// Persistent engine task of the leader's split-phase bridge exchange
     /// (lazily created at the first start(); re-armed on every later one).

@@ -1,5 +1,9 @@
 #include "hybrid/hy_extra.h"
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "hybrid/hy_trace.h"
 #include "minimpi/coll_internal.h"
 
@@ -79,6 +83,21 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
 
     // Inputs written -> visible to all on-node ranks.
     sync_.full_sync(sync);
+
+    if (hc_->num_nodes() > 1) {
+        const PipelinePlan pp = stager_.plan(staging_, vec_bytes_,
+                                             /*multi_node=*/true, chunk_bytes_);
+        if (pp.pipelined) {
+            // XBRC-style chunked round: the per-rank chunk-ready flags
+            // replace ready_phase (the leader bridges chunk 0 while the
+            // node is still reducing chunk 1); the trailing release keeps
+            // the epoch bookkeeping identical to whole-message rounds.
+            root_span.set_algo("pipelined");
+            run_pipelined(op, pp, robust_on(ctx));
+            sync_.release_phase(sync);
+            return;
+        }
+    }
 
     // Cooperative on-node reduction: every rank reduces its stripe of
     // elements across all on-node contributions — parallel work instead of
@@ -162,6 +181,139 @@ void AllreduceChannel::run(Op op, SyncPolicy sync) {
     // Result read-back across the socket boundary (inert under robust mode
     // and on 1-socket nodes).
     stager_.distribute(vec_bytes_, staging_);
+}
+
+void AllreduceChannel::run_pipelined(Op op, const PipelinePlan& plan,
+                                     const RobustConfig* cfg) {
+    const Comm& shm = hc_->shm();
+    minimpi::RankCtx& ctx = shm.ctx();
+    const int ppn = shm.size();
+    const int me = shm.rank();
+    const std::size_t ds = datatype_size(dt_);
+    const std::size_t ce = std::max<std::size_t>(plan.chunk_bytes / ds, 1);
+    const std::size_t nchunks = (count_ + ce - 1) / ce;
+    const int node_slot = sync_.chunk_slot_node();
+    std::vector<std::size_t> lens(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        lens[c] = std::min(ce, count_ - c * ce) * ds;
+    }
+
+    // Chunked cooperative reduction (XBRC): each rank reduces its stripe
+    // of chunk c's elements directly into the node result slice — the
+    // leader's staging buffer, so there is no second copy — and publishes
+    // chunk c on its per-rank ready flag as soon as the stripe is done.
+    {
+        TraceSpan reduce_span(ctx, hytrace::Phase::Compute, "node_reduce");
+        reduce_span.set_chunks(nchunks);
+        std::size_t total_sb = 0;
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            const std::size_t e0 = c * ce;
+            const std::size_t ec = std::min(ce, count_ - e0);
+            const auto [clo, chi] = stripe(ec, ppn, me);
+            const std::size_t lo = e0 + clo;
+            const std::size_t nelem = chi - clo;
+            const std::size_t sb = nelem * ds;
+            std::byte* res =
+                buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ + lo * ds);
+            ctx.copy_bytes(res, buf_.at(lo * ds), sb);
+            for (int k = 1; k < ppn; ++k) {
+                apply_op(ctx, op, dt_, res,
+                         buf_.at(static_cast<std::size_t>(k) * vec_bytes_ +
+                                 lo * ds),
+                         nelem);
+            }
+            // NUMA cost of this chunk's striped input gather.
+            stager_.reduce_gather(lens[c], plan.leaf);
+            total_sb += sb;
+            // The leader consumes its own completion in program order; only
+            // the other ranks need a flag (slot 0 stays untouched all round,
+            // which keeps every rank's mirror of it trivially consistent).
+            if (me != 0) sync_.chunk_signal(sync_.chunk_slot_rank(me));
+        }
+        reduce_span.set_bytes(total_sb);
+    }
+
+    if (!hc_->is_primary_leader()) {
+        for (int r = 1; r < ppn; ++r) {
+            if (r != me) sync_.chunk_skip(sync_.chunk_slot_rank(r), nchunks);
+        }
+        stager_.consume_chunks(sync_, lens, plan.leaf);
+        return;
+    }
+
+    // Producer (the primary leader): bridge chunk c as soon as its ppn-1
+    // ready flags land — overlapping the node's reduction of chunk c+1 —
+    // then publish the globally-reduced chunk on the node-level flag.
+    const Comm& bridge = hc_->bridge();
+    const int bp = bridge.size();
+    const int br = bridge.rank();
+    TraceSpan span(ctx, hytrace::Phase::Bridge, "bridge_exchange");
+    span.set_algo(cfg == nullptr ? "chunked_allreduce" : "reliable_chunked");
+    span.set_comm(bp, br);
+    span.set_chunks(nchunks);
+    HYTRACE_COUNTER(ctx, chunks, nchunks);
+    BridgeBytesScope bytes_scope(ctx, span);
+    std::vector<std::uint64_t> base(static_cast<std::size_t>(ppn), 0);
+    for (int r = 1; r < ppn; ++r) {
+        base[static_cast<std::size_t>(r)] =
+            sync_.chunk_mark(sync_.chunk_slot_rank(r));
+    }
+    std::optional<Scratch> parts_s;
+    if (cfg != nullptr) {
+        parts_s.emplace(ctx, static_cast<std::size_t>(bp) * lens[0]);
+    }
+    bool ok = true;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        for (int r = 1; r < ppn; ++r) {
+            sync_.chunk_wait(sync_.chunk_slot_rank(r),
+                             base[static_cast<std::size_t>(r)] + c + 1);
+        }
+        const std::size_t cb = lens[c];
+        const std::size_t cn = cb / ds;
+        std::byte* slice = buf_.at(static_cast<std::size_t>(ppn) * vec_bytes_ +
+                                   c * ce * ds);
+        if (cfg == nullptr) {
+            minimpi::allreduce(bridge, minimpi::kInPlace, slice, cn, dt_, op);
+        } else {
+            // Reliable ring allgather of the chunk partials + ascending
+            // fold, as in the whole-message robust leg; each chunk's frames
+            // live under their own generation stamp so a duplicated frame
+            // of chunk i can never be accepted as chunk j.
+            std::byte* parts = parts_s->data();
+            ctx.copy_bytes(
+                minimpi::detail::at(parts, static_cast<std::size_t>(br) * cb),
+                slice, cb);
+            const std::uint64_t gen =
+                rs_.gen() + ((static_cast<std::uint64_t>(c) + 1) << 20);
+            for (int k = 1; k < bp; ++k) {
+                const int dst = (br + k) % bp;
+                const int src = (br - k + bp) % bp;
+                if (!robust::reliable_xfer(
+                        bridge, slice, cb, dst,
+                        minimpi::detail::at(
+                            parts, static_cast<std::size_t>(src) * cb),
+                        cb, src, robust::kOpAllreduce + ((k - 1) & 0xFF), gen,
+                        *cfg, rs_.stats)) {
+                    ok = false;
+                }
+            }
+            ctx.copy_bytes(slice, parts, cb);
+            for (int n = 1; n < bp; ++n) {
+                apply_op(ctx, op, dt_, slice,
+                         minimpi::detail::at(
+                             parts, static_cast<std::size_t>(n) * cb),
+                         cn);
+            }
+        }
+        sync_.chunk_signal(node_slot);
+    }
+    for (int r = 1; r < ppn; ++r) {
+        sync_.chunk_skip(sync_.chunk_slot_rank(r), nchunks);
+    }
+    if (cfg != nullptr && !ok) {
+        throw RobustError(StatusCode::RetriesExhausted,
+                          "Hy_Allreduce bridge exchange");
+    }
 }
 
 minimpi::CollRequest AllreduceChannel::start(Op op, SyncPolicy sync) {

@@ -1,5 +1,8 @@
 #include "hybrid/numa_stage.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "hybrid/hy_trace.h"
 #include "tuning/decision.h"
 
@@ -16,8 +19,18 @@ SocketStager::SocketStager(const HierComm& hc) : hc_(&hc) {
 
 SocketStaging SocketStager::resolve(SocketStaging mode,
                                     std::size_t bytes) const {
+    // A pipelined round stages its chunks through the socket mirror when
+    // the socket model applies; everywhere else its leaf phase is flat.
+    if (mode == SocketStaging::Pipelined) {
+        return active_ ? SocketStaging::Staged : SocketStaging::Flat;
+    }
     if (mode != SocketStaging::Auto) return mode;
     if (!active_) return SocketStaging::Flat;
+    // Clamp before the tuned-table log-rounding: a 0-byte query has no
+    // geometric position on the size axis (and the legacy threshold below
+    // is trivially false), so it resolves like the smallest positive size
+    // instead of leaning on lookup fallback behaviour.
+    if (bytes == 0) bytes = 1;
     const tuning::DecisionTable* table = hc_->world().ctx().tuned;
     if (table != nullptr) {
         const auto c = table->lookup(tuning::Op::SocketStaging,
@@ -34,6 +47,134 @@ SocketStaging SocketStager::resolve(SocketStaging mode,
     return (bytes >= 16 * 1024 && hc_->socket().size() >= 2)
                ? SocketStaging::Staged
                : SocketStaging::Flat;
+}
+
+PipelinePlan SocketStager::plan(SocketStaging mode, std::size_t bytes,
+                                bool multi_node,
+                                std::size_t chunk_override) const {
+    PipelinePlan p;
+    p.leaf = resolve(mode, bytes);
+    // The chunked path overlaps the bridge transfer with the on-node
+    // copies, so it needs a bridge (multi-node) and whole-node staging
+    // slices (one leader per node); a single-node or multi-leader round
+    // falls back to the whole-message modes above.
+    if (bytes == 0 || !multi_node || hc_ == nullptr ||
+        hc_->leaders_per_node() != 1) {
+        return p;
+    }
+    std::size_t chunk = chunk_override;
+    if (mode == SocketStaging::Auto) {
+        // Auto engages pipelining only on a tuned ChunkSize entry (and
+        // only where the socket model applies — with free leaf reads the
+        // chunked bridge has nothing to overlap): no table, no pipeline,
+        // so untouched profiles keep their exact pre-pipeline clocks.
+        if (!active_) return p;
+        const tuning::DecisionTable* table = hc_->world().ctx().tuned;
+        if (table == nullptr) return p;
+        const auto c =
+            table->lookup(tuning::Op::ChunkSize, tuning::Shape::Shm,
+                          hc_->shm().size(), bytes == 0 ? 1 : bytes);
+        if (!c.has_value() || c->algo != tuning::algo::kCsPipelined) return p;
+        if (chunk == 0) chunk = c->segment_bytes;
+    } else if (mode != SocketStaging::Pipelined) {
+        return p;
+    } else if (chunk == 0) {
+        const tuning::DecisionTable* table = hc_->world().ctx().tuned;
+        if (table != nullptr) {
+            const auto c =
+                table->lookup(tuning::Op::ChunkSize, tuning::Shape::Shm,
+                              hc_->shm().size(), bytes == 0 ? 1 : bytes);
+            if (c.has_value() && c->segment_bytes != 0) {
+                chunk = c->segment_bytes;
+            }
+        }
+    }
+    if (chunk == 0) chunk = kDefaultChunkBytes;
+    p.pipelined = true;
+    p.chunk_bytes = std::min(std::max<std::size_t>(chunk, 64), bytes);
+    return p;
+}
+
+void SocketStager::distribute_chunk(std::size_t chunk_len,
+                                    SocketStaging leaf) {
+    if (!active_ || chunk_len == 0) return;
+    if (hc_->my_socket() == hc_->home_socket()) return;
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    if (leaf == SocketStaging::Staged) {
+        if (hc_->is_socket_leader()) {
+            // One chunk-sized crossing into the socket-local mirror; the
+            // per-chunk socket flag (signalled by the caller) replaces the
+            // whole-message socket barrier.
+            ctx.charge_xsocket_read(chunk_len, 1);
+            ctx.charge_memcpy(chunk_len);
+        }
+    } else {
+        ctx.charge_xsocket_read(chunk_len, hc_->socket().size());
+    }
+}
+
+void SocketStager::consume_chunks(NodeSync& sync, std::size_t bytes,
+                                  std::size_t chunk_bytes,
+                                  SocketStaging leaf) {
+    const std::size_t nchunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+    std::vector<std::size_t> lens(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        lens[c] = std::min(chunk_bytes, bytes - c * chunk_bytes);
+    }
+    consume_chunks(sync, lens, leaf);
+}
+
+void SocketStager::consume_chunks(NodeSync& sync,
+                                  std::span<const std::size_t> chunk_lens,
+                                  SocketStaging leaf) {
+    minimpi::RankCtx& ctx = hc_->world().ctx();
+    const std::size_t nchunks = chunk_lens.size();
+    std::size_t bytes = 0;
+    for (const std::size_t l : chunk_lens) bytes += l;
+    const bool remote =
+        active_ && hc_->my_socket() != hc_->home_socket();
+    const bool staged_leaf = leaf == SocketStaging::Staged && remote;
+    const int node_slot = sync.chunk_slot_node();
+    TraceSpan span(ctx, hytrace::Phase::Copy, "pipeline_consume");
+    span.set_algo(staged_leaf ? "staged" : "flat");
+    span.set_bytes(bytes);
+    span.set_chunks(nchunks);
+    HYTRACE_COUNTER(ctx, chunks, nchunks);
+    auto chunk_len = [&](std::size_t c) { return chunk_lens[c]; };
+    if (staged_leaf && hc_->is_socket_leader()) {
+        // Mirror each chunk across as it lands, then re-publish it on this
+        // socket's flag: the mirror of chunk i overlaps the producer's
+        // bridge transfer of chunk i+1 in virtual time.
+        const int sslot = sync.chunk_slot_socket(hc_->my_socket());
+        const std::uint64_t base = sync.chunk_mark(node_slot);
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            sync.chunk_wait(node_slot, base + c + 1);
+            TraceSpan mirror(ctx, hytrace::Phase::Copy, "pipeline_chunk");
+            mirror.set_bytes(chunk_len(c));
+            distribute_chunk(chunk_len(c), SocketStaging::Staged);
+            sync.chunk_signal(sslot);
+        }
+        sync.chunk_skip(node_slot, nchunks);
+    } else if (staged_leaf) {
+        // Remote-socket peer: read each chunk from the socket-local
+        // mirror as the socket leader publishes it (local reads, free).
+        const int sslot = sync.chunk_slot_socket(hc_->my_socket());
+        const std::uint64_t base = sync.chunk_mark(sslot);
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            sync.chunk_wait(sslot, base + c + 1);
+        }
+        sync.chunk_skip(sslot, nchunks);
+        sync.chunk_skip(node_slot, nchunks);
+    } else {
+        // Flat leaf (or home socket): follow the node-level chunk flags;
+        // remote-socket readers pull each chunk across contended.
+        const std::uint64_t base = sync.chunk_mark(node_slot);
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            sync.chunk_wait(node_slot, base + c + 1);
+            distribute_chunk(chunk_len(c), SocketStaging::Flat);
+        }
+        sync.chunk_skip(node_slot, nchunks);
+    }
 }
 
 void SocketStager::distribute(std::size_t bytes, SocketStaging mode) {

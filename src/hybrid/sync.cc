@@ -37,8 +37,12 @@ NodeSync::NodeSync(const HierComm& hc) : hc_(&hc) {
             b.shared = std::make_shared<Shared>();
             b.shared->ready.resize(static_cast<std::size_t>(shm.size()));
             b.shared->release.resize(static_cast<std::size_t>(shm.size()));
+            b.shared->chunk.resize(static_cast<std::size_t>(shm.size()) + 1 +
+                                   static_cast<std::size_t>(
+                                       hc.sockets_on_node()));
         });
     shared_ = boot->shared;
+    chunk_next_.assign(shared_->chunk.size(), 0);
     if (ctx.cluster->sockets_per_node() > 1) {
         xsocket_flags_ = shm.socket_of(shm.rank()) != shm.socket_of(0);
     }
@@ -90,6 +94,45 @@ void NodeSync::wait_for(const Cell& c, std::uint64_t target,
     // The wait portion is the virtual time this rank idled until the flag
     // was published (0 when the signal predates the wait); the flag_poll
     // advance is active cost, not waiting.
+    if (signal_time > wait_begin) {
+        HYTRACE_COUNTER(ctx, sync_wait_us, signal_time - wait_begin);
+    }
+}
+
+void NodeSync::chunk_signal(int slot) {
+    minimpi::RankCtx& ctx = hc_->shm().ctx();
+    ctx.clock.advance(ctx.model->flag_signal_us);
+    if (xsocket_flags_) ctx.clock.advance(ctx.model->xsocket_flag_penalty_us);
+    ChunkSlot& c = shared_->chunk[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    c.stamps.push_back(ctx.clock.now());
+    ++c.seq;
+    ++chunk_next_[static_cast<std::size_t>(slot)];
+    shared_->cv.notify_all();
+}
+
+void NodeSync::chunk_wait(int slot, std::uint64_t target) {
+    minimpi::RankCtx& ctx = hc_->shm().ctx();
+    const VTime wait_begin = ctx.clock.now();
+    const ChunkSlot& c = shared_->chunk[static_cast<std::size_t>(slot)];
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    // Same poison-aware poll as wait_for: a peer that threw mid-pipeline
+    // (e.g. an exhausted robust retry budget) cannot signal this cv.
+    minimpi::Transport& tp = ctx.runtime->transport();
+    while (!shared_->cv.wait_for(lock, std::chrono::milliseconds(2),
+                                 [&] { return c.seq >= target; })) {
+        if (tp.poisoned()) {
+            lock.unlock();
+            tp.check_poison();
+        }
+    }
+    // This chunk's OWN stamp, read by index from the append-only log — the
+    // publisher may already be several chunks ahead in wall-clock time.
+    const VTime signal_time = c.stamps[static_cast<std::size_t>(target - 1)];
+    lock.unlock();
+    ctx.clock.sync_to(signal_time);
+    ctx.clock.advance(ctx.model->flag_poll_us);
+    if (xsocket_flags_) ctx.clock.advance(ctx.model->xsocket_flag_penalty_us);
     if (signal_time > wait_begin) {
         HYTRACE_COUNTER(ctx, sync_wait_us, signal_time - wait_begin);
     }

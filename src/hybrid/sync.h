@@ -69,6 +69,46 @@ public:
     /// flag round-trip).
     void full_sync(SyncPolicy p);
 
+    // --- per-chunk pipeline flags (the chunked single-copy engine) ---
+    //
+    // A pipelined round moves a large payload in chunks; each chunk gets
+    // its own release flag so a consumer stage can start on chunk i while
+    // the producer is still working on chunk i+1. Flags live in fixed
+    // per-publisher slots with MONOTONE ABSOLUTE sequence numbers: chunk c
+    // of a round whose publisher had issued `base` signals before the
+    // round targets seq base+c+1. Every rank mirrors each slot's absolute
+    // count locally (chunk_mark/chunk_skip) — rounds are deterministic and
+    // uniform across the node, so the mirrors agree without any shared
+    // coordination.
+    //
+    // Each signal's virtual-time stamp is kept in an append-only per-slot
+    // log indexed by absolute seq: a waiter synchronizes to ITS chunk's
+    // stamp, never to the latest one — a single overwritten stamp would
+    // leak the wall-clock interleaving of later signals into virtual time.
+
+    /// Slot of rank @p r's per-chunk ready flag (pipelined reductions).
+    int chunk_slot_rank(int r) const { return r; }
+    /// Slot of the node-level per-chunk release flag (primary leader).
+    int chunk_slot_node() const { return hc_->shm().size(); }
+    /// Slot of socket @p s's per-chunk release flag (socket leader s).
+    int chunk_slot_socket(int s) const { return hc_->shm().size() + 1 + s; }
+
+    /// Publish the next chunk from @p slot (advances this rank's mirror).
+    void chunk_signal(int slot);
+    /// Absolute signal count of @p slot as of the last completed round on
+    /// this rank — the base a waiter adds chunk indices to.
+    std::uint64_t chunk_mark(int slot) const {
+        return chunk_next_[static_cast<std::size_t>(slot)];
+    }
+    /// Wait until @p slot reaches absolute seq @p target (1-based), then
+    /// synchronize this rank's clock to that signal's own stamp.
+    void chunk_wait(int slot, std::uint64_t target);
+    /// Advance this rank's mirror of @p slot by a round's @p n chunks
+    /// (non-publishers call this once per pipelined round they observe).
+    void chunk_skip(int slot, std::size_t n) {
+        chunk_next_[static_cast<std::size_t>(slot)] += n;
+    }
+
     /// Degradation ladder, step 1 (robust mode only): once the flag-sync
     /// watchdog has tripped sync_trip_limit times on this node, Flags
     /// requests are served with Barrier for the rest of the job. The flip
@@ -85,6 +125,12 @@ private:
         alignas(64) std::uint64_t seq = 0;
         VTime vtime = 0.0;
     };
+    /// One publisher's pipeline flag: a monotone counter plus the
+    /// append-only stamp log (stamps[i] is the vtime of signal i+1).
+    struct ChunkSlot {
+        alignas(64) std::uint64_t seq = 0;
+        std::vector<VTime> stamps;
+    };
     /// Host-shared state standing in for a flags window; the model charges
     /// the costs a window-resident flag array would incur.
     struct Shared {
@@ -92,6 +138,9 @@ private:
         std::condition_variable cv;
         std::vector<Cell> ready;    ///< one per shm rank
         std::vector<Cell> release;  ///< one per leader (first L entries used)
+        /// Pipeline flag slots: [0, ppn) per-rank chunk-ready, [ppn] the
+        /// node-level chunk release, [ppn+1+s] socket s's chunk release.
+        std::vector<ChunkSlot> chunk;
 
         /// Watchdog trips observed on this node (flag signals arriving
         /// later than watchdog_us of virtual time after the waiter began
@@ -110,6 +159,8 @@ private:
 
     const HierComm* hc_;
     std::shared_ptr<Shared> shared_;
+    /// Rank-local mirror of every chunk slot's absolute signal count.
+    std::vector<std::uint64_t> chunk_next_;
     std::uint64_t my_ready_epoch_ = 0;
     std::uint64_t release_epoch_ = 0;
     bool degraded_ = false;

@@ -47,6 +47,9 @@ public:
     void set_peer(int world_rank) {
         if (rec_ != nullptr) rec_->span(idx_).peer = world_rank;
     }
+    void set_chunks(std::uint64_t chunks) {
+        if (rec_ != nullptr) rec_->span(idx_).chunks = chunks;
+    }
     /// Identify the communicator by shape, not context id (ids come from a
     /// wall-clock-ordered atomic and would break trace determinism).
     void set_comm(int comm_size, int comm_rank) {
@@ -108,6 +111,7 @@ public:
     void set_bytes(std::uint64_t) {}
     void add_bytes(std::uint64_t) {}
     void set_peer(int) {}
+    void set_chunks(std::uint64_t) {}
     void set_comm(int, int) {}
 };
 

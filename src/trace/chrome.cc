@@ -88,6 +88,7 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
                     write_escaped(os, s.algo);
                 }
                 if (s.bytes > 0) os << ", \"bytes\": " << s.bytes;
+                if (s.chunks > 0) os << ", \"chunks\": " << s.chunks;
                 if (s.peer >= 0) os << ", \"peer\": " << s.peer;
                 if (s.comm_size > 0) {
                     os << ", \"comm_size\": " << s.comm_size
@@ -114,7 +115,8 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
                << ", \"sync_wait_us\": ";
             write_us(os, c.sync_wait_us);
             os << ", \"retransmits\": " << c.retransmits
-               << ", \"degradations\": " << c.degradations << "}";
+               << ", \"degradations\": " << c.degradations
+               << ", \"chunks\": " << c.chunks << "}";
         }
     }
     os << "\n], \"totals\": {\"bridge_bytes\": " << totals.bridge_bytes
@@ -123,7 +125,8 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
        << ", \"sync_wait_us\": ";
     write_us(os, totals.sync_wait_us);
     os << ", \"retransmits\": " << totals.retransmits
-       << ", \"degradations\": " << totals.degradations << "}}\n}\n";
+       << ", \"degradations\": " << totals.degradations
+       << ", \"chunks\": " << totals.chunks << "}}\n}\n";
 }
 
 }  // namespace hytrace

@@ -15,6 +15,7 @@ namespace {
 struct Ev {
     double ts = 0.0;
     double dur = 0.0;
+    double chunks = 0.0;  // pipeline chunk count (0 = unchunked span)
     int depth = 0;
     std::string phase;
     std::string coll;  // empty unless this is a collective root span
@@ -68,6 +69,7 @@ std::vector<CollBreakdown> collect_breakdowns(const json::Value& trace) {
             ev.depth = static_cast<int>(args->get_number("depth"));
             ev.phase = args->get_string("phase", "?");
             ev.coll = args->get_string("coll");
+            ev.chunks = args->get_number("chunks");
         }
         const auto key = std::make_pair(
             static_cast<long>(e.get_number("pid")),
@@ -79,8 +81,10 @@ std::vector<CollBreakdown> collect_breakdowns(const json::Value& trace) {
     constexpr double kEps = 1e-6;  // %.3f formatting noise
     for (const auto& [key, evs] : lanes) {
         (void)key;
-        // child_us[i] = per-phase time of i's *direct* children.
+        // child_us[i] = per-phase time of i's *direct* children;
+        // child_chunks[i] = their per-phase pipeline chunk counts.
         std::vector<std::map<std::string, double>> child_us(evs.size());
+        std::vector<std::map<std::string, double>> child_chunks(evs.size());
         // Index of the most recent span seen at each depth; since the lane
         // is in begin order, that span is the open ancestor candidate.
         std::vector<std::size_t> last_at_depth;
@@ -93,6 +97,9 @@ std::vector<CollBreakdown> collect_breakdowns(const json::Value& trace) {
                 if (ev.ts >= parent.ts - kEps &&
                     ev.ts + ev.dur <= parent.ts + parent.dur + kEps) {
                     child_us[p][ev.phase] += ev.dur;
+                    if (ev.chunks > 0.0) {
+                        child_chunks[p][ev.phase] += ev.chunks;
+                    }
                 }
             }
             if (d < last_at_depth.size()) {
@@ -111,6 +118,9 @@ std::vector<CollBreakdown> collect_breakdowns(const json::Value& trace) {
             for (const auto& [phase, us] : child_us[i]) {
                 row.phase_us[phase] += us;
                 covered += us;
+            }
+            for (const auto& [phase, n] : child_chunks[i]) {
+                row.phase_chunks[phase] += n;
             }
             const double self = ev.dur - covered;
             if (self > kEps) row.phase_us["self"] += self;
@@ -146,15 +156,22 @@ void print_breakdowns(std::ostream& os,
                   [](const auto& a, const auto& b) {
                       return a.second > b.second;
                   });
-        char line[128];
-        std::snprintf(line, sizeof line, "   %-10s %14s %8s\n", "phase",
-                      "time_us", "share");
+        char line[160];
+        std::snprintf(line, sizeof line, "   %-10s %14s %8s %8s\n", "phase",
+                      "time_us", "share", "chunks");
         os << line;
         for (const auto& [phase, us] : phases) {
             const double share = row.total_us > 0.0 ? us / row.total_us : 0.0;
-            std::snprintf(line, sizeof line, "   %-10s %14s %8s\n",
+            const auto ci = row.phase_chunks.find(phase);
+            char chunks[32];
+            if (ci != row.phase_chunks.end() && ci->second > 0.0) {
+                std::snprintf(chunks, sizeof chunks, "%.0f", ci->second);
+            } else {
+                std::snprintf(chunks, sizeof chunks, "-");
+            }
+            std::snprintf(line, sizeof line, "   %-10s %14s %8s %8s\n",
                           phase.c_str(), fmt_us(us).c_str(),
-                          fmt_pct(share).c_str());
+                          fmt_pct(share).c_str(), chunks);
             os << line;
         }
         os << '\n';
@@ -286,6 +303,30 @@ DiffResult diff_bench_json(const json::Value& base, const json::Value& cand,
             if (e.regression) out.regressions += 1;
             out.entries.push_back(std::move(e));
         }
+        // Optional per-series "chunks" arrays: compared only when BOTH
+        // rows carry them, so baselines written before the pipeline
+        // engine existed stay comparable. A differing count means the
+        // engine retuned its chunk geometry; the latency cells above are
+        // the verdict, so this is INFO, never a mismatch.
+        const json::Value* bch = brow.find("chunks");
+        const json::Value* cch = crow.find("chunks");
+        if (bch != nullptr && cch != nullptr && bch->is_array() &&
+            cch->is_array() && bch->arr.size() == cch->arr.size() &&
+            bch->arr.size() == bseries->arr.size()) {
+            for (std::size_t s = 0; s < bch->arr.size(); ++s) {
+                const json::Value& bc = bch->arr[s];
+                const json::Value& cc = cch->arr[s];
+                if (!bc.is_number() || !cc.is_number()) continue;
+                if (bc.number != cc.number) {
+                    char buf[256];
+                    std::snprintf(buf, sizeof buf,
+                                  "%s @ x=%s: chunk count %.0f -> %.0f",
+                                  bseries->arr[s].str.c_str(), xs.c_str(),
+                                  bc.number, cc.number);
+                    out.infos.emplace_back(buf);
+                }
+            }
+        }
     }
     return out;
 }
@@ -306,12 +347,15 @@ void print_diff(std::ostream& os, const DiffResult& diff, double rel_tol) {
         }
         worst = std::max(worst, e.rel);
     }
+    for (const std::string& i : diff.infos) {
+        os << "INFO: " << i << '\n';
+    }
     char tail[160];
     std::snprintf(tail, sizeof tail,
-                  "%zu points compared, %d regression(s), worst delta "
-                  "%+.2f%% (rel-tol %.2f%%)\n",
-                  diff.entries.size(), diff.regressions, worst * 100.0,
-                  rel_tol * 100.0);
+                  "%zu points compared, %d regression(s), %zu info(s), "
+                  "worst delta %+.2f%% (rel-tol %.2f%%)\n",
+                  diff.entries.size(), diff.regressions, diff.infos.size(),
+                  worst * 100.0, rel_tol * 100.0);
     os << tail;
 }
 

@@ -17,6 +17,9 @@ namespace hytrace::report {
 struct CollBreakdown {
     std::string coll;                       ///< e.g. "Hy_Allgather"
     std::map<std::string, double> phase_us; ///< phase name -> total us
+    /// phase name -> total pipeline chunk count (0 for unchunked phases;
+    /// the "self" pseudo-phase never carries chunks).
+    std::map<std::string, double> phase_chunks;
     double total_us = 0.0;                  ///< sum of root span durations
     int root_spans = 0;                     ///< number of root spans seen
 };
@@ -54,6 +57,9 @@ struct DiffEntry {
 struct DiffResult {
     std::vector<DiffEntry> entries;      ///< every compared point
     std::vector<std::string> mismatches; ///< structural problems (fatal)
+    /// Non-fatal observations: a chunk-count change whose latency stays
+    /// within tolerance is a retuned pipeline, not a broken bench.
+    std::vector<std::string> infos;
     int regressions = 0;
 
     bool ok() const { return regressions == 0 && mismatches.empty(); }
@@ -64,6 +70,9 @@ struct DiffResult {
 /// Metadata keys ("meta", "title", "x_label") never affect the verdict, so
 /// baselines recorded before the meta header existed stay comparable.
 /// Missing/extra series or rows are structural mismatches and also fail.
+/// Per-row "chunks" arrays are compared only when BOTH sides carry them
+/// (old baselines stay comparable); a differing chunk count is reported
+/// as INFO, never a mismatch — the latency cell is the verdict.
 DiffResult diff_bench_json(const json::Value& base, const json::Value& cand,
                            double rel_tol);
 

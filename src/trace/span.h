@@ -54,6 +54,7 @@ struct Span {
     int comm_size = 0;
     int comm_rank = -1;
     std::uint64_t bytes = 0;    ///< payload volume attributed to the span
+    std::uint64_t chunks = 0;   ///< pipeline chunks this span moved (0 = unchunked)
     VTime t_start = 0.0;
     VTime t_end = 0.0;
 };
@@ -68,6 +69,7 @@ struct Counters {
     VTime sync_wait_us = 0.0;        ///< vtime spent in barrier/flag sync waits
     std::uint64_t retransmits = 0;   ///< robust DATA frames retransmitted
     std::uint64_t degradations = 0;  ///< ladder downgrades (Flags->Barrier, ->flat)
+    std::uint64_t chunks = 0;        ///< pipeline chunks processed by this rank
 
     Counters& operator+=(const Counters& o) {
         bridge_bytes += o.bridge_bytes;
@@ -76,6 +78,7 @@ struct Counters {
         sync_wait_us += o.sync_wait_us;
         retransmits += o.retransmits;
         degradations += o.degradations;
+        chunks += o.chunks;
         return *this;
     }
 

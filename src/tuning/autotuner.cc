@@ -197,6 +197,19 @@ std::vector<Choice> candidates(Op op, int comm_size, const TuneConfig& cfg) {
             add(algo::kSsFlat);
             add(algo::kSsStaged);
             break;
+        case Op::ChunkSize:
+            // Whole-message staging (the tuned flat/staged selection) vs.
+            // the chunked single-copy pipeline at each candidate chunk size.
+            add(algo::kCsWhole);
+            for (std::uint32_t s : cfg.segment_bytes) {
+                add(algo::kCsPipelined, s);
+            }
+            break;
+        case Op::SplitSegment:
+            // No offline sweep (only hand-registered tables carry rows):
+            // the split-phase engine shape depends on the caller's overlap
+            // window, which a closed-loop latency probe cannot see.
+            break;
     }
     return out;
 }
@@ -227,6 +240,9 @@ Choice legacy_choice(const mm::ModelParams& profile, Op op, int comm_size,
                           0};
         case Op::Barrier:
             return Choice{algo::kBarDissemination, 0};
+        case Op::ChunkSize:
+            // Pre-pipeline behaviour: Auto never chunks without a table row.
+            return Choice{algo::kCsWhole, 0};
         case Op::SocketStaging:
             // Mirror of SocketStager's pre-table heuristic: two sockets on a
             // comm_size-rank node give sockets of comm_size/2 ranks.
@@ -266,6 +282,30 @@ double measure(const mm::ModelParams& profile, Op op, Shape shape,
                 auto hc = std::make_shared<hympi::HierComm>(world, 1);
                 auto ch = std::make_shared<hympi::BcastChannel>(*hc, bytes);
                 ch->set_socket_staging(s);
+                return [hc, ch] { ch->run(0); };
+            });
+    }
+    if (op == Op::ChunkSize) {
+        // Two dual-socket nodes at comm_size ranks each: the smallest shape
+        // where the chunked engine has both a bridge transfer and a socket
+        // mirror to overlap. The whole-message candidate runs the channel's
+        // status-quo Auto selection (flat or staged from the registered
+        // partial table); the chunked candidates force the pipeline at the
+        // candidate chunk size.
+        mm::Runtime prt(
+            mm::ClusterSpec::regular(2, comm_size, mm::Placement::Smp, 2),
+            profile, mm::PayloadMode::SizeOnly);
+        const bool pipelined = choice.algo == algo::kCsPipelined;
+        const std::size_t seg = choice.segment_bytes;
+        return benchu::osu_latency(
+            prt, cfg.warmup, cfg.iters,
+            [bytes, pipelined, seg](mm::Comm& world) -> std::function<void()> {
+                auto hc = std::make_shared<hympi::HierComm>(world, 1);
+                auto ch = std::make_shared<hympi::BcastChannel>(*hc, bytes);
+                ch->set_socket_staging(pipelined
+                                           ? hympi::SocketStaging::Pipelined
+                                           : hympi::SocketStaging::Auto);
+                if (pipelined) ch->set_chunk_bytes(seg);
                 return [hc, ch] { ch->run(0); };
             });
     }
@@ -341,6 +381,32 @@ DecisionTable tune_profile(const mm::ModelParams& profile,
     register_table(table);
     sweep(Op::BridgeExchange, Shape::Net, cfg.bridge_sizes,
           cfg.bridge_block_bytes, false);
+
+    // Pipeline chunk size, with the table still registered so the
+    // whole-message baseline runs the tuned flat/staged selection. Results
+    // are collected aside and merged only after the whole sweep: a
+    // ChunkSize row set at an earlier grid point would otherwise be picked
+    // up (via log-rounding) by a later point's Auto baseline, contaminating
+    // the very comparison being measured.
+    {
+        std::vector<std::pair<std::pair<int, std::size_t>, Choice>> rows;
+        for (int s : cfg.shm_sizes) {
+            for (std::size_t b : cfg.message_bytes) {
+                rows.push_back({{s, b},
+                                best_choice(profile, Op::ChunkSize, Shape::Shm,
+                                            s, b, cfg)});
+            }
+        }
+        for (const auto& [key, c] : rows) {
+            table.set(Op::ChunkSize, Shape::Shm, key.first, key.second, c);
+        }
+        if (log) {
+            *log << "  " << profile.name << ": " << op_name(Op::ChunkSize)
+                 << "/" << shape_name(Shape::Shm) << " swept "
+                 << cfg.shm_sizes.size() << " x " << cfg.message_bytes.size()
+                 << " points\n";
+        }
+    }
     unregister_table(profile.name);
     return table;
 }

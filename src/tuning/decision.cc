@@ -18,7 +18,8 @@ namespace {
 const char* const kOpNames[kNumOps] = {"allgather",       "allgatherv",
                                        "bcast",           "allreduce",
                                        "barrier",         "bridge_exchange",
-                                       "socket_staging",  "split_segment"};
+                                       "socket_staging",  "split_segment",
+                                       "chunk_size"};
 const char* const kShapeNames[kNumShapes] = {"net", "shm"};
 
 /// Per-op algorithm name tables, indexed by the algo:: constants.
@@ -33,6 +34,7 @@ const std::vector<const char*>& algo_names(Op op) {
          "neighbor_exchange"},
         {"flat", "staged"},                              // SocketStaging
         {"whole", "segmented"},                          // SplitSegment
+        {"whole", "pipelined"},                          // ChunkSize
     };
     return names[static_cast<int>(op)];
 }

@@ -38,8 +38,12 @@ enum class Op : std::uint8_t {
     SplitSegment,    ///< split-phase (nonblocking) bridge exchange: whether
                      ///< the engine-driven round segments its transfers, and
                      ///< at which chunk size; keyed like BridgeExchange
+    ChunkSize,       ///< hybrid pipeline engine: whether a large-message
+                     ///< round runs whole-message staged or chunked
+                     ///< (pipelined), and at which chunk size; Shm shape,
+                     ///< keyed by the distributed byte count
 };
-inline constexpr int kNumOps = 8;
+inline constexpr int kNumOps = 9;
 
 /// Link class of the communicator the operation runs on. Collective call
 /// sites in minimpi are link-pure: the SMP-aware dispatch sends mixed
@@ -83,6 +87,9 @@ inline constexpr std::uint8_t kSsStaged = 1;
 // Op::SplitSegment
 inline constexpr std::uint8_t kSpWhole = 0;
 inline constexpr std::uint8_t kSpSegmented = 1;
+// Op::ChunkSize
+inline constexpr std::uint8_t kCsWhole = 0;
+inline constexpr std::uint8_t kCsPipelined = 1;
 }  // namespace algo
 
 /// Number of algorithm ids defined for @p op.
