@@ -1,0 +1,215 @@
+// Recovery latency of the ULFM-style failure path: how long (in virtual
+// time) the detect, agree and rebuild phases of a detect-agree-shrink
+// recovery take as the cluster grows, and how the failure position changes
+// the bill — a non-leader member, a node's primary leader (forcing a
+// re-election), or a whole node (shrinking the job's node count). The last
+// column repeats the non-leader case in robust mode with every third ARQ
+// frame dropped, so the agreement's reliable confirmation leg pays real
+// retransmissions.
+//
+// Methodology: a clean probe run measures the post-construction clocks; in
+// the armed run every rank aligns to their maximum, the victims die exactly
+// one microsecond later, and each survivor observes the death through a
+// direct dependence on the dead rank (a receive that can never complete —
+// the deterministic detection path, charged death + watchdog_us). Survivors
+// then align on the detection instant and run revoke -> revoke_hierarchy ->
+// shrink_and_rebuild. The reported figures are the maxima over ranks of the
+// virtual-time span durations the recovery path emits ("detect", "agree",
+// "rebuild" and the enclosing "recovery"), so the bench measures exactly
+// what the trace subsystem attributes and every number is a pure function
+// of (cluster, model, plan) — wall-clock interrupt skew (WHERE a revoke
+// catches a survivor that was still mid-collective) is excluded by
+// construction, it is scheduling noise, not modelled time.
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hybrid/recover.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+constexpr int kPpn = 8;
+constexpr std::size_t kBlock = 4096;
+constexpr int kDetectTag = 11;
+
+enum class Position { NonLeader, Leader, NodeLoss };
+
+bool contains(const std::vector<int>& v, int x) {
+    for (int e : v) {
+        if (e == x) return true;
+    }
+    return false;
+}
+
+/// Victims on the LAST node (SMP placement: its members are the top kPpn
+/// world ranks, its primary leader the lowest of them).
+std::vector<int> victims_for(int nodes, Position pos) {
+    const int first = (nodes - 1) * kPpn;
+    switch (pos) {
+        case Position::NonLeader:
+            return {first + 1};
+        case Position::Leader:
+            return {first};
+        case Position::NodeLoss: {
+            std::vector<int> all;
+            for (int r = 0; r < kPpn; ++r) all.push_back(first + r);
+            return all;
+        }
+    }
+    return {};
+}
+
+struct PhaseLatency {
+    double detect = 0.0;   ///< max detector charge (death -> observed)
+    double agree = 0.0;    ///< max agreement (shrink rendezvous + confirm)
+    double rebuild = 0.0;  ///< max hierarchy reconstruction
+    double total = 0.0;    ///< max enclosing recovery span
+};
+
+PhaseLatency measure(int nodes, Position pos, const ModelParams& model,
+                     bool robust_drops) {
+    const ClusterSpec cs = ClusterSpec::regular(nodes, kPpn);
+    const int nranks = cs.total_ranks();
+    RobustConfig cfg;
+    cfg.enabled = robust_drops;
+
+    // Probe: the per-rank clock after hierarchy + channel construction.
+    // Virtual time is a pure function of the program, so the armed run
+    // reproduces these clocks exactly.
+    std::vector<VTime> t0(static_cast<std::size_t>(nranks));
+    {
+        Runtime probe(cs, model, PayloadMode::SizeOnly);
+        probe.set_robust_config(cfg);
+        probe.run([&](Comm& world) {
+            HierComm hc(world);
+            AllgatherChannel ch(hc, kBlock);
+            t0[static_cast<std::size_t>(world.to_world())] =
+                world.ctx().clock.now();
+        });
+    }
+    const VTime align = *std::max_element(t0.begin(), t0.end());
+    const VTime death = align + 1.0;
+    const VTime detected = death + cfg.watchdog_us;
+
+    const std::vector<int> victims = victims_for(nodes, pos);
+    RunOptions ro;
+    ro.spans = true;
+    Runtime rt(cs, model, PayloadMode::SizeOnly, ro);
+    rt.set_robust_config(cfg);
+    FaultPlan fp;
+    if (robust_drops) {
+        fp.seed = 40 + static_cast<std::uint64_t>(nodes);
+        fp.drop_every = 3;
+        fp.scope = FaultScope::RobustFrames;
+    }
+    for (int v : victims) fp.kill(v, death);
+    rt.set_fault_plan(fp);
+
+    rt.run([&](Comm& world) {
+        const bool is_victim = contains(victims, world.to_world());
+        auto die = [&]() -> void {
+            // Death is a checkpoint crossing: the first advance past the
+            // kill time raises RankKilled, so a victim aligned on `align`
+            // dies at exactly `death`.
+            for (;;) {
+                world.ctx().clock.advance(1.0);
+                minimpi::detail::check_alive(world.ctx());
+            }
+        };
+        // Everything before recovery sits in the guarded region: a fast
+        // survivor's revoke() may interrupt a straggler ANYWHERE — even in
+        // hierarchy construction, since buffered sends let fast ranks run
+        // ahead of a peer's entry checkpoints in wall clock. That is the
+        // ULFM contract: pre-recovery work is interruptible, recovery is
+        // not.
+        std::optional<HierComm> hc;
+        try {
+            hc.emplace(world);
+            AllgatherChannel ch(*hc, kBlock);
+            world.ctx().clock.sync_to(align);
+            if (is_victim) die();
+            // The receive can never complete: its peer is dead. The
+            // deterministic detector surfaces ProcessFailedError and
+            // charges death + watchdog_us; a survivor raced by another
+            // survivor's revoke sees CommRevokedError instead — same
+            // recovery path, and the alignment below erases the
+            // difference, so every reported span is a pure function of
+            // (cluster, model, plan).
+            recv(world, nullptr, 0, Datatype::Byte,
+                 world.from_world(victims.front()), kDetectTag);
+        } catch (const MpiError&) {
+        }
+        world.ctx().clock.sync_to(detected);
+        // A victim whose own death checkpoint lost the race to a
+        // survivor's revoke still has to die, not join the recovery.
+        if (is_victim) die();
+        world.revoke();
+        if (hc) revoke_hierarchy(*hc);
+        shrink_and_rebuild(world);
+    });
+
+    PhaseLatency out;
+    for (const hytrace::RankTrace& tr : rt.last_span_traces()) {
+        for (const hytrace::Span& s : tr.spans) {
+            const std::string name = s.name;
+            const double d = s.t_end - s.t_start;
+            if (name == "detect") {
+                out.detect = std::max(out.detect, d);
+            } else if (name == "agree") {
+                out.agree = std::max(out.agree, d);
+            } else if (name == "rebuild") {
+                out.rebuild = std::max(out.rebuild, d);
+            } else if (name == "recovery") {
+                out.total = std::max(out.total, d);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf(
+        "Recovery latency: ULFM detect-agree-shrink vs cluster size and "
+        "failure position (%d ranks/node)\n",
+        kPpn);
+
+    const struct {
+        const char* tag;
+        ModelParams model;
+    } profiles[] = {
+        {"cray", ModelParams::cray()},
+        {"openmpi", ModelParams::openmpi()},
+    };
+
+    for (const auto& p : profiles) {
+        benchu::Table table(
+            "#nodes",
+            {"Detect(us)", "Agree(us)", "Rebuild(us)", "NonLeader(us)",
+             "Leader(us)", "NodeLoss(us)", "NonLeader+drops(us)"});
+        for (int nodes = 2; nodes <= 16; nodes *= 2) {
+            const PhaseLatency nl =
+                measure(nodes, Position::NonLeader, p.model, false);
+            const PhaseLatency ld =
+                measure(nodes, Position::Leader, p.model, false);
+            const PhaseLatency wn =
+                measure(nodes, Position::NodeLoss, p.model, false);
+            const PhaseLatency rd =
+                measure(nodes, Position::NonLeader, p.model, true);
+            table.add_row(nodes, {nl.detect, nl.agree, nl.rebuild, nl.total,
+                                  ld.total, wn.total, rd.total});
+        }
+        benchcm::emit(table, "recovery", p.tag,
+                      "Recovery latency (detect/agree/rebuild, " +
+                          std::string(p.tag) + " profile)",
+                      p.tag);
+    }
+    return 0;
+}

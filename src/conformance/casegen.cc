@@ -187,10 +187,18 @@ std::string CaseSpec::describe() const {
                                                                : "robust");
     }
     if (robust) os << " robust=1";
+    // Kept out of the line when no kill is injected so pre-recovery
+    // reproducers parse unchanged.
+    if (kill_rank >= 0) {
+        os << " kill=" << kill_rank;
+        if (kill_node) os << " kill_node=1";
+        os << " kill_frac=" << kill_frac;
+    }
     return os.str();
 }
 
-CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
+CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults,
+                       bool with_kills) {
     Stream s(mix64(master_seed) ^
              mix64(static_cast<std::uint64_t>(index) * 0x517cc1b727220a95ULL));
     CaseSpec spec;
@@ -310,6 +318,46 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults) {
              spec.op == CollOp::Bcast) &&
             s.chance(15)) {
             spec.faults.shm_fail_every = 3;
+        }
+    }
+
+    // Kill-injection sweep (opt-in): kill one rank — or its whole node — at
+    // a fraction of the clean run's completion time and require the
+    // survivors to detect, agree, shrink and still match flat MPI on the
+    // shrunken communicator. These draws come strictly LAST so the base
+    // case is identical with kills on or off. A kill case is pinned to the
+    // fully-covered recovery envelope: blocking execution on the full comm
+    // with flat (1-socket, unchunked) nodes — revocation covers the
+    // p2p/coll contexts; the pipeline's per-chunk contexts and the SHM
+    // degradation rung are exercised by the dedicated recovery tests.
+    if (with_kills && spec.total_ranks() >= 3 && s.chance(60)) {
+        spec.exec = ExecMode::Blocking;
+        spec.subcomm = false;
+        spec.sockets = 1;
+        spec.staging = hympi::SocketStaging::Auto;
+        spec.chunk_bytes = 0;
+        spec.leaders = 1;
+        spec.faults.shm_fail_every = 0;
+        const int p = spec.total_ranks();
+        spec.kill_rank =
+            static_cast<int>(s.below(static_cast<std::uint64_t>(p)));
+        constexpr double kFracs[] = {0.25, 0.5, 0.75};
+        spec.kill_frac = kFracs[s.below(std::size(kFracs))];
+        // Whole-node kill: pin SMP placement so the victim's node is a
+        // static function of the spec, and only escalate when at least two
+        // ranks survive the node.
+        if (spec.procs_per_node.size() >= 2 && s.chance(30)) {
+            spec.placement = minimpi::Placement::Smp;
+            int acc = 0;
+            int node_pop = 0;
+            for (const int n : spec.procs_per_node) {
+                acc += n;
+                if (spec.kill_rank < acc) {
+                    node_pop = n;
+                    break;
+                }
+            }
+            if (p - node_pop >= 2) spec.kill_node = true;
         }
     }
     return spec;

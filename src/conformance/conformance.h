@@ -98,6 +98,19 @@ struct CaseSpec {
     /// result still has to match the flat reference byte for byte.
     bool robust = false;
 
+    /// Kill-injection dimension (the ULFM recovery sweep). When
+    /// `kill_rank >= 0` that ACTIVE-comm rank is killed at `kill_frac` of
+    /// the case's fault-free completion time (measured by a clean twin run
+    /// at case-execution time, so the kill lands mid-collective regardless
+    /// of topology or payload). `kill_node` escalates to killing every rank
+    /// on the victim's node, exercising the node-lost recovery path. The
+    /// oracle is survivor equivalence: survivors must detect the failure,
+    /// agree, shrink, rebuild the hierarchy, and then pass the normal
+    /// hybrid-vs-flat diff on the shrunken communicator.
+    int kill_rank = -1;
+    double kill_frac = 0.5;
+    bool kill_node = false;
+
     int total_ranks() const;
     /// One-line reproducer, stable across runs.
     std::string describe() const;
@@ -121,8 +134,11 @@ struct CaseResult {
 
 /// Draw the @p index-th case of the stream anchored at @p master_seed.
 /// @p with_faults gates jitter/delay injection (never corruption).
+/// @p with_kills additionally samples the kill-injection dimension (the
+/// extra draws happen strictly AFTER every pre-existing draw, so a given
+/// (master_seed, index) produces the same base case with kills on or off).
 CaseSpec generate_case(std::uint64_t master_seed, int index,
-                       bool with_faults = true);
+                       bool with_faults = true, bool with_kills = false);
 
 /// Execute hybrid and flat reference paths in one virtual-time runtime and
 /// compare byte-for-byte; also checks per-rank clock monotonicity across
@@ -146,7 +162,8 @@ struct HarnessReport {
 /// Generate and check @p ncases specs. Stops at the first failure, shrinks
 /// it, and formats the minimized reproducer into the report.
 HarnessReport run_random_cases(std::uint64_t master_seed, int ncases,
-                               bool with_faults = true);
+                               bool with_faults = true,
+                               bool with_kills = false);
 
 namespace detail {
 

@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <numeric>
 #include <sstream>
 
 #include "conformance/conformance.h"
 #include "minimpi/coll.h"
+#include "minimpi/context.h"
 
 namespace conformance {
 
@@ -474,6 +477,20 @@ void diff_alltoall(const CaseSpec& spec, Comm& active, HierComm& hc,
     }
 }
 
+void dispatch_op(const CaseSpec& spec, Comm& active, HierComm& hc,
+                 RankLog& log) {
+    switch (spec.op) {
+        case CollOp::Allgather: diff_allgather(spec, active, hc, log); break;
+        case CollOp::Allgatherv: diff_allgatherv(spec, active, hc, log); break;
+        case CollOp::Bcast: diff_bcast(spec, active, hc, log); break;
+        case CollOp::Allreduce: diff_allreduce(spec, active, hc, log); break;
+        case CollOp::Reduce: diff_reduce(spec, active, hc, log); break;
+        case CollOp::Gather: diff_gather(spec, active, hc, log); break;
+        case CollOp::Scatter: diff_scatter(spec, active, hc, log); break;
+        case CollOp::Alltoall: diff_alltoall(spec, active, hc, log); break;
+    }
+}
+
 void case_body(const CaseSpec& spec, Comm& world, RankLog& log) {
     const auto members = spec.derive_members();
     const bool in_active =
@@ -496,22 +513,119 @@ void case_body(const CaseSpec& spec, Comm& world, RankLog& log) {
         minimpi::detail::hier(active);
     }
     HierComm hc(active, spec.leaders);
-    switch (spec.op) {
-        case CollOp::Allgather: diff_allgather(spec, active, hc, log); break;
-        case CollOp::Allgatherv: diff_allgatherv(spec, active, hc, log); break;
-        case CollOp::Bcast: diff_bcast(spec, active, hc, log); break;
-        case CollOp::Allreduce: diff_allreduce(spec, active, hc, log); break;
-        case CollOp::Reduce: diff_reduce(spec, active, hc, log); break;
-        case CollOp::Gather: diff_gather(spec, active, hc, log); break;
-        case CollOp::Scatter: diff_scatter(spec, active, hc, log); break;
-        case CollOp::Alltoall: diff_alltoall(spec, active, hc, log); break;
-    }
+    dispatch_op(spec, active, hc, log);
     checkpoint(log, active.ctx(), "end");
 }
 
-}  // namespace
+// ---- kill-injection (ULFM recovery) bodies -----------------------------
 
-CaseResult run_case(const CaseSpec& spec) {
+/// World ranks the plan kills, ascending: the victim alone, or its whole
+/// node (kill_node cases pin SMP placement, so node membership is a
+/// prefix-sum function of the spec).
+std::vector<int> derive_kill_set(const CaseSpec& spec) {
+    if (!spec.kill_node) return {spec.kill_rank};
+    int lo = 0;
+    for (const int n : spec.procs_per_node) {
+        if (spec.kill_rank < lo + n) {
+            std::vector<int> v(static_cast<std::size_t>(n));
+            std::iota(v.begin(), v.end(), lo);
+            return v;
+        }
+        lo += n;
+    }
+    return {spec.kill_rank};
+}
+
+/// Differential body for a kill case, run by every rank (victims included
+/// — they execute it until the plan kills them).
+///
+/// Phase 1 provokes: run the regular differential body with an extended
+/// iteration budget until the failure surfaces as a typed error (pre-kill
+/// rounds are complete, valid diffs; the round that touches the dead rank
+/// throws before any comparison, so a scratch mismatch is a genuine bug).
+/// Phase 2 recovers ULFM-style on the ROOT world — revoke, agree+shrink,
+/// rebuild the hierarchy — which gives every survivor one uniform
+/// rendezvous even when the kill lands during the split/HierComm setup and
+/// different ranks got different distances into it. Phase 3 is the
+/// survivor-equivalence oracle: the agreed failed set must equal the
+/// planned kill set, and the normal differential body must pass on the
+/// shrunken communicator exactly as on a fresh run of the survivor set.
+void kill_case_body(const CaseSpec& spec, const std::vector<int>& killset,
+                    Comm& world, RankLog& log) {
+    RankCtx& ctx = world.ctx();
+    bool surfaced = false;
+    std::shared_ptr<HierComm> hc;
+    RankLog scratch;
+    try {
+        CaseSpec provoke = spec;
+        provoke.iterations = spec.iterations * 4 + 8;
+        Comm active = world.split(0, world.rank());
+        if (minimpi::detail::smp_hier_applicable(active)) {
+            minimpi::detail::hier(active);
+        }
+        hc = std::make_shared<HierComm>(active, spec.leaders);
+        dispatch_op(provoke, active, *hc, scratch);
+    } catch (const minimpi::ProcessFailedError&) {
+        surfaced = true;
+    } catch (const minimpi::CommRevokedError&) {
+        surfaced = true;
+    }
+    // A victim that surfaced a PEER's death (or the revocation) before
+    // crossing its own kill time must still die per the plan instead of
+    // joining the agreement as a survivor: walk its clock forward until the
+    // kill fires (RankKilled unwinds to the runtime like any other death).
+    if (std::find(killset.begin(), killset.end(), world.to_world()) !=
+        killset.end()) {
+        for (;;) {
+            ctx.clock.advance(1.0);
+            minimpi::detail::check_alive(ctx);
+        }
+    }
+    if (!scratch.err.empty()) {
+        fail(log, "provoke phase: " + scratch.err);
+        return;
+    }
+    if (!surfaced) {
+        fail(log, "kill never surfaced: provoke loop ran to completion");
+        return;
+    }
+    // Revoke before agreeing: unparks survivors still blocked in waits that
+    // do not involve the dead rank directly (on-node flag rounds, bridge
+    // legs between live nodes). Revocation flags live in shared CommState,
+    // so it is harmless that ranks which died mid-setup never built `hc`.
+    world.revoke();
+    if (hc) hympi::revoke_hierarchy(*hc);
+    hympi::RecoveryResult rec = hympi::shrink_and_rebuild(world, spec.leaders);
+
+    if (rec.failed_world != killset) {
+        std::ostringstream os;
+        os << "agreed failed set {";
+        for (std::size_t i = 0; i < rec.failed_world.size(); ++i) {
+            os << (i ? "," : "") << rec.failed_world[i];
+        }
+        os << "} != planned kill set {";
+        for (std::size_t i = 0; i < killset.size(); ++i) {
+            os << (i ? "," : "") << killset[i];
+        }
+        os << "}";
+        fail(log, os.str());
+        return;
+    }
+    if (rec.world.size() + static_cast<int>(killset.size()) != world.size()) {
+        fail(log, "shrunken comm size " + std::to_string(rec.world.size()) +
+                      " inconsistent with " + std::to_string(killset.size()) +
+                      " kills in a world of " + std::to_string(world.size()));
+        return;
+    }
+    dispatch_op(spec, rec.world, *rec.hier, log);
+    checkpoint(log, ctx, "post-recovery");
+}
+
+/// Execute @p spec in one virtual-time runtime. @p killset non-empty means
+/// spec.faults.kills is armed and ranks run the recovery body instead of
+/// the plain differential body.
+CaseResult run_built_case(const CaseSpec& spec,
+                          const std::vector<int>& killset) {
     CaseResult res;
     minimpi::ClusterSpec cluster = minimpi::ClusterSpec::irregular(
         spec.procs_per_node, spec.placement, spec.sockets);
@@ -536,8 +650,12 @@ CaseResult run_case(const CaseSpec& spec) {
         static_cast<std::size_t>(cluster.total_ranks()));
     try {
         res.clocks = rt.run([&](Comm& world) {
-            case_body(spec, world,
-                      logs[static_cast<std::size_t>(world.rank())]);
+            RankLog& log = logs[static_cast<std::size_t>(world.rank())];
+            if (killset.empty()) {
+                case_body(spec, world, log);
+            } else {
+                kill_case_body(spec, killset, world, log);
+            }
         });
         res.robust_stats = rt.last_robust_stats();
     } catch (const std::exception& e) {
@@ -555,11 +673,45 @@ CaseResult run_case(const CaseSpec& spec) {
     return res;
 }
 
+}  // namespace
+
+CaseResult run_case(const CaseSpec& spec) {
+    if (spec.kill_rank < 0) return run_built_case(spec, {});
+
+    // Kill cases aim the failure mid-collective regardless of topology or
+    // payload: a clean twin (same spec, kill disabled) measures the
+    // fault-free completion time, and the kill lands at kill_frac of it.
+    CaseSpec clean = spec;
+    clean.kill_rank = -1;
+    clean.kill_node = false;
+    CaseResult probe = run_built_case(clean, {});
+    if (!probe.ok) {
+        probe.detail = "clean twin: " + probe.detail;
+        return probe;
+    }
+    VTime total = 0.0;
+    for (const VTime t : probe.clocks) total = std::max(total, t);
+
+    const std::vector<int> killset = derive_kill_set(spec);
+    CaseSpec armed = spec;
+    for (const int w : killset) {
+        armed.faults.kill(w, spec.kill_frac * total);
+    }
+    return run_built_case(armed, killset);
+}
+
 CaseResult run_case_checked(const CaseSpec& spec) {
     CaseResult a = run_case(spec);
     if (!a.ok) return a;
     CaseResult b = run_case(spec);
     if (!b.ok) return b;
+    // Kill cases must reach the same verified end state in both runs (the
+    // recovery body checks the agreed failed set and the survivor bytes),
+    // but the detection interleaving is free to differ: whether a given
+    // wait surfaces the dead peer (charged) or the revocation raced in
+    // first (uncharged) is a wall-clock race by design, so exact clock and
+    // counter identity is only required of kill-free cases.
+    if (spec.kill_rank >= 0) return a;
     for (std::size_t r = 0; r < a.clocks.size(); ++r) {
         if (a.clocks[r] != b.clocks[r]) {
             std::ostringstream os;

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <sstream>
 
 #include "conformance/conformance.h"
@@ -18,6 +19,27 @@ bool same_spec(const CaseSpec& a, const CaseSpec& b) {
     return a.describe() == b.describe();
 }
 
+/// Topology mutations can strand a kill spec: the victim rank must exist
+/// and at least two ranks must survive the kill (the generator guarantees
+/// both; the shrinker must not probe specs that violate them).
+bool kill_spec_valid(const CaseSpec& c) {
+    if (c.kill_rank < 0) return true;
+    const int p = c.total_ranks();
+    if (p < 3 || c.kill_rank >= p) return false;
+    int victims = 1;
+    if (c.kill_node) {
+        int lo = 0;
+        for (const int n : c.procs_per_node) {
+            if (c.kill_rank < lo + n) {
+                victims = n;
+                break;
+            }
+            lo += n;
+        }
+    }
+    return p - victims >= 2;
+}
+
 }  // namespace
 
 CaseSpec shrink(const CaseSpec& failing, int max_runs) {
@@ -28,7 +50,31 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
         progress = false;
         std::vector<CaseSpec> cands;
 
-        // Structural simplifications first: each removes a whole dimension
+        // Kill dimension before everything else (even the payload faults):
+        // a failure that survives with the kill stripped is an ordinary
+        // collective bug wearing a recovery costume, and every later probe
+        // gets three runs cheaper (no clean twin). Then de-escalate: a
+        // single-rank kill instead of the whole node, and a later kill time
+        // (a failure that needed the kill INSIDE the collective shows up as
+        // the kill_frac floor the reproducer keeps).
+        if (cur.kill_rank >= 0) {
+            CaseSpec c = cur;
+            c.kill_rank = -1;
+            c.kill_node = false;
+            cands.push_back(c);
+        }
+        if (cur.kill_node) {
+            CaseSpec c = cur;
+            c.kill_node = false;
+            cands.push_back(c);
+        }
+        if (cur.kill_rank >= 0 && cur.kill_frac < 0.9) {
+            CaseSpec c = cur;
+            c.kill_frac = std::min(0.9, cur.kill_frac * 1.5);
+            cands.push_back(c);
+        }
+
+        // Structural simplifications next: each removes a whole dimension
         // from the reproducer, the biggest wins per probe. The execution
         // mode goes before everything else: a failure that survives in
         // Blocking form is a data bug, not an engine bug, and the blocking
@@ -146,6 +192,7 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
 
         for (const CaseSpec& cand : cands) {
             if (same_spec(cand, cur)) continue;
+            if (!kill_spec_valid(cand)) continue;
             if (still_fails(cand, budget)) {
                 cur = cand;
                 progress = true;
@@ -158,10 +205,11 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
 }
 
 HarnessReport run_random_cases(std::uint64_t master_seed, int ncases,
-                               bool with_faults) {
+                               bool with_faults, bool with_kills) {
     HarnessReport rep;
     for (int i = 0; i < ncases; ++i) {
-        const CaseSpec spec = generate_case(master_seed, i, with_faults);
+        const CaseSpec spec =
+            generate_case(master_seed, i, with_faults, with_kills);
         ++rep.cases;
         const CaseResult res = run_case_checked(spec);
         if (res.ok) continue;

@@ -475,7 +475,7 @@ bool AllgatherChannel::run_pipelined(const PipelinePlan& plan,
             // a duplicated frame of chunk i can never be accepted as chunk
             // j (varying the op code instead would wrap at 256 chunks).
             const std::uint64_t gen =
-                gen64() + ((static_cast<std::uint64_t>(c) + 1) << 20);
+                robust::chunked_gen(gen64(), static_cast<std::uint64_t>(c));
             for (int k = 1; k < bp; ++k) {
                 const int dst = (br + k) % bp;
                 const int src = (br - k + bp) % bp;

@@ -212,7 +212,7 @@ void BcastChannel::run_pipelined(int root_node, const PipelinePlan& plan,
             // never be accepted as chunk j — the sequence-numbered flags
             // and the frame layer's gen/length checksums stay consistent.
             const std::uint64_t g =
-                gen64() + ((static_cast<std::uint64_t>(c) + 1) << 20);
+                robust::chunked_gen(gen64(), static_cast<std::uint64_t>(c));
             if (bridge.rank() == root_node) {
                 for (int n = 0; n < bridge.size(); ++n) {
                     if (n == root_node) continue;

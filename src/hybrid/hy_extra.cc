@@ -283,8 +283,8 @@ void AllreduceChannel::run_pipelined(Op op, const PipelinePlan& plan,
             ctx.copy_bytes(
                 minimpi::detail::at(parts, static_cast<std::size_t>(br) * cb),
                 slice, cb);
-            const std::uint64_t gen =
-                rs_.gen() + ((static_cast<std::uint64_t>(c) + 1) << 20);
+            const std::uint64_t gen = robust::chunked_gen(
+                rs_.gen(), static_cast<std::uint64_t>(c));
             for (int k = 1; k < bp; ++k) {
                 const int dst = (br + k) % bp;
                 const int src = (br - k + bp) % bp;

@@ -8,5 +8,6 @@
 #include "hybrid/hy_bcast.h"
 #include "hybrid/halo.h"
 #include "hybrid/hy_extra.h"
+#include "hybrid/recover.h"
 #include "hybrid/shared_buffer.h"
 #include "hybrid/sync.h"

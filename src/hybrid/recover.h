@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hybrid/hier_comm.h"
+
+namespace hympi {
+
+/// Outcome of one detect–agree–shrink recovery round.
+struct RecoveryResult {
+    /// The shrunken flat communicator (survivors of the broken comm, old
+    /// rank order preserved).
+    minimpi::Comm world;
+    /// The hierarchy rebuilt over @p world: node/bridge/socket comms and
+    /// leader roles recomputed from scratch, so leaders are re-elected
+    /// deterministically (lowest surviving rank per node leads).
+    std::shared_ptr<HierComm> hier;
+    /// World ranks agreed dead, in the broken comm's rank order.
+    std::vector<int> failed_world;
+    /// Every member some node contributed to the broken comm died: the
+    /// shrunken job spans fewer nodes.
+    bool node_lost = false;
+    /// Some node lost its primary leader but not its whole population — a
+    /// new leader (the node's lowest surviving rank) was elected.
+    bool leader_replaced = false;
+};
+
+/// Revoke every communicator of the hierarchy (world first, then the
+/// on-node and bridge levels). Called by any survivor that observed a
+/// ProcessFailedError so ALL survivors — including those blocked on flags
+/// or on live-but-erroring peers — are interrupted onto the recovery path.
+/// Idempotent.
+void revoke_hierarchy(const HierComm& hc);
+
+/// ULFM-style recovery over a broken (revoked and/or failure-carrying)
+/// communicator: agree on the survivor set (Comm::agree_shrink — the
+/// fault-tolerant rendezvous), cross-check the agreement outcome over the
+/// robust ARQ side channel when robust mode is on (the confirmation leg
+/// rides reliable_xfer, so it converges through dropped frames in bounded
+/// retries), then rebuild the communicator hierarchy over the survivors.
+/// Collective over the SURVIVORS of @p broken. Emits a Robust "recovery"
+/// span wrapping "agree" and "rebuild" child spans, and counts one shrink.
+///
+/// Post-shrink collectives on the returned hierarchy are byte-identical to
+/// a fresh run on the survivor set: every piece of hierarchy and channel
+/// state is rebuilt, nothing from the broken comm is reused.
+RecoveryResult shrink_and_rebuild(const minimpi::Comm& broken,
+                                  int leaders_per_node = 1);
+
+}  // namespace hympi

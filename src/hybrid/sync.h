@@ -101,7 +101,9 @@ public:
         return chunk_next_[static_cast<std::size_t>(slot)];
     }
     /// Wait until @p slot reaches absolute seq @p target (1-based), then
-    /// synchronize this rank's clock to that signal's own stamp.
+    /// synchronize this rank's clock to that signal's own stamp. Aware of
+    /// process failures: when the slot's publisher is dead and the target
+    /// seq was never reached, raises ProcessFailedError instead of hanging.
     void chunk_wait(int slot, std::uint64_t target);
     /// Advance this rank's mirror of @p slot by a round's @p n chunks
     /// (non-publishers call this once per pipelined round they observe).
@@ -154,8 +156,17 @@ private:
     };
 
     void signal(Cell& c, minimpi::RankCtx& ctx);
+    /// @p owner_world is the world rank that publishes this cell (-1 = not
+    /// tracked): a flag owned by a dead rank can never be published, so the
+    /// waiter raises ProcessFailedError (charging the deterministic
+    /// detection latency) instead of spinning forever; a revoked world comm
+    /// raises CommRevokedError so survivors blocked on live-but-erroring
+    /// peers reach the recovery path too.
     void wait_for(const Cell& c, std::uint64_t target, minimpi::RankCtx& ctx,
-                  bool count_trips);
+                  bool count_trips, int owner_world = -1);
+    /// World rank that publishes chunk flag @p slot (per-rank, node-release
+    /// or socket-release slot).
+    int chunk_slot_owner(int slot) const;
 
     const HierComm* hc_;
     std::shared_ptr<Shared> shared_;

@@ -5,6 +5,7 @@
 
 #include "minimpi/error.h"
 #include "minimpi/runtime.h"
+#include "minimpi/trace_span.h"
 
 namespace minimpi {
 
@@ -16,6 +17,40 @@ bool job_poisoned(const CommState& st) {
 
 void throw_if_poisoned(const CommState& st) {
     st.runtime->transport().check_poison();
+}
+
+bool comm_interrupted(const CommState& st) {
+    if (st.revoked.load(std::memory_order_acquire)) return true;
+    Transport& tp = st.runtime->transport();
+    if (tp.any_dead()) {
+        for (int w : st.members) {
+            if (tp.is_dead(w)) return true;
+        }
+    }
+    return false;
+}
+
+void throw_comm_interrupt(const CommState& st, RankCtx& ctx) {
+    Transport& tp = st.runtime->transport();
+    if (tp.any_dead()) {
+        for (int w : st.members) {
+            if (!tp.is_dead(w)) continue;
+            // Deterministic detection latency: the dead member fell silent
+            // at its (program-determined) death vtime; the watchdog that
+            // was due watchdog_us later is what notices.
+            const VTime death = tp.death_vtime(w);
+            const VTime t0 = ctx.vck().now();
+            ctx.vck().sync_to(death + ctx.robust_cfg->watchdog_us);
+            ctx.robust_stats.failures_detected += 1;
+            HYTRACE_COUNTER(ctx, failures_detected, 1);
+            if (hytrace::Span* s = trace_complete(
+                    ctx, hytrace::Phase::Robust, "detect", t0)) {
+                s->peer = w;
+            }
+            throw ProcessFailedError(w, death);
+        }
+    }
+    throw CommRevokedError();
 }
 
 }  // namespace detail
@@ -67,7 +102,8 @@ Comm Comm::split(int color, int key) const {
                 for (const auto& m : members) {
                     world_members.push_back(st.to_world(std::get<2>(m)));
                 }
-                d.children[child_color] = rt->create_comm(std::move(world_members));
+                d.children[child_color] =
+                    rt->create_comm(std::move(world_members), &st);
             }
         });
 
@@ -92,6 +128,94 @@ Comm Comm::create(std::span<const int> members) const {
     return split(my_pos >= 0 ? 0 : kUndefined, my_pos);
 }
 
+void Comm::revoke() const {
+    CommState& st = require();
+    st.runtime->revoke_comm(st);
+}
+
+Comm Comm::agree_shrink(std::vector<int>* failed_world) const {
+    CommState& st = require();
+    RankCtx& ctx = *ctx_;
+    detail::check_alive(ctx);
+    Runtime* rt = st.runtime;
+    Transport& tp = rt->transport();
+
+    struct ShrinkData {
+        CommState* child = nullptr;
+        std::vector<int> failed;
+    };
+
+    std::unique_lock<std::mutex> lock(st.op_mu);
+    const std::uint64_t key =
+        kShrinkKeyBase +
+        st.member_shrink_epoch.at(static_cast<std::size_t>(rank_))++;
+    auto& slot_ref = st.ops[key];
+    if (!slot_ref) {
+        slot_ref = std::make_shared<CommState::OpSlot>();
+        slot_ref->data = std::make_shared<ShrinkData>();
+    }
+    std::shared_ptr<CommState::OpSlot> slot = slot_ref;
+    auto data = std::static_pointer_cast<ShrinkData>(slot->data);
+    slot->max_clock = std::max(slot->max_clock, ctx.vck().now());
+    ++slot->arrived;
+
+    // Completion rule of the fault-tolerant rendezvous: every member is
+    // either here or dead. Which killed members count as dead is program
+    // order, hence deterministic: a killed rank either reaches this call
+    // before crossing its kill time (arrives, survives this round) or dies
+    // at an earlier checkpoint (never arrives). Re-evaluated on every death
+    // notification (Runtime::on_rank_death wakes all op slots).
+    auto complete = [&] {
+        int ndead = 0;
+        for (int w : st.members) {
+            if (tp.is_dead(w)) ++ndead;
+        }
+        return slot->arrived + ndead >= st.size();
+    };
+
+    while (!slot->done) {
+        if (detail::job_poisoned(st)) {
+            lock.unlock();
+            detail::throw_if_poisoned(st);
+        }
+        if (complete()) {
+            // First member to observe completion finalizes (under op_mu):
+            // survivors keep their old comm-rank order, so the shrunken
+            // comm is identical on every survivor with no extra exchange.
+            ShrinkData& d = *data;
+            std::vector<int> survivors;
+            for (int w : st.members) {
+                if (tp.is_dead(w)) {
+                    d.failed.push_back(w);
+                } else {
+                    survivors.push_back(w);
+                }
+            }
+            // Deliberately parentless: the recovery comm must survive
+            // (re-)revocation of the broken comm it descends from.
+            d.child = rt->create_comm(std::move(survivors));
+            slot->done = true;
+            slot->cv.notify_all();
+            break;
+        }
+        slot->cv.wait(lock);
+    }
+
+    CommState* child = data->child;
+    const std::vector<int> failed = data->failed;
+    const VTime max_clock = slot->max_clock;
+    if (++slot->left == child->size()) {
+        st.ops.erase(key);
+    }
+    lock.unlock();
+
+    ctx.vck().sync_to(max_clock);
+    ctx.vck().advance(rt->one_off_sync_cost(child->size()));
+
+    if (failed_world != nullptr) *failed_world = failed;
+    return Comm(child, ctx_, child->from_world(st.to_world(rank_)));
+}
+
 Comm Comm::dup() const {
     CommState& st = require();
     Runtime* rt = st.runtime;
@@ -102,7 +226,7 @@ Comm Comm::dup() const {
     };
     auto data = detail::rendezvous<DupData>(
         st, *ctx_, rank_, cost, [](DupData&) {},
-        [&](DupData& d) { d.child = rt->create_comm(st.members); });
+        [&](DupData& d) { d.child = rt->create_comm(st.members, &st); });
     return Comm(data->child, ctx_, rank_);
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -24,6 +25,13 @@ struct CommState {
     Runtime* runtime = nullptr;
     std::uint64_t ctx_p2p = 0;   ///< matching context for user point-to-point
     std::uint64_t ctx_coll = 0;  ///< matching context for internal collectives
+    /// Communicator this one was derived from (split/dup/create), or null
+    /// for the world comm and for agree_shrink's recovery comm. Revocation
+    /// cascades down this tree: the collectives internally split hierarchy
+    /// sub-communicators the caller never sees, and revoking a comm must
+    /// interrupt waits on those internal legs too. Stable for the run's
+    /// lifetime (comms_ is only cleared between runs).
+    CommState* parent = nullptr;
 
     std::vector<int> members;         ///< comm rank -> world rank
     std::vector<int> world_to_local;  ///< world rank -> comm rank (or -1)
@@ -50,7 +58,24 @@ struct CommState {
     std::mutex op_mu;
     std::map<std::uint64_t, std::shared_ptr<OpSlot>> ops;
     std::vector<std::uint64_t> member_epoch;  ///< per-member, owner-written
+
+    /// ULFM revocation flag: set (once) by Comm::revoke from any member;
+    /// every pending and future operation on the comm raises
+    /// CommRevokedError. Never reset — recovery builds a NEW comm. Set at
+    /// creation when the parent is already revoked (closes the race with a
+    /// split finalizing concurrently with the parent's revocation).
+    std::atomic<bool> revoked{false};
+
+    /// Per-member call counters for agree_shrink, keying its fault-tolerant
+    /// rendezvous in the kShrinkKeyBase namespace (disjoint from member
+    /// epochs and gate keys).
+    std::vector<std::uint64_t> member_shrink_epoch;
 };
+
+/// Base of the `ops` key namespace used by agree_shrink's fault-tolerant
+/// rendezvous. Plain member-epoch keys are small counters and engine gate
+/// keys have bit 63 set, so bit 62 is free.
+inline constexpr std::uint64_t kShrinkKeyBase = 1ULL << 62;
 
 /// Per-rank communicator handle — a (state, my-rank, my-context) triple.
 /// Cheap to copy; must only be used from the owning rank's thread.
@@ -102,6 +127,31 @@ public:
     /// Comm. New ranks follow the order of @p members.
     Comm create(std::span<const int> members) const;
 
+    /// ULFM MPI_Comm_revoke: interrupt every pending and future operation on
+    /// this communicator with CommRevokedError, on every member. Called by
+    /// any member that observed a ProcessFailedError so ALL survivors —
+    /// including those blocked on live-but-erroring peers — reach the
+    /// recovery path. Revocation cascades to every communicator derived
+    /// from this one by split/dup/create: the library's collectives
+    /// internally split hierarchy sub-communicators (see detail::hier), and
+    /// a survivor blocked in such an internal leg — where every DIRECT peer
+    /// is alive — would otherwise never observe the failure. The comm built
+    /// by agree_shrink is NOT derived: recovery survives revocation of the
+    /// broken comm. Idempotent; a revoke interrupt charges no virtual time
+    /// (the interrupted rank keeps its wait-entry clock).
+    void revoke() const;
+
+    /// ULFM MPI_Comm_shrink: fault-tolerant agreement on the surviving
+    /// member set followed by deterministic construction of a new
+    /// communicator over exactly those survivors (old comm-rank order
+    /// preserved). Collective over the SURVIVORS of this comm — unlike
+    /// every other collective it completes even though dead members never
+    /// arrive, and it works on a revoked comm. Survivors leave with clocks
+    /// synchronized to max(survivor clocks) + one-off sync cost. The failed
+    /// world ranks are reported through @p failed_world when non-null.
+    /// Must not be called from inside a nonblocking-collective engine task.
+    Comm agree_shrink(std::vector<int>* failed_world = nullptr) const;
+
 private:
     CommState& require() const;
 
@@ -118,6 +168,17 @@ bool job_poisoned(const CommState& st);
 /// Throws JobAborted when the job is poisoned.
 void throw_if_poisoned(const CommState& st);
 
+/// True when a pending operation on @p st can never complete normally: the
+/// comm was revoked or a member process died. One relaxed atomic load on
+/// fault-free runs (defined in comm.cc to reach the transport).
+bool comm_interrupted(const CommState& st);
+/// Raise the typed error for an interrupted comm: ProcessFailedError for a
+/// dead member (charging the observer death_vtime + watchdog_us — the
+/// deterministic detection latency — and counting failures_detected),
+/// CommRevokedError otherwise (no charge). Death wins over revocation so
+/// the error a direct observer sees is a pure function of the program.
+[[noreturn]] void throw_comm_interrupt(const CommState& st, RankCtx& ctx);
+
 /// Generic collective rendezvous on a communicator: every member contributes
 /// under the lock, the last to arrive finalizes, everyone leaves with their
 /// clock synchronized to max(member clocks) + @p sync_cost (one-off
@@ -132,6 +193,8 @@ template <typename Data, typename Contribute, typename Finalize>
 std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
                                  VTime sync_cost, Contribute&& contribute,
                                  Finalize&& finalize) {
+    check_alive(ctx);
+    if (comm_interrupted(st)) throw_comm_interrupt(st, ctx);
     std::unique_lock<std::mutex> lock(st.op_mu);
     // Under an engine gate the slot is keyed in the request's private
     // namespace instead of the member epoch: outstanding collectives may be
@@ -161,7 +224,7 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
         // Task context: poll-and-yield instead of blocking the OS thread,
         // so the owner's Test() returns and its Wait() can drive the other
         // outstanding requests meanwhile.
-        while (!slot->done && !job_poisoned(st)) {
+        while (!slot->done && !job_poisoned(st) && !comm_interrupted(st)) {
             lock.unlock();
             ctx.gate->yield();
             lock.lock();
@@ -169,12 +232,16 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
         if (!slot->done) {
             lock.unlock();
             throw_if_poisoned(st);
+            throw_comm_interrupt(st, ctx);
         }
     } else {
-        slot->cv.wait(lock, [&] { return slot->done || job_poisoned(st); });
+        slot->cv.wait(lock, [&] {
+            return slot->done || job_poisoned(st) || comm_interrupted(st);
+        });
         if (!slot->done) {
             lock.unlock();
             throw_if_poisoned(st);
+            throw_comm_interrupt(st, ctx);
         }
     }
 

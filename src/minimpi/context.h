@@ -217,9 +217,37 @@ struct RankCtx {
     /// same collectives in the same order, so the counter agrees across
     /// ranks and seeds the request's private matching context.
     std::unordered_map<const void*, std::uint64_t> icoll_seq;
+
+    /// Scheduled process-failure time (FaultPlan::Kill), resolved once per
+    /// Runtime::run; negative = immortal (the fault-free default). The rank
+    /// dies at the first communication checkpoint at or after this virtual
+    /// time — see detail::check_alive.
+    VTime kill_at = -1.0;
 };
 
 namespace detail {
+
+/// Thrown (by value) when a rank crosses its scheduled kill time. NOT an
+/// MpiError — deliberately outside the std::exception hierarchy so no user
+/// or library catch block between the checkpoint and rank_thread_entry can
+/// swallow a death. Runtime::rank_thread_entry catches it, records the
+/// death in the transport, and lets the thread exit silently: a dead rank
+/// is not an error, survivors observe it as ProcessFailedError.
+struct RankKilled {
+    int world_rank = -1;
+    VTime at = 0.0;
+};
+
+/// Process-failure checkpoint: placed at the entry of every communication
+/// primitive (send, recv post, collective rendezvous, flag signal/wait).
+/// One double compare on fault-free runs; never touches virtual time.
+inline void check_alive(RankCtx& ctx) {
+    if (ctx.kill_at >= 0.0 && ctx.clock.now() >= ctx.kill_at) {
+        // The rank's own (real) clock decides, not an engine sub-clock:
+        // death is a property of the rank's program position.
+        throw RankKilled{ctx.world_rank, ctx.clock.now()};
+    }
+}
 
 /// Drive every outstanding nonblocking collective of @p ctx once, without
 /// blocking (defined in icoll.cc). Blocking waits in owner context call

@@ -5,6 +5,10 @@
 
 namespace minimpi {
 
+// Same alias as in types.h (which includes this header — redeclaring the
+// alias here avoids the include cycle; the compiler rejects any divergence).
+using VTime = double;
+
 /// Base class for all errors raised by the runtime. Mirrors the MPI error
 /// classes we actually need; the runtime follows the MPI_ERRORS_ARE_FATAL
 /// spirit by throwing (a rank thread that throws aborts the whole job, and
@@ -58,6 +62,41 @@ class JobAborted : public MpiError {
 public:
     explicit JobAborted(int by_rank)
         : MpiError("job aborted by world rank " + std::to_string(by_rank)) {}
+};
+
+/// A peer process died (FaultPlan kill): the ULFM MPI_ERR_PROC_FAILED
+/// equivalent. Raised in a rank whose pending communication can never
+/// complete because the peer it depends on stopped progressing — waiting on
+/// a message, flag or rendezvous contribution owned by the dead rank.
+/// Detection is deterministic: the death vtime is a pure function of the
+/// killed rank's program, and the detector charges the observer
+/// death_vtime + watchdog_us of virtual time (the watchdog that noticed the
+/// silence). Recovery: revoke() the communicator, then agree_shrink().
+class ProcessFailedError : public MpiError {
+public:
+    ProcessFailedError(int world_rank, VTime death_vtime)
+        : MpiError("process failed: world rank " + std::to_string(world_rank) +
+                   " died at vtime " + std::to_string(death_vtime) + "us"),
+          world_rank_(world_rank),
+          death_vtime_(death_vtime) {}
+
+    int world_rank() const { return world_rank_; }
+    VTime death_vtime() const { return death_vtime_; }
+
+private:
+    int world_rank_;
+    VTime death_vtime_;
+};
+
+/// The communicator was revoked (ULFM MPI_ERR_REVOKED): some member observed
+/// a process failure and called Comm::revoke() to interrupt every pending
+/// and future operation on the communicator so all survivors reach the
+/// recovery path. Unlike ProcessFailedError, a revoke interrupt charges NO
+/// virtual time — the interrupted rank keeps its wait-entry clock — so
+/// revocation never injects wall-clock scheduling into virtual time.
+class CommRevokedError : public MpiError {
+public:
+    CommRevokedError() : MpiError("communicator revoked") {}
 };
 
 /// Misuse of a nonblocking-collective request handle: destroying a request

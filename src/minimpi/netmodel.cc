@@ -78,6 +78,15 @@ std::uint64_t fault_hash(std::uint64_t seed, int src, int dst,
 
 }  // namespace
 
+VTime FaultPlan::kill_time(int world_rank) const {
+    VTime best = -1.0;
+    for (const Kill& k : kills) {
+        if (k.world_rank != world_rank) continue;
+        if (best < 0.0 || k.at_us < best) best = k.at_us;
+    }
+    return best;
+}
+
 bool FaultPlan::delays(int world_rank) const {
     for (int r : delayed_ranks) {
         if (r == world_rank) return true;

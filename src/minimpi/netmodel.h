@@ -166,6 +166,26 @@ struct FaultPlan {
     /// of the hybrid→flat degradation ladder.
     std::uint64_t shm_fail_every = 0;
 
+    /// Process failure: the listed world rank stops progressing at the first
+    /// communication checkpoint at or after `at_us` of ITS OWN virtual time.
+    /// Death is a pure function of the killed rank's program (the vtime at
+    /// which it reaches that checkpoint), so the failure — and everything
+    /// survivors can deterministically observe about it — is reproducible
+    /// regardless of host scheduling. A dead rank's pending inbound traffic
+    /// tombstones (deliveries addressed to it are discarded) and it sends
+    /// nothing from the death point on.
+    struct Kill {
+        int world_rank = -1;
+        VTime at_us = 0.0;
+    };
+    std::vector<Kill> kills;
+
+    /// Schedule a process failure: @p world_rank stops progressing at the
+    /// first checkpoint at or after @p at_us of its own virtual time.
+    void kill(int world_rank, VTime at_us) {
+        kills.push_back({world_rank, at_us});
+    }
+
     FaultScope scope = FaultScope::AllTraffic;
 
     bool timing_active() const {
@@ -175,9 +195,16 @@ struct FaultPlan {
     bool payload_active() const {
         return corrupt_every > 0 || drop_every > 0 || dup_every > 0;
     }
+    bool kill_active() const { return !kills.empty(); }
     bool active() const {
-        return timing_active() || payload_active() || shm_fail_every > 0;
+        return timing_active() || payload_active() || shm_fail_every > 0 ||
+               kill_active();
     }
+
+    /// Scheduled death time of @p world_rank, or a negative value when the
+    /// rank is not on the kill list. The earliest entry wins if a rank is
+    /// listed twice.
+    VTime kill_time(int world_rank) const;
 
     bool delays(int world_rank) const;
 

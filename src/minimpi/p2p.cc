@@ -43,11 +43,12 @@ void validate_buffer(const Comm& comm, const void* buf, std::size_t bytes) {
 /// call must keep nonblocking operations advancing, or two ranks blocked on
 /// traffic the other's engine still has in flight would deadlock). Only
 /// with nothing outstanding does it block in the transport.
-void wait_recv_yielding(RankCtx& ctx, PostedRecv* pr) {
+void wait_recv_yielding_inner(RankCtx& ctx, PostedRecv* pr) {
     Transport& tp = ctx.runtime->transport();
     if (ctx.gate != nullptr) {
         while (!tp.test_recv(ctx.world_rank, pr)) {
             tp.check_poison();
+            tp.check_recv_interrupt(ctx.world_rank, pr);
             ctx.gate->yield();
         }
         return;
@@ -59,8 +60,36 @@ void wait_recv_yielding(RankCtx& ctx, PostedRecv* pr) {
     int spins = 0;
     while (!tp.test_recv(ctx.world_rank, pr)) {
         tp.check_poison();
+        tp.check_recv_interrupt(ctx.world_rank, pr);
         detail::icoll_progress(ctx);
         detail::icoll_backoff(spins++);
+    }
+}
+
+/// The deterministic failure detector's accounting, applied where a blocked
+/// receive observed a peer death: the observer's clock advances to
+/// death_vtime + watchdog_us (the virtual-time watchdog that noticed the
+/// silence — a pure function of the killed rank's program, never of host
+/// scheduling), failures_detected counters bump, and a Robust "detect" span
+/// covers the wait. Revocation interrupts charge nothing, on purpose.
+void charge_failure_detection(RankCtx& ctx, const ProcessFailedError& e,
+                              VTime t0) {
+    ctx.vck().sync_to(e.death_vtime() + ctx.robust_cfg->watchdog_us);
+    ctx.robust_stats.failures_detected += 1;
+    HYTRACE_COUNTER(ctx, failures_detected, 1);
+    if (hytrace::Span* s =
+            trace_complete(ctx, hytrace::Phase::Robust, "detect", t0)) {
+        s->peer = e.world_rank();
+    }
+}
+
+void wait_recv_yielding(RankCtx& ctx, PostedRecv* pr) {
+    const VTime t0 = ctx.vck().now();
+    try {
+        wait_recv_yielding_inner(ctx, pr);
+    } catch (const ProcessFailedError& e) {
+        charge_failure_detection(ctx, e, t0);
+        throw;
     }
 }
 
@@ -72,6 +101,15 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
                 int tag, bool coll_ctx) {
     if (dest == kProcNull) return;
     RankCtx& ctx = comm.ctx();
+    // Kill checkpoint + ULFM entry check. Sending on a revoked comm fails
+    // immediately; a dead MEMBER does not block point-to-point between live
+    // peers (matching ULFM: only operations involving the failed process
+    // raise an error). Both checks are single relaxed/acquire loads on
+    // fault-free runs.
+    check_alive(ctx);
+    if (comm.state().revoked.load(std::memory_order_acquire)) {
+        throw CommRevokedError();
+    }
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
@@ -123,6 +161,10 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
 Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
                     int tag, bool coll_ctx) {
     RankCtx& ctx = comm.ctx();
+    check_alive(ctx);
+    if (comm.state().revoked.load(std::memory_order_acquire)) {
+        throw CommRevokedError();
+    }
     auto posted = std::make_unique<PostedRecv>();
     posted->ctx = coll_ctx
                       ? (ctx.coll_ctx_override != 0 ? ctx.coll_ctx_override
@@ -141,6 +183,7 @@ Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
 Request irecv_bytes_ctx(const Comm& comm, void* buf, std::size_t bytes,
                         int source, int tag, std::uint64_t ctx_id) {
     RankCtx& ctx = comm.ctx();
+    check_alive(ctx);
     auto posted = std::make_unique<PostedRecv>();
     posted->ctx = ctx_id;
     posted->src_global =
@@ -169,6 +212,10 @@ void send_frame(const Comm& comm, const void* buf, std::size_t bytes, int dest,
                 int tag, std::uint64_t ctx_id, bool robust_frame) {
     if (dest == kProcNull) return;
     RankCtx& ctx = comm.ctx();
+    // Kill checkpoint only — no revoked-comm check: frames carry the robust
+    // ARQ, including the recovery confirmation leg, which must keep flowing
+    // on comms adjacent to a revocation.
+    check_alive(ctx);
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
@@ -233,6 +280,7 @@ void post_frame_recv(const Comm& comm, PostedRecv* pr, void* buf,
                      std::size_t bytes, int source, int tag,
                      std::uint64_t ctx_id) {
     RankCtx& ctx = comm.ctx();
+    check_alive(ctx);
     *pr = PostedRecv{};
     pr->ctx = ctx_id;
     pr->src_global =
@@ -289,6 +337,10 @@ void ssend(const Comm& comm, const void* buf, std::size_t count, Datatype dt,
     if (dest == kProcNull) return;
 
     RankCtx& ctx = comm.ctx();
+    detail::check_alive(ctx);
+    if (comm.state().revoked.load(std::memory_order_acquire)) {
+        throw CommRevokedError();
+    }
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
 
@@ -392,8 +444,14 @@ void probe(const Comm& comm, int source, int tag, Status* out) {
     const int src_world =
         (source == kAnySource) ? kAnySource : comm.to_world(source);
     Status st;
-    ctx.runtime->transport().probe(ctx.world_rank, comm.state().ctx_p2p,
-                                   src_world, tag, &st);
+    const VTime t0 = ctx.vck().now();
+    try {
+        ctx.runtime->transport().probe(ctx.world_rank, comm.state().ctx_p2p,
+                                       src_world, tag, &st);
+    } catch (const ProcessFailedError& e) {
+        charge_failure_detection(ctx, e, t0);
+        throw;
+    }
     st.source = comm.from_world(st.source);
     if (out) *out = st;
 }
@@ -548,50 +606,65 @@ int wait_any(std::span<Request> reqs, Status* out) {
         }
     }
     if (pending.empty()) return -1;
-    if (ctx->gate == nullptr && !ctx->active_icolls.empty()) {
-        // Owner context with nonblocking collectives outstanding: poll and
-        // keep them progressing instead of blocking in the transport.
-        int spins = 0;
-        for (;;) {
-            for (std::size_t i = 0; i < pending.size(); ++i) {
-                if (ctx->runtime->transport().test_recv(ctx->world_rank,
-                                                        pending[i])) {
-                    const std::size_t idx2 = index_of[i];
-                    Status st2;
-                    reqs[idx2].test(&st2);
-                    if (out) *out = st2;
-                    return static_cast<int>(idx2);
+    const VTime t0 = ctx->vck().now();
+    try {
+        if (ctx->gate == nullptr && !ctx->active_icolls.empty()) {
+            // Owner context with nonblocking collectives outstanding: poll
+            // and keep them progressing instead of blocking in the
+            // transport.
+            int spins = 0;
+            for (;;) {
+                for (std::size_t i = 0; i < pending.size(); ++i) {
+                    if (ctx->runtime->transport().test_recv(ctx->world_rank,
+                                                            pending[i])) {
+                        const std::size_t idx2 = index_of[i];
+                        Status st2;
+                        reqs[idx2].test(&st2);
+                        if (out) *out = st2;
+                        return static_cast<int>(idx2);
+                    }
                 }
-            }
-            ctx->runtime->transport().check_poison();
-            detail::icoll_progress(*ctx);
-            detail::icoll_backoff(spins++);
-        }
-    }
-    if (ctx->gate != nullptr) {
-        // Task context: poll in index order and yield between sweeps.
-        for (;;) {
-            for (std::size_t i = 0; i < pending.size(); ++i) {
-                if (ctx->runtime->transport().test_recv(ctx->world_rank,
-                                                        pending[i])) {
-                    const std::size_t idx2 = index_of[i];
-                    Status st2;
-                    reqs[idx2].test(&st2);
-                    if (out) *out = st2;
-                    return static_cast<int>(idx2);
+                ctx->runtime->transport().check_poison();
+                for (PostedRecv* pr : pending) {
+                    ctx->runtime->transport().check_recv_interrupt(
+                        ctx->world_rank, pr);
                 }
+                detail::icoll_progress(*ctx);
+                detail::icoll_backoff(spins++);
             }
-            ctx->runtime->transport().check_poison();
-            ctx->gate->yield();
         }
+        if (ctx->gate != nullptr) {
+            // Task context: poll in index order and yield between sweeps.
+            for (;;) {
+                for (std::size_t i = 0; i < pending.size(); ++i) {
+                    if (ctx->runtime->transport().test_recv(ctx->world_rank,
+                                                            pending[i])) {
+                        const std::size_t idx2 = index_of[i];
+                        Status st2;
+                        reqs[idx2].test(&st2);
+                        if (out) *out = st2;
+                        return static_cast<int>(idx2);
+                    }
+                }
+                ctx->runtime->transport().check_poison();
+                for (PostedRecv* pr : pending) {
+                    ctx->runtime->transport().check_recv_interrupt(
+                        ctx->world_rank, pr);
+                }
+                ctx->gate->yield();
+            }
+        }
+        const std::size_t hit =
+            ctx->runtime->transport().wait_any_recv(ctx->world_rank, pending);
+        const std::size_t idx = index_of[hit];
+        Status st;
+        reqs[idx].test(&st);  // completed: consumes and charges the clock
+        if (out) *out = st;
+        return static_cast<int>(idx);
+    } catch (const ProcessFailedError& e) {
+        charge_failure_detection(*ctx, e, t0);
+        throw;
     }
-    const std::size_t hit =
-        ctx->runtime->transport().wait_any_recv(ctx->world_rank, pending);
-    const std::size_t idx = index_of[hit];
-    Status st;
-    reqs[idx].test(&st);  // completed: consumes and charges the clock
-    if (out) *out = st;
-    return static_cast<int>(idx);
 }
 
 PersistentRequest PersistentRequest::send_init(const Comm& comm,

@@ -20,11 +20,13 @@ Runtime::Runtime(ClusterSpec cluster, ModelParams model, PayloadMode payload,
       payload_(payload),
       opts_(opts) {}
 
-CommState* Runtime::create_comm(std::vector<int> members_world) {
+CommState* Runtime::create_comm(std::vector<int> members_world,
+                                CommState* parent) {
     auto st = std::make_unique<CommState>();
     st->runtime = this;
     st->ctx_p2p = alloc_ctx();
     st->ctx_coll = alloc_ctx();
+    st->parent = parent;
     st->members = std::move(members_world);
     st->world_to_local.assign(
         static_cast<std::size_t>(cluster_.total_ranks()), -1);
@@ -33,9 +35,28 @@ CommState* Runtime::create_comm(std::vector<int> members_world) {
             static_cast<int>(i);
     }
     st->member_epoch.assign(st->members.size(), 0);
+    st->member_shrink_epoch.assign(st->members.size(), 0);
     CommState* raw = st.get();
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    comms_.push_back(std::move(st));
+    bool born_revoked = false;
+    {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        comms_.push_back(std::move(st));
+        // Registration and the inherited-revocation check are one critical
+        // section against revoke_comm's cascade scan: either this comm is
+        // registered before the scan snapshot (the cascade revokes it), or
+        // the scan's lock ordering makes the parent's revoked flag visible
+        // here and the child is born revoked. No third interleaving.
+        if (parent != nullptr &&
+            parent->revoked.load(std::memory_order_acquire)) {
+            raw->revoked.store(true, std::memory_order_release);
+            born_revoked = true;
+        }
+    }
+    if (born_revoked) {
+        // Fresh contexts — no waiter can exist yet, so no notify needed.
+        transport_->revoke_ctx(raw->ctx_p2p);
+        transport_->revoke_ctx(raw->ctx_coll);
+    }
     return raw;
 }
 
@@ -64,6 +85,56 @@ void Runtime::poison_from(int world_rank) {
     }
 }
 
+void Runtime::on_rank_death(int world_rank, VTime at) {
+    transport_->mark_dead(world_rank, at);
+    // Wake rendezvous waiters the same way poison_from does: collectives on
+    // a communicator containing the dead rank must observe the death and
+    // raise ProcessFailedError rather than wait forever for its arrival.
+    std::vector<CommState*> comms;
+    {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        comms.reserve(comms_.size());
+        for (auto& comm : comms_) comms.push_back(comm.get());
+    }
+    for (CommState* comm : comms) {
+        std::lock_guard<std::mutex> op_lock(comm->op_mu);
+        for (auto& [epoch, slot] : comm->ops) {
+            slot->cv.notify_all();
+        }
+    }
+}
+
+void Runtime::revoke_comm(CommState& st) {
+    if (st.revoked.exchange(true, std::memory_order_acq_rel)) return;
+    transport_->revoke_ctx(st.ctx_p2p);
+    transport_->revoke_ctx(st.ctx_coll);
+    {
+        std::lock_guard<std::mutex> op_lock(st.op_mu);
+        for (auto& [epoch, slot] : st.ops) {
+            slot->cv.notify_all();
+        }
+    }
+    // Cascade to derived comms (see CommState::parent): a survivor blocked
+    // in an internal hierarchy leg whose direct peers are all alive can only
+    // be interrupted through its sub-communicator. Snapshot outside op
+    // locks — same ordering discipline as poison_from — then recurse; the
+    // exchange above makes re-entry through overlapping subtrees a no-op.
+    std::vector<CommState*> derived;
+    {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        for (const auto& comm : comms_) {
+            for (const CommState* a = comm->parent; a != nullptr;
+                 a = a->parent) {
+                if (a == &st) {
+                    derived.push_back(comm.get());
+                    break;
+                }
+            }
+        }
+    }
+    for (CommState* child : derived) revoke_comm(*child);
+}
+
 VTime Runtime::one_off_sync_cost(int nranks) const {
     if (nranks <= 1) return model_.shm.overhead_us;
     const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
@@ -85,6 +156,11 @@ void* rank_thread_entry(void* raw) {
     try {
         Comm world(args->world_state, args->ctx, args->ctx->world_rank);
         (*args->rank_main)(world);
+    } catch (const detail::RankKilled& k) {
+        // Scheduled process failure (FaultPlan kill), not an error: the
+        // thread exits silently and the job keeps running. Survivors observe
+        // the death as ProcessFailedError and run detect–agree–shrink.
+        args->runtime->on_rank_death(k.world_rank, k.at);
     } catch (...) {
         *args->error_out = std::current_exception();
         args->runtime->poison_from(args->ctx->world_rank);
@@ -148,6 +224,9 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
         ctx.payload_mode = payload_;
         ctx.tuned = tuned;
         ctx.robust_cfg = &robust_cfg_;
+        if (fault_plan_.kill_active()) {
+            ctx.kill_at = fault_plan_.kill_time(i);
+        }
         if (opts_.trace) ctx.tracer = &tracers[static_cast<std::size_t>(i)];
         if (span_trace) ctx.spans = &recorders[static_cast<std::size_t>(i)];
         args[static_cast<std::size_t>(i)] =
@@ -236,7 +315,7 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
                 "[hympi robust] retries=%llu timeouts=%llu checksum_failures="
                 "%llu stale_discards=%llu recoveries=%llu sync_trips=%llu "
                 "sync_downgrades=%llu flat_downgrades=%llu alloc_failures="
-                "%llu\n",
+                "%llu failures_detected=%llu shrinks=%llu\n",
                 static_cast<unsigned long long>(total.retries),
                 static_cast<unsigned long long>(total.timeouts),
                 static_cast<unsigned long long>(total.checksum_failures),
@@ -245,7 +324,9 @@ std::vector<VTime> Runtime::run(const std::function<void(Comm&)>& rank_main) {
                 static_cast<unsigned long long>(total.sync_trips),
                 static_cast<unsigned long long>(total.sync_downgrades),
                 static_cast<unsigned long long>(total.flat_downgrades),
-                static_cast<unsigned long long>(total.alloc_failures));
+                static_cast<unsigned long long>(total.alloc_failures),
+                static_cast<unsigned long long>(total.failures_detected),
+                static_cast<unsigned long long>(total.shrinks));
         }
     }
     return clocks;

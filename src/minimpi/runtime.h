@@ -96,8 +96,12 @@ public:
     std::uint64_t alloc_ctx() { return next_ctx_.fetch_add(1); }
 
     /// Create and register a communicator over the given world ranks
-    /// (ordered: index = comm rank).
-    CommState* create_comm(std::vector<int> members_world);
+    /// (ordered: index = comm rank). @p parent links the derivation tree
+    /// revocation cascades down (null for roots: the world comm and
+    /// agree_shrink's recovery comm). A child whose parent is already
+    /// revoked is born revoked.
+    CommState* create_comm(std::vector<int> members_world,
+                           CommState* parent = nullptr);
 
     /// Register an arbitrary job-lifetime resource (shared windows, caches)
     /// so it is released when the current run's state is torn down.
@@ -126,6 +130,18 @@ public:
     /// Abort the job on behalf of @p world_rank: poisons the transport and
     /// wakes every rank blocked in a collective rendezvous.
     void poison_from(int world_rank);
+
+    /// Record the death of @p world_rank (FaultPlan kill) at virtual time
+    /// @p at: marks it dead in the transport and wakes every rank blocked in
+    /// a collective rendezvous so waits that depend on the dead rank raise
+    /// ProcessFailedError. Unlike poison_from, the job keeps running — the
+    /// survivors are expected to revoke + agree_shrink and continue.
+    void on_rank_death(int world_rank, VTime at);
+
+    /// Revoke both matching contexts of @p st in the transport, wake the
+    /// comm's rendezvous waiters, and cascade to every registered comm
+    /// derived from @p st (backs Comm::revoke).
+    void revoke_comm(CommState& st);
 
     /// Modelled cost of a one-off collective coordination over @p nranks
     /// ranks (communicator creation, window allocation).

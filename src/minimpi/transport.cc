@@ -118,6 +118,10 @@ void Transport::deliver(int dst_global, InMsg msg) {
 
 void Transport::deliver_matched(int dst_global, InMsg msg) {
     Mailbox& mb = box(dst_global);
+    // A dead destination's inbound traffic tombstones: nothing will ever
+    // receive it, and keeping it alive would leak and (worse) let a later
+    // shrunken communicator reusing the rank observe stale state.
+    if (mb.dead.load(std::memory_order_acquire)) return;
     AckOut ack;
     {
         std::lock_guard<std::mutex> lock(mb.mu);
@@ -164,12 +168,36 @@ void Transport::post_recv(int me, PostedRecv* r) {
 void Transport::wait_recv(int me, PostedRecv* r) {
     Mailbox& mb = box(me);
     std::unique_lock<std::mutex> lock(mb.mu);
-    mb.cv.wait(lock, [r, this] { return r->completed || poisoned(); });
+    // Completion always wins: a message delivered before a poison/death/
+    // revoke notification is consumed normally (the predicate checks
+    // `completed` first), so interrupts can never lose data already sent.
+    mb.cv.wait(lock, [r, this] {
+        return r->completed || poisoned() || interrupted(*r);
+    });
     if (!r->completed) {
         mb.posted.remove(r);
         lock.unlock();
         check_poison();
+        throw_interrupt(*r);
     }
+}
+
+bool Transport::wait_recv_intr(int me, PostedRecv* r,
+                               const std::function<bool()>& interrupt) {
+    Mailbox& mb = box(me);
+    std::unique_lock<std::mutex> lock(mb.mu);
+    bool external = false;
+    mb.cv.wait(lock, [&] {
+        if (r->completed || poisoned() || interrupted(*r)) return true;
+        external = interrupt();
+        return external;
+    });
+    if (r->completed) return true;
+    mb.posted.remove(r);
+    lock.unlock();
+    check_poison();
+    if (!external) throw_interrupt(*r);
+    return false;
 }
 
 std::size_t Transport::wait_any_recv(int me,
@@ -184,6 +212,46 @@ std::size_t Transport::wait_any_recv(int me,
             for (PostedRecv* r : rs) mb.posted.remove(r);
             lock.unlock();
             check_poison();
+        }
+        if (dead_count_.load(std::memory_order_acquire) > 0 ||
+            revoke_count_.load(std::memory_order_acquire) > 0) {
+            for (PostedRecv* r : rs) {
+                if (!interrupted(*r)) continue;
+                for (PostedRecv* q : rs) mb.posted.remove(q);
+                lock.unlock();
+                throw_interrupt(*r);
+            }
+        }
+        mb.cv.wait(lock);
+    }
+}
+
+std::size_t Transport::wait_any_recv_intr(
+    int me, std::span<PostedRecv* const> rs,
+    const std::function<bool()>& interrupt) {
+    Mailbox& mb = box(me);
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            if (rs[i]->completed) return i;
+        }
+        if (poisoned()) {
+            for (PostedRecv* r : rs) mb.posted.remove(r);
+            lock.unlock();
+            check_poison();
+        }
+        if (dead_count_.load(std::memory_order_acquire) > 0 ||
+            revoke_count_.load(std::memory_order_acquire) > 0) {
+            for (PostedRecv* r : rs) {
+                if (!interrupted(*r)) continue;
+                for (PostedRecv* q : rs) mb.posted.remove(q);
+                lock.unlock();
+                throw_interrupt(*r);
+            }
+        }
+        if (interrupt()) {
+            for (PostedRecv* r : rs) mb.posted.remove(r);
+            return SIZE_MAX;
         }
         mb.cv.wait(lock);
     }
@@ -202,6 +270,90 @@ void Transport::check_poison() const {
     if (poisoned()) {
         throw JobAborted(poison_rank_.load(std::memory_order_relaxed));
     }
+}
+
+void Transport::mark_dead(int world_rank, VTime at) {
+    Mailbox& mb = box(world_rank);
+    {
+        std::lock_guard<std::mutex> lock(mb.mu);
+        if (mb.dead.load(std::memory_order_relaxed)) return;
+        mb.death_vtime = at;
+        mb.dead.store(true, std::memory_order_release);
+        // The dying rank's thread has already unwound: its pending receives
+        // point at dead stack frames and its unexpected queue will never be
+        // drained — tombstone both sides.
+        mb.posted.clear();
+        mb.unexpected.clear();
+    }
+    dead_count_.fetch_add(1, std::memory_order_release);
+    for (auto& b : boxes_) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        b->cv.notify_all();
+    }
+}
+
+void Transport::revoke_ctx(std::uint64_t ctx) {
+    {
+        std::lock_guard<std::mutex> lock(revoked_mu_);
+        if (std::find(revoked_.begin(), revoked_.end(), ctx) !=
+            revoked_.end()) {
+            return;  // idempotent: concurrent revokes from several survivors
+        }
+        revoked_.push_back(ctx);
+    }
+    revoke_count_.fetch_add(1, std::memory_order_release);
+    for (auto& b : boxes_) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        b->cv.notify_all();
+    }
+}
+
+bool Transport::ctx_revoked(std::uint64_t ctx) const {
+    if (revoke_count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(revoked_mu_);
+    return std::find(revoked_.begin(), revoked_.end(), ctx) != revoked_.end();
+}
+
+bool Transport::interrupted(const PostedRecv& r) const {
+    if (r.completed) return false;
+    if (dead_count_.load(std::memory_order_acquire) > 0) {
+        // ULFM semantics: a wildcard receive has a pending failure as soon
+        // as ANY process died (the dead one might have been the sender).
+        if (r.src_global == kAnySource) return true;
+        if (r.src_global >= 0 && is_dead(r.src_global)) return true;
+    }
+    return ctx_revoked(r.ctx);
+}
+
+void Transport::throw_interrupt(const PostedRecv& r) const {
+    if (dead_count_.load(std::memory_order_acquire) > 0) {
+        if (r.src_global >= 0 && is_dead(r.src_global)) {
+            throw ProcessFailedError(r.src_global, death_vtime(r.src_global));
+        }
+        if (r.src_global == kAnySource) {
+            for (std::size_t i = 0; i < boxes_.size(); ++i) {
+                if (boxes_[i]->dead.load(std::memory_order_acquire)) {
+                    throw ProcessFailedError(static_cast<int>(i),
+                                             boxes_[i]->death_vtime);
+                }
+            }
+        }
+    }
+    throw CommRevokedError();
+}
+
+void Transport::check_recv_interrupt(int me, PostedRecv* r) {
+    if (dead_count_.load(std::memory_order_acquire) == 0 &&
+        revoke_count_.load(std::memory_order_acquire) == 0) {
+        return;
+    }
+    Mailbox& mb = box(me);
+    {
+        std::lock_guard<std::mutex> lock(mb.mu);
+        if (!interrupted(*r)) return;
+        mb.posted.remove(r);
+    }
+    throw_interrupt(*r);
 }
 
 bool Transport::test_recv(int me, PostedRecv* r) {
@@ -259,6 +411,10 @@ void Transport::probe(int me, std::uint64_t ctx, int src_global, int tag,
             }
         }
         check_poison();
+        if (interrupted(probe_key)) {
+            lock.unlock();
+            throw_interrupt(probe_key);
+        }
         mb.cv.wait(lock);
     }
 }

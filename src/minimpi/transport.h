@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -124,9 +125,31 @@ public:
     /// Block the calling (receiver) thread until @p r completes.
     void wait_recv(int me, PostedRecv* r);
 
+    /// Like wait_recv, but additionally unblocks when @p interrupt()
+    /// becomes true: the receive is deregistered and the call returns
+    /// false, leaving the caller to raise its own typed error. Used for
+    /// waits the per-receive interrupt rules cannot cover — the resilience
+    /// layer's control-frame receives ride the reliable side channel
+    /// (kRobustCtrlCtx, never revoked) from a live peer, yet must abandon
+    /// the ARQ when that peer leaves for recovery; the predicate is the
+    /// owning comm's interrupt state. Evaluated under the mailbox lock on
+    /// every wake — mark_dead and revoke_ctx notify every mailbox, so a
+    /// flip is observed promptly. Completion always wins (returns true);
+    /// a poisoned job or per-receive interrupt still throws as wait_recv
+    /// would. With the predicate constantly false the behavior is exactly
+    /// wait_recv's. Returns true when @p r completed.
+    bool wait_recv_intr(int me, PostedRecv* r,
+                        const std::function<bool()>& interrupt);
+
     /// Block until ANY of the given pending receives (all owned by @p me)
     /// completes; returns the first completed index in scan order.
     std::size_t wait_any_recv(int me, std::span<PostedRecv* const> rs);
+
+    /// wait_any_recv with the external-interrupt predicate of
+    /// wait_recv_intr: returns the first completed index, or SIZE_MAX with
+    /// every pending receive deregistered when @p interrupt() fires first.
+    std::size_t wait_any_recv_intr(int me, std::span<PostedRecv* const> rs,
+                                   const std::function<bool()>& interrupt);
 
     /// Non-blocking completion check.
     bool test_recv(int me, PostedRecv* r);
@@ -157,15 +180,63 @@ public:
     /// Throw JobAborted if the job has been poisoned.
     void check_poison() const;
 
+    // ---- process-failure model (ULFM-style) --------------------------------
+    //
+    // All of it is gated on two atomic counters (dead_count_, revoke_count_)
+    // that stay zero on fault-free runs, so the fast paths pay one relaxed
+    // load and no virtual-time cost — existing baselines are unaffected.
+
+    /// Record the death of @p world_rank at virtual time @p at and wake every
+    /// blocked waiter so receives depending on the dead rank can raise
+    /// ProcessFailedError. Called from the dying rank's own thread, after its
+    /// last send — so everything it sent before dying is already delivered.
+    void mark_dead(int world_rank, VTime at);
+
+    bool any_dead() const {
+        return dead_count_.load(std::memory_order_acquire) > 0;
+    }
+    bool is_dead(int world_rank) const {
+        return boxes_.at(static_cast<std::size_t>(world_rank))
+            ->dead.load(std::memory_order_acquire);
+    }
+    /// Virtual time of @p world_rank's death; only meaningful when is_dead().
+    VTime death_vtime(int world_rank) const {
+        return boxes_.at(static_cast<std::size_t>(world_rank))->death_vtime;
+    }
+
+    /// Revoke a communicator context: every pending and future wait on it
+    /// raises CommRevokedError (except completed receives, which are always
+    /// consumed first — a message delivered before the revoke is never lost).
+    void revoke_ctx(std::uint64_t ctx);
+
+    bool any_revoked() const {
+        return revoke_count_.load(std::memory_order_acquire) > 0;
+    }
+    bool ctx_revoked(std::uint64_t ctx) const;
+
+    /// Raise the typed failure for @p r (a pending receive owned by world
+    /// rank @p me) if its source died or its context was revoked, after
+    /// deregistering it. Cheap no-op while no kill/revoke is active. Used by
+    /// polling receive paths that never block in wait_recv.
+    void check_recv_interrupt(int me, PostedRecv* r);
+
 private:
     std::atomic<bool> poisoned_{false};
     std::atomic<int> poison_rank_{-1};
+    std::atomic<int> dead_count_{0};
+    std::atomic<int> revoke_count_{0};
+
+    mutable std::mutex revoked_mu_;
+    std::vector<std::uint64_t> revoked_;  ///< revoked context ids (unsorted)
 
     struct Mailbox {
         std::mutex mu;
         std::condition_variable cv;
         std::deque<InMsg> unexpected;
         std::list<PostedRecv*> posted;
+        /// Process-failure state of the mailbox OWNER (the world rank).
+        std::atomic<bool> dead{false};
+        VTime death_vtime = 0.0;  ///< written before `dead` is released
     };
 
     static bool matches(const PostedRecv& r, const InMsg& m) {
@@ -197,6 +268,15 @@ private:
     /// unexpected. Split from deliver() so an injected duplicate is not
     /// re-perturbed by the fault plan.
     void deliver_matched(int dst_global, InMsg msg);
+
+    /// Whether a pending receive can never complete: its source died or its
+    /// context was revoked. Never true for completed receives.
+    bool interrupted(const PostedRecv& r) const;
+
+    /// Throw the typed error for an interrupted receive (source death wins
+    /// over revocation so detection stays deterministic). Must be called
+    /// without holding the mailbox lock.
+    [[noreturn]] void throw_interrupt(const PostedRecv& r) const;
 
     Mailbox& box(int rank) { return *boxes_.at(static_cast<std::size_t>(rank)); }
 

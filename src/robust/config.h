@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace hympi {
@@ -19,7 +23,10 @@ struct RobustConfig {
 
     /// Virtual-time cost charged when the watchdog detects a lost frame or
     /// a divergent flag round (HYMPI_WATCHDOG_US). Also the deadline used
-    /// by NodeSync to classify a flag signal as "late".
+    /// by NodeSync to classify a flag signal as "late", and the detection
+    /// latency charged when a wait surfaces a dead peer. 0 is the
+    /// strictest setting (any waited-for flag counts as late; failures are
+    /// detected at the death instant), not a disable knob.
     double watchdog_us = 50.0;
 
     /// Base of the exponential backoff charged (in virtual time) before a
@@ -43,18 +50,55 @@ struct RobustConfig {
     /// Resolve from the environment: HYMPI_ROBUST, HYMPI_RETRY_MAX,
     /// HYMPI_WATCHDOG_US (dump_at_finalize defaults to `enabled`, so an
     /// operator who switched robustness on also gets the finalize report).
+    ///
+    /// Numeric variables are parsed strictly: the whole value must be a
+    /// nonnegative number in range (atoi-style silent truncation of
+    /// "8abc" -> 8 or "abc" -> 0 hid typos). A malformed value falls back
+    /// to the built-in default with ONE stderr warning per variable per
+    /// process naming the variable, the rejected value and the fallback —
+    /// repeated from_env() calls (one per Runtime) stay silent.
     static RobustConfig from_env() {
         RobustConfig c;
         if (const char* v = std::getenv("HYMPI_ROBUST")) {
             c.enabled = v[0] != '\0' && v[0] != '0';
         }
         if (const char* v = std::getenv("HYMPI_RETRY_MAX")) {
-            const int n = std::atoi(v);
-            if (n >= 0) c.retry_max = n;
+            char* end = nullptr;
+            errno = 0;
+            const long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || errno == ERANGE || n < 0 ||
+                n > INT_MAX) {
+                static bool warned = false;
+                if (!warned) {
+                    warned = true;
+                    std::fprintf(stderr,
+                                 "hympi: invalid HYMPI_RETRY_MAX=\"%s\" "
+                                 "(want a nonnegative integer); using "
+                                 "default %d\n",
+                                 v, c.retry_max);
+                }
+            } else {
+                c.retry_max = static_cast<int>(n);
+            }
         }
         if (const char* v = std::getenv("HYMPI_WATCHDOG_US")) {
-            const double d = std::atof(v);
-            if (d >= 0.0) c.watchdog_us = d;
+            char* end = nullptr;
+            errno = 0;
+            const double d = std::strtod(v, &end);
+            if (end == v || *end != '\0' || errno == ERANGE ||
+                !std::isfinite(d) || d < 0.0) {
+                static bool warned = false;
+                if (!warned) {
+                    warned = true;
+                    std::fprintf(stderr,
+                                 "hympi: invalid HYMPI_WATCHDOG_US=\"%s\" "
+                                 "(want a nonnegative number); using "
+                                 "default %g\n",
+                                 v, c.watchdog_us);
+                }
+            } else {
+                c.watchdog_us = d;
+            }
         }
         c.dump_at_finalize = c.enabled;
         return c;

@@ -134,8 +134,19 @@ bool reliable_xfer(const minimpi::Comm& comm, const void* sbuf,
         std::size_t n = 0;
         if (!recv_done) prs[n++] = &data_pr;
         if (!send_done) prs[n++] = &ctrl_pr;
-        const std::size_t hit =
-            tp.wait_any_recv(ctx.world_rank, std::span<PostedRecv* const>(prs, n));
+        // Comm-aware interrupt: once the receive direction is done only the
+        // control receive (kRobustCtrlCtx — never revoked, peer alive) is
+        // pending, and a peer that left for recovery will never serve it.
+        // The predicate watches the owning comm's failure state; false on
+        // every fault-free and payload-fault run, where this is exactly
+        // wait_any_recv.
+        const std::size_t hit = tp.wait_any_recv_intr(
+            ctx.world_rank, std::span<PostedRecv* const>(prs, n),
+            [&] { return minimpi::detail::comm_interrupted(comm.state()); });
+        if (hit == SIZE_MAX) {
+            ctx.clock.set(std::max(t_send, t_recv));
+            minimpi::detail::throw_comm_interrupt(comm.state(), ctx);
+        }
 
         const bool serving_data = prs[hit] == &data_pr;
         ctx.clock.set(serving_data ? t_recv : t_send);
@@ -295,13 +306,21 @@ bool agree_failure(const minimpi::Comm& comm, bool my_fail, std::uint64_t gen,
     const int me = comm.rank();
     bool agreed = my_fail;
     if (n <= 1) return agreed;
+    // The gather/broadcast legs ride the reliable control channel from live
+    // peers, so the per-receive interrupt rules never fire; the comm-aware
+    // predicate unblocks them when a peer abandons the ARQ for recovery.
+    const auto bailed = [&] {
+        return minimpi::detail::comm_interrupted(comm.state());
+    };
     if (me == 0) {
         for (int s = 1; s < n; ++s) {
             PostedRecv pr;
             minimpi::detail::post_frame_recv(comm, &pr, nullptr, 0, s,
                                              minimpi::kAnyTag,
                                              minimpi::kRobustCtrlCtx);
-            tp.wait_recv(ctx.world_rank, &pr);
+            if (!tp.wait_recv_intr(ctx.world_rank, &pr, bailed)) {
+                minimpi::detail::throw_comm_interrupt(comm.state(), ctx);
+            }
             const auto r = minimpi::detail::finish_frame_recv(comm, pr);
             if (kind_of_tag(r.tag) == FrameKind::Fail) agreed = true;
         }
@@ -316,7 +335,9 @@ bool agree_failure(const minimpi::Comm& comm, bool my_fail, std::uint64_t gen,
         minimpi::detail::post_frame_recv(comm, &pr, nullptr, 0, 0,
                                          minimpi::kAnyTag,
                                          minimpi::kRobustCtrlCtx);
-        tp.wait_recv(ctx.world_rank, &pr);
+        if (!tp.wait_recv_intr(ctx.world_rank, &pr, bailed)) {
+            minimpi::detail::throw_comm_interrupt(comm.state(), ctx);
+        }
         const auto r = minimpi::detail::finish_frame_recv(comm, pr);
         agreed = kind_of_tag(r.tag) == FrameKind::Fail;
     }

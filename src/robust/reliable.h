@@ -103,4 +103,50 @@ bool agree_failure(const minimpi::Comm& comm, bool my_fail, std::uint64_t gen,
 /// Generation stamps are (uid << 32) | epoch.
 std::uint64_t alloc_channel_uid(const minimpi::Comm& comm);
 
+// ---------------------------------------------------------------------------
+// Chunked-pipeline generation stamps.
+//
+// A pipelined round derives per-chunk stamps from the round's base
+// generation as  base + ((chunk + 1) << 20)  so a duplicated frame of chunk
+// i can never be accepted as chunk j. The scheme is collision-free only
+// within static bounds: the base generation is (uid << 32) | epoch with the
+// epoch counter in bits [0, 32), and the chunk offsets occupy bits
+// [20, 32). Once a channel's epoch reaches 2^20, a later round's BASE stamp
+// would alias an earlier round's chunk stamp (base' = base + k·2^20 for
+// some chunk k) and a stale retransmitted frame could be accepted as fresh
+// data. Likewise a chunk index of 2^12 or more would carry past bit 31 into
+// the uid field. chunked_gen() enforces both bounds with a typed error —
+// at one epoch per pipelined round, 2^20 rounds per channel, the bound is
+// unreachable in practice; the check turns a silent integrity loss into a
+// loud failure.
+// ---------------------------------------------------------------------------
+
+/// Exclusive bound on a chunked round's base epoch (low 32 bits of gen).
+inline constexpr std::uint64_t kMaxChunkedEpoch = 1ULL << 20;
+/// Exclusive bound on (chunk index + 1).
+inline constexpr std::uint64_t kMaxChunkOffset = 1ULL << 12;
+
+/// A chunked round's generation stamp left its collision-free envelope.
+class GenerationOverflowError : public minimpi::MpiError {
+public:
+    GenerationOverflowError(std::uint64_t base, std::uint64_t chunk)
+        : MpiError("chunked generation stamp overflow: base gen " +
+                   std::to_string(base) + " (epoch " +
+                   std::to_string(base & 0xFFFFFFFFULL) + ") chunk " +
+                   std::to_string(chunk) +
+                   " exceeds the collision-free bounds (epoch < 2^20, "
+                   "chunk < 2^12 - 1)") {}
+};
+
+/// Stamp for chunk @p chunk (0-based) of a pipelined round whose base
+/// generation is @p base. Throws GenerationOverflowError outside the
+/// documented bounds.
+inline std::uint64_t chunked_gen(std::uint64_t base, std::uint64_t chunk) {
+    if ((base & 0xFFFFFFFFULL) >= kMaxChunkedEpoch ||
+        chunk + 1 >= kMaxChunkOffset) {
+        throw GenerationOverflowError(base, chunk);
+    }
+    return base + ((chunk + 1) << 20);
+}
+
 }  // namespace hympi::robust

@@ -22,6 +22,8 @@ struct RobustStats {
     std::uint64_t sync_downgrades = 0;     ///< Flags -> Barrier downgrades
     std::uint64_t flat_downgrades = 0;     ///< hybrid -> flat MPI downgrades
     std::uint64_t alloc_failures = 0;      ///< shared-window allocation failures
+    std::uint64_t failures_detected = 0;   ///< peer process deaths observed
+    std::uint64_t shrinks = 0;             ///< successful agree+shrink recoveries
 
     RobustStats& operator+=(const RobustStats& o) {
         retries += o.retries;
@@ -33,13 +35,16 @@ struct RobustStats {
         sync_downgrades += o.sync_downgrades;
         flat_downgrades += o.flat_downgrades;
         alloc_failures += o.alloc_failures;
+        failures_detected += o.failures_detected;
+        shrinks += o.shrinks;
         return *this;
     }
 
     bool any() const {
         return retries || timeouts || checksum_failures || stale_discards ||
                recoveries || sync_trips || sync_downgrades ||
-               flat_downgrades || alloc_failures;
+               flat_downgrades || alloc_failures || failures_detected ||
+               shrinks;
     }
 
     bool operator==(const RobustStats&) const = default;

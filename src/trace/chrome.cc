@@ -116,7 +116,9 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
             write_us(os, c.sync_wait_us);
             os << ", \"retransmits\": " << c.retransmits
                << ", \"degradations\": " << c.degradations
-               << ", \"chunks\": " << c.chunks << "}";
+               << ", \"chunks\": " << c.chunks
+               << ", \"failures_detected\": " << c.failures_detected
+               << ", \"shrinks\": " << c.shrinks << "}";
         }
     }
     os << "\n], \"totals\": {\"bridge_bytes\": " << totals.bridge_bytes
@@ -126,7 +128,9 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
     write_us(os, totals.sync_wait_us);
     os << ", \"retransmits\": " << totals.retransmits
        << ", \"degradations\": " << totals.degradations
-       << ", \"chunks\": " << totals.chunks << "}}\n}\n";
+       << ", \"chunks\": " << totals.chunks
+       << ", \"failures_detected\": " << totals.failures_detected
+       << ", \"shrinks\": " << totals.shrinks << "}}\n}\n";
 }
 
 }  // namespace hytrace

@@ -70,6 +70,8 @@ struct Counters {
     std::uint64_t retransmits = 0;   ///< robust DATA frames retransmitted
     std::uint64_t degradations = 0;  ///< ladder downgrades (Flags->Barrier, ->flat)
     std::uint64_t chunks = 0;        ///< pipeline chunks processed by this rank
+    std::uint64_t failures_detected = 0;  ///< peer process deaths observed
+    std::uint64_t shrinks = 0;       ///< agree+shrink recoveries completed
 
     Counters& operator+=(const Counters& o) {
         bridge_bytes += o.bridge_bytes;
@@ -79,6 +81,8 @@ struct Counters {
         retransmits += o.retransmits;
         degradations += o.degradations;
         chunks += o.chunks;
+        failures_detected += o.failures_detected;
+        shrinks += o.shrinks;
         return *this;
     }
 

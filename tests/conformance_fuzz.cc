@@ -1,10 +1,14 @@
 // Standalone driver for the randomized differential conformance harness.
 //
-//   conformance_fuzz --seed N [--cases M] [--no-faults] [--list]
+//   conformance_fuzz --seed N [--cases M] [--no-faults] [--kill] [--list]
 //
 // Reproduces exactly the case stream a failing CI run reports: same seed,
-// same cases, same order. --list prints each case spec without running it
-// (useful to eyeball what a seed covers). Exit code 0 = all cases passed.
+// same cases, same order. --kill additionally samples the kill-injection
+// dimension (process failure + ULFM detect/agree/shrink recovery, checked
+// against the survivor-equivalence oracle); the extra draws come after all
+// base draws, so a seed's base cases are identical with and without it.
+// --list prints each case spec without running it (useful to eyeball what
+// a seed covers). Exit code 0 = all cases passed.
 
 #include <cstdint>
 #include <cstdio>
@@ -16,9 +20,10 @@
 namespace {
 
 void usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [--seed N] [--cases M] [--no-faults] [--list]\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--cases M] [--no-faults] [--kill] [--list]\n",
+        argv0);
 }
 
 }  // namespace
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     int cases = 200;
     bool with_faults = true;
+    bool with_kills = false;
     bool list_only = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
             cases = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--no-faults") == 0) {
             with_faults = false;
+        } else if (std::strcmp(argv[i], "--kill") == 0) {
+            with_kills = true;
         } else if (std::strcmp(argv[i], "--list") == 0) {
             list_only = true;
         } else {
@@ -46,13 +54,15 @@ int main(int argc, char** argv) {
 
     if (list_only) {
         for (int i = 0; i < cases; ++i) {
-            const auto spec = conformance::generate_case(seed, i, with_faults);
+            const auto spec =
+                conformance::generate_case(seed, i, with_faults, with_kills);
             std::printf("case %4d: %s\n", i, spec.describe().c_str());
         }
         return 0;
     }
 
-    const auto report = conformance::run_random_cases(seed, cases, with_faults);
+    const auto report =
+        conformance::run_random_cases(seed, cases, with_faults, with_kills);
     if (report.failures == 0) {
         std::printf("conformance: %d/%d cases passed (seed=%llu)\n",
                     report.cases, cases,
