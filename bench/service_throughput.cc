@@ -1,0 +1,130 @@
+// Multi-tenant collective service: throughput and completion-latency
+// percentiles under concurrent comm-churn jobs, swept over tenant count x
+// job mix x QoS arbitration policy on both vendor profiles.
+//
+// Each tenant runs a seeded open-loop stream of jobs (create a comm over a
+// random contiguous rank block, run a few small/large
+// allgather/allreduce/bcast/barrier steps — hybrid-channel allgathers when
+// the job spans nodes — then free the comm). Arrivals are virtual-time, so
+// the offered load never slows down with the cluster: queueing behind other
+// tenants lands in completion latency, exactly like production traffic.
+//
+// The QoS column pair compares FIFO arbitration against weighted fair
+// shares with tenant 0 holding an 8x weight: under WeightedShares both the
+// per-send NIC arbiter and the job-admission arbiter grant a tenant its
+// weighted share of any backlog another tenant left behind. The bench exits
+// nonzero if the favored tenant's p99 fails to improve under WeightedShares
+// at >= 8 tenants — the knob's reason to exist, gated in CI.
+//
+// Everything is a pure function of the configs below (SizeOnly payloads,
+// env override disabled), so the emitted JSON is byte-stable and CI diffs
+// it against bench/baselines at rounding tolerance.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "service/service.h"
+
+using namespace minimpi;
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kPpn = 4;
+constexpr int kJobsPerTenant = 6;
+
+service::ServiceConfig sweep_cfg(int tenants, bool mixed,
+                                 const ModelParams& model, QosPolicy qos) {
+    service::ServiceConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.ppn = kPpn;
+    cfg.model = model;
+    cfg.payload = PayloadMode::SizeOnly;
+    cfg.seed = 20260808;
+    cfg.tenants = tenants;
+    cfg.jobs_per_tenant = kJobsPerTenant;
+    cfg.mean_gap_us = 200.0;
+    cfg.small_bytes = 256;
+    cfg.large_bytes = 32 * 1024;
+    cfg.large_fraction = mixed ? 0.35 : 0.0;
+    cfg.hybrid_fraction = 0.5;
+    cfg.qos = qos;
+    cfg.use_env = false;  // the sweep pins its policy; keeps CI hermetic
+    cfg.weights = {8.0};  // tenant 0 favored under WeightedShares
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    std::printf(
+        "Collective service throughput: %d jobs/tenant on %d nodes x %d "
+        "ranks, FIFO vs weighted-shares (tenant 0 at 8x weight)\n",
+        kJobsPerTenant, kNodes, kPpn);
+
+    const struct {
+        const char* tag;
+        ModelParams model;
+    } profiles[] = {
+        {"cray", ModelParams::cray()},
+        {"openmpi", ModelParams::openmpi()},
+    };
+    const struct {
+        const char* tag;
+        bool mixed;
+    } mixes[] = {
+        {"small", false},
+        {"mixed", true},
+    };
+
+    int status = 0;
+    for (const auto& p : profiles) {
+        for (const auto& m : mixes) {
+            benchu::Table table(
+                "#tenants",
+                {"Ops/s FIFO", "Ops/s WFQ", "p50 FIFO(us)", "p99 FIFO(us)",
+                 "p99 WFQ(us)", "Fav p99 FIFO(us)", "Fav p99 WFQ(us)"});
+            for (int tenants : {2, 4, 8, 16}) {
+                const service::ServiceResult fifo = service::run_service(
+                    sweep_cfg(tenants, m.mixed, p.model, QosPolicy::Fifo));
+                const service::ServiceResult wfq = service::run_service(
+                    sweep_cfg(tenants, m.mixed, p.model,
+                              QosPolicy::WeightedShares));
+                table.add_row(tenants,
+                              {fifo.ops_per_sec, wfq.ops_per_sec, fifo.p50_us,
+                               fifo.p99_us, wfq.p99_us,
+                               fifo.tenants[0].p99_us, wfq.tenants[0].p99_us});
+                if (tenants >= 8 &&
+                    wfq.tenants[0].p99_us >= fifo.tenants[0].p99_us) {
+                    std::fprintf(stderr,
+                                 "FAIL: weighted shares did not improve the "
+                                 "favored tenant's p99 (%s/%s, %d tenants: "
+                                 "%.6g us vs %.6g us FIFO)\n",
+                                 p.tag, m.tag, tenants, wfq.tenants[0].p99_us,
+                                 fifo.tenants[0].p99_us);
+                    status = 1;
+                }
+            }
+            benchcm::emit(table, "service", std::string(m.tag) + "_" + p.tag,
+                          "Service throughput/latency vs tenant count (" +
+                              std::string(m.tag) + " mix, " + p.tag +
+                              " profile)",
+                          p.tag);
+        }
+
+        // Per-tenant dashboard of the most contended weighted run, consumed
+        // by `trace_report --service` (not part of the baseline diff).
+        const service::ServiceConfig dcfg =
+            sweep_cfg(8, true, p.model, QosPolicy::WeightedShares);
+        const service::ServiceResult dash = service::run_service(dcfg);
+        const char* dir = std::getenv("BENCH_JSON_DIR");
+        const std::string path = std::string(dir != nullptr ? dir : ".") +
+                                 "/SERVICE_" + p.tag + ".json";
+        if (!dash.write_json(path, dcfg)) {
+            std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+        }
+    }
+    return status;
+}

@@ -1,5 +1,8 @@
 #include "bench_util/latency.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace benchu {
 
 void Collector::add(double us) {
@@ -36,6 +39,16 @@ std::vector<std::size_t> pow2_series(int lo, int hi) {
     std::vector<std::size_t> v;
     for (int e = lo; e <= hi; ++e) v.push_back(std::size_t{1} << e);
     return v;
+}
+
+double percentile(std::vector<double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (p <= 0.0) return xs.front();
+    const double rank = std::ceil(p / 100.0 * static_cast<double>(xs.size()));
+    std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    idx = std::min(idx, xs.size() - 1);
+    return xs[idx];
 }
 
 }  // namespace benchu

@@ -44,4 +44,11 @@ double osu_latency(minimpi::Runtime& rt, int warmup, int iters,
 /// Geometric series 2^lo .. 2^hi (inclusive), as the paper's x-axes.
 std::vector<std::size_t> pow2_series(int lo, int hi);
 
+/// Nearest-rank percentile of @p xs (@p p in [0, 100]): the smallest sample
+/// whose cumulative rank reaches ceil(p/100 * n). Exact sample values only
+/// — no interpolation — so percentile figures over deterministic virtual
+/// latencies stay byte-stable. 0 on an empty sample; p=0 is the minimum,
+/// p=100 the maximum. Takes a copy: sorting is the helper's business.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace benchu

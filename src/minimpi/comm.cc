@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "minimpi/error.h"
+#include "minimpi/icoll.h"
 #include "minimpi/runtime.h"
 #include "minimpi/trace_span.h"
 
@@ -131,6 +132,42 @@ Comm Comm::create(std::span<const int> members) const {
 void Comm::revoke() const {
     CommState& st = require();
     st.runtime->revoke_comm(st);
+}
+
+void Comm::free() const {
+    CommState& st = require();
+    RankCtx& ctx = *ctx_;
+    detail::check_alive(ctx);
+    if (st.parent == nullptr) {
+        // Roots — the world comm and agree_shrink's recovery comm — are
+        // job-lifetime, like MPI_COMM_WORLD.
+        throw CommError("free on a root communicator");
+    }
+    // Freeing under an in-flight nonblocking collective on this comm is
+    // erroneous (MPI_Comm_free during active communication): surface the
+    // typed error instead of letting the engine task race freed state.
+    for (const detail::IcollState* ic : ctx.active_icolls) {
+        if (ic->comm_state == &st) {
+            throw CommBusyError(
+                std::string(ic->kind) +
+                " still in flight on the communicator being freed"
+                " — complete it with wait() first");
+        }
+    }
+    if (st.freed.load(std::memory_order_acquire)) {
+        throw CommError("double free of a communicator");
+    }
+    Runtime* rt = st.runtime;
+    const VTime cost = rt->one_off_sync_cost(st.size());
+    struct FreeData {};
+    detail::rendezvous<FreeData>(
+        st, ctx, rank_, cost, [](FreeData&) {},
+        [&](FreeData&) { st.freed.store(true, std::memory_order_release); });
+    // Drop this rank's cached hierarchy/channel handles keyed by the comm —
+    // the leak-freedom bound for churny (service) workloads. The CommState
+    // itself stays registered until the run tears down, so stale handles
+    // fail typed instead of dangling.
+    ctx.comm_caches.erase(&st);
 }
 
 Comm Comm::agree_shrink(std::vector<int>* failed_world) const {

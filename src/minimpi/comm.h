@@ -70,6 +70,12 @@ struct CommState {
     /// rendezvous in the kShrinkKeyBase namespace (disjoint from member
     /// epochs and gate keys).
     std::vector<std::uint64_t> member_shrink_epoch;
+
+    /// Set (once, by Comm::free's finalizer) when the members collectively
+    /// released the communicator. The registry slot itself lives until the
+    /// run ends — stale handles stay dereferenceable so any operation on a
+    /// freed comm raises a typed CommError instead of touching freed memory.
+    std::atomic<bool> freed{false};
 };
 
 /// Base of the `ops` key namespace used by agree_shrink's fault-tolerant
@@ -126,6 +132,17 @@ public:
     /// increasing). Collective over THIS comm; non-members get a null
     /// Comm. New ranks follow the order of @p members.
     Comm create(std::span<const int> members) const;
+
+    /// MPI_Comm_free: collectively release the communicator. After the
+    /// members meet (clocks sync to max + one-off cost, like every other
+    /// one-off coordination) the comm is marked freed, this rank's cached
+    /// hierarchy/channel state keyed by it is dropped — the leak-freedom
+    /// the churny multi-tenant service relies on — and any later operation
+    /// on a stale handle raises CommError. Freeing while a nonblocking
+    /// collective on this comm is still in flight throws CommBusyError
+    /// (complete it with wait() first); double-free throws CommError. The
+    /// world communicator cannot be freed.
+    void free() const;
 
     /// ULFM MPI_Comm_revoke: interrupt every pending and future operation on
     /// this communicator with CommRevokedError, on every member. Called by
@@ -195,6 +212,9 @@ std::shared_ptr<Data> rendezvous(CommState& st, RankCtx& ctx, int my_rank,
                                  Finalize&& finalize) {
     check_alive(ctx);
     if (comm_interrupted(st)) throw_comm_interrupt(st, ctx);
+    if (st.freed.load(std::memory_order_acquire)) {
+        throw CommError("collective on a freed communicator");
+    }
     std::unique_lock<std::mutex> lock(st.op_mu);
     // Under an engine gate the slot is keyed in the request's private
     // namespace instead of the member epoch: outstanding collectives may be

@@ -63,6 +63,46 @@ struct CommStats {
     }
 };
 
+/// Bridge-link arbitration policy for multi-tenant runs (see TenantState).
+enum class QosPolicy : std::uint8_t {
+    /// Strict arrival order on each outgoing link — the single-tenant
+    /// behaviour, byte-identical to runs with no tenant state installed.
+    Fifo,
+    /// Weighted fair shares: a send that finds the link backlogged by a
+    /// DIFFERENT tenant only waits for the fraction of the backlog that the
+    /// owner retains once this tenant's weighted share of the link is
+    /// granted (wait * (1 - weight/total_weight)). Backlog owned by the
+    /// sending tenant itself is never discounted — a tenant cannot preempt
+    /// its own queue. Monotone: a larger weight never increases the wait.
+    WeightedShares,
+};
+
+/// Multi-tenant arbitration + attribution state, installed on a rank by the
+/// collective-service driver (src/service) and null everywhere else — the
+/// default keeps every single-tenant code path and baseline byte-identical.
+/// Owned and written only by the rank's own thread.
+struct TenantState {
+    QosPolicy policy = QosPolicy::Fifo;
+    int tenant = -1;       ///< tenant whose job this rank is currently running
+    double weight = 1.0;   ///< arbitration weight of the active tenant
+    double total_weight = 1.0;  ///< sum of every tenant's weight
+    /// Occupancy of this rank's single NIC injection port: under a tenant
+    /// run, inter-node sends serialize through the port as a whole rather
+    /// than per destination. The coarser granularity is what makes tenants
+    /// contend — backlog left by one tenant's burst is still draining when
+    /// the rank picks up the next tenant's job, so the arbiter has a real
+    /// queue to arbitrate. (Per-destination maps drain between jobs because
+    /// successive jobs rarely reuse a (sender, dst) pair quickly enough.)
+    VTime nic_busy = 0.0;
+    /// Tenant that owns the most recent backlog on the injection port
+    /// (-2: nobody yet).
+    int nic_owner = -2;
+    /// Per-tenant attribution of this rank's inter-node (bridge) traffic,
+    /// indexed by tenant id.
+    std::vector<std::uint64_t> bridge_bytes;
+    std::vector<std::uint64_t> bridge_msgs;
+};
+
 /// Per-rank execution context: identity plus the rank's virtual clock.
 /// Exactly one thread (the rank's own) touches the clock; the struct is
 /// created by Runtime::run and outlives the rank main.
@@ -153,6 +193,10 @@ struct RankCtx {
     /// sends to the same destination queue behind each other's wire time
     /// instead of overlapping for free.
     std::unordered_map<int, VTime> link_busy_until;
+
+    /// Multi-tenant arbitration/attribution hook consulted by inter-node
+    /// sends; null (the default) outside the collective-service driver.
+    TenantState* tenant = nullptr;
 
     /// Per-destination message indices stamped onto outgoing messages
     /// (InMsg::fault_seq). Program order on the owning thread, so the
@@ -248,6 +292,13 @@ inline void check_alive(RankCtx& ctx) {
         throw RankKilled{ctx.world_rank, ctx.clock.now()};
     }
 }
+
+/// QoS arbiter for one inter-node send (defined in p2p.cc): returns the
+/// injection start time, updates the link-owner bookkeeping and attributes
+/// the bytes to the active tenant. Pure in (ts, now, busy, bytes) — exposed
+/// so the service tests can pin the weight-monotonicity property directly.
+/// Under QosPolicy::Fifo the result is exactly max(now, busy).
+VTime tenant_bridge_start(TenantState& ts, VTime now, std::size_t bytes);
 
 /// Drive every outstanding nonblocking collective of @p ctx once, without
 /// blocking (defined in icoll.cc). Blocking waits in owner context call

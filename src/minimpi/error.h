@@ -99,6 +99,17 @@ public:
     CommRevokedError() : MpiError("communicator revoked") {}
 };
 
+/// Comm::free on a communicator that still has operations in flight (an
+/// outstanding nonblocking collective, or a member already gone through
+/// free). MPI_Comm_free during active communication is erroneous; the
+/// simulated runtime surfaces the misuse as a typed error instead of
+/// undefined behaviour so churny multi-tenant streams fail loudly.
+class CommBusyError : public CommError {
+public:
+    explicit CommBusyError(const std::string& what)
+        : CommError("busy: " + what) {}
+};
+
 /// Misuse of a nonblocking-collective request handle: destroying a request
 /// whose operation is still in flight (complete it with wait() — silently
 /// cancelling would leak half-executed protocol state into the transport),

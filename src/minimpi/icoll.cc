@@ -183,6 +183,9 @@ std::shared_ptr<IcollState> create_icoll(const Comm& comm, const char* kind,
     if (!comm.valid()) {
         throw CommError("nonblocking collective on a null communicator");
     }
+    if (comm.state().freed.load(std::memory_order_acquire)) {
+        throw CommError("nonblocking collective on a freed communicator");
+    }
     RankCtx& ctx = comm.ctx();
     if (ctx.gate != nullptr) {
         throw ArgumentError(
@@ -200,6 +203,7 @@ std::shared_ptr<IcollState> create_icoll(const Comm& comm, const char* kind,
 
     auto st = std::make_shared<IcollState>();
     st->ctx = &ctx;
+    st->comm_state = &comm.state();
     st->kind = kind;
     st->body = std::move(body);
     st->on_wait = std::move(on_wait);

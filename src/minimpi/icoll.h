@@ -47,6 +47,9 @@ namespace detail {
 /// Shared state of one engine-backed nonblocking or persistent collective.
 struct IcollState {
     RankCtx* ctx = nullptr;
+    /// Communicator the collective was posted on — lets Comm::free detect
+    /// an in-flight operation on the comm being freed (CommBusyError).
+    const CommState* comm_state = nullptr;
     const char* kind = "icoll";     ///< static label for traces/errors
     std::function<void()> body;     ///< the blocking algorithm (task side)
     std::function<void()> on_wait;  ///< owner-side finish hook (may block)

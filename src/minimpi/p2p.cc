@@ -97,6 +97,31 @@ void wait_recv_yielding(RankCtx& ctx, PostedRecv* pr) {
 
 namespace detail {
 
+VTime tenant_bridge_start(TenantState& ts, VTime now, std::size_t bytes) {
+    if (ts.tenant >= 0 &&
+        static_cast<std::size_t>(ts.tenant) < ts.bridge_bytes.size()) {
+        ts.bridge_bytes[static_cast<std::size_t>(ts.tenant)] += bytes;
+        ts.bridge_msgs[static_cast<std::size_t>(ts.tenant)] += 1;
+    }
+    VTime wait = ts.nic_busy - now;
+    if (wait <= 0.0) {
+        // Idle port: nothing to arbitrate; this tenant becomes the backlog
+        // owner for whoever queues behind this message.
+        ts.nic_owner = ts.tenant;
+        return now;
+    }
+    if (ts.policy == QosPolicy::WeightedShares && ts.nic_owner != ts.tenant &&
+        ts.total_weight > 0.0) {
+        // Weighted shares: grant this tenant its share of the port while
+        // the other tenant's backlog drains, so only the remaining fraction
+        // of the queueing delay is observed. Self-owned backlog keeps the
+        // full FIFO wait — a tenant cannot preempt its own queue.
+        wait *= 1.0 - ts.weight / ts.total_weight;
+    }
+    ts.nic_owner = ts.tenant;
+    return now + wait;
+}
+
 void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
                 int tag, bool coll_ctx) {
     if (dest == kProcNull) return;
@@ -109,6 +134,9 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     check_alive(ctx);
     if (comm.state().revoked.load(std::memory_order_acquire)) {
         throw CommRevokedError();
+    }
+    if (comm.state().freed.load(std::memory_order_acquire)) {
+        throw CommError("send on a freed communicator");
     }
     const int dst_world = comm.to_world(dest);
     const LinkParams& link = ctx.link_to(dst_world);
@@ -138,11 +166,25 @@ void send_bytes(const Comm& comm, const void* buf, std::size_t bytes, int dest,
     }
 
     // Bandwidth serialization: this message's bytes occupy the link after
-    // any still-draining earlier message to the same destination.
+    // any still-draining earlier message to the same destination. Under a
+    // multi-tenant run (ctx.tenant installed by src/service) inter-node
+    // traffic instead serializes through the rank's single NIC injection
+    // port via the QoS arbiter, which may discount queueing behind another
+    // tenant's backlog and attributes the bytes per tenant.
     const VTime transfer = static_cast<VTime>(bytes) * link.beta_us_per_byte;
-    VTime& busy = (*ctx.cur_busy)[dst_world];
-    const VTime start = std::max(ctx.vck().now(), busy);
-    busy = start + transfer;
+    VTime start;
+    if (ctx.tenant != nullptr &&
+        !ctx.cluster->same_node(ctx.world_rank, dst_world)) {
+        start = tenant_bridge_start(*ctx.tenant, ctx.vck().now(), bytes);
+        // max(): a weighted-QoS send may inject while the port still drains
+        // another tenant's backlog, but it must never ERASE that backlog —
+        // total occupancy always grows by the full transfer time.
+        ctx.tenant->nic_busy = std::max(ctx.tenant->nic_busy, start) + transfer;
+    } else {
+        VTime& busy = (*ctx.cur_busy)[dst_world];
+        start = std::max(ctx.vck().now(), busy);
+        busy = start + transfer;
+    }
 
     InMsg msg;
     msg.ctx = coll_ctx ? (ctx.coll_ctx_override != 0 ? ctx.coll_ctx_override
@@ -164,6 +206,9 @@ Request irecv_bytes(const Comm& comm, void* buf, std::size_t bytes, int source,
     check_alive(ctx);
     if (comm.state().revoked.load(std::memory_order_acquire)) {
         throw CommRevokedError();
+    }
+    if (comm.state().freed.load(std::memory_order_acquire)) {
+        throw CommError("receive on a freed communicator");
     }
     auto posted = std::make_unique<PostedRecv>();
     posted->ctx = coll_ctx

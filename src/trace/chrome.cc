@@ -118,7 +118,8 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
                << ", \"degradations\": " << c.degradations
                << ", \"chunks\": " << c.chunks
                << ", \"failures_detected\": " << c.failures_detected
-               << ", \"shrinks\": " << c.shrinks << "}";
+               << ", \"shrinks\": " << c.shrinks
+               << ", \"tenant_jobs\": " << c.tenant_jobs << "}";
         }
     }
     os << "\n], \"totals\": {\"bridge_bytes\": " << totals.bridge_bytes
@@ -130,7 +131,8 @@ void write_chrome_json(std::ostream& os, const std::vector<RunTrace>& runs) {
        << ", \"degradations\": " << totals.degradations
        << ", \"chunks\": " << totals.chunks
        << ", \"failures_detected\": " << totals.failures_detected
-       << ", \"shrinks\": " << totals.shrinks << "}}\n}\n";
+       << ", \"shrinks\": " << totals.shrinks
+       << ", \"tenant_jobs\": " << totals.tenant_jobs << "}}\n}\n";
 }
 
 }  // namespace hytrace

@@ -194,6 +194,54 @@ void print_counters(std::ostream& os, const json::Value& trace) {
     }
 }
 
+bool print_service(std::ostream& os, const json::Value& doc) {
+    const json::Value* svc = doc.find("service");
+    if (svc == nullptr || !svc->is_object()) return false;
+    char line[256];
+    os << "collective service (" << svc->get_string("profile", "?")
+       << " profile, qos=" << svc->get_string("qos", "?") << ", seed "
+       << static_cast<long long>(svc->get_number("seed")) << ")\n";
+    if (const json::Value* cl = svc->find("cluster"); cl != nullptr) {
+        std::snprintf(line, sizeof line, "  cluster: %d nodes x %d ranks\n",
+                      static_cast<int>(cl->get_number("nodes")),
+                      static_cast<int>(cl->get_number("ppn")));
+        os << line;
+    }
+    if (const json::Value* t = svc->find("total"); t != nullptr) {
+        std::snprintf(line, sizeof line,
+                      "  total: %d jobs, %d ops, makespan %.3f us\n",
+                      static_cast<int>(t->get_number("jobs")),
+                      static_cast<int>(t->get_number("ops")),
+                      t->get_number("makespan_us"));
+        os << line;
+        std::snprintf(line, sizeof line,
+                      "  throughput %.1f ops/s, completion p50 %.3f us, "
+                      "p99 %.3f us\n",
+                      t->get_number("ops_per_sec"), t->get_number("p50_us"),
+                      t->get_number("p99_us"));
+        os << line;
+    }
+    const json::Value* tenants = svc->find("tenants");
+    if (tenants == nullptr || !tenants->is_array()) return true;
+    std::snprintf(line, sizeof line, "  %6s %7s %5s %5s %12s %12s %12s %14s %8s\n",
+                  "tenant", "weight", "jobs", "ops", "mean(us)", "p50(us)",
+                  "p99(us)", "bridge_bytes", "msgs");
+    os << line;
+    for (const json::Value& t : tenants->arr) {
+        std::snprintf(
+            line, sizeof line,
+            "  %6d %7.3g %5d %5d %12.3f %12.3f %12.3f %14llu %8llu\n",
+            static_cast<int>(t.get_number("tenant")),
+            t.get_number("weight"), static_cast<int>(t.get_number("jobs")),
+            static_cast<int>(t.get_number("ops")), t.get_number("mean_us"),
+            t.get_number("p50_us"), t.get_number("p99_us"),
+            static_cast<unsigned long long>(t.get_number("bridge_bytes")),
+            static_cast<unsigned long long>(t.get_number("bridge_msgs")));
+        os << line;
+    }
+    return true;
+}
+
 DiffResult diff_bench_json(const json::Value& base, const json::Value& cand,
                            double rel_tol) {
     DiffResult out;

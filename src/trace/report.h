@@ -44,6 +44,13 @@ void print_breakdowns(std::ostream& os, const std::vector<CollBreakdown>& rows);
 /// Print the "otherData" counter block of @p trace, when present.
 void print_counters(std::ostream& os, const json::Value& trace);
 
+/// Print the aggregate dashboard of a SERVICE_*.json file written by
+/// service::ServiceResult::write_json — run totals (jobs, ops/sec, p50/p99
+/// completion latency) followed by a per-tenant table with the bridge-byte
+/// attribution. Returns false (printing nothing) when @p doc has no
+/// "service" object.
+bool print_service(std::ostream& os, const json::Value& doc);
+
 /// One data-point comparison from a BENCH table diff.
 struct DiffEntry {
     std::string series;

@@ -72,6 +72,7 @@ struct Counters {
     std::uint64_t chunks = 0;        ///< pipeline chunks processed by this rank
     std::uint64_t failures_detected = 0;  ///< peer process deaths observed
     std::uint64_t shrinks = 0;       ///< agree+shrink recoveries completed
+    std::uint64_t tenant_jobs = 0;   ///< service jobs completed on this rank
 
     Counters& operator+=(const Counters& o) {
         bridge_bytes += o.bridge_bytes;
@@ -83,6 +84,7 @@ struct Counters {
         chunks += o.chunks;
         failures_detected += o.failures_detected;
         shrinks += o.shrinks;
+        tenant_jobs += o.tenant_jobs;
         return *this;
     }
 

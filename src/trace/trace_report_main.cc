@@ -11,6 +11,13 @@
 //       tables are structurally different. Metadata ("meta", "title") is
 //       ignored, so old baselines stay comparable.
 //
+//   trace_report --service <service.json>
+//       Aggregate dashboard of a multi-tenant collective-service run
+//       (SERVICE_*.json from bench/service_throughput or
+//       service::ServiceResult::write_json): run totals, throughput,
+//       completion-latency percentiles and the per-tenant bridge-byte
+//       attribution.
+//
 // Exit codes: 0 ok, 1 regression or mismatch, 2 usage / IO / parse error.
 
 #include <cstdlib>
@@ -28,7 +35,8 @@ int usage() {
     std::cerr << "usage:\n"
               << "  trace_report <trace.json>\n"
               << "  trace_report --diff <baseline.json> <candidate.json>"
-                 " [--rel-tol F]\n";
+                 " [--rel-tol F]\n"
+              << "  trace_report --service <service.json>\n";
     return 2;
 }
 
@@ -37,6 +45,16 @@ int run_breakdown(const std::string& path) {
     const auto rows = hytrace::report::collect_breakdowns(trace);
     hytrace::report::print_breakdowns(std::cout, rows);
     hytrace::report::print_counters(std::cout, trace);
+    return 0;
+}
+
+int run_service(const std::string& path) {
+    const hytrace::json::Value doc = hytrace::json::parse_file(path);
+    if (!hytrace::report::print_service(std::cout, doc)) {
+        std::cerr << "trace_report: " << path
+                  << " has no \"service\" object (not a SERVICE_*.json?)\n";
+        return 2;
+    }
     return 0;
 }
 
@@ -64,6 +82,9 @@ int main(int argc, char** argv) {
                 }
             }
             return run_diff(argv[2], argv[3], rel_tol);
+        }
+        if (argc == 3 && std::strcmp(argv[1], "--service") == 0) {
+            return run_service(argv[2]);
         }
         if (argc == 2) return run_breakdown(argv[1]);
         return usage();
