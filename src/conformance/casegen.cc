@@ -144,6 +144,7 @@ std::string CaseSpec::describe() const {
             case hympi::BridgeAlgo::Bcast: bridge_name = "bcast"; break;
             case hympi::BridgeAlgo::Pipelined: bridge_name = "pipe"; break;
             case hympi::BridgeAlgo::BruckV: bridge_name = "bruckv"; break;
+            case hympi::BridgeAlgo::LocBruck: bridge_name = "locbruck"; break;
             case hympi::BridgeAlgo::NeighborExchange:
                 bridge_name = "nbrex";
                 break;
@@ -255,12 +256,13 @@ CaseSpec generate_case(std::uint64_t master_seed, int index, bool with_faults,
     }
     spec.sync = s.chance(50) ? hympi::SyncPolicy::Barrier
                              : hympi::SyncPolicy::Flags;
-    switch (s.below(6)) {
+    switch (s.below(7)) {
         case 0: spec.bridge = hympi::BridgeAlgo::Allgatherv; break;
         case 1: spec.bridge = hympi::BridgeAlgo::Bcast; break;
         case 2: spec.bridge = hympi::BridgeAlgo::Pipelined; break;
         case 3: spec.bridge = hympi::BridgeAlgo::BruckV; break;
         case 4: spec.bridge = hympi::BridgeAlgo::NeighborExchange; break;
+        case 5: spec.bridge = hympi::BridgeAlgo::LocBruck; break;
         default: spec.bridge = hympi::BridgeAlgo::Auto; break;
     }
     // Multi-leader is an allgather-channel extension only.

@@ -126,6 +126,14 @@ CaseSpec shrink(const CaseSpec& failing, int max_runs) {
             c.leaders = 1;
             cands.push_back(c);
         }
+        // Bridge algorithm: the combined whole-node-block Bruck shrinks to
+        // the per-leader BruckV it is built from — a failure that survives
+        // removes the locality aggregation from the reproducer.
+        if (cur.bridge == hympi::BridgeAlgo::LocBruck) {
+            CaseSpec c = cur;
+            c.bridge = hympi::BridgeAlgo::BruckV;
+            cands.push_back(c);
+        }
         {
             CaseSpec c = cur;
             c.placement = minimpi::Placement::Smp;

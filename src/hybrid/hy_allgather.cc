@@ -1,5 +1,6 @@
 #include "hybrid/hy_allgather.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "hybrid/hy_trace.h"
@@ -18,6 +19,7 @@ const char* bridge_algo_name(BridgeAlgo a) {
         case BridgeAlgo::Pipelined: return "pipelined_ring";
         case BridgeAlgo::BruckV: return "bruck_v";
         case BridgeAlgo::NeighborExchange: return "neighbor_exchange";
+        case BridgeAlgo::LocBruck: return "loc_bruck";
     }
     return "?";
 }
@@ -72,18 +74,44 @@ void AllgatherChannel::init_layout(
         rank_order_layout_ = minimpi::Layout::indexed(std::move(extents));
     }
 
-    // One-off bridge parameters for my leader role.
+    // Largest whole-node block — every rank derives it from the (uniform)
+    // slot-major layout, so it is a safe rank-uniform tuning key.
+    for (int n = 0; n < hc_->num_nodes(); ++n) {
+        const auto s0 = static_cast<std::size_t>(hc_->node_offset(n));
+        const auto s1 = static_cast<std::size_t>(
+            n + 1 < hc_->num_nodes() ? hc_->node_offset(n + 1) : p);
+        max_node_block_ =
+            std::max(max_node_block_, slot_offset_[s1] - slot_offset_[s0]);
+    }
+
+    // One-off bridge parameters for my leader role. Bridge rank order is
+    // ascending comm rank of each node's leader l (the split key), which
+    // matches node-major order on bridge 0 — node-major order IS ascending
+    // lowest comm rank — but for l >= 1 a round-robin placement or a gapped
+    // sub-communicator can permute it: the second leader of an early node
+    // may outrank a later node's. Sort the per-node slices by their
+    // leader's comm rank so bridge_{counts,displs}_[i] really describes
+    // bridge rank i on every bridge, not just the primary one.
     if (hc_->is_leader() && hc_->num_nodes() > 1) {
         const int l = hc_->leader_index();
+        std::vector<std::pair<int, std::pair<std::size_t, std::size_t>>> by_rank;
         for (int n = 0; n < hc_->num_nodes(); ++n) {
             const auto [first, last] = hc_->leader_slice(n, l);
             if (first == last) continue;  // node has no leader l
             const int s0 = hc_->node_offset(n) + first;
             const int s1 = hc_->node_offset(n) + last;
-            bridge_displs_.push_back(slot_offset_[static_cast<std::size_t>(s0)]);
-            bridge_counts_.push_back(
-                slot_offset_[static_cast<std::size_t>(s1)] -
-                slot_offset_[static_cast<std::size_t>(s0)]);
+            const int leader = hc_->rank_at(hc_->node_offset(n) + l);
+            by_rank.emplace_back(
+                leader,
+                std::pair<std::size_t, std::size_t>{
+                    slot_offset_[static_cast<std::size_t>(s0)],
+                    slot_offset_[static_cast<std::size_t>(s1)] -
+                        slot_offset_[static_cast<std::size_t>(s0)]});
+        }
+        std::sort(by_rank.begin(), by_rank.end());
+        for (const auto& [leader, slice] : by_rank) {
+            bridge_displs_.push_back(slice.first);
+            bridge_counts_.push_back(slice.second);
         }
         if (static_cast<int>(bridge_counts_.size()) != hc_->bridge().size()) {
             throw minimpi::CommError(
@@ -125,25 +153,48 @@ void AllgatherChannel::repack_rank_order(void* dst) const {
 
 BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
     const tuning::DecisionTable* table = hc_->world().ctx().tuned;
-    if (table != nullptr) {
-        const auto c =
-            table->lookup(tuning::Op::BridgeExchange, tuning::Shape::Net,
-                          hc_->bridge().size(), max_bridge_count_);
-        if (c.has_value()) {
-            switch (c->algo) {
-                case tuning::algo::kBrBcast:
-                    return BridgeAlgo::Bcast;
-                case tuning::algo::kBrPipelined:
-                    if (seg == 0) seg = c->segment_bytes;
-                    return BridgeAlgo::Pipelined;
-                case tuning::algo::kBrBruckV:
-                    return BridgeAlgo::BruckV;
-                case tuning::algo::kBrNeighborExchange:
-                    return BridgeAlgo::NeighborExchange;
-                case tuning::algo::kBrVendorAllgatherv:
-                default:
-                    return BridgeAlgo::Allgatherv;
-            }
+    if (table == nullptr) return BridgeAlgo::Allgatherv;  // the paper's default
+    // A 0-byte exchange has no geometric position on the size axis: log-
+    // rounding would land on the smallest grid row, whose winner (possibly
+    // Pipelined or LocBruck) is tuned for data that is not there. Nothing
+    // moves, so take the paper's default (mirrors SocketStager::resolve's
+    // 0-byte clamp).
+    if (max_bridge_count_ == 0) return BridgeAlgo::Allgatherv;
+    // Rank-uniform LocBruck consultation first (multi-leader channels only):
+    // keyed by (node count, largest WHOLE node block) — identical on every
+    // leader, so either all of a node's leaders enter the combined exchange
+    // or none does; a per-leader key here could let the primary's whole-
+    // block writes overlap a divergently-resolved peer's slice writes. With
+    // one leader per node LocBruck degenerates to BruckV, which the
+    // per-leader BridgeExchange row already covers.
+    if (hc_->leaders_per_node() > 1 && max_node_block_ > 0) {
+        const auto lc =
+            table->lookup(tuning::Op::LocBruck, tuning::Shape::Net,
+                          hc_->num_nodes(), max_node_block_);
+        if (lc.has_value() && lc->algo == tuning::algo::kLbCombined) {
+            return BridgeAlgo::LocBruck;
+        }
+    }
+    const auto c =
+        table->lookup(tuning::Op::BridgeExchange, tuning::Shape::Net,
+                      hc_->bridge().size(), max_bridge_count_);
+    if (c.has_value()) {
+        switch (c->algo) {
+            case tuning::algo::kBrBcast:
+                return BridgeAlgo::Bcast;
+            case tuning::algo::kBrPipelined:
+                if (seg == 0) seg = c->segment_bytes;
+                seg = detail::clamp_segment(seg, kPipelineSegmentBytes,
+                                            (max_bridge_count_ + 63) / 64,
+                                            max_bridge_count_);
+                return BridgeAlgo::Pipelined;
+            case tuning::algo::kBrBruckV:
+                return BridgeAlgo::BruckV;
+            case tuning::algo::kBrNeighborExchange:
+                return BridgeAlgo::NeighborExchange;
+            case tuning::algo::kBrVendorAllgatherv:
+            default:
+                return BridgeAlgo::Allgatherv;
         }
     }
     return BridgeAlgo::Allgatherv;  // the paper's default
@@ -218,9 +269,9 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo,
             // arrives, hiding the per-hop start-up cost of large blocks.
             // Tuned/explicit segment sizes still honor the bounded
             // pipeline depth, as in bcast_pipelined_chain.
-            const std::size_t depth_floor = (max_bridge_count_ + 63) / 64;
-            if (seg == 0) seg = kPipelineSegmentBytes;
-            seg = std::max(seg, depth_floor);
+            seg = detail::clamp_segment(seg, kPipelineSegmentBytes,
+                                        (max_bridge_count_ + 63) / 64,
+                                        max_bridge_count_);
             auto nsegs = [&](int blk) {
                 return (bridge_counts_[static_cast<std::size_t>(blk)] + seg - 1) /
                        seg;
@@ -266,49 +317,40 @@ void AllgatherChannel::bridge_exchange(BridgeAlgo algo,
             // MPI_Allgatherv, so it skips the vector-collective tuning
             // penalty — the small-message winner the tables pick for the
             // Fig. 8 regime.
-            std::vector<std::size_t> slot_off(static_cast<std::size_t>(bp) + 1,
-                                              0);
-            for (int i = 0; i < bp; ++i) {
-                slot_off[static_cast<std::size_t>(i) + 1] =
-                    slot_off[static_cast<std::size_t>(i)] +
-                    bridge_counts_[static_cast<std::size_t>((br + i) % bp)];
+            detail::node_block_bruck(bridge, buf_.data(), bridge_displs_,
+                                     bridge_counts_, 0x30);
+            return;
+        }
+        case BridgeAlgo::LocBruck: {
+            // Locality-aware Bruck (arXiv:2206.03564): the flat algorithm's
+            // first ceil(log2 ppn) rounds move rank-adjacent data — here
+            // that data already reached the contiguous node block over
+            // shared memory (the ready phase), so those rounds collapse
+            // into the block itself and every inter-node message ships one
+            // aggregated whole-node block. Only the PRIMARY leaders'
+            // bridge carries traffic (bridge rank == node index there:
+            // node-major order is ascending lowest comm rank, which is
+            // exactly bridge 0's split order under ANY rank placement);
+            // with L leaders per node this replaces L interleaved
+            // per-slice Bruck exchanges with one — an L-fold message-count
+            // reduction at identical volume. Non-primary leaders are done:
+            // the release phase makes every rank wait for the primary's
+            // signal, which happens-after its whole-block writes.
+            if (!hc_->is_primary_leader()) return;
+            const int nn = hc_->num_nodes();
+            const int p = hc_->world().size();
+            std::vector<std::size_t> displs(static_cast<std::size_t>(nn));
+            std::vector<std::size_t> counts(static_cast<std::size_t>(nn));
+            for (int n = 0; n < nn; ++n) {
+                const auto s0 = static_cast<std::size_t>(hc_->node_offset(n));
+                const auto s1 = static_cast<std::size_t>(
+                    n + 1 < nn ? hc_->node_offset(n + 1) : p);
+                displs[static_cast<std::size_t>(n)] = slot_offset_[s0];
+                counts[static_cast<std::size_t>(n)] =
+                    slot_offset_[s1] - slot_offset_[s0];
             }
-            minimpi::detail::Scratch tmp_s(ctx,
-                                           slot_off[static_cast<std::size_t>(bp)]);
-            std::byte* tmp = tmp_s.data();
-            ctx.copy_bytes(tmp,
-                           buf_.at(bridge_displs_[static_cast<std::size_t>(br)]),
-                           bridge_counts_[static_cast<std::size_t>(br)]);
-            constexpr int tag = minimpi::detail::kTagHier + 0x30;
-            int round = 0;
-            for (int mask = 1; mask < bp; mask <<= 1, ++round) {
-                const int cnt = std::min(mask, bp - mask);
-                const int dst = (br - mask + bp) % bp;
-                const int src = (br + mask) % bp;
-                const std::size_t send_len =
-                    slot_off[static_cast<std::size_t>(cnt)];
-                const std::size_t recv_off =
-                    slot_off[static_cast<std::size_t>(mask)];
-                const std::size_t recv_len =
-                    slot_off[static_cast<std::size_t>(std::min(mask + cnt, bp))] -
-                    recv_off;
-                minimpi::Request rr = minimpi::detail::irecv_bytes(
-                    bridge, minimpi::detail::at(tmp, recv_off), recv_len, src,
-                    tag + round, true);
-                minimpi::detail::send_bytes(bridge, tmp, send_len, dst,
-                                            tag + round, true);
-                rr.wait();
-            }
-            // Un-rotate into the shared buffer; our own slice (i == 0) is
-            // already in place.
-            for (int i = 1; i < bp; ++i) {
-                const int owner = (br + i) % bp;
-                ctx.copy_bytes(
-                    buf_.at(bridge_displs_[static_cast<std::size_t>(owner)]),
-                    minimpi::detail::at(tmp,
-                                        slot_off[static_cast<std::size_t>(i)]),
-                    bridge_counts_[static_cast<std::size_t>(owner)]);
-            }
+            detail::node_block_bruck(bridge, buf_.data(), displs, counts,
+                                     0x50);
             return;
         }
         case BridgeAlgo::NeighborExchange: {
@@ -747,5 +789,61 @@ void AllgatherChannel::finish(SyncPolicy sync) {
         downgrade_to_flat(/*refill=*/true);
     }
 }
+
+namespace detail {
+
+void node_block_bruck(const minimpi::Comm& bridge, std::byte* base,
+                      std::span<const std::size_t> displs,
+                      std::span<const std::size_t> counts, int tag_base) {
+    const int bp = bridge.size();
+    const int br = bridge.rank();
+    if (bp <= 1) return;
+    minimpi::RankCtx& ctx = bridge.ctx();
+    // Rotated prefix sums: scratch slot i holds the block of rank (br+i)%bp,
+    // so every send is one contiguous doubling prefix. Zero-count blocks
+    // collapse to empty slots and unrotate as 0-byte copies.
+    std::vector<std::size_t> slot_off(static_cast<std::size_t>(bp) + 1, 0);
+    for (int i = 0; i < bp; ++i) {
+        slot_off[static_cast<std::size_t>(i) + 1] =
+            slot_off[static_cast<std::size_t>(i)] +
+            counts[static_cast<std::size_t>((br + i) % bp)];
+    }
+    minimpi::detail::Scratch tmp_s(ctx,
+                                   slot_off[static_cast<std::size_t>(bp)]);
+    std::byte* tmp = tmp_s.data();
+    ctx.copy_bytes(tmp,
+                   minimpi::detail::at(base,
+                                       displs[static_cast<std::size_t>(br)]),
+                   counts[static_cast<std::size_t>(br)]);
+    const int tag = minimpi::detail::kTagHier + tag_base;
+    int round = 0;
+    for (int mask = 1; mask < bp; mask <<= 1, ++round) {
+        const int cnt = std::min(mask, bp - mask);
+        const int dst = (br - mask + bp) % bp;
+        const int src = (br + mask) % bp;
+        const std::size_t send_len = slot_off[static_cast<std::size_t>(cnt)];
+        const std::size_t recv_off = slot_off[static_cast<std::size_t>(mask)];
+        const std::size_t recv_len =
+            slot_off[static_cast<std::size_t>(std::min(mask + cnt, bp))] -
+            recv_off;
+        minimpi::Request rr = minimpi::detail::irecv_bytes(
+            bridge, minimpi::detail::at(tmp, recv_off), recv_len, src,
+            tag + round, true);
+        minimpi::detail::send_bytes(bridge, tmp, send_len, dst, tag + round,
+                                    true);
+        rr.wait();
+    }
+    // Un-rotate into the destination; our own block (i == 0) is already in
+    // place.
+    for (int i = 1; i < bp; ++i) {
+        const int owner = (br + i) % bp;
+        ctx.copy_bytes(
+            minimpi::detail::at(base, displs[static_cast<std::size_t>(owner)]),
+            minimpi::detail::at(tmp, slot_off[static_cast<std::size_t>(i)]),
+            counts[static_cast<std::size_t>(owner)]);
+    }
+}
+
+}  // namespace detail
 
 }  // namespace hympi

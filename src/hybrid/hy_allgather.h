@@ -31,6 +31,14 @@ enum class BridgeAlgo {
     BruckV,      ///< log-round Bruck allgatherv on bridge point-to-point
     NeighborExchange,  ///< pairwise neighbor exchange (even bridge size,
                        ///< contiguous slices; falls back to Allgatherv)
+    LocBruck,    ///< locality-aware Bruck (arXiv:2206.03564): the primary
+                 ///< leader ships whole aggregated node blocks — the data
+                 ///< classic Bruck's first ceil(log2 ppn) rounds would move
+                 ///< rank-by-rank already travelled over shared memory into
+                 ///< the node block, and with L leaders per node ONE Bruck
+                 ///< exchange replaces L interleaved ones (an L-fold
+                 ///< inter-node message-count reduction). Non-primary
+                 ///< leaders send nothing; their slices ride along.
 };
 
 /// Hy_Allgather / Hy_Allgatherv (paper Fig. 3b and Fig. 4): a reusable
@@ -220,6 +228,11 @@ private:
     std::vector<std::size_t> bridge_counts_;  ///< per bridge rank, bytes
     std::vector<std::size_t> bridge_displs_;  ///< per bridge rank, bytes
     std::size_t max_bridge_count_ = 0;        ///< largest bridge slice
+    /// Largest whole-node block (rank-uniform, unlike max_bridge_count_,
+    /// which is per leader slice) — the LocBruck table key, so every
+    /// leader of a multi-leader node resolves Auto identically and the
+    /// primary's whole-block writes can never overlap a divergent peer's.
+    std::size_t max_node_block_ = 0;
     /// Bridge slices abut in the shared buffer (true with one leader per
     /// node: node-major order); NeighborExchange requires it.
     bool bridge_contiguous_ = true;
@@ -254,5 +267,22 @@ private:
 /// Default segment size for BridgeAlgo::Pipelined, used when neither the
 /// decision table nor set_pipeline_segment supplies one.
 inline constexpr std::size_t kPipelineSegmentBytes = 32 * 1024;
+
+namespace detail {
+
+/// The rotated-doubling Bruck allgatherv core shared by BridgeAlgo::BruckV
+/// (per-leader bridge slices), BridgeAlgo::LocBruck (whole node blocks) and
+/// the small-collective batcher (fused per-node regions): block i of @p base
+/// — @p counts[i] bytes at @p displs[i] — is owned by bridge rank i; after
+/// the call every rank holds every block. ceil(log2 p) rounds of doubling
+/// aggregated transfers through a rotated scratch, then one unrotation pass.
+/// Zero-count blocks cost nothing and land correctly (the rotated prefix
+/// sums simply collapse); null @p base (SizeOnly payload mode) is fine.
+/// Tags kTagHier + @p tag_base + round.
+void node_block_bruck(const minimpi::Comm& bridge, std::byte* base,
+                      std::span<const std::size_t> displs,
+                      std::span<const std::size_t> counts, int tag_base);
+
+}  // namespace detail
 
 }  // namespace hympi

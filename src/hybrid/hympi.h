@@ -5,6 +5,7 @@
 
 #include "hybrid/hier_comm.h"
 #include "hybrid/hy_allgather.h"
+#include "hybrid/hy_batch.h"
 #include "hybrid/hy_bcast.h"
 #include "hybrid/halo.h"
 #include "hybrid/hy_extra.h"

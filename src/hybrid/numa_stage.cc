@@ -89,9 +89,8 @@ PipelinePlan SocketStager::plan(SocketStaging mode, std::size_t bytes,
             }
         }
     }
-    if (chunk == 0) chunk = kDefaultChunkBytes;
     p.pipelined = true;
-    p.chunk_bytes = std::min(std::max<std::size_t>(chunk, 64), bytes);
+    p.chunk_bytes = detail::clamp_segment(chunk, kDefaultChunkBytes, 64, bytes);
     return p;
 }
 

@@ -37,6 +37,25 @@ enum class SocketStaging : std::uint8_t {
 /// tuned ChunkSize entry names one.
 inline constexpr std::size_t kDefaultChunkBytes = 32 * 1024;
 
+namespace detail {
+
+/// The one segment/chunk clamp rule shared by every segmented path
+/// (PipelinePlan::plan, BridgeAlgo::Pipelined in bridge_exchange, and the
+/// tuned_bridge_algo resolution): a 0 request means "use @p fallback", the
+/// result is floored at max(@p floor, 1) and capped at the payload (itself
+/// floored at 1, so a 0-byte round can never divide by zero). Idempotent —
+/// re-clamping a clamped value with the same bounds is the identity.
+constexpr std::size_t clamp_segment(std::size_t seg, std::size_t fallback,
+                                    std::size_t floor, std::size_t payload) {
+    if (seg == 0) seg = fallback;
+    if (floor < 1) floor = 1;
+    if (seg < floor) seg = floor;
+    if (payload < 1) payload = 1;
+    return seg < payload ? seg : payload;
+}
+
+}  // namespace detail
+
 /// Resolved shape of one pipelined round (see SocketStager::plan).
 struct PipelinePlan {
     bool pipelined = false;       ///< run the chunked single-copy path

@@ -123,17 +123,66 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
 
     std::optional<hympi::HierComm> hc;
     std::optional<hympi::AllgatherChannel> chan;
+    std::optional<hympi::CollBatcher> batcher;
     std::vector<std::byte> sendbuf, recvbuf;
+
+    // Deferred results of batched ops, folded into the digest in op order
+    // at the next drain point (a barrier, a channel allgather, or job end)
+    // so the digest stream is byte-identical to the unbatched run's.
+    struct Posted {
+        OpKind kind = OpKind::Barrier;
+        std::size_t cnt = 0;
+        std::vector<std::byte> send, recv;
+        std::vector<double> rin, rout;
+        minimpi::CollRequest req;
+    };
+    std::vector<Posted> posted;
+    auto drain = [&] {
+        for (Posted& p : posted) p.req.wait();
+        for (const Posted& p : posted) {
+            if (!real) break;
+            if (p.kind == OpKind::Allreduce) {
+                fold_bytes(h,
+                           reinterpret_cast<const std::byte*>(p.rout.data()),
+                           p.cnt * sizeof(double));
+            } else {
+                fold_bytes(h, p.recv.data(), p.recv.size());
+            }
+        }
+        posted.clear();
+    };
+    const bool batching = cfg.batch_small && job.hybrid;
+    if (batching) {
+        hc.emplace(jc);
+        batcher.emplace(*hc);
+    }
 
     for (std::size_t oi = 0; oi < job.ops.size(); ++oi) {
         const OpSpec& op = job.ops[oi];
         const std::uint64_t salt = (oi + 1) << 16;
         switch (op.kind) {
             case OpKind::Barrier:
+                drain();  // a barrier closes the batch window by intent
                 minimpi::barrier(jc);
                 break;
             case OpKind::Bcast: {
                 const int root = (job.index + static_cast<int>(oi)) % n;
+                if (batching) {
+                    Posted p;
+                    p.kind = OpKind::Bcast;
+                    if (real) {
+                        p.recv.assign(op.bytes, std::byte{0});
+                        if (mpos == root) {
+                            for (std::size_t i = 0; i < op.bytes; ++i) {
+                                p.recv[i] = pattern_byte(job.seed, salt, i);
+                            }
+                        }
+                    }
+                    p.req = batcher->post_bcast(
+                        real ? p.recv.data() : nullptr, op.bytes, root);
+                    posted.push_back(std::move(p));
+                    break;
+                }
                 if (real) {
                     recvbuf.assign(op.bytes, std::byte{0});
                     if (mpos == root) {
@@ -151,9 +200,31 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
                 break;
             }
             case OpKind::Allgather: {
+                if (batching && op.bytes <= cfg.small_bytes) {
+                    Posted p;
+                    p.kind = OpKind::Allgather;
+                    if (real) {
+                        p.send.resize(op.bytes);
+                        for (std::size_t i = 0; i < op.bytes; ++i) {
+                            p.send[i] = pattern_byte(
+                                job.seed,
+                                salt + static_cast<std::uint64_t>(mpos), i);
+                        }
+                        p.recv.assign(op.bytes * static_cast<std::size_t>(n),
+                                      std::byte{0});
+                    }
+                    p.req = batcher->post_allgather(
+                        real ? p.send.data() : nullptr, op.bytes,
+                        real ? p.recv.data() : nullptr);
+                    posted.push_back(std::move(p));
+                    break;
+                }
                 if (job.hybrid) {
+                    // The channel folds its digest inline, so pending
+                    // batched results must land first to keep fold order.
+                    drain();
                     if (!chan) {
-                        hc.emplace(jc);
+                        if (!hc) hc.emplace(jc);
                         chan.emplace(*hc, op.bytes);
                     }
                     if (real) {
@@ -195,6 +266,29 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
             }
             case OpKind::Allreduce: {
                 const std::size_t cnt = std::max<std::size_t>(1, op.bytes / 8);
+                if (batching) {
+                    Posted p;
+                    p.kind = OpKind::Allreduce;
+                    p.cnt = cnt;
+                    if (real) {
+                        p.rin.resize(cnt);
+                        for (std::size_t k = 0; k < cnt; ++k) {
+                            p.rin[k] = static_cast<double>(
+                                mix64(job.seed ^ salt ^
+                                      (static_cast<std::uint64_t>(mpos)
+                                       << 32) ^
+                                      k) &
+                                0xFF);
+                        }
+                        p.rout.assign(cnt, 0.0);
+                    }
+                    p.req = batcher->post_allreduce(
+                        real ? p.rin.data() : nullptr,
+                        real ? p.rout.data() : nullptr, cnt,
+                        minimpi::Datatype::Double, minimpi::Op::Sum);
+                    posted.push_back(std::move(p));
+                    break;
+                }
                 if (real) {
                     // Small-integer-valued doubles: the sum over members is
                     // exact regardless of the reduction algorithm's
@@ -221,6 +315,7 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
             }
         }
     }
+    drain();
     return h;
 }
 

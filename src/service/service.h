@@ -70,6 +70,14 @@ struct ServiceConfig {
     double large_fraction = 0.25;  ///< probability a job is large
     double hybrid_fraction = 0.5;  ///< multi-node jobs using the hympi channel
 
+    /// Route a hybrid job's small collectives through the CollBatcher
+    /// aggregation shim (hy_batch.h): ops posted back to back fuse into one
+    /// bridge exchange per window and demultiplex on release. Payload bytes
+    /// (and therefore digests) are unchanged — only the virtual-time cost
+    /// structure moves. Off by default, so existing schedules and
+    /// checked-in baselines are untouched.
+    bool batch_small = false;
+
     /// Bridge-link arbitration policy (the QoS knob). When @p use_env is
     /// set, HYMPI_QOS=fifo|weighted overrides it at run time.
     minimpi::QosPolicy qos = minimpi::QosPolicy::Fifo;

@@ -205,6 +205,14 @@ std::vector<Choice> candidates(Op op, int comm_size, const TuneConfig& cfg) {
                 add(algo::kCsPipelined, s);
             }
             break;
+        case Op::LocBruck:
+            add(algo::kLbPerLeader);  // status-quo per-leader slicing (Auto)
+            add(algo::kLbCombined);   // force the locality-aware Bruck
+            break;
+        case Op::BatchWindow:
+            add(algo::kBwOff);    // every op immediate
+            add(algo::kBwFused);  // window fused into one bridge exchange
+            break;
         case Op::SplitSegment:
             // No offline sweep (only hand-registered tables carry rows):
             // the split-phase engine shape depends on the caller's overlap
@@ -250,6 +258,12 @@ Choice legacy_choice(const mm::ModelParams& profile, Op op, int comm_size,
                               ? algo::kSsStaged
                               : algo::kSsFlat,
                           0};
+        case Op::LocBruck:
+            // Pre-table behaviour: Auto never combines without a table row.
+            return Choice{algo::kLbPerLeader, 0};
+        case Op::BatchWindow:
+            // Mirror of CollBatcher's legacy fuse threshold.
+            return Choice{bytes <= 1024 ? algo::kBwFused : algo::kBwOff, 0};
         case Op::BridgeExchange:
         default:
             return Choice{algo::kBrVendorAllgatherv, 0};
@@ -307,6 +321,54 @@ double measure(const mm::ModelParams& profile, Op op, Shape shape,
                                            : hympi::SocketStaging::Auto);
                 if (pipelined) ch->set_chunk_bytes(seg);
                 return [hc, ch] { ch->run(0); };
+            });
+    }
+    if (op == Op::LocBruck) {
+        // comm_size nodes x 4 ranks with EVERY rank a leader — the
+        // multi-leader regime where the combined algorithm's one-message-
+        // per-node aggregation differs from per-leader slicing. `bytes` is
+        // the whole node block (the runtime lookup key), so each rank
+        // contributes a quarter. The per-leader baseline runs the channel's
+        // status-quo Auto selection under the registered partial table.
+        mm::Runtime lrt(mm::ClusterSpec::regular(comm_size, 4), profile,
+                        mm::PayloadMode::SizeOnly);
+        const hympi::BridgeAlgo a = choice.algo == algo::kLbCombined
+                                        ? hympi::BridgeAlgo::LocBruck
+                                        : hympi::BridgeAlgo::Auto;
+        const std::size_t block = bytes / 4;
+        return benchu::osu_latency(
+            lrt, cfg.warmup, cfg.iters,
+            [block, a](mm::Comm& world) -> std::function<void()> {
+                auto hc = std::make_shared<hympi::HierComm>(world, 4);
+                auto ch =
+                    std::make_shared<hympi::AllgatherChannel>(*hc, block);
+                return [hc, ch, a] { ch->run(hympi::SyncPolicy::Barrier, a); };
+            });
+    }
+    if (op == Op::BatchWindow) {
+        // comm_size nodes x 2 ranks; one window of 8 back-to-back
+        // allgathers of `bytes` per rank. The candidates force the batcher
+        // policy (fused vs immediate), so the probe never re-enters the
+        // BatchWindow table being built.
+        mm::Runtime brt(mm::ClusterSpec::regular(comm_size, 2), profile,
+                        mm::PayloadMode::SizeOnly);
+        const bool fused = choice.algo == algo::kBwFused;
+        return benchu::osu_latency(
+            brt, cfg.warmup, cfg.iters,
+            [bytes, fused](mm::Comm& world) -> std::function<void()> {
+                auto hc = std::make_shared<hympi::HierComm>(world, 1);
+                auto bat = std::make_shared<hympi::CollBatcher>(*hc);
+                bat->set_policy(fused ? hympi::BatchPolicy::Always
+                                      : hympi::BatchPolicy::Never);
+                return [hc, bat, bytes] {
+                    std::vector<mm::CollRequest> reqs;
+                    reqs.reserve(8);
+                    for (int i = 0; i < 8; ++i) {
+                        reqs.push_back(
+                            bat->post_allgather(nullptr, bytes, nullptr));
+                    }
+                    mm::wait_all(reqs);
+                };
             });
     }
     mm::Runtime rt(cluster_for(shape, comm_size), profile,
@@ -407,6 +469,36 @@ DecisionTable tune_profile(const mm::ModelParams& profile,
                  << " points\n";
         }
     }
+    // Re-register so the locality-aware sweep's per-leader baseline (Auto)
+    // runs the tuned bridge selection just swept. LocBruck rows are
+    // collected aside like ChunkSize's: tuned_bridge_algo consults them
+    // FIRST, so a row set at an earlier grid point would hijack a later
+    // point's Auto baseline.
+    register_table(table);
+    {
+        std::vector<std::pair<std::pair<int, std::size_t>, Choice>> rows;
+        for (int s : cfg.bridge_sizes) {
+            for (std::size_t b : cfg.bridge_block_bytes) {
+                rows.push_back({{s, b},
+                                best_choice(profile, Op::LocBruck, Shape::Net,
+                                            s, b, cfg)});
+            }
+        }
+        for (const auto& [key, c] : rows) {
+            table.set(Op::LocBruck, Shape::Net, key.first, key.second, c);
+        }
+        if (log) {
+            *log << "  " << profile.name << ": " << op_name(Op::LocBruck)
+                 << "/" << shape_name(Shape::Net) << " swept "
+                 << cfg.bridge_sizes.size() << " x "
+                 << cfg.bridge_block_bytes.size() << " points\n";
+        }
+    }
+    // Batch-window fusing, keyed by (node count, per-op payload). The
+    // probes force the batcher policy, so rows can land in the table
+    // directly without contaminating later grid points.
+    sweep(Op::BatchWindow, Shape::Net, cfg.bridge_sizes, cfg.block_bytes,
+          false);
     unregister_table(profile.name);
     return table;
 }

@@ -19,7 +19,8 @@ const char* const kOpNames[kNumOps] = {"allgather",       "allgatherv",
                                        "bcast",           "allreduce",
                                        "barrier",         "bridge_exchange",
                                        "socket_staging",  "split_segment",
-                                       "chunk_size"};
+                                       "chunk_size",      "loc_bruck",
+                                       "batch_window"};
 const char* const kShapeNames[kNumShapes] = {"net", "shm"};
 
 /// Per-op algorithm name tables, indexed by the algo:: constants.
@@ -35,6 +36,8 @@ const std::vector<const char*>& algo_names(Op op) {
         {"flat", "staged"},                              // SocketStaging
         {"whole", "segmented"},                          // SplitSegment
         {"whole", "pipelined"},                          // ChunkSize
+        {"per_leader", "combined"},                      // LocBruck
+        {"off", "fused"},                                // BatchWindow
     };
     return names[static_cast<int>(op)];
 }

@@ -42,8 +42,18 @@ enum class Op : std::uint8_t {
                      ///< round runs whole-message staged or chunked
                      ///< (pipelined), and at which chunk size; Shm shape,
                      ///< keyed by the distributed byte count
+    LocBruck,        ///< hybrid bridge: whether the multi-leader exchange
+                     ///< runs the per-leader tuned algorithms or the
+                     ///< locality-aware combined Bruck (one aggregated
+                     ///< node block per inter-node message); keyed by
+                     ///< (node count, largest node-block byte count) —
+                     ///< rank-uniform, so every leader resolves alike
+    BatchWindow,     ///< small-collective aggregation shim: whether ops of
+                     ///< a given size are coalesced into the fused bridge
+                     ///< exchange or executed immediately; keyed by
+                     ///< (node count, per-op payload bytes)
 };
-inline constexpr int kNumOps = 9;
+inline constexpr int kNumOps = 11;
 
 /// Link class of the communicator the operation runs on. Collective call
 /// sites in minimpi are link-pure: the SMP-aware dispatch sends mixed
@@ -90,6 +100,12 @@ inline constexpr std::uint8_t kSpSegmented = 1;
 // Op::ChunkSize
 inline constexpr std::uint8_t kCsWhole = 0;
 inline constexpr std::uint8_t kCsPipelined = 1;
+// Op::LocBruck
+inline constexpr std::uint8_t kLbPerLeader = 0;
+inline constexpr std::uint8_t kLbCombined = 1;
+// Op::BatchWindow
+inline constexpr std::uint8_t kBwOff = 0;
+inline constexpr std::uint8_t kBwFused = 1;
 }  // namespace algo
 
 /// Number of algorithm ids defined for @p op.

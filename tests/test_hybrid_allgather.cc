@@ -102,7 +102,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(SyncPolicy::Barrier, SyncPolicy::Flags),
         ::testing::Values(BridgeAlgo::Auto, BridgeAlgo::Allgatherv,
                           BridgeAlgo::Bcast, BridgeAlgo::Pipelined,
-                          BridgeAlgo::BruckV, BridgeAlgo::NeighborExchange),
+                          BridgeAlgo::BruckV, BridgeAlgo::NeighborExchange,
+                          BridgeAlgo::LocBruck),
         ::testing::Values(1, 2)),
     [](const auto& info) {
         const int shape = std::get<0>(info.param);
@@ -118,6 +119,7 @@ INSTANTIATE_TEST_SUITE_P(
             case BridgeAlgo::Pipelined: s += "_pipe"; break;
             case BridgeAlgo::BruckV: s += "_bruckv"; break;
             case BridgeAlgo::NeighborExchange: s += "_nbrex"; break;
+            case BridgeAlgo::LocBruck: s += "_locbruck"; break;
         }
         s += "_L" + std::to_string(leaders);
         return s;

@@ -1,0 +1,306 @@
+// Locality-aware Bruck bridge allgather (BridgeAlgo::LocBruck) and the
+// bridge-edge-case bugfix sweep that rode along with it:
+//  * byte equality of the combined whole-node-block Bruck against the flat
+//    reference across leader counts, placements and irregular counts;
+//  * the BruckV/LocBruck zero-count + single-rank-node regression;
+//  * the unified segment/chunk clamp rule (detail::clamp_segment);
+//  * Auto selection at 0-byte payloads (log-rounding must not reach the
+//    segmented or combined algorithms);
+//  * the L-fold inter-node message-count reduction the algorithm exists for.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "hybrid/hympi.h"
+#include "hybrid/numa_stage.h"
+#include "tuning/decision.h"
+
+using namespace minimpi;
+using namespace hympi;
+
+namespace {
+
+void fill(std::byte* p, std::size_t n, int seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = static_cast<std::byte>((seed * 167 + static_cast<int>(i) * 3) &
+                                      0xFF);
+    }
+}
+
+/// Differential check of one forced bridge algorithm against the flat
+/// allgatherv, over arbitrary counts, leader counts and sync policies.
+void check_vs_flat(ClusterSpec cluster, const std::vector<std::size_t>& counts,
+                   BridgeAlgo algo, int leaders, SyncPolicy sync,
+                   ModelParams model = ModelParams::cray()) {
+    Runtime rt(std::move(cluster), std::move(model));
+    rt.run([&](Comm& world) {
+        const int p = world.size();
+        ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+        std::size_t total = 0;
+        for (int r = 0; r < p; ++r) {
+            displs[static_cast<std::size_t>(r)] = total;
+            total += counts[static_cast<std::size_t>(r)];
+        }
+        const std::size_t mine = counts[static_cast<std::size_t>(world.rank())];
+        std::vector<std::byte> sendbuf(mine);
+        fill(sendbuf.data(), mine, world.rank());
+        std::vector<std::byte> flat(total);
+        allgatherv(world, sendbuf.data(), mine, flat.data(), counts, displs,
+                   Datatype::Byte);
+
+        HierComm hc(world, leaders);
+        AllgatherChannel ch(hc, counts);
+        if (mine > 0) std::memcpy(ch.my_block(), sendbuf.data(), mine);
+        ch.run(sync, algo);
+        for (int r = 0; r < p; ++r) {
+            const std::size_t n = counts[static_cast<std::size_t>(r)];
+            if (n == 0) continue;
+            EXPECT_EQ(
+                std::memcmp(
+                    ch.block_of(r),
+                    flat.data() + displs[static_cast<std::size_t>(r)], n),
+                0)
+                << "rank " << world.rank() << " block " << r;
+        }
+        barrier(world);
+    });
+}
+
+TEST(LocBruck, MultiLeaderUniformBlocks) {
+    // The algorithm's home regime: several leaders per node, every bridge
+    // rank == node index, one aggregated message per round from the
+    // primary leader only.
+    for (int leaders : {1, 2, 3}) {
+        std::vector<std::size_t> counts(9, 64);
+        for (const auto sync : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+            check_vs_flat(ClusterSpec::regular(3, 3), counts,
+                          BridgeAlgo::LocBruck, leaders, sync);
+        }
+    }
+}
+
+TEST(LocBruck, IrregularCountsRoundRobinPlacement) {
+    // Slot-major layout under round-robin placement: the primary leader's
+    // whole-node blocks must land at the node-sorted displacements, not at
+    // rank order.
+    std::vector<std::size_t> counts{3000, 0, 1, 7, 0, 64, 2, 500};
+    check_vs_flat(ClusterSpec::irregular({3, 2, 3}, Placement::RoundRobin),
+                  counts, BridgeAlgo::LocBruck, 2, SyncPolicy::Barrier);
+}
+
+TEST(LocBruck, SingleNodeDegeneratesToNoop) {
+    std::vector<std::size_t> counts{5, 9, 0, 17};
+    check_vs_flat(ClusterSpec::regular(1, 4), counts, BridgeAlgo::LocBruck, 2,
+                  SyncPolicy::Flags);
+}
+
+// ---- satellite 1: BruckV/LocBruck zero-count + 1-rank-node regression ---
+
+TEST(BridgeEdgeCases, BruckVZeroCountLeadersWithSingleRankNodes) {
+    // Zero-count LEADER blocks (the rotated scratch's own slot is empty)
+    // interleaved with 1-rank nodes, over both point-to-point Bruck
+    // variants. Pinned against the flat reference byte for byte.
+    std::vector<std::size_t> counts(10);
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+        counts[r] = (r % 3 == 0) ? 0 : 13 * r;  // ranks 0,3,6,9 contribute 0
+    }
+    for (const auto algo : {BridgeAlgo::BruckV, BridgeAlgo::LocBruck}) {
+        for (const auto sync : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+            check_vs_flat(ClusterSpec::irregular({1, 5, 1, 3}), counts, algo,
+                          1, sync);
+        }
+    }
+}
+
+TEST(BridgeEdgeCases, WholeNodeZeroUnderBothBruckVariants) {
+    // A whole node contributing nothing: its (1-rank) leader still rotates
+    // an empty slot through every round.
+    std::vector<std::size_t> counts{40, 17, 0, 0, 0, 8, 23};
+    for (const auto algo : {BridgeAlgo::BruckV, BridgeAlgo::LocBruck}) {
+        check_vs_flat(ClusterSpec::irregular({2, 3, 2}), counts, algo, 1,
+                      SyncPolicy::Flags);
+        check_vs_flat(ClusterSpec::irregular({1, 1, 5}), counts, algo, 1,
+                      SyncPolicy::Barrier);
+    }
+}
+
+TEST(BridgeEdgeCases, PermutedSecondaryBridgeUnderGappedSubcomm) {
+    // Found by the fuzzer: with round-robin placement AND a sub-communicator
+    // with a hole, the SECOND leaders' bridge is rank-ordered {4, 5, 6, 7}
+    // = nodes {0, 2, 3, 1} — a permutation of node-major order. The bridge
+    // slice tables are indexed by bridge rank, so building them node-major
+    // silently exchanged the wrong slices (blocks arrived zeroed). Bridge 0
+    // can never permute (node-major order IS ascending lowest comm rank),
+    // which is why SMP placements and full-world round-robin never hit it.
+    const std::vector<int> members{0, 1, 2, 3, 4, 6, 7, 8, 9};
+    for (const auto algo :
+         {BridgeAlgo::Allgatherv, BridgeAlgo::Bcast, BridgeAlgo::BruckV,
+          BridgeAlgo::NeighborExchange, BridgeAlgo::LocBruck,
+          BridgeAlgo::Auto}) {
+        Runtime rt(ClusterSpec::irregular({2, 3, 3, 2}, Placement::RoundRobin),
+                   ModelParams::openmpi());
+        rt.run([&](Comm& world) {
+            const bool in = std::find(members.begin(), members.end(),
+                                      world.rank()) != members.end();
+            Comm active = world.split(in ? 0 : kUndefined, world.rank());
+            if (!in) return;
+            const int p = active.size();
+            const std::size_t bb = 24;
+            std::vector<std::byte> mine(bb);
+            fill(mine.data(), bb, active.rank());
+            std::vector<std::byte> flat(bb * static_cast<std::size_t>(p));
+            allgather(active, mine.data(), bb, flat.data(), Datatype::Byte);
+
+            HierComm hc(active, 2);
+            AllgatherChannel ch(hc, bb);
+            std::memcpy(ch.my_block(), mine.data(), bb);
+            ch.run(SyncPolicy::Barrier, algo);
+            for (int r = 0; r < p; ++r) {
+                EXPECT_EQ(std::memcmp(ch.block_of(r),
+                                      flat.data() +
+                                          static_cast<std::size_t>(r) * bb,
+                                      bb),
+                          0)
+                    << "rank " << active.rank() << " block " << r;
+            }
+            barrier(active);
+        });
+    }
+}
+
+TEST(BridgeEdgeCases, AllZeroCounts) {
+    // Fully empty exchange: every path must complete without dividing by a
+    // zero payload or dereferencing the (null) shared segment.
+    std::vector<std::size_t> counts(6, 0);
+    for (const auto algo :
+         {BridgeAlgo::BruckV, BridgeAlgo::LocBruck, BridgeAlgo::Pipelined,
+          BridgeAlgo::Auto}) {
+        check_vs_flat(ClusterSpec::irregular({1, 2, 3}), counts, algo, 1,
+                      SyncPolicy::Barrier);
+    }
+}
+
+// ---- satellite 2: the one segment/chunk clamp rule ----------------------
+
+TEST(ClampSegment, UnifiedRule) {
+    using hympi::detail::clamp_segment;
+    // 0 request -> fallback.
+    EXPECT_EQ(clamp_segment(0, 32768, 64, 1 << 20), 32768u);
+    // Explicit request passes through when in range.
+    EXPECT_EQ(clamp_segment(4096, 32768, 64, 1 << 20), 4096u);
+    // Floored at max(floor, 1).
+    EXPECT_EQ(clamp_segment(1, 32768, 64, 1 << 20), 64u);
+    EXPECT_EQ(clamp_segment(1, 32768, 0, 1 << 20), 1u);
+    // Capped at the payload: a request (or fallback) beyond it clamps.
+    EXPECT_EQ(clamp_segment(1 << 20, 32768, 64, 1000), 1000u);
+    EXPECT_EQ(clamp_segment(0, 32768, 64, 100), 100u);
+    // Zero payload can never yield a zero segment (division guards).
+    EXPECT_EQ(clamp_segment(0, 32768, 64, 0), 1u);
+    EXPECT_EQ(clamp_segment(512, 32768, 64, 0), 1u);
+    // Floor larger than payload: the payload cap wins (truncating
+    // transfers still terminate).
+    EXPECT_EQ(clamp_segment(16, 32768, 4096, 100), 100u);
+    // Idempotent: re-clamping a clamped value is the identity.
+    for (std::size_t seg : {std::size_t{0}, std::size_t{1}, std::size_t{512},
+                            std::size_t{1} << 22}) {
+        const std::size_t once = clamp_segment(seg, 32768, 64, 9000);
+        EXPECT_EQ(clamp_segment(once, 32768, 64, 9000), once);
+    }
+    // Compile-time usable (the constant used by PipelinePlan::plan).
+    static_assert(clamp_segment(0, kDefaultChunkBytes, 64, 1 << 20) ==
+                  kDefaultChunkBytes);
+    static_assert(clamp_segment(0, 8192, 64, 10) == 10);
+}
+
+// ---- satellite 3: 0-byte payloads must not pick segmented algorithms ----
+
+TEST(ZeroByteAuto, TableNamingSegmentedAlgosIsIgnoredAtZeroBytes) {
+    // A table whose SMALLEST keys name the pipelined ring (and the
+    // combined LocBruck): log-space rounding of size 0 lands on those keys,
+    // but a 0-byte exchange has no segments to pipeline — Auto must fall
+    // back to the vendor allgatherv instead of dividing by a zero segment.
+    tuning::DecisionTable t("test", 1);
+    t.set(tuning::Op::BridgeExchange, tuning::Shape::Net, 2, 1,
+          tuning::Choice{tuning::algo::kBrPipelined, 0});
+    t.set(tuning::Op::LocBruck, tuning::Shape::Net, 2, 1,
+          tuning::Choice{tuning::algo::kLbCombined, 0});
+    tuning::register_table(t);
+    std::vector<std::size_t> counts(6, 0);
+    check_vs_flat(ClusterSpec::regular(3, 2), counts, BridgeAlgo::Auto, 2,
+                  SyncPolicy::Barrier, ModelParams::test());
+    check_vs_flat(ClusterSpec::irregular({1, 2, 3}), counts, BridgeAlgo::Auto,
+                  1, SyncPolicy::Flags, ModelParams::test());
+    tuning::unregister_table("test");
+}
+
+TEST(ZeroByteAuto, NonZeroPayloadStillConsultsTheTable) {
+    // Same table, non-zero counts: the LocBruck row applies (multi-leader)
+    // and the result must still match the flat reference.
+    tuning::DecisionTable t("test", 1);
+    t.set(tuning::Op::LocBruck, tuning::Shape::Net, 2, 1,
+          tuning::Choice{tuning::algo::kLbCombined, 0});
+    tuning::register_table(t);
+    std::vector<std::size_t> counts(6, 32);
+    check_vs_flat(ClusterSpec::regular(3, 2), counts, BridgeAlgo::Auto, 2,
+                  SyncPolicy::Barrier, ModelParams::test());
+    tuning::unregister_table("test");
+}
+
+// ---- the reason the algorithm exists: L-fold fewer inter-node messages --
+
+std::uint64_t total_msgs(int nodes, int ppn, int leaders, BridgeAlgo algo,
+                         int iters) {
+    Runtime rt(ClusterSpec::regular(nodes, ppn), ModelParams::test(),
+               PayloadMode::SizeOnly);
+    rt.run([&](Comm& world) {
+        HierComm hc(world, leaders);
+        AllgatherChannel ch(hc, 64);
+        barrier(world);
+        for (int i = 0; i < iters; ++i) {
+            ch.run(SyncPolicy::Barrier, algo);
+        }
+    });
+    return rt.total_stats().inter_node_msgs;
+}
+
+/// Exact per-run() inter-node message count: the delta of two runs that
+/// differ only in iteration count, so setup one-offs (HierComm splits, the
+/// settling barrier) cancel.
+std::uint64_t bridge_msgs(int nodes, int ppn, int leaders, BridgeAlgo algo) {
+    constexpr int kIters = 3;
+    const std::uint64_t lo = total_msgs(nodes, ppn, leaders, algo, kIters);
+    const std::uint64_t hi = total_msgs(nodes, ppn, leaders, algo, 2 * kIters);
+    return (hi - lo) / kIters;
+}
+
+TEST(LocBruck, LFoldMessageReduction) {
+    // With L leaders per node, per-leader BruckV runs L interleaved Bruck
+    // exchanges (L * nn * ceil(log2 nn) messages); the combined algorithm
+    // ships whole node blocks over the primary bridge only.
+    const int nodes = 8, leaders = 4;
+    const std::uint64_t bruckv =
+        bridge_msgs(nodes, 4, leaders, BridgeAlgo::BruckV);
+    const std::uint64_t combined =
+        bridge_msgs(nodes, 4, leaders, BridgeAlgo::LocBruck);
+    EXPECT_EQ(combined * leaders, bruckv);
+    EXPECT_EQ(combined, 8u * 3u);  // nn * ceil(log2 nn)
+}
+
+TEST(LocBruck, AutoFollowsRegisteredCombinedRow) {
+    // A registered combined row at this (nodes, node-block) point must make
+    // Auto reproduce the forced algorithm's message count exactly.
+    const std::uint64_t forced = bridge_msgs(8, 4, 4, BridgeAlgo::LocBruck);
+    tuning::DecisionTable t("test", 1);
+    t.set(tuning::Op::LocBruck, tuning::Shape::Net, 8, 256,
+          tuning::Choice{tuning::algo::kLbCombined, 0});
+    tuning::register_table(t);
+    const std::uint64_t autod = bridge_msgs(8, 4, 4, BridgeAlgo::Auto);
+    tuning::unregister_table("test");
+    EXPECT_EQ(autod, forced);
+}
+
+}  // namespace

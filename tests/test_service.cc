@@ -281,6 +281,35 @@ TEST(ServiceRun, PayloadIsolationUnderContention) {
     EXPECT_EQ(err, "") << err;
 }
 
+TEST(ServiceRun, BatchingLeavesDigestsUntouched) {
+    // Routing a hybrid job's small collectives through the CollBatcher
+    // moves virtual-time cost structure only: every job's digest must be
+    // byte-identical to the unbatched run of the same schedule.
+    service::ServiceConfig cfg = small_cfg();
+    cfg.payload = PayloadMode::Real;
+    cfg.hybrid_fraction = 1.0;  // maximize batcher coverage
+    const service::ServiceResult plain = service::run_service(cfg);
+    cfg.batch_small = true;
+    const service::ServiceResult batched = service::run_service(cfg);
+    ASSERT_EQ(plain.jobs.size(), batched.jobs.size());
+    for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+        EXPECT_EQ(plain.jobs[i].digest, batched.jobs[i].digest)
+            << "job " << i;
+    }
+    EXPECT_EQ(plain.total_ops, batched.total_ops);
+}
+
+TEST(ServiceRun, BatchingPreservesPayloadIsolation) {
+    // The isolation oracle must hold with the aggregation shim on: fusing
+    // never lets one tenant's bytes bleed into another's results.
+    service::ServiceConfig cfg = small_cfg();
+    cfg.jobs_per_tenant = 3;
+    cfg.hybrid_fraction = 1.0;
+    cfg.batch_small = true;
+    const std::string err = service::verify_isolation(cfg);
+    EXPECT_EQ(err, "") << err;
+}
+
 TEST(ServiceRun, WeightedQosImprovesFavoredTenantTailLatency) {
     // The acceptance pin: at 8 tenants under bridge contention, giving
     // tenant 0 an 8x share must improve its p99 vs FIFO arbitration.
