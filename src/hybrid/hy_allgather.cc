@@ -154,19 +154,20 @@ void AllgatherChannel::repack_rank_order(void* dst) const {
 BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
     const tuning::DecisionTable* table = hc_->world().ctx().tuned;
     if (table == nullptr) return BridgeAlgo::Allgatherv;  // the paper's default
-    // A 0-byte exchange has no geometric position on the size axis: log-
-    // rounding would land on the smallest grid row, whose winner (possibly
-    // Pipelined or LocBruck) is tuned for data that is not there. Nothing
-    // moves, so take the paper's default (mirrors SocketStager::resolve's
-    // 0-byte clamp).
-    if (max_bridge_count_ == 0) return BridgeAlgo::Allgatherv;
-    // Rank-uniform LocBruck consultation first (multi-leader channels only):
+    // Rank-uniform LocBruck consultation FIRST (multi-leader channels only):
     // keyed by (node count, largest WHOLE node block) — identical on every
     // leader, so either all of a node's leaders enter the combined exchange
     // or none does; a per-leader key here could let the primary's whole-
-    // block writes overlap a divergently-resolved peer's slice writes. With
-    // one leader per node LocBruck degenerates to BruckV, which the
-    // per-leader BridgeExchange row already covers.
+    // block writes overlap a divergently-resolved peer's slice writes. It
+    // must also precede the 0-byte clamp below: max_bridge_count_ is PER
+    // LEADER, and a leader whose own slices happen to be empty (e.g. an
+    // allgatherv where only another leader's slices carry data) still has
+    // to resolve kLbCombined together with its siblings — the primary's
+    // bridge ships whole node blocks on everyone's behalf, and non-primary
+    // leaders return without exchanging. The max_node_block_ > 0 guard
+    // keeps the truly-empty exchange (total payload 0, rank-uniform) on
+    // the default path. With one leader per node LocBruck degenerates to
+    // BruckV, which the per-leader BridgeExchange row already covers.
     if (hc_->leaders_per_node() > 1 && max_node_block_ > 0) {
         const auto lc =
             table->lookup(tuning::Op::LocBruck, tuning::Shape::Net,
@@ -175,6 +176,13 @@ BridgeAlgo AllgatherChannel::tuned_bridge_algo(std::size_t& seg) const {
             return BridgeAlgo::LocBruck;
         }
     }
+    // A 0-byte exchange has no geometric position on the size axis: log-
+    // rounding would land on the smallest grid row, whose winner (possibly
+    // Pipelined) is tuned for data that is not there. Nothing moves over
+    // THIS bridge (max_bridge_count_ is the max over the whole bridge's
+    // counts, so the clamp is uniform within the bridge comm), so take the
+    // paper's default (mirrors SocketStager::resolve's 0-byte clamp).
+    if (max_bridge_count_ == 0) return BridgeAlgo::Allgatherv;
     const auto c =
         table->lookup(tuning::Op::BridgeExchange, tuning::Shape::Net,
                       hc_->bridge().size(), max_bridge_count_);

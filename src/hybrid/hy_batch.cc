@@ -78,8 +78,16 @@ minimpi::CollRequest CollBatcher::enqueue(PendingOp op) {
             hc_->world(), "hy_batch_immediate", {}));
     }
     if (pending_bytes_ + total > capacity_) flush(sync_policy_);
+    const bool opens_window = pending_.empty();
     pending_.push_back(op);
     pending_bytes_ += total;
+    // Stamp the window at POST time with the last observed clock, so its
+    // age is measured from when the first op arrived, not from the next
+    // advance_window call (which may come arbitrarily later).
+    if (opens_window && clock_valid_) {
+        window_clocked_ = true;
+        window_open_us_ = clock_us_;
+    }
     return make_ticket();
 }
 
@@ -138,11 +146,14 @@ void CollBatcher::run_immediate(const PendingOp& op) {
 }
 
 void CollBatcher::advance_window(double now_us) {
+    clock_us_ = now_us;
+    clock_valid_ = true;
     if (pending_.empty() || window_us_ <= 0.0) return;
     if (!window_clocked_) {
+        // Ops posted before any clock observation: their window ages from
+        // this first observation (the post-time stamp had no clock yet).
         window_clocked_ = true;
         window_open_us_ = now_us;
-        return;
     }
     if (now_us - window_open_us_ >= window_us_) flush(sync_policy_);
 }

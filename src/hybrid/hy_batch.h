@@ -84,8 +84,12 @@ public:
     void set_sync_policy(SyncPolicy p) { sync_policy_ = p; }
 
     /// Virtual-time window bound: once advance_window() observes the open
-    /// window older than @p us, it flushes. 0 disables (default) — windows
-    /// then close only on capacity, explicit flush or first wait.
+    /// window older than @p us, it flushes. A window opens at POST time —
+    /// the clock value last observed by advance_window when its first op
+    /// is enqueued — so its age never exceeds @p us by more than the gap
+    /// between advance calls; ops posted before any observation age from
+    /// the first advance_window call instead. 0 disables (default) —
+    /// windows then close only on capacity, explicit flush or first wait.
     void set_window_us(double us) { window_us_ = us; }
     /// Drive the time-bound window. @p now_us MUST be uniform across the
     /// communicator's ranks (e.g. schedule arrival times that are a pure
@@ -139,6 +143,8 @@ private:
     double window_us_ = 0.0;
     double window_open_us_ = 0.0;
     bool window_clocked_ = false;  ///< window_open_us_ holds a timestamp
+    double clock_us_ = 0.0;    ///< last advance_window observation
+    bool clock_valid_ = false;  ///< clock_us_ holds an observation
 
     std::vector<PendingOp> pending_;
     std::size_t pending_bytes_ = 0;

@@ -167,7 +167,7 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
                 break;
             case OpKind::Bcast: {
                 const int root = (job.index + static_cast<int>(oi)) % n;
-                if (batching) {
+                if (batching && op.bytes <= cfg.small_bytes) {
                     Posted p;
                     p.kind = OpKind::Bcast;
                     if (real) {
@@ -180,6 +180,28 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
                     }
                     p.req = batcher->post_bcast(
                         real ? p.recv.data() : nullptr, op.bytes, root);
+                    posted.push_back(std::move(p));
+                    break;
+                }
+                if (batching) {
+                    // Large op: bypass the batcher entirely (the size gate
+                    // keeps the open window intact instead of forcing a
+                    // flush), but its digest fold must stay in op order
+                    // with the deferred batched results — run it now and
+                    // fold at the next drain via an already-complete
+                    // Posted entry (its default req waits as a no-op).
+                    Posted p;
+                    p.kind = OpKind::Bcast;
+                    if (real) {
+                        p.recv.assign(op.bytes, std::byte{0});
+                        if (mpos == root) {
+                            for (std::size_t i = 0; i < op.bytes; ++i) {
+                                p.recv[i] = pattern_byte(job.seed, salt, i);
+                            }
+                        }
+                    }
+                    minimpi::bcast(jc, real ? p.recv.data() : nullptr,
+                                   op.bytes, minimpi::Datatype::Byte, root);
                     posted.push_back(std::move(p));
                     break;
                 }
@@ -282,10 +304,21 @@ std::uint64_t run_ops(const ServiceConfig& cfg, Comm& jc, const JobSpec& job,
                         }
                         p.rout.assign(cnt, 0.0);
                     }
-                    p.req = batcher->post_allreduce(
-                        real ? p.rin.data() : nullptr,
-                        real ? p.rout.data() : nullptr, cnt,
-                        minimpi::Datatype::Double, minimpi::Op::Sum);
+                    if (op.bytes <= cfg.small_bytes) {
+                        p.req = batcher->post_allreduce(
+                            real ? p.rin.data() : nullptr,
+                            real ? p.rout.data() : nullptr, cnt,
+                            minimpi::Datatype::Double, minimpi::Op::Sum);
+                    } else {
+                        // Large op: bypass the batcher (same size gate as
+                        // the allgather/bcast paths — no forced window
+                        // flush); the complete Posted entry keeps the
+                        // digest fold in op order at the next drain.
+                        minimpi::allreduce(jc, real ? p.rin.data() : nullptr,
+                                           real ? p.rout.data() : nullptr,
+                                           cnt, minimpi::Datatype::Double,
+                                           minimpi::Op::Sum);
+                    }
                     posted.push_back(std::move(p));
                     break;
                 }

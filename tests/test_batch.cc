@@ -281,16 +281,32 @@ TEST(CollBatcher, TimeWindowAdvanceFlushes) {
         batch.set_policy(BatchPolicy::Always);
         batch.set_window_us(100.0);
         std::vector<std::byte> out(ref.size());
-        batch.advance_window(0.0);  // empty window: no-op
+        batch.advance_window(0.0);  // empty window: no flush, clocks t=0
+        // The window opens at POST time (the last observed clock, t=0) —
+        // not at the next advance call.
         CollRequest r = batch.post_allgather(send.data(), kN, out.data());
-        batch.advance_window(50.0);  // stamps the open window at t=50
+        batch.advance_window(50.0);  // young (50us < 100us): stays open
         EXPECT_EQ(batch.stats().windows, 0u);
-        batch.advance_window(120.0);  // young (70us < 100us): stays open
-        EXPECT_EQ(batch.stats().windows, 0u);
-        batch.advance_window(200.0);  // expired: flushes collectively
+        batch.advance_window(120.0);  // expired (120us >= 100us): flushes
         EXPECT_EQ(batch.stats().windows, 1u);
         r.wait();
         EXPECT_EQ(std::memcmp(out.data(), ref.data(), ref.size()), 0);
+
+        // Ops posted before the batcher ever saw a clock fall back to
+        // aging from the first advance_window observation.
+        CollBatcher fresh(hc);
+        fresh.set_policy(BatchPolicy::Always);
+        fresh.set_window_us(100.0);
+        std::vector<std::byte> out2(ref.size());
+        CollRequest r2 = fresh.post_allgather(send.data(), kN, out2.data());
+        fresh.advance_window(1000.0);  // stamps the open window at t=1000
+        EXPECT_EQ(fresh.stats().windows, 0u);
+        fresh.advance_window(1050.0);  // young (50us < 100us): stays open
+        EXPECT_EQ(fresh.stats().windows, 0u);
+        fresh.advance_window(1100.0);  // expired: flushes collectively
+        EXPECT_EQ(fresh.stats().windows, 1u);
+        r2.wait();
+        EXPECT_EQ(std::memcmp(out2.data(), ref.data(), ref.size()), 0);
         barrier(world);
     });
 }

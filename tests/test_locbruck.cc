@@ -250,6 +250,28 @@ TEST(ZeroByteAuto, NonZeroPayloadStillConsultsTheTable) {
     tuning::unregister_table("test");
 }
 
+TEST(ZeroByteAuto, EmptyPrimarySlicesStillJoinTheCombinedExchange) {
+    // Regression: max_bridge_count_ is PER LEADER. Under SMP placement of
+    // regular(3, 2) with 2 leaders, counts {0,32,0,32,0,32} leave every
+    // primary-leader slice empty while leader 1's slices carry all the
+    // data. The per-leader 0-byte clamp used to fire on the primary
+    // BEFORE the rank-uniform LocBruck consultation, so the primary
+    // resolved Allgatherv (moving nothing) while leader 1 resolved the
+    // combined exchange and returned without shipping its slices —
+    // silently corrupt results. All of a node's leaders must resolve
+    // identically; with the fix the primary carries the whole node blocks.
+    tuning::DecisionTable t("test", 1);
+    t.set(tuning::Op::LocBruck, tuning::Shape::Net, 2, 1,
+          tuning::Choice{tuning::algo::kLbCombined, 0});
+    tuning::register_table(t);
+    std::vector<std::size_t> counts{0, 32, 0, 32, 0, 32};
+    for (const auto sync : {SyncPolicy::Barrier, SyncPolicy::Flags}) {
+        check_vs_flat(ClusterSpec::regular(3, 2), counts, BridgeAlgo::Auto, 2,
+                      sync, ModelParams::test());
+    }
+    tuning::unregister_table("test");
+}
+
 // ---- the reason the algorithm exists: L-fold fewer inter-node messages --
 
 std::uint64_t total_msgs(int nodes, int ppn, int leaders, BridgeAlgo algo,
